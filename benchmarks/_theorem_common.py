@@ -1,0 +1,91 @@
+"""Shared sweep machinery for the four theorem benchmarks (TH1-TH4)."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List
+
+from repro.core.engine import SearchStats
+from repro.reductions.common import SatReduction
+from repro.sat.dpll import solve
+from repro.sat.generators import random_ksat
+
+# the sweep: small sizes kept fast, the larger ones show the growth
+GRID = [(3, 6), (3, 10), (4, 8), (4, 14), (5, 12), (5, 18)]
+SEEDS = range(3)
+
+# random instances at these ratios are usually satisfiable, but the
+# co-NP-hard direction lives on UNSAT formulas: guarantee coverage by
+# scanning seeds for unsatisfiable instances at a few sizes
+UNSAT_SIZES = [(3, 12), (3, 16), (4, 18)]
+
+
+def formula_batch():
+    out = []
+    for n, m in GRID:
+        for seed in SEEDS:
+            f = random_ksat(n, m, seed=seed)
+            out.append((n, m, seed, f, solve(f) is not None))
+    for n, m in UNSAT_SIZES:
+        for seed in range(500):
+            f = random_ksat(n, m, seed=seed)
+            if solve(f) is None:
+                out.append((n, m, seed, f, False))
+                break
+        else:  # pragma: no cover - ratios chosen to make this unreachable
+            raise AssertionError(f"no UNSAT instance found at n={n}, m={m}")
+    return out
+
+
+def sweep(
+    build: Callable[[object], SatReduction],
+    query: str,
+    *,
+    binary: bool = False,
+) -> List[Dict[str, object]]:
+    """Run one ordering query per formula; record agreement + cost.
+
+    ``query`` is ``"mhb"`` (a MHB b, expected iff UNSAT -- Theorems 1/3)
+    or ``"chb"`` (b CHB a, expected iff SAT -- Theorems 2/4).
+    """
+    rows = []
+    for n, m, seed, f, is_sat in formula_batch():
+        red = build(f)
+        q = red.queries(binary_semaphores=binary)
+        t0 = time.perf_counter()
+        if query == "mhb":
+            answer = q.mhb(red.a, red.b)
+            expected = not is_sat
+        else:
+            answer = q.chb(red.b, red.a)
+            expected = is_sat
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "seed": seed,
+                "events": len(red.execution),
+                "sat": is_sat,
+                "answer": answer,
+                "expected": expected,
+                "agree": answer == expected,
+                "states": q.stats.states_visited,
+                "seconds": elapsed,
+            }
+        )
+    return rows
+
+
+def rows_to_table(rows):
+    return (
+        ["n", "m", "seed", "|E|", "DPLL", "ordering answer", "agree", "states", "seconds"],
+        [
+            [
+                r["n"], r["m"], r["seed"], r["events"],
+                "SAT" if r["sat"] else "UNSAT",
+                r["answer"], r["agree"], r["states"], f"{r['seconds']:.3f}",
+            ]
+            for r in rows
+        ],
+    )

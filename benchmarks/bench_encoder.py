@@ -1,0 +1,82 @@
+"""Experiment X6 -- the converse reduction: ordering queries as SAT.
+
+The paper proves ordering queries are SAT-hard; this bench runs the
+matching *upper bound*: could-have-happened-before compiled to CNF
+(order variables, transitivity over triples, Hall-style token matching
+for semaphores, triggering-post constraints for event variables) and
+decided by the library's own DPLL.
+
+Asserted: full agreement with the state-space engine on every query of
+a seeded workload family -- two decision procedures with zero shared
+code.  Reported: encoding sizes and the cost gap (the naive DPLL pays
+heavily for the O(|E|^3) transitivity clauses; the specialized engine
+is orders of magnitude faster -- NP-membership is about *certificates*,
+not speed).
+"""
+
+import time
+
+from conftest import report, table
+
+from repro.core.queries import OrderingQueries
+from repro.encoding.order_sat import OrderSatEncoder
+from repro.workloads.generators import random_event_execution, random_semaphore_execution
+
+
+def run_study():
+    workloads = [
+        ("sem", random_semaphore_execution(processes=3, events_per_process=3, semaphores=2, seed=s))
+        for s in range(3)
+    ] + [
+        ("evt", random_event_execution(processes=3, events_per_process=3, variables=2, seed=s))
+        for s in range(3)
+    ]
+    rows = []
+    for style, exe in workloads:
+        q = OrderingQueries(exe)
+        enc = OrderSatEncoder(exe)
+        cnf = enc.cnf()
+        n = len(exe)
+        queries = agreements = 0
+        t_sat = t_engine = 0.0
+        for a in range(n):
+            for b in range(n):
+                if a == b:
+                    continue
+                queries += 1
+                t0 = time.perf_counter()
+                sat_answer = enc.solve([(a, b)]) is not None
+                t_sat += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                engine_answer = q.chb(a, b)
+                t_engine += time.perf_counter() - t0
+                agreements += sat_answer == engine_answer
+        rows.append(
+            dict(style=style, events=n, vars=cnf.num_vars, clauses=len(cnf),
+                 queries=queries, agreements=agreements,
+                 t_sat=t_sat, t_engine=t_engine)
+        )
+    return rows
+
+
+def test_encoder_agrees_with_engine(benchmark):
+    rows = benchmark(run_study)
+    for r in rows:
+        assert r["agreements"] == r["queries"]
+
+    body = [
+        [r["style"], r["events"], r["vars"], r["clauses"], r["queries"],
+         f"{r['t_sat'] * 1e3:.0f}ms", f"{r['t_engine'] * 1e3:.0f}ms"]
+        for r in rows
+    ]
+    lines = table(
+        ["style", "|E|", "CNF vars", "CNF clauses", "CHB queries",
+         "SAT total", "engine total"],
+        body,
+    )
+    lines.append("")
+    lines.append("100% agreement between the SAT encoding and the search engine")
+    lines.append("on every could-have-happened-before query (asserted); the")
+    lines.append("encoding is the constructive NP upper bound matching the")
+    lines.append("paper's NP-hardness lower bound")
+    report("encoder_agreement", lines)

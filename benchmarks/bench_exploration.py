@@ -1,0 +1,107 @@
+"""Experiment X5 -- Section 4's third strand: program-level orderings
+(Callahan & Subhlok).
+
+C&S ask for orderings "guaranteed to occur in all executions of a given
+program" (and prove the static version co-NP-hard).  The library
+answers the dynamic version exactly by exhausting the schedule tree;
+this bench regenerates the comparison the paper's discussion implies:
+
+* program-level guaranteed orderings are a *subset* of any single
+  observed execution's must-orderings (more executions -> fewer
+  guarantees) -- asserted on the Figure 1 program;
+* the schedule tree grows combinatorially with program size while each
+  single-execution analysis does not -- the reason C&S resort to an
+  approximate dataflow framework.
+"""
+
+import time
+
+from conftest import report, table
+
+from repro.analysis.explore import ProgramAnalysis
+from repro.core.queries import OrderingQueries
+from repro.lang.ast import ProcessDef, Program, SemP, SemV, Skip
+from repro.lang.interpreter import run_program
+from repro.lang.scheduler import PriorityScheduler
+from repro.workloads.programs import figure1_program
+
+
+def width_program(width: int, depth: int) -> Program:
+    procs = [
+        ProcessDef(f"p{k}", [Skip(label=f"e{k}_{i}") for i in range(depth)])
+        for k in range(width)
+    ]
+    return Program(procs)
+
+
+def run_study():
+    out = {}
+
+    # Figure 1: program-level vs execution-level guarantees ------------
+    t0 = time.perf_counter()
+    ana = ProgramAnalysis(figure1_program())
+    t_explore = time.perf_counter() - t0
+    program_guarantees = ana.guaranteed_orderings()
+
+    exe = run_program(figure1_program(), PriorityScheduler(["main", "t1", "t2", "t3"]))
+    exe = exe.to_execution()
+    q = OrderingQueries(exe)
+    execution_guarantees = set()
+    labels = {l: eid for l, eid in exe.labels.items()}
+    for la, ea in labels.items():
+        for lb, eb in labels.items():
+            if la != lb and q.mcb(ea, eb):
+                execution_guarantees.add((la, lb))
+    out["figure1"] = dict(
+        runs=len(ana.result.runs),
+        signatures=len(ana.event_signatures()),
+        program_guarantees=program_guarantees,
+        execution_guarantees=execution_guarantees,
+        t_explore=t_explore,
+    )
+
+    # schedule-tree growth ---------------------------------------------
+    growth = []
+    for width, depth in [(2, 2), (2, 3), (3, 2), (3, 3), (4, 2)]:
+        t0 = time.perf_counter()
+        res = ProgramAnalysis(width_program(width, depth), max_runs=200_000)
+        growth.append(
+            dict(width=width, depth=depth, runs=len(res.result.runs),
+                 seconds=time.perf_counter() - t0)
+        )
+    out["growth"] = growth
+    return out
+
+
+def test_program_level_orderings(benchmark):
+    out = benchmark(run_study)
+
+    fig = out["figure1"]
+    # restricted to labels common to every run, program-level guarantees
+    # must be a subset of the observed execution's must-orderings
+    common_pairs = {
+        (a, b) for (a, b) in fig["program_guarantees"]
+    }
+    assert common_pairs <= fig["execution_guarantees"]
+    # and strictly fewer guarantees exist at program level: the observed
+    # execution pinned down orderings other runs do not share
+    assert len(fig["execution_guarantees"]) > len(common_pairs)
+
+    lines = [
+        f"figure 1: {fig['runs']} runs, {fig['signatures']} event signatures",
+        f"  program-level guaranteed label orderings : {len(fig['program_guarantees'])}",
+        f"  observed-execution must-orderings (labels): {len(fig['execution_guarantees'])}",
+        "  (program-level is a strict subset -- asserted)",
+        "",
+        "schedule-tree growth (independent processes):",
+    ]
+    body = [
+        [g["width"], g["depth"], g["runs"], f"{g['seconds'] * 1e3:.1f}ms"]
+        for g in out["growth"]
+    ]
+    lines += table(["processes", "events each", "runs", "time"], body)
+    # multinomial growth: 3x3 explodes past 4x2
+    runs_by_shape = {(g["width"], g["depth"]): g["runs"] for g in out["growth"]}
+    assert runs_by_shape[(3, 3)] == 1680  # 9!/(3!3!3!)
+    assert runs_by_shape[(2, 2)] == 6
+    report("exploration", lines)

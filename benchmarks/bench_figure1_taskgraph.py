@@ -1,0 +1,67 @@
+"""Experiment F1 -- Figure 1: the EGP task graph misses a dependence-
+forced ordering.
+
+Regenerates the paper's example program and task graph and asserts the
+exact discrepancy the paper describes:
+
+* the task graph contains no path between the two Post nodes;
+* the exact engine proves ``post_left MHB post_right`` (through the
+  ``X := 1 -> if X = 1`` shared-data dependence);
+* with ``D`` ignored (the EGP feasibility notion), the exact engine
+  agrees with the task graph -- so the miss is attributable precisely
+  to ignoring shared-data dependences.
+
+The timed body is task-graph construction plus the exact MHB query.
+"""
+
+from conftest import report, table
+
+from repro.approx.taskgraph import TaskGraph
+from repro.core.queries import OrderingQueries
+from repro.workloads.programs import figure1_execution
+
+
+def analyze():
+    exe = figure1_execution()
+    pl = exe.by_label("post_left").eid
+    pr = exe.by_label("post_right").eid
+    tg = TaskGraph(exe)
+    q_with = OrderingQueries(exe)
+    q_without = OrderingQueries(exe, include_dependences=False)
+    return {
+        "exe": exe,
+        "pl": pl,
+        "pr": pr,
+        "egp_path": tg.guaranteed_ordering(pl, pr),
+        "egp_path_rev": tg.guaranteed_ordering(pr, pl),
+        "exact_mhb": q_with.mhb(pl, pr),
+        "exact_mhb_ignoring_d": q_without.mhb(pl, pr),
+        "overlap_ignoring_d": q_without.ccw(pl, pr),
+        "graph": tg,
+    }
+
+
+def test_figure1_discrepancy(benchmark):
+    r = benchmark(analyze)
+
+    # the paper's claims, verbatim
+    assert r["egp_path"] is False and r["egp_path_rev"] is False
+    assert r["exact_mhb"] is True
+    assert r["exact_mhb_ignoring_d"] is False
+    assert r["overlap_ignoring_d"] is True
+
+    rows = [
+        ["EGP task graph: path post_left -> post_right", r["egp_path"]],
+        ["EGP task graph: path post_right -> post_left", r["egp_path_rev"]],
+        ["exact MHB(post_left, post_right), with D", r["exact_mhb"]],
+        ["exact MHB(post_left, post_right), D ignored", r["exact_mhb_ignoring_d"]],
+        ["posts can overlap when D ignored", r["overlap_ignoring_d"]],
+    ]
+    lines = table(["question", "answer"], rows)
+    lines.append("")
+    lines.append("task graph edges:")
+    lines.extend("  " + l for l in r["graph"].describe().splitlines()[1:])
+    lines.append("")
+    lines.append("reproduces Figure 1: the graph shows the Posts unordered, yet")
+    lines.append("the shared-data dependence X:=1 -> if X=1 forces the ordering")
+    report("figure1_taskgraph", lines)

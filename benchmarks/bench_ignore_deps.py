@@ -1,0 +1,92 @@
+"""Experiment S5.3 -- Section 5.3: ordering relations ignoring
+shared-data dependences.
+
+Two claims are regenerated:
+
+1. On the theorem constructions (which contain no shared data), the
+   hardness equivalences are *unchanged* when ``D`` is ignored -- "the
+   proofs suffice to show that even when the original shared-data
+   dependences are ignored ... computing the ordering relations is
+   still an intractable problem."
+2. On workloads *with* shared data, ignoring ``D`` enlarges the
+   feasible set: must-relations shrink, could-relations grow
+   (monotonicity measured and asserted).
+"""
+
+from conftest import report, table
+
+from repro.core.relations import OrderingAnalyzer, RelationName
+from repro.reductions import event_reduction, semaphore_reduction
+from repro.sat.dpll import solve
+from repro.sat.generators import random_ksat
+from repro.workloads.generators import random_computation_overlay
+
+
+def run_study():
+    results = {"reductions": [], "overlays": []}
+
+    for n, m, seed in [(3, 6, 0), (3, 10, 1), (4, 8, 2)]:
+        f = random_ksat(n, m, seed=seed)
+        is_sat = solve(f) is not None
+        for build, style in ((semaphore_reduction, "sem"), (event_reduction, "evt")):
+            red = build(f)
+            with_d = red.queries(include_dependences=True).mhb(red.a, red.b)
+            without_d = red.queries(include_dependences=False).mhb(red.a, red.b)
+            results["reductions"].append(
+                dict(n=n, m=m, seed=seed, style=style, sat=is_sat,
+                     mhb_with=with_d, mhb_without=without_d)
+            )
+
+    for seed in range(5):
+        exe = random_computation_overlay(
+            processes=3, events_per_process=3, semaphores=1, shared_vars=2, seed=seed
+        )
+        with_d = OrderingAnalyzer(exe, include_dependences=True)
+        without_d = OrderingAnalyzer(exe, include_dependences=False)
+        results["overlays"].append(
+            dict(
+                seed=seed,
+                exe=exe,
+                deps=len(exe.dependences),
+                mhb_with=len(with_d.relation(RelationName.MHB)),
+                mhb_without=len(without_d.relation(RelationName.MHB)),
+                ccw_with=len(with_d.relation(RelationName.CCW)),
+                ccw_without=len(without_d.relation(RelationName.CCW)),
+                mhb_with_rel=with_d.relation(RelationName.MHB),
+                mhb_without_rel=without_d.relation(RelationName.MHB),
+                ccw_with_rel=with_d.relation(RelationName.CCW),
+                ccw_without_rel=without_d.relation(RelationName.CCW),
+            )
+        )
+    return results
+
+
+def test_ignore_dependences(benchmark):
+    results = benchmark(run_study)
+
+    lines = []
+    rows = []
+    for r in results["reductions"]:
+        # D is empty in the constructions: identical answers either way
+        assert r["mhb_with"] == r["mhb_without"] == (not r["sat"])
+        rows.append([r["style"], r["n"], r["m"], r["seed"],
+                     "SAT" if r["sat"] else "UNSAT", r["mhb_with"], r["mhb_without"]])
+    lines += ["-- reductions (no shared data): hardness unchanged --"]
+    lines += table(["style", "n", "m", "seed", "DPLL", "MHB with D", "MHB w/o D"], rows)
+    lines.append("")
+
+    rows = []
+    for r in results["overlays"]:
+        assert r["mhb_without_rel"].issubset(r["mhb_with_rel"])
+        assert r["ccw_with_rel"].issubset(r["ccw_without_rel"])
+        rows.append([r["seed"], len(r["exe"]), r["deps"],
+                     r["mhb_with"], r["mhb_without"], r["ccw_with"], r["ccw_without"]])
+    lines += ["-- shared-data workloads: F grows when D is ignored --"]
+    lines += table(
+        ["seed", "|E|", "|D|", "MHB with D", "MHB w/o D", "CCW with D", "CCW w/o D"],
+        rows,
+    )
+    lines.append("")
+    lines.append("monotonicity asserted: MHB(w/o D) subset of MHB(with D);")
+    lines.append("CCW(with D) subset of CCW(w/o D)")
+    report("ignore_deps", lines)

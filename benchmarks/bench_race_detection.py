@@ -1,0 +1,108 @@
+"""Experiment X4 -- the race-detection corollary (Conclusion).
+
+"An implication of these results is that exhaustively detecting all
+data races potentially exhibited by a given program execution is an
+intractable problem."
+
+Regenerated as a head-to-head between the polynomial *apparent*
+detector (vector clocks on the observed pairing) and the exact
+*feasible* detector (a CCW query per conflicting pair):
+
+* on the masking family, apparent detection under-reports -- the
+  observed V/P pairing hides races other feasible executions expose;
+* the exact detector backs every report with a validated overlap
+  witness;
+* cost columns show the price of exactness growing with conflicting
+  pairs, while the apparent detector stays flat.
+"""
+
+import time
+
+from conftest import report, table
+
+from repro.lang.ast import Assign, Const, ProcessDef, Program, SemP, SemV, Shared
+from repro.lang.interpreter import run_program
+from repro.lang.scheduler import FixedScheduler
+from repro.races.detector import RaceDetector
+from repro.workloads.programs import figure1_execution
+
+
+def masking_family(width: int):
+    """``width`` writers each V once; a reader P's once then reads all
+    written variables.  The observed run pairs the P with writer 0's V,
+    apparently ordering that writer's data below the read -- feasibly,
+    any single writer could have supplied the token."""
+    procs = [
+        ProcessDef(f"w{k}", [Assign(f"x{k}", Const(1)), SemV("s")])
+        for k in range(width)
+    ]
+    reader_body = [SemP("s")] + [
+        Assign(f"y{k}", Shared(f"x{k}")) for k in range(width)
+    ]
+    procs.append(ProcessDef("r", reader_body))
+    prog = Program(procs)
+    schedule = ["w0", "w0", "r"] + [
+        x for k in range(1, width) for x in (f"w{k}", f"w{k}")
+    ] + ["r"] * width
+    return run_program(prog, FixedScheduler(schedule)).to_execution()
+
+
+def run_study():
+    workloads = [("figure1", figure1_execution())] + [
+        (f"masking x{w}", masking_family(w)) for w in (2, 3, 4)
+    ]
+    rows = []
+    for name, exe in workloads:
+        detector = RaceDetector(exe)
+        t0 = time.perf_counter()
+        apparent = detector.apparent_races()
+        t_apparent = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        feasible = detector.feasible_races()
+        t_feasible = time.perf_counter() - t0
+        for race in feasible.races:
+            race.witness.validate(include_dependences=False)
+        rows.append(
+            dict(
+                name=name, exe=exe,
+                pairs=feasible.conflicting_pairs_examined,
+                apparent=len(apparent.races), feasible=len(feasible.races),
+                missed=len(
+                    set(map(frozenset, feasible.pairs()))
+                    - set(map(frozenset, apparent.pairs()))
+                ),
+                t_apparent=t_apparent, t_feasible=t_feasible,
+            )
+        )
+    return rows
+
+
+def test_feasible_vs_apparent_races(benchmark):
+    rows = benchmark(run_study)
+
+    for r in rows:
+        assert r["feasible"] >= r["apparent"] - 0  # exactness never under the masking family
+        if r["name"].startswith("masking"):
+            width = int(r["name"].split("x")[-1])
+            # the race on x0 is masked by the accidental pairing
+            assert r["missed"] >= 1
+            assert r["feasible"] == width  # every writer's data races with its read
+
+    body = [
+        [
+            r["name"], len(r["exe"]), r["pairs"], r["apparent"], r["feasible"],
+            r["missed"],
+            f"{r['t_apparent'] * 1e3:.1f}ms", f"{r['t_feasible'] * 1e3:.1f}ms",
+        ]
+        for r in rows
+    ]
+    lines = table(
+        ["workload", "|E|", "conflicting pairs", "apparent", "feasible",
+         "missed by apparent", "apparent time", "feasible time"],
+        body,
+    )
+    lines.append("")
+    lines.append("every feasible race carries a replayed overlap witness; the")
+    lines.append("apparent detector misses the pairing-masked races, and the")
+    lines.append("exact detector's cost is what the corollary says it must be")
+    report("race_detection", lines)

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one artifact of the paper (a
+table, a figure, a theorem's claimed equivalence, or a remark) per the
+experiment index in DESIGN.md.  Conventions:
+
+* each benchmark *asserts* the reproduced claim (who wins / what is
+  equivalent), so ``pytest benchmarks/ --benchmark-only`` is also a
+  correctness gate;
+* each prints the regenerated rows through :func:`report`, which
+  writes to stdout (visible with ``-s``) *and* appends to
+  ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote runs;
+* randomness is always seeded.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, lines: Iterable[str]) -> None:
+    """Print reproduction rows and persist them under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n[{name}]\n{text}")
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    """Fixed-width ASCII table used by every benchmark report."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    out = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    out += [fmt.format(*row) for row in rows]
+    return out
+
+
+@pytest.fixture
+def reporter():
+    return report

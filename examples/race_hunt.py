@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Race detection: apparent (vector clock) vs feasible (exact CCW).
+
+The paper's closing implication is that *exhaustive* feasible-race
+detection is intractable -- a feasible race between conflicting events
+is precisely a could-have-been-concurrent (CCW) query.  This example
+runs three workloads and compares the cheap detector with the exact
+one, including the case where the cheap detector is *wrong in both
+directions* on the same program family.
+
+Run:  python examples/race_hunt.py
+"""
+
+from repro import RaceDetector
+from repro.lang import run_program
+from repro.lang.ast import Assign, Const, ProcessDef, Program, SemP, SemV, Shared
+from repro.lang.scheduler import FixedScheduler
+from repro.workloads.programs import figure1_program
+from repro.lang.scheduler import PriorityScheduler
+
+
+def show(title, exe):
+    print(f"== {title}")
+    detector = RaceDetector(exe)
+    apparent = detector.apparent_races()
+    feasible = detector.feasible_races()
+    print("  " + apparent.summary())
+    for r in apparent.races:
+        print("    " + r.describe(exe))
+    print("  " + feasible.summary())
+    for r in feasible.races:
+        print("    " + r.describe(exe))
+        if r.witness is not None:
+            a, b = exe.event(r.a), exe.event(r.b)
+            print(f"    witness overlaps {a.describe()} with {b.describe()}:")
+            for line in r.witness.pretty().splitlines():
+                print("    " + line)
+    print()
+    return apparent, feasible
+
+
+def unsynchronized() -> None:
+    prog = Program(
+        [
+            ProcessDef("w1", [Assign("x", Const(1))]),
+            ProcessDef("w2", [Assign("x", Const(2))]),
+        ]
+    )
+    exe = run_program(prog, FixedScheduler(["w1", "w2"])).to_execution()
+    show("two unsynchronized writers (a real race, both detectors agree)", exe)
+
+
+def masked_by_accidental_pairing() -> None:
+    """The observed run pairs the reader's P with the writer's V, so
+    vector clocks order write before read -- but another feasible
+    execution pairs it with the *other* V, exposing the race.  The
+    apparent detector under-reports; the exact one does not."""
+    prog = Program(
+        [
+            ProcessDef("w1", [Assign("x", Const(1)), SemV("s")]),
+            ProcessDef("w2", [SemV("s")]),
+            ProcessDef("r", [SemP("s"), Assign("y", Shared("x"))]),
+        ]
+    )
+    trace = run_program(prog, FixedScheduler(["w1", "w1", "r", "w2", "r", "r"]))
+    exe = trace.to_execution()
+    apparent, feasible = show("race masked by an accidental V/P pairing", exe)
+    missed = set(map(frozenset, feasible.pairs())) - set(map(frozenset, apparent.pairs()))
+    print(f"  races the apparent detector MISSED: {len(missed)}")
+    print()
+
+
+def figure1() -> None:
+    trace = run_program(figure1_program(), PriorityScheduler(["main", "t1", "t2", "t3"]))
+    show("the paper's Figure 1 fragment (write/read of X)", trace.to_execution())
+
+
+def main() -> None:
+    unsynchronized()
+    masked_by_accidental_pairing()
+    figure1()
+    print("Every feasible race above carries a validated witness schedule;")
+    print("the paper proves that producing this list exhaustively cannot be")
+    print("done in polynomial time in general.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Program-level analysis: quantifying over *all* executions of a program.
+
+Section 4's third related-work strand (Callahan & Subhlok) asks a
+different question from the rest of the paper: not "what orderings did
+this observed execution pin down", but "what orderings are guaranteed
+over **every** execution of the program" -- and proves that problem
+co-NP-hard for static analysis.  This package answers the dynamic
+version exactly, by exhaustively enumerating the program's schedule
+tree:
+
+* :func:`repro.analysis.explore.explore_program` -- every distinct
+  maximal run (complete or deadlocked) of a program, via systematic
+  scheduler-choice enumeration;
+* :class:`repro.analysis.explore.ProgramAnalysis` -- event-set
+  signatures across runs, deadlock census, and the guaranteed
+  label-pair orderings over all complete runs.
+
+Exhaustive by construction and therefore exponential -- which is the
+point: the per-execution hardness theorems of Section 5 are what rule
+out doing fundamentally better.
+"""
+
+from repro.analysis.explore import ExplorationResult, ProgramAnalysis, explore_program
+
+__all__ = ["ExplorationResult", "ProgramAnalysis", "explore_program"]

@@ -1,0 +1,216 @@
+"""Exhaustive schedule-tree exploration of a program.
+
+Strategy: depth-first over scheduler decision prefixes.  A probing
+scheduler replays a forced prefix and then reports the runnable set at
+the first free step; each runnable process extends the prefix by one
+branch.  Replaying from scratch per prefix costs O(depth) re-execution
+but keeps the interpreter entirely unmodified -- no snapshotting of
+interpreter state, no hidden coupling.  Fine for the program sizes the
+examples and benchmarks use (schedule trees up to a few thousand runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lang.ast import Program
+from repro.lang.interpreter import DeadlockError, Interpreter
+from repro.lang.scheduler import Scheduler
+from repro.lang.trace import Trace
+
+
+class _Probe(Exception):
+    """Raised by the probing scheduler when the prefix is exhausted."""
+
+    def __init__(self, runnable: Tuple[str, ...]):
+        self.runnable = runnable
+
+
+class _ProbingScheduler(Scheduler):
+    def __init__(self, prefix: Sequence[str]):
+        self.prefix = list(prefix)
+        self._i = 0
+
+    def reset(self) -> None:
+        self._i = 0
+
+    def choose(self, runnable, step):
+        if self._i >= len(self.prefix):
+            raise _Probe(tuple(sorted(runnable)))
+        choice = self.prefix[self._i]
+        self._i += 1
+        return choice
+
+
+@dataclass
+class Run:
+    """One maximal run of the program."""
+
+    schedule: Tuple[str, ...]
+    trace: Trace
+    deadlocked: bool
+    blocked: Tuple[str, ...] = ()
+
+
+@dataclass
+class ExplorationResult:
+    """All maximal runs of a program (complete and deadlocked)."""
+
+    runs: List[Run]
+    truncated: bool  # hit the max_runs budget before finishing
+
+    @property
+    def complete_runs(self) -> List[Run]:
+        return [r for r in self.runs if not r.deadlocked]
+
+    @property
+    def deadlocked_runs(self) -> List[Run]:
+        return [r for r in self.runs if r.deadlocked]
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+def explore_program(
+    program: Program,
+    *,
+    max_runs: Optional[int] = None,
+    max_steps: int = 10_000,
+) -> ExplorationResult:
+    """Enumerate every maximal run of ``program`` (DFS over choices).
+
+    ``max_runs`` bounds the enumeration (``truncated`` is set when the
+    budget is hit); ``max_steps`` guards against unbounded loops in any
+    single run.
+    """
+    runs: List[Run] = []
+    truncated = False
+    stack: List[List[str]] = [[]]
+    while stack:
+        if max_runs is not None and len(runs) >= max_runs:
+            truncated = True
+            break
+        prefix = stack.pop()
+        interp = Interpreter(program, _ProbingScheduler(prefix), max_steps=max_steps)
+        try:
+            trace = interp.run()
+        except _Probe as probe:
+            # branch: one child per runnable process (reverse-sorted so
+            # the DFS visits them in sorted order)
+            for choice in sorted(probe.runnable, reverse=True):
+                stack.append(prefix + [choice])
+            continue
+        except DeadlockError as dead:
+            runs.append(
+                Run(
+                    schedule=tuple(prefix),
+                    trace=dead.trace,
+                    deadlocked=True,
+                    blocked=tuple(sorted(dead.blocked)),
+                )
+            )
+            continue
+        runs.append(Run(schedule=tuple(prefix), trace=trace, deadlocked=False))
+    return ExplorationResult(runs=runs, truncated=truncated)
+
+
+class ProgramAnalysis:
+    """Aggregate questions over all executions of a program.
+
+    This is the Callahan/Subhlok-style quantifier ("guaranteed to occur
+    in all executions of a given program") answered by dynamic
+    exhaustion rather than static dataflow.
+    """
+
+    def __init__(self, program: Program, *, max_runs: Optional[int] = None,
+                 max_steps: int = 10_000):
+        self.program = program
+        self.result = explore_program(program, max_runs=max_runs, max_steps=max_steps)
+        if self.result.truncated:
+            raise RuntimeError(
+                "schedule tree larger than max_runs; raise the budget or "
+                "shrink the program"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def can_deadlock(self) -> bool:
+        return bool(self.result.deadlocked_runs)
+
+    def event_signatures(self) -> Dict[Tuple[str, ...], int]:
+        """Distinct complete-run event sets (as sorted step descriptor
+        tuples) with their multiplicities -- two signatures mean the
+        program's executions do not all perform the same events."""
+        sigs: Dict[Tuple[str, ...], int] = {}
+        for run in self.result.complete_runs:
+            sig = tuple(sorted(f"{s.process}:{s.text}" for s in run.trace.steps))
+            sigs[sig] = sigs.get(sig, 0) + 1
+        return sigs
+
+    def labels_in_all_runs(self) -> FrozenSet[str]:
+        """Labels executed in every complete run."""
+        sets = [
+            {s.label for s in run.trace.steps if s.label}
+            for run in self.result.complete_runs
+        ]
+        if not sets:
+            return frozenset()
+        return frozenset(set.intersection(*sets))
+
+    def guaranteed_orderings(self) -> Set[Tuple[str, str]]:
+        """Label pairs ``(a, b)`` with ``a`` completing before ``b`` in
+        **every** complete run (both labels present in all runs).
+
+        The dynamic ground truth for the static problem Callahan &
+        Subhlok prove co-NP-hard.
+        """
+        common = self.labels_in_all_runs()
+        candidates = {(a, b) for a in common for b in common if a != b}
+        for run in self.result.complete_runs:
+            pos = {
+                s.label: i
+                for i, s in enumerate(run.trace.steps)
+                if s.label in common
+            }
+            candidates = {(a, b) for (a, b) in candidates if pos[a] < pos[b]}
+            if not candidates:
+                break
+        return candidates
+
+    def program_races(self, *, max_states: Optional[int] = None):
+        """Feasible races aggregated over every distinct execution.
+
+        Each complete run's trace converts to an execution whose
+        feasible races are computed exactly; results are merged by the
+        racing events' statement descriptors (distinct runs may number
+        events differently).  A pair reported here races in *some*
+        execution of the program -- the strongest dynamic guarantee an
+        exhaustive exploration can give, and necessarily exponential
+        (the paper's corollary applies to each member).
+        """
+        from repro.races.detector import RaceDetector
+
+        seen_signatures = set()
+        merged: Dict[Tuple[str, str], int] = {}
+        for run in self.result.complete_runs:
+            sig = tuple(sorted(f"{s.process}:{s.text}" for s in run.trace.steps))
+            if sig in seen_signatures:
+                continue  # same events => same feasible races
+            seen_signatures.add(sig)
+            exe = run.trace.to_execution()
+            report = RaceDetector(exe, max_states=max_states).feasible_races()
+            for race in report.races:
+                ea, eb = exe.event(race.a), exe.event(race.b)
+                key = tuple(sorted((ea.describe(), eb.describe())))
+                merged[key] = merged.get(key, 0) + 1
+        return merged
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "runs": len(self.result.runs),
+            "complete": len(self.result.complete_runs),
+            "deadlocked": len(self.result.deadlocked_runs),
+            "event_signatures": len(self.event_signatures()),
+            "guaranteed_orderings": len(self.guaranteed_orderings()),
+        }

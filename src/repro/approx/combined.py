@@ -1,0 +1,97 @@
+"""Layered best-effort ordering analysis under a budget.
+
+The paper's theorems mean an exact analyzer cannot promise polynomial
+time; a practical tool therefore needs graceful degradation.
+:class:`BestEffortOrdering` answers must-complete-before queries by
+escalating through
+
+1. **structural** reachability (program order, fork/join, dependences)
+   -- linear, always sound;
+2. the **HMW counting phases** (semaphore executions only) --
+   polynomial, sound;
+3. the **exact engine**, bounded by ``max_states`` per query.
+
+Answers are three-valued: ``True``/``False`` when some layer decides
+soundly, ``None`` when every layer within budget is inconclusive
+(never a guess).  ``decided_by`` records which layer settled each
+query, so callers can report how much of the truth was cheap -- the
+empirical content of the paper's "polynomial algorithms compute only
+*some* of the orderings".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.approx.hmw import HMWAnalysis, InfeasibleTraceError
+from repro.core.engine import SearchBudgetExceeded
+from repro.core.queries import OrderingQueries
+from repro.model.execution import ProgramExecution, SyncStyle
+from repro.util.relations import BinaryRelation
+
+
+class BestEffortOrdering:
+    """Three-valued must-complete-before with layered escalation."""
+
+    def __init__(
+        self,
+        exe: ProgramExecution,
+        *,
+        max_states: Optional[int] = 50_000,
+        use_hmw: bool = True,
+    ) -> None:
+        self.exe = exe
+        self.queries = OrderingQueries(exe, max_states=max_states)
+        self.decided_by: Dict[Tuple[int, int], str] = {}
+        self._hmw_relation: Optional[BinaryRelation] = None
+        if use_hmw and exe.sync_style in (SyncStyle.SEMAPHORE, SyncStyle.NONE):
+            try:
+                self._hmw_relation = HMWAnalysis(exe).phase3()
+            except InfeasibleTraceError:
+                self._hmw_relation = None
+
+    # ------------------------------------------------------------------
+    def mcb(self, a: int, b: int) -> Optional[bool]:
+        """Must ``a`` complete before ``b``?  True/False/None (unknown)."""
+        key = (a, b)
+        if a == b:
+            self.decided_by[key] = "trivial"
+            return False
+        # layer 1: structure decides both polarities cheaply
+        if self.queries.statically_ordered(a, b):
+            self.decided_by[key] = "structural"
+            return True
+        if self.queries.statically_ordered(b, a):
+            # b always completes first, so a-before-b is impossible
+            self.decided_by[key] = "structural"
+            return False
+        # layer 2: HMW's sound counting orderings (positive only)
+        if self._hmw_relation is not None and (a, b) in self._hmw_relation:
+            self.decided_by[key] = "hmw"
+            return True
+        # layer 3: exact, within budget
+        try:
+            answer = self.queries.mcb(a, b)
+        except SearchBudgetExceeded:
+            self.decided_by[key] = "unknown"
+            return None
+        self.decided_by[key] = "exact"
+        return answer
+
+    # ------------------------------------------------------------------
+    def relation_with_provenance(self) -> Dict[str, object]:
+        """All pairs classified, with per-layer counts.
+
+        Returns ``{"relation": {(a, b): True/False/None}, "layers":
+        {layer: count}}``.
+        """
+        n = len(self.exe)
+        relation: Dict[Tuple[int, int], Optional[bool]] = {}
+        for a in range(n):
+            for b in range(n):
+                if a != b:
+                    relation[(a, b)] = self.mcb(a, b)
+        layers: Dict[str, int] = {}
+        for layer in self.decided_by.values():
+            layers[layer] = layers.get(layer, 0) + 1
+        return {"relation": relation, "layers": layers}

@@ -1,0 +1,195 @@
+"""The Helmbold/McDowell/Wang safe-ordering algorithm (semaphore traces).
+
+Section 4 of the paper summarizes the HMW algorithm [5] for computing
+*some* of the must-have orderings of a counting-semaphore trace, in
+three phases:
+
+1. order the ``i``-th ``V`` before the ``i``-th ``P`` of each semaphore
+   in trace order and close with program order -- **unsafe**, because
+   another feasible execution may pair the operations differently;
+2. replace the accidental pairing with orderings that hold no matter
+   how operations pair up -- **safe but overly conservative**;
+3. sharpen phase 2 by considering that "only some P events can actually
+   execute after certain V events".
+
+The original HMW paper (ICPP 1990) predates easy availability; this
+module implements the three phases with the counting argument that
+their correctness rests on, documented here precisely:
+
+    For a P event ``p`` on semaphore ``s`` with initial count ``c``,
+    let ``K(p)`` be 1 plus the number of P events on ``s`` already
+    known to complete before ``p``.  Any execution must complete at
+    least ``K(p) - c`` distinct ``V(s)`` events strictly before ``p``.
+    Let ``Cand(p)`` be the ``V(s)`` events not already known to
+    complete after ``p``.  If ``|Cand(p)|`` equals the requirement
+    exactly, every member of ``Cand(p)`` must complete before ``p``.
+
+Phase 2 applies the rule once over the structural (program-order +
+fork/join) closure; phase 3 iterates it to a fixpoint, since each new
+edge can raise ``K`` or shrink ``Cand`` elsewhere.  Both phases are
+*safe*: every edge is an ordering of event completions guaranteed in
+all feasible executions (``tests/test_approx_hmw.py`` property-tests
+``phase3() issubset exact-must-complete-before``).  They are
+incomplete -- orderings enforced only by deadlock avoidance or by
+shared-data dependences are invisible to the counting rule, which is
+exactly the gap Theorem 1 proves cannot be closed in polynomial time.
+
+All relations returned are over event *completions* (HMW analyse
+serial traces), i.e. comparable to
+:meth:`repro.core.queries.OrderingQueries.mcb`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.model.events import EventKind
+from repro.model.execution import ProgramExecution, SyncStyle
+from repro.util.relations import BinaryRelation
+
+
+class InfeasibleTraceError(ValueError):
+    """The counting rule proved the event set cannot complete."""
+
+
+class HMWAnalysis:
+    """Three-phase safe-ordering computation for a semaphore execution."""
+
+    def __init__(self, exe: ProgramExecution, schedule: Optional[Sequence[int]] = None):
+        if exe.sync_style not in (SyncStyle.SEMAPHORE, SyncStyle.NONE):
+            raise ValueError(
+                "HMW analyses counting-semaphore traces; execution uses "
+                f"{exe.sync_style.value} synchronization"
+            )
+        self.exe = exe
+        self._schedule = tuple(schedule) if schedule is not None else exe.observed_schedule
+        self._n = len(exe)
+        self._structural = self._structural_edges()
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    def _structural_edges(self) -> List[Tuple[int, int]]:
+        exe = self.exe
+        edges: List[Tuple[int, int]] = []
+        for eids in exe.processes.values():
+            for u, v in zip(eids, eids[1:]):
+                edges.append((u, v))
+        for feid, children in exe.fork_children.items():
+            for c in children:
+                evs = exe.process_events(c)
+                if evs:
+                    edges.append((feid, evs[0]))
+        for jeid, targets in exe.join_targets.items():
+            for t in targets:
+                evs = exe.process_events(t)
+                if evs:
+                    edges.append((evs[-1], jeid))
+        return edges
+
+    def _closure(self, edges: Sequence[Tuple[int, int]]) -> Set[Tuple[int, int]]:
+        succ: Dict[int, Set[int]] = {i: set() for i in range(self._n)}
+        for u, v in edges:
+            succ[u].add(v)
+        closed: Set[Tuple[int, int]] = set()
+        for a in range(self._n):
+            seen: Set[int] = set()
+            stack = list(succ[a])
+            while stack:
+                x = stack.pop()
+                if x in seen:
+                    continue
+                seen.add(x)
+                stack.extend(succ[x])
+            closed.update((a, b) for b in seen)
+        return closed
+
+    def _as_relation(self, pairs: Set[Tuple[int, int]]) -> BinaryRelation:
+        return BinaryRelation(range(self._n), pairs)
+
+    # ------------------------------------------------------------------
+    # phase 1: trace-order pairing (unsafe)
+    # ------------------------------------------------------------------
+    def phase1(self) -> BinaryRelation:
+        """The naive pairing relation: i-th V before i-th P, per trace.
+
+        Correct for the observed execution, *unsafe* as a must-ordering
+        claim: the benchmark exhibits traces where phase 1 asserts an
+        ordering the exact engine refutes.
+        """
+        if self._schedule is None:
+            raise ValueError("phase 1 needs an observed schedule (it pairs by trace order)")
+        exe = self.exe
+        edges = list(self._structural)
+        v_seen: Dict[str, List[int]] = {s: [] for s in exe.semaphores}
+        p_count: Dict[str, int] = {s: 0 for s in exe.semaphores}
+        for eid in self._schedule:
+            e = exe.event(eid)
+            if e.kind is EventKind.SEM_V:
+                v_seen[e.obj].append(eid)
+            elif e.kind is EventKind.SEM_P:
+                i = p_count[e.obj]
+                p_count[e.obj] += 1
+                k = i - exe.sem_initial(e.obj)
+                if 0 <= k < len(v_seen[e.obj]):
+                    edges.append((v_seen[e.obj][k], eid))
+        return self._as_relation(self._closure(edges))
+
+    # ------------------------------------------------------------------
+    # the counting rule
+    # ------------------------------------------------------------------
+    def _apply_counting_rule(
+        self, known: Set[Tuple[int, int]]
+    ) -> Tuple[Set[Tuple[int, int]], bool]:
+        """One sweep of the safe counting rule over every P event.
+
+        Returns the (transitively closed) enriched relation and whether
+        anything new was added.
+        """
+        exe = self.exe
+        new_edges: List[Tuple[int, int]] = []
+        for s in exe.semaphores:
+            ops = exe.sem_events(s)
+            p_events = [e for e in ops if exe.event(e).kind is EventKind.SEM_P]
+            v_events = [e for e in ops if exe.event(e).kind is EventKind.SEM_V]
+            c = exe.sem_initial(s)
+            for p in p_events:
+                k = 1 + sum(1 for q in p_events if q != p and (q, p) in known)
+                needed = k - c
+                if needed <= 0:
+                    continue
+                cand = [v for v in v_events if (p, v) not in known]
+                if len(cand) < needed:
+                    raise InfeasibleTraceError(
+                        f"P event {p} on {s!r} needs {needed} V completions "
+                        f"but only {len(cand)} can precede it"
+                    )
+                if len(cand) == needed:
+                    for v in cand:
+                        if (v, p) not in known:
+                            new_edges.append((v, p))
+        if not new_edges:
+            return known, False
+        enriched = self._closure(list(known) + new_edges)
+        return enriched, True
+
+    # ------------------------------------------------------------------
+    def phase2(self) -> BinaryRelation:
+        """Safe but conservative: one application of the counting rule
+        over the structural closure."""
+        base = self._closure(self._structural)
+        enriched, _ = self._apply_counting_rule(base)
+        return self._as_relation(enriched)
+
+    def phase3(self) -> BinaryRelation:
+        """Sharpened: iterate the counting rule to a fixpoint."""
+        rel = self._closure(self._structural)
+        changed = True
+        while changed:
+            rel, changed = self._apply_counting_rule(rel)
+        return self._as_relation(rel)
+
+    # ------------------------------------------------------------------
+    def safe_orderings(self) -> BinaryRelation:
+        """The algorithm's final output (phase 3)."""
+        return self.phase3()

@@ -1,0 +1,159 @@
+"""The Emrath/Ghosh/Padua task graph (event-style programs).
+
+Section 4 describes the EGP method [2] for computing "guaranteed
+run-time orderings" of executions using fork/join and Post/Wait/Clear:
+
+* one node per synchronization event;
+* *Machine* edges between consecutive synchronization events of a
+  process; *Task Start* edges from a fork to each created process's
+  first node; *Task End* edges from a process's last node to the join
+  awaiting it;
+* *Synchronization* edges: for each Wait node, the Posts that might
+  have triggered it are those with no path from the Wait to the Post
+  (the Wait would have had to precede it) and no path from the Post to
+  the Wait passing through a Clear of the same variable (the post
+  would have been erased); an edge is added from the closest common
+  ancestor(s) of those candidate Posts to the Wait.
+* the construction iterates, since new edges change path existence.
+
+The graph's paths are intended to show guaranteed orderings.  The
+paper's Figure 1 shows the method's blind spot: it ignores shared-data
+dependences, so two Posts that every feasible execution orders (via a
+write/read pair on a shared variable) show no path.
+``benchmarks/bench_figure1_taskgraph.py`` regenerates exactly that
+discrepancy, and ``bench_egp_soundness.py`` counts such misses on
+random workloads (against the exact must-complete-before baseline,
+since the task graph speaks about completion order of the serial
+machine events).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.model.events import EventKind
+from repro.model.execution import ProgramExecution
+from repro.util.graphs import Digraph, closest_common_ancestors, reachable_from
+from repro.util.relations import BinaryRelation
+
+
+class TaskGraphEdge(enum.Enum):
+    MACHINE = "machine"
+    TASK_START = "task-start"
+    TASK_END = "task-end"
+    SYNCHRONIZATION = "synchronization"
+
+
+class TaskGraph:
+    """EGP task graph over the synchronization events of an execution."""
+
+    def __init__(self, exe: ProgramExecution):
+        self.exe = exe
+        self.nodes: Tuple[int, ...] = exe.synchronization_events()
+        self._node_set = set(self.nodes)
+        self.graph = Digraph(self.nodes)
+        self.edge_kinds: Dict[Tuple[int, int], TaskGraphEdge] = {}
+        self._build_structural()
+        self._add_synchronization_edges()
+
+    # ------------------------------------------------------------------
+    def _add(self, u: int, v: int, kind: TaskGraphEdge) -> bool:
+        if self.graph.add_edge(u, v):
+            self.edge_kinds[(u, v)] = kind
+            return True
+        return False
+
+    def _sync_events_of(self, process: str) -> List[int]:
+        return [e for e in self.exe.process_events(process) if e in self._node_set]
+
+    def _build_structural(self) -> None:
+        exe = self.exe
+        for p in exe.process_names:
+            evs = self._sync_events_of(p)
+            for u, v in zip(evs, evs[1:]):
+                self._add(u, v, TaskGraphEdge.MACHINE)
+        for feid, children in exe.fork_children.items():
+            for c in children:
+                evs = self._sync_events_of(c)
+                if evs:
+                    self._add(feid, evs[0], TaskGraphEdge.TASK_START)
+        for jeid, targets in exe.join_targets.items():
+            for t in targets:
+                evs = self._sync_events_of(t)
+                if evs:
+                    self._add(evs[-1], jeid, TaskGraphEdge.TASK_END)
+                else:
+                    # a task with no sync events is still ordered between
+                    # its fork and the join
+                    feid = exe.parent_fork.get(t)
+                    if feid is not None:
+                        self._add(feid, jeid, TaskGraphEdge.TASK_END)
+
+    # ------------------------------------------------------------------
+    def _candidate_posts(self, wait: int) -> List[int]:
+        """Posts that might have triggered ``wait`` per the EGP rule."""
+        exe = self.exe
+        var = exe.event(wait).obj
+        posts = [e for e in self.nodes if exe.event(e).kind is EventKind.POST
+                 and exe.event(e).obj == var]
+        clears = [e for e in self.nodes if exe.event(e).kind is EventKind.CLEAR
+                  and exe.event(e).obj == var]
+        below_wait = reachable_from(self.graph, wait)
+        out = []
+        for p in posts:
+            if p in below_wait:
+                continue  # the Wait must precede this Post
+            below_post = reachable_from(self.graph, p)
+            erased = any(
+                c in below_post and wait in reachable_from(self.graph, c)
+                for c in clears
+            )
+            if erased:
+                continue  # every use of this Post passes a Clear first
+            out.append(p)
+        return out
+
+    def _add_synchronization_edges(self) -> None:
+        exe = self.exe
+        waits = [e for e in self.nodes if exe.event(e).kind is EventKind.WAIT]
+        changed = True
+        while changed:
+            changed = False
+            for w in waits:
+                cands = self._candidate_posts(w)
+                if not cands:
+                    continue
+                for anc in closest_common_ancestors(self.graph, cands):
+                    if anc == w:
+                        continue
+                    if self._add(anc, w, TaskGraphEdge.SYNCHRONIZATION):
+                        changed = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def guaranteed_ordering(self, a: int, b: int) -> bool:
+        """EGP's answer: is there a path from ``a``'s node to ``b``'s?"""
+        if a not in self._node_set or b not in self._node_set:
+            raise ValueError("task-graph orderings are defined on synchronization events only")
+        return b in reachable_from(self.graph, a)
+
+    def ordering_relation(self) -> BinaryRelation:
+        """All guaranteed orderings the graph shows (over sync events)."""
+        pairs = []
+        for a in self.nodes:
+            below = reachable_from(self.graph, a)
+            pairs.extend((a, b) for b in below if b != a)
+        return BinaryRelation(self.nodes, pairs)
+
+    def edges_of_kind(self, kind: TaskGraphEdge) -> List[Tuple[int, int]]:
+        return sorted(e for e, k in self.edge_kinds.items() if k is kind)
+
+    def describe(self) -> str:
+        """Printable summary used by the Figure 1 example."""
+        lines = [f"task graph: {len(self.nodes)} nodes, {len(self.edge_kinds)} edges"]
+        for (u, v), kind in sorted(self.edge_kinds.items()):
+            eu, ev = self.exe.event(u), self.exe.event(v)
+            lines.append(f"  {eu.describe():<30} -> {ev.describe():<30} [{kind.value}]")
+        return "\n".join(lines)

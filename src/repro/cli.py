@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+Subcommands (also available as ``python -m repro``):
+
+* ``repro run PROGRAM.rp`` -- parse a text program, simulate it
+  (seeded or priority-scheduled), print the trace, optionally save the
+  execution as JSON (``--save``) or the order graph as DOT (``--dot``);
+* ``repro analyze EXECUTION.json`` -- relation summary of a saved
+  execution, or a specific pair query with witness
+  (``--pair LABEL LABEL --relation mhb``);
+* ``repro races EXECUTION.json`` -- apparent and feasible races;
+* ``repro sat FORMULA.cnf`` -- decide a DIMACS formula through the
+  Theorem 1/3 reductions (and cross-check with DPLL);
+* ``repro explore PROGRAM.rp`` -- exhaustive schedule-tree summary:
+  run counts, deadlocks, event signatures, guaranteed orderings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import ProgramAnalysis
+from repro.core.queries import OrderingQueries
+from repro.core.relations import ALL_RELATIONS, OrderingAnalyzer, RelationName
+from repro.lang.interpreter import DeadlockError, run_program
+from repro.lang.parser import parse_program
+from repro.lang.scheduler import PriorityScheduler, RandomScheduler
+from repro.model import serialize
+from repro.races.detector import RaceDetector
+from repro.reductions import (
+    decide_sat_via_ordering,
+    decide_unsat_via_ordering,
+    event_reduction,
+    semaphore_reduction,
+)
+from repro.sat.cnf import parse_dimacs
+from repro.sat.dpll import solve
+from repro import viz
+
+
+def _read(path: str) -> str:
+    with open(path) as fh:
+        return fh.read()
+
+
+# ----------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    program = parse_program(_read(args.program))
+    if args.priority:
+        scheduler = PriorityScheduler(args.priority.split(","))
+    else:
+        scheduler = RandomScheduler(args.seed)
+    try:
+        trace = run_program(program, scheduler, max_steps=args.max_steps)
+    except DeadlockError as dead:
+        print(f"DEADLOCK: blocked processes {list(dead.blocked)}")
+        print(dead.trace.pretty())
+        return 1
+    print(trace.pretty())
+    print(f"\nfinal shared state: {trace.final_shared}")
+    exe = trace.to_execution()
+    print(f"execution: {exe}")
+    if args.save:
+        serialize.save(exe, args.save)
+        print(f"saved execution to {args.save}")
+    if args.dot:
+        with open(args.dot, "w") as fh:
+            fh.write(viz.execution_dot(exe) + "\n")
+        print(f"saved order-graph DOT to {args.dot}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    exe = serialize.load(args.execution)
+    print(f"loaded: {exe}")
+    if args.pair:
+        la, lb = args.pair
+        a, b = exe.by_label(la).eid, exe.by_label(lb).eid
+        q = OrderingQueries(exe, include_dependences=not args.ignore_deps)
+        if args.relation == "all":
+            for name, value in q.relation_values(a, b).items():
+                print(f"  {name}({la}, {lb}) = {value}")
+        else:
+            fn = getattr(q, args.relation)
+            value = fn(a, b)
+            print(f"  {args.relation.upper()}({la}, {lb}) = {value}")
+            witness = None
+            if args.relation == "chb":
+                witness = q.chb_witness(a, b)
+            elif args.relation == "ccw":
+                witness = q.ccw_witness(a, b)
+            elif args.relation == "mhb" and not value:
+                witness = q.why_not_mhb(a, b)
+                if witness is not None:
+                    print("  counterexample schedule:")
+            if witness is not None:
+                print(witness.pretty())
+        return 0
+    analyzer = OrderingAnalyzer(exe, include_dependences=not args.ignore_deps)
+    print("pair counts per relation:")
+    for name, count in analyzer.summary().items():
+        print(f"  {name:>4}: {count}")
+    if args.matrix:
+        name = RelationName[args.matrix.upper()]
+        print(f"\n{name.name} matrix:")
+        print(analyzer.matrix(name))
+    return 0
+
+
+def cmd_races(args: argparse.Namespace) -> int:
+    exe = serialize.load(args.execution)
+    detector = RaceDetector(exe, max_states=args.max_states)
+    apparent = detector.apparent_races()
+    print(apparent.pretty())
+    if args.feasible:
+        feasible = detector.feasible_races()
+        print(feasible.pretty())
+        for race in feasible.races:
+            if race.witness is not None and args.witnesses:
+                print(f"witness for {race.describe(exe)}:")
+                print(race.witness.pretty())
+    return 0
+
+
+def cmd_sat(args: argparse.Namespace) -> int:
+    formula = parse_dimacs(_read(args.formula)).to_3cnf()
+    build = semaphore_reduction if args.style == "sem" else event_reduction
+    red = build(formula)
+    sizes = red.size_summary()
+    print(
+        f"reduction: {sizes['processes']} processes, {sizes['events']} events "
+        f"({args.style} style)"
+    )
+    unsat = decide_unsat_via_ordering(red)
+    verdict = "UNSAT" if unsat else "SAT"
+    print(f"ordering oracle (a MHB b): {verdict}")
+    if args.check:
+        dpll = "UNSAT" if solve(formula) is None else "SAT"
+        agrees = dpll == verdict
+        print(f"DPLL cross-check: {dpll}  ({'agree' if agrees else 'DISAGREE'})")
+        return 0 if agrees else 2
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    program = parse_program(_read(args.program))
+    analysis = ProgramAnalysis(program, max_runs=args.max_runs)
+    summary = analysis.summary()
+    print("schedule-tree exploration:")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    if analysis.can_deadlock:
+        run = analysis.result.deadlocked_runs[0]
+        print(f"  example deadlock after schedule {list(run.schedule)}: "
+              f"blocked {list(run.blocked)}")
+    orderings = sorted(analysis.guaranteed_orderings())
+    if orderings:
+        print("guaranteed label orderings (all complete runs):")
+        for a, b in orderings:
+            print(f"  {a} -> {b}")
+    if args.races:
+        races = analysis.program_races()
+        print(f"feasible races across all executions: {len(races)}")
+        for (a, b), count in sorted(races.items()):
+            print(f"  {a} <-> {b}  (in {count} signature(s))")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Event ordering analysis for shared-memory parallel "
+        "program executions (Netzer & Miller, ICPP 1990).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="simulate a program and capture its execution")
+    p.add_argument("program", help="program text file")
+    p.add_argument("--seed", type=int, default=0, help="random scheduler seed")
+    p.add_argument("--priority", help="comma-separated priority schedule")
+    p.add_argument("--max-steps", type=int, default=100_000)
+    p.add_argument("--save", help="write the execution as JSON")
+    p.add_argument("--dot", help="write the order graph as DOT")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("analyze", help="ordering relations of a saved execution")
+    p.add_argument("execution", help="execution JSON file")
+    p.add_argument("--pair", nargs=2, metavar=("LABEL_A", "LABEL_B"))
+    p.add_argument(
+        "--relation",
+        choices=["mhb", "chb", "mcw", "ccw", "mow", "cow", "mcb", "ccb", "all"],
+        default="all",
+    )
+    p.add_argument("--matrix", help="print the named relation as a matrix")
+    p.add_argument("--ignore-deps", action="store_true",
+                   help="Section 5.3 mode: ignore shared-data dependences")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("races", help="race detection on a saved execution")
+    p.add_argument("execution")
+    p.add_argument("--feasible", action="store_true", help="run the exact detector too")
+    p.add_argument("--witnesses", action="store_true")
+    p.add_argument("--max-states", type=int, default=None)
+    p.set_defaults(func=cmd_races)
+
+    p = sub.add_parser("sat", help="decide a DIMACS formula via the reductions")
+    p.add_argument("formula")
+    p.add_argument("--style", choices=["sem", "evt"], default="sem")
+    p.add_argument("--check", action="store_true", help="cross-check with DPLL")
+    p.set_defaults(func=cmd_sat)
+
+    p = sub.add_parser("explore", help="exhaustively explore a program's schedules")
+    p.add_argument("program")
+    p.add_argument("--max-runs", type=int, default=100_000)
+    p.add_argument("--races", action="store_true",
+                   help="also detect feasible races across all executions")
+    p.set_defaults(func=cmd_explore)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

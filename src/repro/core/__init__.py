@@ -1,0 +1,63 @@
+"""The paper's primary contribution, made executable.
+
+Given a program execution ``P = <E, T, D>``, Section 3 defines the set
+``F(P)`` of *feasible program executions* -- executions performing the
+same events (F1), obeying the model axioms (F2) and exhibiting the same
+shared-data dependences (F3) -- and six ordering relations quantifying
+over ``F(P)`` (Table 1).  The paper proves deciding the must-have
+relations is co-NP-hard and the could-have relations NP-hard.
+
+This package contains the exact decision procedures (exponential in the
+worst case, as they must be unless P = NP):
+
+* :mod:`repro.core.engine` -- a memoized state-space search over
+  *begin/end point schedules* of the event set, the operational
+  counterpart of the paper's interval-based temporal ordering;
+* :mod:`repro.core.queries` -- the six relations as predicates over an
+  execution, with witness schedules for every existential answer;
+* :mod:`repro.core.relations` -- whole-relation computation with
+  caching (:class:`OrderingAnalyzer`);
+* :mod:`repro.core.enumerate` -- brute-force enumeration of all
+  feasible point schedules, the ground truth the engine is tested
+  against;
+* :mod:`repro.core.witness` -- replayable witness schedules.
+"""
+
+from repro.core.engine import (
+    FeasibilityEngine,
+    Point,
+    SearchBudgetExceeded,
+    SearchStats,
+    begin_point,
+    end_point,
+)
+from repro.core.queries import OrderingQueries
+from repro.core.relations import OrderingAnalyzer, RelationName, ALL_RELATIONS
+from repro.core.witness import Witness, replay_schedule, IllegalScheduleError
+from repro.core.enumerate import (
+    enumerate_serial_schedules,
+    enumerate_point_schedules,
+    relations_by_enumeration,
+)
+from repro.core.eager import EagerOrderingQueries, eager_relations_by_enumeration
+
+__all__ = [
+    "FeasibilityEngine",
+    "Point",
+    "SearchBudgetExceeded",
+    "SearchStats",
+    "begin_point",
+    "end_point",
+    "OrderingQueries",
+    "OrderingAnalyzer",
+    "RelationName",
+    "ALL_RELATIONS",
+    "Witness",
+    "replay_schedule",
+    "IllegalScheduleError",
+    "enumerate_serial_schedules",
+    "enumerate_point_schedules",
+    "relations_by_enumeration",
+    "EagerOrderingQueries",
+    "eager_relations_by_enumeration",
+]

@@ -1,0 +1,211 @@
+"""Ordering relations under the *eager-begin* timing model.
+
+The default engine treats event begins as schedulable points: a process
+may be delayed arbitrarily between operations ("nondeterministic timing
+variations"), so an event's begin can always be postponed.  Under that
+adversarial model a clean corollary of the serialization lemma holds:
+
+    Every feasible execution collapses to a feasible *serial* execution
+    (order events by completion), in which no two events overlap.
+    Hence no distinct pair is concurrent in **all** feasible
+    executions: ``MCW`` is empty and ``COW`` is total whenever ``F`` is
+    non-empty.
+
+The paper's concurrent-with/ordered-with relations are only
+interesting under a *stronger* machine model in which an operation
+begins the moment its prerequisites allow -- processes do not pause
+spontaneously.  This module implements that model:
+
+* a feasible execution is a legal serial order of event *completions*;
+* ``begin(e)`` is the instant the last of ``e``'s begin prerequisites
+  (program-order predecessor, creating fork, dependence predecessors)
+  completes -- time zero when it has none;
+* ``a ->T b``  iff  ``end(a) <= max(end(p) for p in pre(b))``, i.e.
+  ``a`` completes no later than the prerequisite that releases ``b``
+  (in particular whenever ``a`` itself is a prerequisite of ``b``).
+
+Exactly one of ``a ->T b``, ``b ->T a``, ``a || b`` holds per
+schedule, so the Table 1 dualities carry over unchanged.  Under this
+model ``MCW`` is non-degenerate (two first events of root processes
+both begin at time zero and are concurrent in every execution), and
+``benchmarks/bench_table1_relations.py`` reports the six relations
+under both models side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import FeasibilityEngine, SearchStats, end_point
+from repro.core.relations import RelationName
+from repro.core.enumerate import enumerate_serial_schedules
+from repro.model.execution import ProgramExecution
+from repro.util.relations import BinaryRelation
+
+
+def _begin_prereqs(engine: FeasibilityEngine) -> List[Tuple[int, ...]]:
+    out = []
+    for eid in range(len(engine.exe)):
+        mask = engine._begin_pre[eid]
+        pres = []
+        while mask:
+            low = mask & -mask
+            pres.append(low.bit_length() - 1)
+            mask ^= low
+        out.append(tuple(pres))
+    return out
+
+
+class EagerOrderingQueries:
+    """Exact Table 1 relations under the eager-begin model."""
+
+    def __init__(
+        self,
+        exe: ProgramExecution,
+        *,
+        include_dependences: bool = True,
+        binary_semaphores: bool = False,
+        max_states: Optional[int] = None,
+    ) -> None:
+        self.exe = exe
+        self.engine = FeasibilityEngine(
+            exe,
+            include_dependences=include_dependences,
+            binary_semaphores=binary_semaphores,
+        )
+        self.max_states = max_states
+        self.stats = SearchStats()
+        self._pre = _begin_prereqs(self.engine)
+        self._ccb_cache: Dict[Tuple[int, int], bool] = {}
+        self._ccw_cache: Dict[Tuple[int, int], bool] = {}
+        self._feasible: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    def has_feasible_execution(self) -> bool:
+        if self._feasible is None:
+            pts = self.engine.search(max_states=self.max_states, stats=self.stats)
+            self._feasible = pts is not None
+        return self._feasible
+
+    def _ccb(self, a: int, b: int) -> bool:
+        """Some legal completion order finishes ``a`` strictly before ``b``."""
+        key = (a, b)
+        if key not in self._ccb_cache:
+            pts = self.engine.search(
+                constraints=[(end_point(a), end_point(b))],
+                max_states=self.max_states,
+                stats=self.stats,
+            )
+            self._ccb_cache[key] = pts is not None
+        return self._ccb_cache[key]
+
+    # ------------------------------------------------------------------
+    def chb(self, a: int, b: int) -> bool:
+        """``a`` completes by the time ``b``'s last prerequisite does,
+        in some feasible execution."""
+        if a == b or not self.has_feasible_execution():
+            return False
+        pre = self._pre[b]
+        if a in pre:
+            return True
+        return any(self._ccb(a, p) for p in pre)
+
+    def ccw(self, a: int, b: int) -> bool:
+        """Some feasible execution overlaps ``a`` and ``b``: every
+        prerequisite of each completes before the other completes."""
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        if key in self._ccw_cache:
+            return self._ccw_cache[key]
+        result = False
+        if self.has_feasible_execution():
+            if a == b:
+                result = True
+            elif a in self._pre[b] or b in self._pre[a]:
+                result = False
+            else:
+                constraints = [(end_point(p), end_point(a)) for p in self._pre[b]]
+                constraints += [(end_point(q), end_point(b)) for q in self._pre[a]]
+                pts = self.engine.search(
+                    constraints=constraints,
+                    max_states=self.max_states,
+                    stats=self.stats,
+                )
+                result = pts is not None
+        self._ccw_cache[key] = result
+        return result
+
+    def cow(self, a: int, b: int) -> bool:
+        if a == b:
+            return False
+        return self.chb(a, b) or self.chb(b, a)
+
+    def mhb(self, a: int, b: int) -> bool:
+        if a == b:
+            return not self.has_feasible_execution()
+        return not self.chb(b, a) and not self.ccw(a, b)
+
+    def mcw(self, a: int, b: int) -> bool:
+        if a == b:
+            return True
+        return not self.cow(a, b)
+
+    def mow(self, a: int, b: int) -> bool:
+        return not self.ccw(a, b)
+
+    def relation_values(self, a: int, b: int) -> Dict[str, bool]:
+        return {
+            "MHB": self.mhb(a, b),
+            "CHB": self.chb(a, b),
+            "MCW": self.mcw(a, b),
+            "CCW": self.ccw(a, b),
+            "MOW": self.mow(a, b),
+            "COW": self.cow(a, b),
+        }
+
+
+def eager_relations_by_enumeration(
+    exe: ProgramExecution,
+    *,
+    include_dependences: bool = True,
+    limit: Optional[int] = None,
+) -> Dict[RelationName, BinaryRelation]:
+    """Definition-level ground truth for the eager model.
+
+    Enumerates all legal serial completion orders, derives each one's
+    eager ``T`` and evaluates the Table 1 quantifiers.
+    """
+    n = len(exe)
+    engine = FeasibilityEngine(exe, include_dependences=include_dependences)
+    pre = _begin_prereqs(engine)
+    pairs = [(a, b) for a in range(n) for b in range(n) if a != b]
+    ex_hb, ex_cw = set(), set()
+    all_hb, all_cw = set(pairs), set(pairs)
+    any_schedule = False
+    for sched in enumerate_serial_schedules(
+        exe, include_dependences=include_dependences, limit=limit
+    ):
+        any_schedule = True
+        pos = {eid: i for i, eid in enumerate(sched)}
+        for a, b in pairs:
+            release_b = max((pos[p] for p in pre[b]), default=-1)
+            hb = pos[a] <= release_b
+            release_a = max((pos[q] for q in pre[a]), default=-1)
+            hb_rev = pos[b] <= release_a
+            cw = not hb and not hb_rev
+            (ex_hb.add((a, b)) if hb else all_hb.discard((a, b)))
+            (ex_cw.add((a, b)) if cw else all_cw.discard((a, b)))
+    if not any_schedule:
+        all_hb, all_cw = set(pairs), set(pairs)
+    ex_ow = {(a, b) for (a, b) in pairs if (a, b) in ex_hb or (b, a) in ex_hb}
+    all_ow = {(a, b) for (a, b) in pairs if (a, b) not in ex_cw}
+    universe = range(n)
+    return {
+        RelationName.MHB: BinaryRelation(universe, all_hb),
+        RelationName.CHB: BinaryRelation(universe, ex_hb),
+        RelationName.MCW: BinaryRelation(universe, all_cw),
+        RelationName.CCW: BinaryRelation(universe, ex_cw),
+        RelationName.MOW: BinaryRelation(universe, all_ow),
+        RelationName.COW: BinaryRelation(universe, ex_ow),
+    }

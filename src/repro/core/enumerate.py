@@ -1,0 +1,259 @@
+"""Brute-force enumeration of feasible schedules (ground truth).
+
+The engine in :mod:`repro.core.engine` answers targeted reachability
+questions; this module instead *enumerates* every legal schedule, which
+is only tractable for very small executions but gives a
+definition-level computation of Table 1: build ``F`` explicitly, then
+read each relation straight off its quantifier.  The property-based
+tests compare the engine against this reference on random small
+executions, and ``benchmarks/bench_table1_relations.py`` uses it to
+regenerate Table 1 three independent ways.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.engine import Point
+from repro.core.relations import RelationName
+from repro.model.events import EventKind
+from repro.model.execution import ProgramExecution
+from repro.util.relations import BinaryRelation
+
+
+def _engine_tables(exe: ProgramExecution, include_dependences: bool):
+    """Shared precomputation (mirrors FeasibilityEngine's packing)."""
+    n = len(exe)
+    pre = [0] * n
+    for eid in range(n):
+        p = exe.po_predecessor(eid)
+        if p is not None:
+            pre[eid] |= 1 << p
+    for feid, children in exe.fork_children.items():
+        for c in children:
+            evs = exe.process_events(c)
+            if evs:
+                pre[evs[0]] |= 1 << feid
+    if include_dependences:
+        for a, b in exe.dependences:
+            pre[b] |= 1 << a
+    sem_index = {s: i for i, s in enumerate(exe.semaphores)}
+    var_index = {v: i for i, v in enumerate(exe.event_variables)}
+    var_init = 0
+    for v in exe.event_variables:
+        if exe.var_initially_posted(v):
+            var_init |= 1 << var_index[v]
+    sem_init = tuple(exe.sem_initial(s) for s in exe.semaphores)
+    join_need = [0] * n
+    for e in exe.events:
+        if e.kind is EventKind.JOIN:
+            need = 0
+            for t in exe.join_targets[e.eid]:
+                for x in exe.process_events(t):
+                    need |= 1 << x
+            join_need[e.eid] = need
+    return pre, sem_index, var_index, var_init, sem_init, join_need
+
+
+def _end_legal(exe, eid, ended, varmask, counts, sem_index, var_index, join_need) -> bool:
+    e = exe.event(eid)
+    k = e.kind
+    if k is EventKind.SEM_P:
+        return counts[sem_index[e.obj]] > 0
+    if k is EventKind.WAIT:
+        return bool((varmask >> var_index[e.obj]) & 1)
+    if k is EventKind.JOIN:
+        return not (join_need[eid] & ~ended)
+    return True
+
+
+def _apply_end(exe, eid, varmask, counts, sem_index, var_index):
+    e = exe.event(eid)
+    k = e.kind
+    if k is EventKind.SEM_P:
+        si = sem_index[e.obj]
+        counts = counts[:si] + (counts[si] - 1,) + counts[si + 1 :]
+    elif k is EventKind.SEM_V:
+        si = sem_index[e.obj]
+        counts = counts[:si] + (counts[si] + 1,) + counts[si + 1 :]
+    elif k is EventKind.POST:
+        varmask |= 1 << var_index[e.obj]
+    elif k is EventKind.CLEAR:
+        varmask &= ~(1 << var_index[e.obj])
+    return varmask, counts
+
+
+def enumerate_serial_schedules(
+    exe: ProgramExecution,
+    *,
+    include_dependences: bool = True,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Yield every legal *serial* schedule (each event atomic).
+
+    These are the collapsed members of ``F``; by the serialization
+    lemma they decide every could-have-happened-before question.
+    """
+    n = len(exe)
+    full = (1 << n) - 1
+    pre, sem_index, var_index, var_init, sem_init, join_need = _engine_tables(
+        exe, include_dependences
+    )
+    count = 0
+
+    def rec(ended: int, varmask: int, counts, prefix: List[int]):
+        nonlocal count
+        if limit is not None and count >= limit:
+            return
+        if ended == full:
+            count += 1
+            yield tuple(prefix)
+            return
+        for eid in range(n):
+            bit = 1 << eid
+            if ended & bit or (pre[eid] & ~ended):
+                continue
+            if not _end_legal(exe, eid, ended, varmask, counts, sem_index, var_index, join_need):
+                continue
+            vm2, c2 = _apply_end(exe, eid, varmask, counts, sem_index, var_index)
+            prefix.append(eid)
+            yield from rec(ended | bit, vm2, c2, prefix)
+            prefix.pop()
+
+    yield from rec(0, var_init, sem_init, [])
+
+
+def enumerate_point_schedules(
+    exe: ProgramExecution,
+    *,
+    include_dependences: bool = True,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[Point, ...]]:
+    """Yield every legal complete *point* schedule (all events treated
+    as intervals).  Exponential in ``2|E|`` -- tiny inputs only."""
+    n = len(exe)
+    full = (1 << n) - 1
+    pre, sem_index, var_index, var_init, sem_init, join_need = _engine_tables(
+        exe, include_dependences
+    )
+    count = 0
+
+    def rec(begun: int, ended: int, varmask: int, counts, prefix: List[Point]):
+        nonlocal count
+        if limit is not None and count >= limit:
+            return
+        if ended == full:
+            count += 1
+            yield tuple(prefix)
+            return
+        for eid in range(n):
+            bit = 1 << eid
+            if not (begun & bit) and not (pre[eid] & ~ended):
+                prefix.append(Point(eid, False))
+                yield from rec(begun | bit, ended, varmask, counts, prefix)
+                prefix.pop()
+            if (begun & bit) and not (ended & bit):
+                if _end_legal(exe, eid, ended, varmask, counts, sem_index, var_index, join_need):
+                    vm2, c2 = _apply_end(exe, eid, varmask, counts, sem_index, var_index)
+                    prefix.append(Point(eid, True))
+                    yield from rec(begun, ended | bit, vm2, c2, prefix)
+                    prefix.pop()
+
+    yield from rec(0, 0, var_init, sem_init, [])
+
+
+def count_serial_schedules(
+    exe: ProgramExecution,
+    *,
+    include_dependences: bool = True,
+) -> int:
+    """The number of legal serial schedules -- the size of the
+    collapsed feasible set.
+
+    Counting with memoization on (ended, varstate, counts) is far
+    cheaper than enumeration: states are shared across the
+    exponentially many schedules, so this scales to executions whose
+    schedule count is astronomically large (the count is exact -- it is
+    the number of *paths*, computed per state).
+    """
+    n = len(exe)
+    full = (1 << n) - 1
+    pre, sem_index, var_index, var_init, sem_init, join_need = _engine_tables(
+        exe, include_dependences
+    )
+    memo: Dict[Tuple[int, int, Tuple[int, ...]], int] = {}
+
+    def rec(ended: int, varmask: int, counts) -> int:
+        if ended == full:
+            return 1
+        key = (ended, varmask, counts)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        total = 0
+        for eid in range(n):
+            bit = 1 << eid
+            if ended & bit or (pre[eid] & ~ended):
+                continue
+            if not _end_legal(exe, eid, ended, varmask, counts, sem_index, var_index, join_need):
+                continue
+            vm2, c2 = _apply_end(exe, eid, varmask, counts, sem_index, var_index)
+            total += rec(ended | bit, vm2, c2)
+        memo[key] = total
+        return total
+
+    return rec(0, var_init, sem_init)
+
+
+def relations_by_enumeration(
+    exe: ProgramExecution,
+    *,
+    include_dependences: bool = True,
+    limit: Optional[int] = None,
+) -> Dict[RelationName, BinaryRelation]:
+    """Compute all six relations straight from their definitions.
+
+    Builds ``F`` explicitly (every legal point schedule), derives each
+    schedule's ``T``, and evaluates Table 1's quantifiers.  With an
+    empty ``F``, must-have relations hold vacuously for all pairs and
+    could-have relations are empty -- mirroring the query layer.
+    """
+    n = len(exe)
+    pairs = [(a, b) for a in range(n) for b in range(n) if a != b]
+    # accumulate per-pair evidence
+    any_schedule = False
+    ex_hb = set()  # exists schedule with a ->T b
+    ex_cw = set()  # exists schedule with a || b
+    all_hb = set(pairs)
+    all_cw = set(pairs)
+    for sched in enumerate_point_schedules(
+        exe, include_dependences=include_dependences, limit=limit
+    ):
+        any_schedule = True
+        pos = {p: i for i, p in enumerate(sched)}
+        for a, b in pairs:
+            hb = pos[Point(a, True)] < pos[Point(b, False)]
+            hb_rev = pos[Point(b, True)] < pos[Point(a, False)]
+            cw = not hb and not hb_rev
+            if hb:
+                ex_hb.add((a, b))
+            else:
+                all_hb.discard((a, b))
+            if cw:
+                ex_cw.add((a, b))
+            else:
+                all_cw.discard((a, b))
+    if not any_schedule:
+        all_hb = set(pairs)
+        all_cw = set(pairs)
+    ex_ow = {(a, b) for (a, b) in pairs if (a, b) in ex_hb or (b, a) in ex_hb}
+    all_ow = {(a, b) for (a, b) in pairs if (a, b) not in ex_cw}
+    universe = range(n)
+    return {
+        RelationName.MHB: BinaryRelation(universe, all_hb),
+        RelationName.CHB: BinaryRelation(universe, ex_hb),
+        RelationName.MCW: BinaryRelation(universe, all_cw),
+        RelationName.CCW: BinaryRelation(universe, ex_cw),
+        RelationName.MOW: BinaryRelation(universe, all_ow),
+        RelationName.COW: BinaryRelation(universe, ex_ow),
+    }

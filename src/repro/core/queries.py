@@ -1,0 +1,276 @@
+"""The six ordering relations of Table 1 as pairwise queries.
+
+=================  ==============================================  =======================
+relation           definition (over feasible executions ``F``)     decision procedure
+=================  ==============================================  =======================
+``a CHB b``        exists P' in F with ``a ->T' b``                serial search, gate
+                                                                   ``end(a) < begin(b)``
+``a CCW b``        exists P' in F with ``a || b``                  interval search on
+                                                                   ``{a, b}`` with mutual
+                                                                   overlap gates
+``a COW b``        exists P' in F with ``not (a || b)``            ``CHB(a,b) or CHB(b,a)``
+``a MHB b``        for all P' in F, ``a ->T' b``                   ``not CHB(b,a) and
+                                                                   not CCW(a,b)``
+``a MCW b``        for all P' in F, ``a || b``                     ``not COW(a,b)``
+``a MOW b``        for all P' in F, ``not (a || b)``               ``not CCW(a,b)``
+=================  ==============================================  =======================
+
+The duality identities on the right follow directly from the paper's
+definitions because ``not (a ->T b)`` decomposes into ``b ->T a`` or
+``a || b`` (Section 2's footnote notation); they are property-tested
+against brute-force enumeration in ``tests/test_core_enumeration.py``.
+
+Empty-``F`` semantics: if the execution cannot complete at all (a
+hand-built deadlocking event set), universally quantified relations
+hold vacuously and existentials are false.  Real traces always have
+``F`` non-empty (the observed schedule is a member).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.engine import (
+    FeasibilityEngine,
+    Point,
+    SearchStats,
+    begin_point,
+    end_point,
+)
+from repro.core.witness import Witness
+from repro.model.execution import ProgramExecution
+from repro.util.graphs import topological_sort
+
+
+class OrderingQueries:
+    """Pairwise exact ordering queries over one execution.
+
+    Results of the two primitive existential searches (CHB and CCW) are
+    cached per pair; the other four relations are derived algebraically
+    so each pair costs at most three searches.
+
+    Parameters mirror :class:`~repro.core.engine.FeasibilityEngine`;
+    ``max_states`` bounds every individual search (raising
+    :class:`~repro.core.engine.SearchBudgetExceeded` when exhausted).
+    """
+
+    def __init__(
+        self,
+        exe: ProgramExecution,
+        *,
+        include_dependences: bool = True,
+        binary_semaphores: bool = False,
+        max_states: Optional[int] = None,
+    ) -> None:
+        self.exe = exe
+        self.engine = FeasibilityEngine(
+            exe,
+            include_dependences=include_dependences,
+            binary_semaphores=binary_semaphores,
+        )
+        self.max_states = max_states
+        self.stats = SearchStats()
+        self._chb_cache: Dict[Tuple[int, int], Optional[Witness]] = {}
+        self._ccw_cache: Dict[Tuple[int, int], Optional[Witness]] = {}
+        # two strengths of structural reachability (see
+        # ProgramExecution.static_order_graph's edge-strength caveat):
+        # completion order (join edges in) powers the CHB/CCB shortcuts,
+        # interval order (join edges out) the overlap-impossible shortcut
+        self._static_reach = self._compute_reach(include_dependences, join_edges=True)
+        self._interval_reach = self._compute_reach(include_dependences, join_edges=False)
+        self._base: Optional[Witness] = None
+        self._base_computed = False
+
+    # ------------------------------------------------------------------
+    def _compute_reach(self, include_dependences: bool, *, join_edges: bool):
+        g = self.exe.static_order_graph(
+            include_dependences=include_dependences, join_edges=join_edges
+        )
+        order = topological_sort(g)
+        reach = {}
+        for n in reversed(order):
+            mask = 0
+            for s in g.successors(n):
+                mask |= reach[s] | (1 << s)
+            reach[n] = mask
+        return reach
+
+    def statically_ordered(self, a: int, b: int) -> bool:
+        """``a`` completes before ``b`` by structure alone (program
+        order, fork/join, dependences) in *every* schedule.
+
+        Implies ``a`` can happen-before ``b`` in any serial schedule
+        and that ``b`` can never happen-before ``a`` -- but NOT that
+        the two cannot overlap (a join overlaps children it awaits);
+        use :meth:`statically_interval_ordered` for overlap reasoning.
+        """
+        return bool((self._static_reach[a] >> b) & 1)
+
+    def statically_interval_ordered(self, a: int, b: int) -> bool:
+        """``end(a) < begin(b)`` in every schedule, by structure alone
+        (program order, fork, dependences -- join edges excluded)."""
+        return bool((self._interval_reach[a] >> b) & 1)
+
+    # ------------------------------------------------------------------
+    def feasible_witness(self) -> Optional[Witness]:
+        """Any member of ``F``, or None when the event set cannot complete."""
+        if not self._base_computed:
+            pts = self.engine.search(max_states=self.max_states, stats=self.stats)
+            self._base = Witness(self.exe, pts) if pts is not None else None
+            self._base_computed = True
+        return self._base
+
+    def has_feasible_execution(self) -> bool:
+        return self.feasible_witness() is not None
+
+    # ------------------------------------------------------------------
+    # primitive existentials (with witnesses)
+    # ------------------------------------------------------------------
+    def chb_witness(self, a: int, b: int) -> Optional[Witness]:
+        """A feasible schedule in which ``a`` completes before ``b``
+        begins, or None if no such schedule exists."""
+        if a == b:
+            return None
+        key = (a, b)
+        if key in self._chb_cache:
+            return self._chb_cache[key]
+        result: Optional[Witness] = None
+        if self.has_feasible_execution():
+            if self.statically_ordered(b, a):
+                result = None  # b always precedes a; a ->T b impossible
+            elif self.statically_ordered(a, b):
+                result = self.feasible_witness()  # every schedule qualifies
+            else:
+                pts = self.engine.search(
+                    constraints=[(end_point(a), begin_point(b))],
+                    max_states=self.max_states,
+                    stats=self.stats,
+                )
+                result = Witness(self.exe, pts) if pts is not None else None
+        self._chb_cache[key] = result
+        return result
+
+    def ccw_witness(self, a: int, b: int) -> Optional[Witness]:
+        """A feasible schedule in which ``a`` and ``b`` overlap."""
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        if key in self._ccw_cache:
+            return self._ccw_cache[key]
+        result: Optional[Witness] = None
+        if self.has_feasible_execution():
+            if a == b:
+                result = self.feasible_witness()  # an event overlaps itself
+            elif self.statically_interval_ordered(a, b) or self.statically_interval_ordered(b, a):
+                result = None  # structurally serialized; overlap impossible
+            else:
+                pts = self.engine.search(
+                    interval_events=(a, b),
+                    constraints=[
+                        (begin_point(a), end_point(b)),
+                        (begin_point(b), end_point(a)),
+                    ],
+                    max_states=self.max_states,
+                    stats=self.stats,
+                )
+                result = Witness(self.exe, pts) if pts is not None else None
+        self._ccw_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # the six relations
+    # ------------------------------------------------------------------
+    def chb(self, a: int, b: int) -> bool:
+        """Could-have-happened-before."""
+        return self.chb_witness(a, b) is not None
+
+    def ccw(self, a: int, b: int) -> bool:
+        """Could-have-been-concurrent-with."""
+        return self.ccw_witness(a, b) is not None
+
+    def cow(self, a: int, b: int) -> bool:
+        """Could-have-been-ordered-with (some feasible execution ran
+        them one after the other, in either order)."""
+        if a == b:
+            return False  # an event always overlaps itself
+        return self.chb(a, b) or self.chb(b, a)
+
+    def mhb(self, a: int, b: int) -> bool:
+        """Must-have-happened-before: ``a ->T b`` in every feasible
+        execution."""
+        if a == b:
+            return not self.has_feasible_execution()  # vacuous truth only
+        return not self.chb(b, a) and not self.ccw(a, b)
+
+    def mcw(self, a: int, b: int) -> bool:
+        """Must-have-been-concurrent-with."""
+        if a == b:
+            return True  # a || a holds in every execution (vacuously if F empty)
+        return not self.cow(a, b)
+
+    def mow(self, a: int, b: int) -> bool:
+        """Must-have-been-ordered-with (never concurrent)."""
+        return not self.ccw(a, b)
+
+    # ------------------------------------------------------------------
+    # auxiliary completion-order relations
+    # ------------------------------------------------------------------
+    # The paper's T orders *intervals*: ``a ->T b`` iff a completes
+    # before b begins, so a blocked P overlaps the V that unblocks it
+    # (the P has begun -- its first action, inspecting the count, has
+    # happened).  The related-work algorithms (Helmbold/McDowell/Wang,
+    # Emrath/Ghosh/Padua) reason about the order in which operations
+    # *complete*.  These two queries decide that coarser ordering
+    # exactly, giving the approximation benchmarks a like-for-like
+    # exact baseline: every sound approximation must be a subset of
+    # ``mcb``.
+
+    def ccb(self, a: int, b: int) -> bool:
+        """Could-complete-before: some feasible execution completes
+        ``a`` before ``b``."""
+        if a == b:
+            return False
+        if not self.has_feasible_execution():
+            return False
+        if self.statically_ordered(a, b):
+            return True
+        if self.statically_ordered(b, a):
+            return False
+        pts = self.engine.search(
+            constraints=[(end_point(a), end_point(b))],
+            max_states=self.max_states,
+            stats=self.stats,
+        )
+        return pts is not None
+
+    def mcb(self, a: int, b: int) -> bool:
+        """Must-complete-before: ``a`` completes before ``b`` in every
+        feasible execution.  Completions are totally ordered within a
+        schedule, so ``mcb(a, b) == not ccb(b, a)`` (vacuously true
+        when no feasible execution exists).  Note ``mhb`` implies
+        ``mcb`` but not conversely."""
+        if a == b:
+            return not self.has_feasible_execution()
+        return not self.ccb(b, a)
+
+    # ------------------------------------------------------------------
+    # explanation helpers
+    # ------------------------------------------------------------------
+    def why_not_mhb(self, a: int, b: int) -> Optional[Witness]:
+        """A counterexample schedule when ``a MHB b`` fails: either ``b``
+        precedes ``a`` or they overlap.  None when ``a MHB b`` holds."""
+        w = self.chb_witness(b, a)
+        if w is not None:
+            return w
+        return self.ccw_witness(a, b)
+
+    def relation_values(self, a: int, b: int) -> Dict[str, bool]:
+        """All six relation values for one pair (used by examples)."""
+        return {
+            "MHB": self.mhb(a, b),
+            "CHB": self.chb(a, b),
+            "MCW": self.mcw(a, b),
+            "CCW": self.ccw(a, b),
+            "MOW": self.mow(a, b),
+            "COW": self.cow(a, b),
+        }

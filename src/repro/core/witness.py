@@ -1,0 +1,154 @@
+"""Witness schedules: replayable evidence for existential answers.
+
+Every "could-have" answer the engine gives is backed by a complete
+legal point schedule.  :class:`Witness` wraps one together with its
+execution and can
+
+* derive the temporal ordering ``T`` the schedule exhibits,
+* pretty-print itself for the examples and benchmark reports,
+* be independently re-validated by :func:`replay_schedule`, which
+  replays the points through the reference semantics in
+  :mod:`repro.sync` -- a completely separate code path from the
+  engine's packed transition function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import Point
+from repro.model.events import EventKind
+from repro.model.execution import ProgramExecution
+from repro.sync.state import SyncState
+from repro.util.relations import BinaryRelation
+
+
+class IllegalScheduleError(ValueError):
+    """A schedule violated program order, a gate, or sync semantics."""
+
+
+def replay_schedule(
+    exe: ProgramExecution,
+    points: Sequence[Point],
+    *,
+    include_dependences: bool = True,
+    binary_semaphores: bool = False,
+) -> SyncState:
+    """Replay ``points`` through the reference semantics; raise on any
+    violation.  Returns the final synchronization state."""
+    state = SyncState(exe, binary_semaphores=binary_semaphores)
+    begun: set = set()
+    ended: set = set()
+    for pos, pt in enumerate(points):
+        e = exe.event(pt.eid)
+        if not pt.is_end:
+            if pt.eid in begun:
+                raise IllegalScheduleError(f"point {pos}: event {pt.eid} begins twice")
+            pred = exe.po_predecessor(pt.eid)
+            if pred is not None and pred not in ended:
+                raise IllegalScheduleError(
+                    f"point {pos}: event {pt.eid} begins before program-order "
+                    f"predecessor {pred} ended"
+                )
+            feid = exe.parent_fork.get(e.process)
+            if feid is not None and e.index == 0 and feid not in ended:
+                raise IllegalScheduleError(
+                    f"point {pos}: event {pt.eid} begins before its creating fork {feid} ended"
+                )
+            if include_dependences:
+                for d in exe.dependence_predecessors(pt.eid):
+                    if d not in ended:
+                        raise IllegalScheduleError(
+                            f"point {pos}: event {pt.eid} begins before dependence "
+                            f"predecessor {d} ended"
+                        )
+            begun.add(pt.eid)
+        else:
+            if pt.eid not in begun:
+                raise IllegalScheduleError(f"point {pos}: event {pt.eid} ends before beginning")
+            if pt.eid in ended:
+                raise IllegalScheduleError(f"point {pos}: event {pt.eid} ends twice")
+            if not state.can_complete(e):
+                raise IllegalScheduleError(
+                    f"point {pos}: {e!r} completes while blocked "
+                    f"(semaphore empty / variable cleared / join pending)"
+                )
+            state.complete(e)
+            ended.add(pt.eid)
+    if len(ended) != len(exe):
+        missing = sorted(set(exe.eids) - ended)
+        raise IllegalScheduleError(f"schedule incomplete; events never completed: {missing}")
+    return state
+
+
+class Witness:
+    """A complete legal point schedule for an execution."""
+
+    def __init__(self, exe: ProgramExecution, points: Sequence[Point]):
+        self.exe = exe
+        self.points: Tuple[Point, ...] = tuple(points)
+        self._pos: Dict[Point, int] = {p: i for i, p in enumerate(self.points)}
+
+    # ------------------------------------------------------------------
+    def begin_position(self, eid: int) -> int:
+        return self._pos[Point(eid, False)]
+
+    def end_position(self, eid: int) -> int:
+        return self._pos[Point(eid, True)]
+
+    def happened_before(self, a: int, b: int) -> bool:
+        """``a ->T b`` in this schedule: ``a`` completes before ``b`` begins."""
+        return self.end_position(a) < self.begin_position(b)
+
+    def concurrent(self, a: int, b: int) -> bool:
+        """Intervals overlap: neither completes before the other begins."""
+        return not self.happened_before(a, b) and not self.happened_before(b, a)
+
+    def serial_order(self) -> List[int]:
+        """Events ordered by completion -- the collapsed serial schedule."""
+        return [p.eid for p in self.points if p.is_end]
+
+    def temporal_relation(self) -> BinaryRelation:
+        """The ``T`` relation this schedule exhibits."""
+        n = len(self.exe)
+        pairs = [
+            (a, b)
+            for a in range(n)
+            for b in range(n)
+            if a != b and self.happened_before(a, b)
+        ]
+        return BinaryRelation(range(n), pairs)
+
+    def validate(self, *, include_dependences: bool = True, binary_semaphores: bool = False) -> None:
+        """Re-check the witness through the reference semantics."""
+        replay_schedule(
+            self.exe,
+            self.points,
+            include_dependences=include_dependences,
+            binary_semaphores=binary_semaphores,
+        )
+
+    # ------------------------------------------------------------------
+    def pretty(self, *, max_events: Optional[int] = None) -> str:
+        """Human-readable schedule listing, one completed event per line.
+
+        Events that overlap others are annotated, so a concurrency
+        witness is visible at a glance.
+        """
+        lines = []
+        order = self.serial_order()
+        if max_events is not None:
+            order = order[:max_events]
+        for eid in order:
+            e = self.exe.event(eid)
+            overlaps = [
+                other.eid
+                for other in self.exe.events
+                if other.eid != eid and self.concurrent(eid, other.eid)
+            ]
+            note = f"   (overlaps {overlaps})" if overlaps else ""
+            lines.append(f"  {e.describe():<40}{note}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Witness({len(self.points)} points over {len(self.exe)} events)"

@@ -1,0 +1,23 @@
+"""Ordering questions encoded as Boolean satisfiability.
+
+The paper reduces 3CNFSAT *to* event-ordering queries (Theorems 1-4).
+This package computes the **converse** direction: a legal-serial-
+schedule existence question (and hence every could-complete-before /
+could-have-happened-before query, via the serialization lemma) is
+compiled to CNF and handed to the library's own DPLL solver.
+
+Together the two directions make the paper's equivalence fully
+computational: ordering is SAT-hard (Theorems 1-4, `repro.reductions`)
+and ordering is *in* NP for the serial fragment (this encoder) -- the
+could-relations of Table 1 are NP-complete for that fragment, which is
+the upper bound matching the paper's lower bound.
+
+The encoder (:mod:`repro.encoding.order_sat`) is also an *independent*
+decision procedure: it shares no code with the state-space engine, so
+agreement between the two on random executions
+(``tests/test_encoding.py``) is strong evidence both are right.
+"""
+
+from repro.encoding.order_sat import OrderSatEncoder, sat_chb, sat_is_feasible
+
+__all__ = ["OrderSatEncoder", "sat_chb", "sat_is_feasible"]

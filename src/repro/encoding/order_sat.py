@@ -1,0 +1,201 @@
+"""CNF encoding of legal serial schedules.
+
+A serial schedule of an execution is a strict total order of its
+events satisfying program order, fork/join, dependences (optionally)
+and the synchronization semantics.  The encoding:
+
+* **order variables** ``o(a, b)`` for each unordered pair (one
+  polarity per pair: ``o(b, a)`` is represented as ``NOT o(a, b)``),
+  with transitivity clauses over every triple -- a satisfying
+  assignment is exactly a strict total order;
+* structural constraints as unit clauses over the order variables;
+* **semaphore legality via token matching** (Hall's theorem): a total
+  order keeps every count non-negative iff there is an injective
+  assignment of suppliers (``V`` completions plus ``init`` virtual
+  initial tokens) to ``P`` events with each supplier ordered before
+  its consumer.  Matching variables ``m(supplier, p)`` with
+  exactly-one per ``P``, at-most-one per supplier, and
+  ``m(v, p) -> o(v, p)``;
+* **event-variable legality via triggering posts**: each ``Wait`` is
+  matched to a ``Post`` of the same variable ordered before it with
+  no ``Clear`` of that variable between them (``o(c, post) OR
+  o(wait, c)`` for every clear ``c``), or to the initial posted state
+  (then every clear must come after the wait).  Posts may trigger any
+  number of waits, so no at-most-one side.
+* **joins**: a join completes after the awaited processes' events --
+  in a *serial* order that is just a conjunction of order literals
+  (matching the engine's completion semantics).
+
+Size: O(|E|^2) variables and O(|E|^3) transitivity clauses -- fine for
+the cross-validation sizes (|E| <= ~15); the point is independence
+from the search engine, not speed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.events import EventKind
+from repro.model.execution import ProgramExecution
+from repro.sat.cnf import CNF
+from repro.sat.dpll import DPLLSolver
+
+
+class OrderSatEncoder:
+    """Compiles one execution's serial-schedule existence to CNF."""
+
+    def __init__(self, exe: ProgramExecution, *, include_dependences: bool = True):
+        self.exe = exe
+        self.include_dependences = include_dependences
+        self._n = len(exe)
+        self._next_var = 0
+        self._order: Dict[Tuple[int, int], int] = {}
+        self._clauses: List[Tuple[int, ...]] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # variable plumbing
+    # ------------------------------------------------------------------
+    def _fresh(self) -> int:
+        self._next_var += 1
+        return self._next_var
+
+    def _o(self, a: int, b: int) -> int:
+        """Literal meaning "event a before event b" (a != b)."""
+        if a == b:
+            raise ValueError("no self-order literal")
+        if (a, b) in self._order:
+            return self._order[(a, b)]
+        if (b, a) in self._order:
+            return -self._order[(b, a)]
+        var = self._fresh()
+        self._order[(a, b)] = var
+        return var
+
+    def _add(self, *lits: int) -> None:
+        self._clauses.append(tuple(lits))
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        exe = self.exe
+        n = self._n
+
+        # structural order facts -------------------------------------------
+        g = exe.static_order_graph(
+            include_dependences=self.include_dependences, join_edges=True
+        )
+        for u, v in g.edges:
+            self._add(self._o(u, v))
+
+        # transitivity over all triples -------------------------------------
+        for a, b, c in itertools.permutations(range(n), 3):
+            if a < c:  # each (a,b,c) chain once; symmetric closure via literals
+                self._add(-self._o(a, b), -self._o(b, c), self._o(a, c))
+
+        # semaphore token matching -------------------------------------------
+        for s in exe.semaphores:
+            ops = exe.sem_events(s)
+            p_events = [e for e in ops if exe.event(e).kind is EventKind.SEM_P]
+            v_events = [e for e in ops if exe.event(e).kind is EventKind.SEM_V]
+            init = exe.sem_initial(s)
+            suppliers: List[Optional[int]] = list(v_events) + [None] * init
+            if len(suppliers) < len(p_events):
+                self._add()  # empty clause: plainly infeasible
+                continue
+            match: Dict[Tuple[int, int], int] = {}
+            for pi, p in enumerate(p_events):
+                row = []
+                for si, supplier in enumerate(suppliers):
+                    var = self._fresh()
+                    match[(si, pi)] = var
+                    row.append(var)
+                    if supplier is not None:
+                        # a matched supplier completes before its consumer
+                        self._add(-var, self._o(supplier, p))
+                self._add(*row)  # at least one supplier
+            # each supplier serves at most one P
+            for si in range(len(suppliers)):
+                for p1, p2 in itertools.combinations(range(len(p_events)), 2):
+                    self._add(-match[(si, p1)], -match[(si, p2)])
+
+        # event-variable triggering -------------------------------------------
+        for v in exe.event_variables:
+            ops = exe.var_events(v)
+            posts = [e for e in ops if exe.event(e).kind is EventKind.POST]
+            clears = [e for e in ops if exe.event(e).kind is EventKind.CLEAR]
+            waits = [e for e in ops if exe.event(e).kind is EventKind.WAIT]
+            initially = exe.var_initially_posted(v)
+            for w in waits:
+                triggers = []
+                for b in posts:
+                    var = self._fresh()
+                    triggers.append(var)
+                    self._add(-var, self._o(b, w))
+                    for c in clears:
+                        if c == w:
+                            continue
+                        # no clear strictly between the post and the wait
+                        self._add(-var, self._o(c, b), self._o(w, c))
+                if initially:
+                    var = self._fresh()
+                    triggers.append(var)
+                    for c in clears:
+                        self._add(-var, self._o(w, c))
+                if triggers:
+                    self._add(*triggers)
+                else:
+                    self._add()  # wait can never be satisfied
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def cnf(self, extra_order: Sequence[Tuple[int, int]] = ()) -> CNF:
+        """The encoding, plus unit clauses asserting ``a before b`` for
+        each extra pair."""
+        clauses = list(self._clauses)
+        for a, b in extra_order:
+            clauses.append((self._o(a, b),))
+        return CNF(clauses, num_vars=self._next_var)
+
+    def solve(self, extra_order: Sequence[Tuple[int, int]] = ()) -> Optional[List[int]]:
+        """A legal serial schedule satisfying the extra order facts, or
+        None.  Decoded from the satisfying assignment by sorting events
+        by their number of predecessors."""
+        model = DPLLSolver(self.cnf(extra_order)).solve()
+        if model is None:
+            return None
+
+        def before(a: int, b: int) -> bool:
+            if a == b:
+                return False
+            lit = self._o(a, b)
+            # pairs never mentioned by any clause (possible only for
+            # |E| <= 2) default to False -> the converse reads True,
+            # which is a consistent arbitrary orientation
+            value = model.get(abs(lit), False)
+            return value if lit > 0 else not value
+
+        n = self._n
+        order = sorted(
+            range(n), key=lambda e: sum(before(x, e) for x in range(n) if x != e)
+        )
+        return order
+
+
+def sat_is_feasible(exe: ProgramExecution, *, include_dependences: bool = True) -> bool:
+    """Serial-schedule existence, decided purely by SAT."""
+    return OrderSatEncoder(exe, include_dependences=include_dependences).solve() is not None
+
+
+def sat_chb(
+    exe: ProgramExecution, a: int, b: int, *, include_dependences: bool = True
+) -> bool:
+    """Could-have-happened-before, decided purely by SAT.
+
+    By the serialization lemma, ``a CHB b`` iff a legal serial schedule
+    orders ``a`` before ``b``."""
+    if a == b:
+        return False
+    enc = OrderSatEncoder(exe, include_dependences=include_dependences)
+    return enc.solve([(a, b)]) is not None

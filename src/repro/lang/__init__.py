@@ -1,0 +1,45 @@
+"""A shared-memory concurrent mini-language and its simulator.
+
+The paper studies *executions* of shared-memory parallel programs on
+sequentially consistent processors.  To produce such executions we
+implement the program class itself: a small structured language with
+
+* shared integer variables and local variables,
+* assignments, ``if``/``while`` control flow (conditions read shared
+  state, which is how data-dependent synchronization arises -- the
+  crux of the paper's Figure 1),
+* ``fork``/``join`` tasking,
+* counting-semaphore ``P``/``V`` and event-style ``Post``/``Wait``/
+  ``Clear`` synchronization,
+
+plus an interpreter that executes one atomic operation per step under a
+pluggable scheduler.  Interleaving semantics of atomic steps *is*
+sequential consistency, so every trace the simulator produces is a
+legal execution of the modelled machine.  Traces convert to
+:class:`~repro.model.execution.ProgramExecution` values via
+:meth:`~repro.lang.trace.Trace.to_execution`, grouping maximal
+uninterrupted runs of non-synchronization steps into computation events
+exactly as the paper defines them.
+"""
+
+from repro.lang.ast import (
+    Expr, Const, Shared, Local, BinOp, UnOp,
+    Stmt, Assign, LocalAssign, If, While, Skip,
+    SemP, SemV, Post, Wait, Clear, Fork, Join,
+    ProcessDef, Program,
+)
+from repro.lang.scheduler import (
+    Scheduler, RandomScheduler, RoundRobinScheduler, FixedScheduler, PriorityScheduler,
+)
+from repro.lang.interpreter import Interpreter, DeadlockError, StepLimitExceeded, run_program
+from repro.lang.trace import Step, Trace
+
+__all__ = [
+    "Expr", "Const", "Shared", "Local", "BinOp", "UnOp",
+    "Stmt", "Assign", "LocalAssign", "If", "While", "Skip",
+    "SemP", "SemV", "Post", "Wait", "Clear", "Fork", "Join",
+    "ProcessDef", "Program",
+    "Scheduler", "RandomScheduler", "RoundRobinScheduler", "FixedScheduler", "PriorityScheduler",
+    "Interpreter", "DeadlockError", "StepLimitExceeded", "run_program",
+    "Step", "Trace",
+]

@@ -1,0 +1,296 @@
+"""Abstract syntax of the concurrent mini-language.
+
+Expressions evaluate over integers (booleans are 0/1).  Shared-variable
+reads are tracked during evaluation so that every executed statement
+instance knows exactly which shared locations it touched -- the raw
+material for the shared-data dependence relation ``D``.
+
+The language is deliberately the paper's program class and nothing
+more: no pointers, no arrays, no procedure calls.  ``while`` is
+included (with an iteration bound in the interpreter as a runaway
+guard) because realistic workloads -- producer/consumer loops, barrier
+phases -- need it, even though the paper's reductions are loop-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expressions."""
+
+    def evaluate(self, shared: Dict[str, int], local: Dict[str, int], reads: Set[str]) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+    def evaluate(self, shared, local, reads) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Shared(Expr):
+    """A read of a shared variable (recorded in ``reads``)."""
+
+    name: str
+
+    def evaluate(self, shared, local, reads) -> int:
+        reads.add(self.name)
+        return shared.get(self.name, 0)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Local(Expr):
+    """A read of a process-local variable (no shared access)."""
+
+    name: str
+
+    def evaluate(self, shared, local, reads) -> int:
+        return local.get(self.name, 0)
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+_BINOPS: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b if b != 0 else 0,
+    "%": lambda a, b: a % b if b != 0 else 0,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "and": lambda a, b: int(bool(a) and bool(b)),
+    "or": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _BINOPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def evaluate(self, shared, local, reads) -> int:
+        return _BINOPS[self.op](
+            self.left.evaluate(shared, local, reads),
+            self.right.evaluate(shared, local, reads),
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op not in ("-", "not"):
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def evaluate(self, shared, local, reads) -> int:
+        v = self.operand.evaluate(shared, local, reads)
+        return -v if self.op == "-" else int(not v)
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target := expr`` where ``target`` is a shared variable."""
+
+    target: str
+    expr: Expr
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"{self.target} := {self.expr!r}"
+
+
+@dataclass(frozen=True)
+class LocalAssign(Stmt):
+    """``$target := expr`` -- a process-local assignment."""
+
+    target: str
+    expr: Expr
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"${self.target} := {self.expr!r}"
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    """No-op; carries an optional label (the paper's ``a: skip``)."""
+
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"{self.label}: skip" if self.label else "skip"
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: Tuple[Stmt, ...]
+    orelse: Tuple[Stmt, ...] = ()
+    label: Optional[str] = None
+
+    def __init__(self, cond: Expr, then: Sequence[Stmt], orelse: Sequence[Stmt] = (),
+                 label: Optional[str] = None):
+        object.__setattr__(self, "cond", cond)
+        object.__setattr__(self, "then", tuple(then))
+        object.__setattr__(self, "orelse", tuple(orelse))
+        object.__setattr__(self, "label", label)
+
+    def __repr__(self) -> str:
+        return f"if {self.cond!r} then [...{len(self.then)}] else [...{len(self.orelse)}]"
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Tuple[Stmt, ...]
+    label: Optional[str] = None
+
+    def __init__(self, cond: Expr, body: Sequence[Stmt], label: Optional[str] = None):
+        object.__setattr__(self, "cond", cond)
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "label", label)
+
+    def __repr__(self) -> str:
+        return f"while {self.cond!r} do [...{len(self.body)}]"
+
+
+@dataclass(frozen=True)
+class SemP(Stmt):
+    sem: str
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"P({self.sem})"
+
+
+@dataclass(frozen=True)
+class SemV(Stmt):
+    sem: str
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"V({self.sem})"
+
+
+@dataclass(frozen=True)
+class Post(Stmt):
+    var: str
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"Post({self.var})"
+
+
+@dataclass(frozen=True)
+class Wait(Stmt):
+    var: str
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"Wait({self.var})"
+
+
+@dataclass(frozen=True)
+class Clear(Stmt):
+    var: str
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"Clear({self.var})"
+
+
+@dataclass(frozen=True)
+class ProcessDef:
+    """A named process body; forked processes are defined inline."""
+
+    name: str
+    body: Tuple[Stmt, ...]
+
+    def __init__(self, name: str, body: Sequence[Stmt]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "body", tuple(body))
+
+    def __repr__(self) -> str:
+        return f"ProcessDef({self.name!r}, {len(self.body)} stmts)"
+
+
+@dataclass(frozen=True)
+class Fork(Stmt):
+    """Create the listed processes; pair with a later :class:`Join`."""
+
+    children: Tuple[ProcessDef, ...]
+    label: Optional[str] = None
+
+    def __init__(self, children: Sequence[ProcessDef], label: Optional[str] = None):
+        object.__setattr__(self, "children", tuple(children))
+        object.__setattr__(self, "label", label)
+
+    def __repr__(self) -> str:
+        return f"fork[{', '.join(c.name for c in self.children)}]"
+
+
+@dataclass(frozen=True)
+class Join(Stmt):
+    """Wait for the processes created by this process's most recent
+    unmatched fork (forks/joins nest like brackets)."""
+
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return "join"
+
+
+@dataclass
+class Program:
+    """A whole program: root processes plus initial state declarations."""
+
+    processes: List[ProcessDef]
+    sem_initial: Dict[str, int] = field(default_factory=dict)
+    var_initial: Set[str] = field(default_factory=set)
+    shared_initial: Dict[str, int] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({[p.name for p in self.processes]}, "
+            f"sems={self.sem_initial}, shared={self.shared_initial})"
+        )

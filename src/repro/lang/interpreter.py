@@ -1,0 +1,309 @@
+"""The sequentially consistent simulator.
+
+One scheduler-chosen process executes one atomic operation per step;
+the interleaving of atomic steps over a single shared store *is*
+Lamport's sequential consistency, so every trace is a legal execution
+of the paper's machine model.  Blocking operations (``P`` on an empty
+semaphore, ``Wait`` on a cleared variable, ``join`` on unfinished
+children) simply leave the process out of the runnable set until the
+state allows completion; when nothing is runnable and work remains, the
+run has deadlocked and :class:`DeadlockError` carries the partial trace
+for inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lang import ast as A
+from repro.lang.scheduler import RandomScheduler, Scheduler
+from repro.lang.trace import Step, Trace
+from repro.model.events import Access, EventKind
+from repro.sync.eventvar import EventVariable
+from repro.sync.semaphore import Semaphore
+
+
+class DeadlockError(RuntimeError):
+    """No process can run but some have not finished."""
+
+    def __init__(self, message: str, trace: Trace, blocked: Sequence[str]):
+        super().__init__(message)
+        self.trace = trace
+        self.blocked = tuple(blocked)
+
+
+class StepLimitExceeded(RuntimeError):
+    """The run exceeded ``max_steps`` (runaway loop guard)."""
+
+    def __init__(self, message: str, trace: Trace):
+        super().__init__(message)
+        self.trace = trace
+
+
+class _Frame:
+    __slots__ = ("stmts", "pc", "loop")
+
+    def __init__(self, stmts: Tuple[A.Stmt, ...], loop: Optional[A.While] = None):
+        self.stmts = stmts
+        self.pc = 0
+        self.loop = loop
+
+
+class _Proc:
+    __slots__ = ("name", "frames", "locals", "fork_stack", "done")
+
+    def __init__(self, name: str, body: Tuple[A.Stmt, ...]):
+        self.name = name
+        self.frames: List[_Frame] = [_Frame(body)]
+        self.locals: Dict[str, int] = {}
+        self.fork_stack: List[List[str]] = []
+        self.done = False
+
+    def current(self) -> Optional[A.Stmt]:
+        """Normalize control frames and return the next statement.
+
+        Popping exhausted frames is internal control flow and consumes
+        no machine step; an exhausted loop-body frame re-exposes its
+        ``while`` statement so the condition is re-evaluated (which
+        *is* a step, since it reads shared state).
+        """
+        while self.frames:
+            frame = self.frames[-1]
+            if frame.pc < len(frame.stmts):
+                return frame.stmts[frame.pc]
+            self.frames.pop()
+        self.done = True
+        return None
+
+
+class Interpreter:
+    """Runs a :class:`~repro.lang.ast.Program` to completion."""
+
+    def __init__(
+        self,
+        program: A.Program,
+        scheduler: Optional[Scheduler] = None,
+        *,
+        max_steps: int = 100_000,
+    ) -> None:
+        self.program = program
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler(0)
+        self.max_steps = max_steps
+
+        self.shared: Dict[str, int] = dict(program.shared_initial)
+        self.semaphores: Dict[str, Semaphore] = {
+            name: Semaphore(name, init) for name, init in program.sem_initial.items()
+        }
+        self.variables: Dict[str, EventVariable] = {}
+        for v in program.var_initial:
+            self.variables[v] = EventVariable(v, posted=True)
+
+        self._procs: Dict[str, _Proc] = {}
+        self._name_counts: Dict[str, int] = {}
+        self._parent_of: Dict[str, Tuple[str, int]] = {}
+        self._steps: List[Step] = []
+        for pd in program.processes:
+            self._spawn(pd)
+
+    # ------------------------------------------------------------------
+    def _spawn(self, pd: A.ProcessDef) -> str:
+        base = pd.name
+        count = self._name_counts.get(base, 0)
+        self._name_counts[base] = count + 1
+        name = base if count == 0 else f"{base}#{count + 1}"
+        self._procs[name] = _Proc(name, pd.body)
+        return name
+
+    def _sem(self, name: str) -> Semaphore:
+        if name not in self.semaphores:
+            self.semaphores[name] = Semaphore(name, 0)
+        return self.semaphores[name]
+
+    def _var(self, name: str) -> EventVariable:
+        if name not in self.variables:
+            self.variables[name] = EventVariable(name, posted=False)
+        return self.variables[name]
+
+    # ------------------------------------------------------------------
+    def _runnable(self) -> List[str]:
+        # Normalize every process first: ``done`` flags are set lazily
+        # by ``current()``, and blocking checks below (join) read other
+        # processes' flags, so they must all be fresh.
+        for proc in self._procs.values():
+            proc.current()
+        out = []
+        for name, proc in self._procs.items():
+            if proc.done:
+                continue
+            stmt = proc.current()
+            if stmt is None:
+                continue
+            if isinstance(stmt, A.SemP) and not self._sem(stmt.sem).can_p():
+                continue
+            if isinstance(stmt, A.Wait) and not self._var(stmt.var).can_wait():
+                continue
+            if isinstance(stmt, A.Join):
+                if not proc.fork_stack:
+                    raise RuntimeError(f"{name}: join without a matching fork")
+                if not all(self._procs[c].done for c in proc.fork_stack[-1]):
+                    continue
+            out.append(name)
+        return out
+
+    def _all_done(self) -> bool:
+        # evaluate eagerly over all processes so every ``done`` flag is
+        # refreshed (``all`` would short-circuit on the first False)
+        states = [p.current() is None for p in self._procs.values()]
+        return all(states)
+
+    # ------------------------------------------------------------------
+    def _record(self, proc: _Proc, kind: EventKind, *, obj: Optional[str] = None,
+                accesses: Sequence[Access] = (), text: str = "",
+                label: Optional[str] = None, created: Sequence[str] = (),
+                joined: Sequence[str] = ()) -> None:
+        self._steps.append(
+            Step(
+                number=len(self._steps),
+                process=proc.name,
+                kind=kind,
+                obj=obj,
+                accesses=tuple(accesses),
+                text=text,
+                label=label,
+                created=tuple(created),
+                joined=tuple(joined),
+            )
+        )
+
+    def _eval(self, expr: A.Expr, proc: _Proc) -> Tuple[int, List[Access]]:
+        reads: Set[str] = set()
+        value = expr.evaluate(self.shared, proc.locals, reads)
+        return value, [Access(v, False) for v in sorted(reads)]
+
+    def _step_process(self, name: str) -> None:
+        proc = self._procs[name]
+        stmt = proc.current()
+        assert stmt is not None
+        frame = proc.frames[-1]
+
+        if isinstance(stmt, A.Skip):
+            self._record(proc, EventKind.COMPUTATION, text=repr(stmt), label=stmt.label)
+            frame.pc += 1
+        elif isinstance(stmt, A.Assign):
+            value, accesses = self._eval(stmt.expr, proc)
+            self.shared[stmt.target] = value
+            accesses.append(Access(stmt.target, True))
+            self._record(proc, EventKind.COMPUTATION, accesses=accesses,
+                         text=repr(stmt), label=stmt.label)
+            frame.pc += 1
+        elif isinstance(stmt, A.LocalAssign):
+            value, accesses = self._eval(stmt.expr, proc)
+            proc.locals[stmt.target] = value
+            self._record(proc, EventKind.COMPUTATION, accesses=accesses,
+                         text=repr(stmt), label=stmt.label)
+            frame.pc += 1
+        elif isinstance(stmt, A.If):
+            value, accesses = self._eval(stmt.cond, proc)
+            self._record(proc, EventKind.COMPUTATION, accesses=accesses,
+                         text=f"if {stmt.cond!r}", label=stmt.label)
+            frame.pc += 1
+            branch = stmt.then if value else stmt.orelse
+            if branch:
+                proc.frames.append(_Frame(branch))
+        elif isinstance(stmt, A.While):
+            value, accesses = self._eval(stmt.cond, proc)
+            self._record(proc, EventKind.COMPUTATION, accesses=accesses,
+                         text=f"while {stmt.cond!r}", label=stmt.label)
+            if value:
+                # leave pc on the While; re-test after the body pops
+                proc.frames.append(_Frame(stmt.body, loop=stmt))
+            else:
+                frame.pc += 1
+        elif isinstance(stmt, A.SemP):
+            self._sem(stmt.sem).p()
+            self._record(proc, EventKind.SEM_P, obj=stmt.sem, text=repr(stmt), label=stmt.label)
+            frame.pc += 1
+        elif isinstance(stmt, A.SemV):
+            self._sem(stmt.sem).v()
+            self._record(proc, EventKind.SEM_V, obj=stmt.sem, text=repr(stmt), label=stmt.label)
+            frame.pc += 1
+        elif isinstance(stmt, A.Post):
+            self._var(stmt.var).post()
+            self._record(proc, EventKind.POST, obj=stmt.var, text=repr(stmt), label=stmt.label)
+            frame.pc += 1
+        elif isinstance(stmt, A.Wait):
+            self._var(stmt.var).wait()
+            self._record(proc, EventKind.WAIT, obj=stmt.var, text=repr(stmt), label=stmt.label)
+            frame.pc += 1
+        elif isinstance(stmt, A.Clear):
+            self._var(stmt.var).clear()
+            self._record(proc, EventKind.CLEAR, obj=stmt.var, text=repr(stmt), label=stmt.label)
+            frame.pc += 1
+        elif isinstance(stmt, A.Fork):
+            created = [self._spawn(pd) for pd in stmt.children]
+            step_no = len(self._steps)
+            for c in created:
+                self._parent_of[c] = (proc.name, step_no)
+            proc.fork_stack.append(list(created))
+            self._record(proc, EventKind.FORK, text=repr(stmt), label=stmt.label,
+                         created=created)
+            frame.pc += 1
+        elif isinstance(stmt, A.Join):
+            joined = proc.fork_stack.pop()
+            self._record(proc, EventKind.JOIN, text=repr(stmt), label=stmt.label,
+                         joined=joined)
+            frame.pc += 1
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled statement {stmt!r}")
+
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        """Execute to completion and return the trace."""
+        self.scheduler.reset()
+        while True:
+            if self._all_done():
+                break
+            if len(self._steps) >= self.max_steps:
+                raise StepLimitExceeded(
+                    f"exceeded {self.max_steps} steps", self._make_trace()
+                )
+            runnable = self._runnable()
+            if not runnable:
+                blocked = [n for n, p in self._procs.items() if not p.done]
+                raise DeadlockError(
+                    f"deadlock: blocked processes {sorted(blocked)}",
+                    self._make_trace(),
+                    blocked,
+                )
+            choice = self.scheduler.choose(runnable, len(self._steps))
+            if choice not in runnable:
+                raise RuntimeError(f"scheduler chose non-runnable process {choice!r}")
+            self._step_process(choice)
+        return self._make_trace()
+
+    def _make_trace(self) -> Trace:
+        return Trace(
+            steps=list(self._steps),
+            sem_initial=dict(self.program.sem_initial),
+            var_initial=tuple(sorted(self.program.var_initial)),
+            parent_of=dict(self._parent_of),
+            final_shared=dict(self.shared),
+        )
+
+
+def run_program(
+    program: A.Program,
+    scheduler: Optional[Union[Scheduler, int]] = None,
+    *,
+    max_steps: int = 100_000,
+) -> Trace:
+    """Convenience runner.
+
+    ``scheduler`` may be a :class:`Scheduler` or an integer seed for a
+    :class:`RandomScheduler` (``None`` means seed 0).
+    """
+    if scheduler is None:
+        scheduler = RandomScheduler(0)
+    elif isinstance(scheduler, int):
+        scheduler = RandomScheduler(scheduler)
+    return Interpreter(program, scheduler, max_steps=max_steps).run()

@@ -1,0 +1,354 @@
+"""A concrete text syntax for the mini-language.
+
+Programs can be written as plain text and parsed into
+:class:`~repro.lang.ast.Program` values, which makes the CLI, the
+examples and user experiments self-contained.  The grammar::
+
+    program   := decl* procdef+
+    decl      := "shared" NAME "=" INT
+               | "sem" NAME ["=" INT]
+               | "event" NAME ["posted"]
+    procdef   := "proc" NAME block
+    block     := "{" stmt* "}"
+    stmt      := NAME ":=" expr                  -- shared assignment
+               | "$" NAME ":=" expr              -- local assignment
+               | "skip" [label]
+               | "P" "(" NAME ")" [label]
+               | "V" "(" NAME ")" [label]
+               | "post" NAME [label]
+               | "wait" NAME [label]
+               | "clear" NAME [label]
+               | "if" [label] expr block ["else" block]
+               | "while" [label] expr block
+               | "fork" [label] "{" procdef+ "}"
+               | "join" [label]
+    label     := "@" NAME
+    expr      := C-like precedence over || && ! == != < <= > >=
+                 + - * / % with INT, NAME (shared), $NAME (local),
+                 parentheses
+
+Statements are newline- or ``;``-separated; ``#`` starts a comment.
+
+Example
+-------
+>>> prog = parse_program('''
+... shared X = 0
+... proc main {
+...   fork {
+...     proc t1 { post ev @left; X := 1 }
+...     proc t2 { if X == 1 { post ev @right } else { wait ev } }
+...   }
+...   join
+... }
+... ''')
+>>> [p.name for p in prog.processes]
+['main']
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang import ast as A
+
+
+class ParseError(ValueError):
+    """A syntax error, carrying line/column information."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>:=|==|!=|<=|>=|\|\||&&|[-+*/%<>!(){};$@=])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "shared", "sem", "event", "posted", "proc", "skip", "P", "V",
+    "post", "wait", "clear", "if", "else", "while", "fork", "join",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.column}>"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r}", line, pos - line_start + 1
+            )
+        kind = m.lastgroup
+        text = m.group()
+        col = pos - line_start + 1
+        if kind == "newline":
+            tokens.append(_Token("newline", text, line, col))
+            line += 1
+            line_start = m.end()
+        elif kind not in ("ws", "comment"):
+            if kind == "name" and text in _KEYWORDS:
+                kind = text
+            tokens.append(_Token(kind, text, line, col))
+        pos = m.end()
+    tokens.append(_Token("eof", "", line, pos - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, skip_newlines: bool = True) -> _Token:
+        i = self.pos
+        while skip_newlines and self.tokens[i].kind == "newline":
+            i += 1
+        return self.tokens[i]
+
+    def advance(self, skip_newlines: bool = True) -> _Token:
+        while skip_newlines and self.tokens[self.pos].kind == "newline":
+            self.pos += 1
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> _Token:
+        tok = self.advance()
+        if tok.kind != kind:
+            raise ParseError(f"expected {kind!r}, found {tok.text!r}", tok.line, tok.column)
+        return tok
+
+    def accept(self, kind: str) -> Optional[_Token]:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def accept_op(self, text: str) -> Optional[_Token]:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == text:
+            return self.advance()
+        return None
+
+    # -- program --------------------------------------------------------
+    def parse_program(self) -> A.Program:
+        shared: Dict[str, int] = {}
+        sems: Dict[str, int] = {}
+        events: Set[str] = set()
+        procs: List[A.ProcessDef] = []
+        while True:
+            tok = self.peek()
+            if tok.kind == "eof":
+                break
+            if tok.kind == "shared":
+                self.advance()
+                name = self.expect("name").text
+                self._expect_op("=")
+                neg = self.accept_op("-") is not None
+                value = int(self.expect("int").text)
+                shared[name] = -value if neg else value
+            elif tok.kind == "sem":
+                self.advance()
+                name = self.expect("name").text
+                init = 0
+                if self.accept_op("="):
+                    init = int(self.expect("int").text)
+                sems[name] = init
+            elif tok.kind == "event":
+                self.advance()
+                name = self.expect("name").text
+                if self.accept("posted"):
+                    events.add(name)
+                else:
+                    events.discard(name)
+            elif tok.kind == "proc":
+                procs.append(self.parse_procdef())
+            else:
+                raise ParseError(
+                    f"expected a declaration or 'proc', found {tok.text!r}",
+                    tok.line, tok.column,
+                )
+        if not procs:
+            tok = self.peek()
+            raise ParseError("program has no processes", tok.line, tok.column)
+        return A.Program(procs, sem_initial=sems, var_initial=events, shared_initial=shared)
+
+    def parse_procdef(self) -> A.ProcessDef:
+        self.expect("proc")
+        name = self.expect("name").text
+        body = self.parse_block()
+        return A.ProcessDef(name, body)
+
+    def parse_block(self) -> List[A.Stmt]:
+        tok = self.advance()
+        if not (tok.kind == "op" and tok.text == "{"):
+            raise ParseError(f"expected '{{', found {tok.text!r}", tok.line, tok.column)
+        stmts: List[A.Stmt] = []
+        while True:
+            if self.peek().kind == "op" and self.peek().text == "}":
+                self.advance()
+                return stmts
+            if self.peek().kind == "eof":
+                tok = self.peek()
+                raise ParseError("unterminated block", tok.line, tok.column)
+            stmts.append(self.parse_stmt())
+            while self.accept_op(";"):
+                pass
+
+    def _label(self) -> Optional[str]:
+        if self.peek().kind == "op" and self.peek().text == "@":
+            self.advance()
+            return self.expect("name").text
+        return None
+
+    # -- statements -------------------------------------------------------
+    def parse_stmt(self) -> A.Stmt:
+        tok = self.peek()
+        if tok.kind == "skip":
+            self.advance()
+            return A.Skip(label=self._label())
+        if tok.kind in ("P", "V"):
+            self.advance()
+            self._expect_op("(")
+            name = self.expect("name").text
+            self._expect_op(")")
+            label = self._label()
+            return A.SemP(name, label) if tok.kind == "P" else A.SemV(name, label)
+        if tok.kind in ("post", "wait", "clear"):
+            self.advance()
+            name = self.expect("name").text
+            label = self._label()
+            cls = {"post": A.Post, "wait": A.Wait, "clear": A.Clear}[tok.kind]
+            return cls(name, label)
+        if tok.kind == "if":
+            self.advance()
+            label = self._label()
+            cond = self.parse_expr()
+            then = self.parse_block()
+            orelse: List[A.Stmt] = []
+            if self.accept("else"):
+                orelse = self.parse_block()
+            return A.If(cond, then, orelse, label=label)
+        if tok.kind == "while":
+            self.advance()
+            label = self._label()
+            cond = self.parse_expr()
+            body = self.parse_block()
+            return A.While(cond, body, label=label)
+        if tok.kind == "fork":
+            self.advance()
+            label = self._label()
+            self._expect_op("{")
+            children = []
+            while self.peek().kind == "proc":
+                children.append(self.parse_procdef())
+            self._expect_op("}")
+            if not children:
+                raise ParseError("fork requires at least one proc", tok.line, tok.column)
+            return A.Fork(children, label=label)
+        if tok.kind == "join":
+            self.advance()
+            return A.Join(label=self._label())
+        if tok.kind == "op" and tok.text == "$":
+            self.advance()
+            name = self.expect("name").text
+            self._expect_op(":=")
+            expr = self.parse_expr()
+            return A.LocalAssign(name, expr, label=self._label())
+        if tok.kind == "name":
+            self.advance()
+            self._expect_op(":=")
+            expr = self.parse_expr()
+            return A.Assign(tok.text, expr, label=self._label())
+        raise ParseError(f"expected a statement, found {tok.text!r}", tok.line, tok.column)
+
+    def _expect_op(self, text: str) -> None:
+        tok = self.advance()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line, tok.column)
+
+    # -- expressions (precedence climbing) ---------------------------------
+    _BINARY_LEVELS = [
+        {"||": "or"},
+        {"&&": "and"},
+        {"==": "==", "!=": "!="},
+        {"<": "<", "<=": "<=", ">": ">", ">=": ">="},
+        {"+": "+", "-": "-"},
+        {"*": "*", "/": "//", "%": "%"},
+    ]
+
+    def parse_expr(self, level: int = 0) -> A.Expr:
+        if level >= len(self._BINARY_LEVELS):
+            return self.parse_unary()
+        ops = self._BINARY_LEVELS[level]
+        left = self.parse_expr(level + 1)
+        while self.peek().kind == "op" and self.peek().text in ops:
+            op = self.advance().text
+            right = self.parse_expr(level + 1)
+            left = A.BinOp(ops[op], left, right)
+        return left
+
+    def parse_unary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text == "!":
+            self.advance()
+            return A.UnOp("not", self.parse_unary())
+        if tok.kind == "op" and tok.text == "-":
+            self.advance()
+            return A.UnOp("-", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> A.Expr:
+        tok = self.advance()
+        if tok.kind == "int":
+            return A.Const(int(tok.text))
+        if tok.kind == "name":
+            return A.Shared(tok.text)
+        if tok.kind == "op" and tok.text == "$":
+            name = self.expect("name").text
+            return A.Local(name)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self.parse_expr()
+            self._expect_op(")")
+            return expr
+        raise ParseError(f"expected an expression, found {tok.text!r}", tok.line, tok.column)
+
+
+def parse_program(source: str) -> A.Program:
+    """Parse a program from its text form (see module docstring)."""
+    return _Parser(source).parse_program()
+
+
+def parse_expression(source: str) -> A.Expr:
+    """Parse a single expression (useful in tests and the REPL)."""
+    parser = _Parser(source)
+    expr = parser.parse_expr()
+    tok = parser.peek()
+    if tok.kind != "eof":
+        raise ParseError(f"trailing input {tok.text!r}", tok.line, tok.column)
+    return expr

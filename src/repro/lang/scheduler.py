@@ -1,0 +1,101 @@
+"""Schedulers: who runs next on the simulated machine.
+
+The interpreter asks the scheduler for one runnable process per step.
+Deterministic replays use :class:`FixedScheduler`; randomized exploration
+uses :class:`RandomScheduler` with a seed (every benchmark seeds its
+schedulers so runs are reproducible); :class:`PriorityScheduler` builds
+specific observed executions such as the Figure 1 scenario where "the
+first created task completely executes before the other two".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+class Scheduler:
+    """Chooses the next process to run from the runnable set."""
+
+    def choose(self, runnable: Sequence[str], step: int) -> str:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Called by the interpreter before a run starts."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycles through processes in name order."""
+
+    def __init__(self) -> None:
+        self._last: Optional[str] = None
+
+    def reset(self) -> None:
+        self._last = None
+
+    def choose(self, runnable: Sequence[str], step: int) -> str:
+        ordered = sorted(runnable)
+        if self._last is not None:
+            after = [p for p in ordered if p > self._last]
+            choice = after[0] if after else ordered[0]
+        else:
+            choice = ordered[0]
+        self._last = choice
+        return choice
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random choice with a reproducible seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def choose(self, runnable: Sequence[str], step: int) -> str:
+        return self._rng.choice(sorted(runnable))
+
+
+class FixedScheduler(Scheduler):
+    """Replays an explicit sequence of process names.
+
+    Raises if the scripted process is not runnable at its step -- a
+    replay that diverges indicates the program or trace changed.
+    """
+
+    def __init__(self, order: Sequence[str]) -> None:
+        self.order = list(order)
+        self._i = 0
+
+    def reset(self) -> None:
+        self._i = 0
+
+    def choose(self, runnable: Sequence[str], step: int) -> str:
+        if self._i >= len(self.order):
+            raise RuntimeError(f"fixed schedule exhausted at step {step}")
+        want = self.order[self._i]
+        self._i += 1
+        if want not in runnable:
+            raise RuntimeError(
+                f"fixed schedule wants {want!r} at step {step} "
+                f"but runnable set is {sorted(runnable)}"
+            )
+        return want
+
+
+class PriorityScheduler(Scheduler):
+    """Always runs the earliest process in a priority list.
+
+    Processes not listed rank below all listed ones, ordered by name.
+    Ties inside the unlisted group break alphabetically, so the
+    schedule is fully deterministic.
+    """
+
+    def __init__(self, priority: Sequence[str]) -> None:
+        self.priority = list(priority)
+        self._rank = {name: i for i, name in enumerate(self.priority)}
+
+    def choose(self, runnable: Sequence[str], step: int) -> str:
+        return min(sorted(runnable), key=lambda p: (self._rank.get(p, len(self._rank)), p))

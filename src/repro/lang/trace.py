@@ -1,0 +1,162 @@
+"""Execution traces and their conversion to the formal model.
+
+A :class:`Trace` is the raw output of the simulator: one :class:`Step`
+per atomic operation, in global (sequentially consistent) order.
+:meth:`Trace.to_execution` converts it to a
+:class:`~repro.model.execution.ProgramExecution`:
+
+* maximal uninterrupted runs of non-synchronization steps of one
+  process collapse into a single *computation event* (the paper's
+  definition: "an instance of a group of statements belonging to the
+  same process, none of which are synchronization operations"), except
+  that labelled steps always form their own event so that marker events
+  (``a: skip``) stay addressable;
+* each synchronization step becomes its own event;
+* ``D`` is derived from per-variable access order: ``a ->D b`` iff some
+  access of ``a`` precedes a conflicting access of ``b`` in the trace;
+* the observed schedule is the identity permutation (events are
+  numbered in completion order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.builder import ExecutionBuilder
+from repro.model.events import Access, EventKind
+from repro.model.execution import ProgramExecution
+
+
+@dataclass(frozen=True)
+class Step:
+    """One atomic operation performed by the simulated machine."""
+
+    number: int
+    process: str
+    kind: EventKind
+    obj: Optional[str] = None
+    accesses: Tuple[Access, ...] = ()
+    text: str = ""
+    label: Optional[str] = None
+    created: Tuple[str, ...] = ()
+    joined: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        extra = f" {self.obj}" if self.obj else ""
+        return f"<step {self.number} {self.process}: {self.kind.value}{extra} {self.text!r}>"
+
+
+@dataclass
+class Trace:
+    """A complete, sequentially consistent trace of one program run."""
+
+    steps: List[Step]
+    sem_initial: Dict[str, int] = field(default_factory=dict)
+    var_initial: Tuple[str, ...] = ()
+    parent_of: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    #: ``parent_of[child] = (parent process, step number of the fork)``
+    final_shared: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def processes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for s in self.steps:
+            seen.setdefault(s.process, None)
+        return list(seen)
+
+    def pretty(self, limit: Optional[int] = None) -> str:
+        rows = []
+        for s in self.steps[: limit or len(self.steps)]:
+            acc = " ".join(repr(a) for a in s.accesses)
+            rows.append(f"{s.number:>4} {s.process:<12} {s.text:<28} {acc}")
+        return "\n".join(rows)
+
+    # ------------------------------------------------------------------
+    def to_execution(self) -> ProgramExecution:
+        """Convert the trace to the formal model (see module docstring)."""
+        # 1. group steps into events -----------------------------------
+        groups: List[List[Step]] = []
+        for s in self.steps:
+            merge = (
+                groups
+                and s.kind is EventKind.COMPUTATION
+                and s.label is None
+                and groups[-1][-1].process == s.process
+                and groups[-1][-1].kind is EventKind.COMPUTATION
+                and groups[-1][0].label is None
+            )
+            if merge:
+                groups[-1].append(s)
+            else:
+                groups.append([s])
+
+        # 2. build events through the standard builder -----------------
+        b = ExecutionBuilder()
+        proc_builders: Dict[str, object] = {}
+        fork_handles: Dict[int, object] = {}  # fork step number -> handle
+        # Processes must be declared before events reference them; a
+        # child is declared when its creating fork's event is built, so
+        # process the groups in trace order (forks precede child steps).
+        for p in self.processes:
+            if p not in self.parent_of:
+                proc_builders[p] = b.process(p)
+
+        eids: List[int] = []
+        for grp in groups:
+            first = grp[0]
+            pb = proc_builders[first.process]
+            kind = first.kind
+            if kind is EventKind.COMPUTATION:
+                accesses = [a for s in grp for a in s.accesses]
+                reads = [a.variable for a in accesses if not a.is_write]
+                writes = [a.variable for a in accesses if a.is_write]
+                eid = pb.compute(reads=reads, writes=writes, label=first.label)
+            elif kind is EventKind.FORK:
+                handle = pb.fork(label=first.label)
+                fork_handles[first.number] = handle
+                eid = handle.eid
+                for child in first.created:
+                    proc_builders[child] = b.process(child, parent=handle)
+            elif kind is EventKind.JOIN:
+                eid = pb.join(list(first.joined), label=first.label)
+            elif kind is EventKind.SEM_P:
+                eid = pb.sem_p(first.obj, label=first.label)
+            elif kind is EventKind.SEM_V:
+                eid = pb.sem_v(first.obj, label=first.label)
+            elif kind is EventKind.POST:
+                eid = pb.post(first.obj, label=first.label)
+            elif kind is EventKind.WAIT:
+                eid = pb.wait(first.obj, label=first.label)
+            elif kind is EventKind.CLEAR:
+                eid = pb.clear(first.obj, label=first.label)
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(f"unhandled kind {kind}")
+            eids.append(eid)
+
+        # 3. initial synchronization state ------------------------------
+        for sem, init in self.sem_initial.items():
+            b.semaphore(sem, init)
+        for var in self.var_initial:
+            b.event_variable(var, posted=True)
+
+        # 4. derive D from access order ---------------------------------
+        # Events are in completion (serial) order, so event i precedes
+        # event j in observed time iff i < j.
+        infos = []
+        for i, grp in enumerate(groups):
+            accesses = [a for s in grp for a in s.accesses]
+            infos.append(accesses)
+        for i in range(len(groups)):
+            if not infos[i]:
+                continue
+            for j in range(i + 1, len(groups)):
+                if not infos[j]:
+                    continue
+                if any(x.conflicts_with(y) for x in infos[i] for y in infos[j]):
+                    b.dependence(eids[i], eids[j])
+
+        return b.build(observed_schedule=eids)

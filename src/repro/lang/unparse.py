@@ -1,0 +1,133 @@
+"""Pretty-printer for the mini-language (inverse of the parser).
+
+``parse_program(unparse_program(p))`` reproduces ``p`` up to AST
+equality -- property-tested over randomly generated programs in
+``tests/test_lang_unparse.py``.  Used by the exploration tooling to
+display programs and by users to persist programmatically-built ASTs
+in the text format.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast as A
+
+_INDENT = "  "
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+_PRECEDENCE = {
+    "or": 1, "and": 2,
+    "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "//": 6, "%": 6,
+}
+_SURFACE_OP = {"or": "||", "and": "&&", "//": "/"}
+
+
+def unparse_expr(expr: A.Expr, parent_prec: int = 0) -> str:
+    """Expression to text, parenthesizing only where precedence needs it."""
+    if isinstance(expr, A.Const):
+        if expr.value < 0:
+            text = f"-{-expr.value}"
+            return f"({text})" if parent_prec >= 7 else text
+        return str(expr.value)
+    if isinstance(expr, A.Shared):
+        return expr.name
+    if isinstance(expr, A.Local):
+        return f"${expr.name}"
+    if isinstance(expr, A.UnOp):
+        inner = unparse_expr(expr.operand, 7)
+        return ("!" if expr.op == "not" else "-") + inner
+    if isinstance(expr, A.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        op = _SURFACE_OP.get(expr.op, expr.op)
+        # left-associative: the right child needs a strictly higher level
+        text = (
+            f"{unparse_expr(expr.left, prec)} {op} "
+            f"{unparse_expr(expr.right, prec + 1)}"
+        )
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+def _label_suffix(stmt: A.Stmt) -> str:
+    label = getattr(stmt, "label", None)
+    return f" @{label}" if label else ""
+
+
+def _unparse_stmt(stmt: A.Stmt, depth: int, out: List[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(stmt, A.Skip):
+        out.append(f"{pad}skip{_label_suffix(stmt)}")
+    elif isinstance(stmt, A.Assign):
+        out.append(f"{pad}{stmt.target} := {unparse_expr(stmt.expr)}{_label_suffix(stmt)}")
+    elif isinstance(stmt, A.LocalAssign):
+        out.append(f"{pad}${stmt.target} := {unparse_expr(stmt.expr)}{_label_suffix(stmt)}")
+    elif isinstance(stmt, A.SemP):
+        out.append(f"{pad}P({stmt.sem}){_label_suffix(stmt)}")
+    elif isinstance(stmt, A.SemV):
+        out.append(f"{pad}V({stmt.sem}){_label_suffix(stmt)}")
+    elif isinstance(stmt, A.Post):
+        out.append(f"{pad}post {stmt.var}{_label_suffix(stmt)}")
+    elif isinstance(stmt, A.Wait):
+        out.append(f"{pad}wait {stmt.var}{_label_suffix(stmt)}")
+    elif isinstance(stmt, A.Clear):
+        out.append(f"{pad}clear {stmt.var}{_label_suffix(stmt)}")
+    elif isinstance(stmt, A.If):
+        lbl = f"@{stmt.label} " if stmt.label else ""
+        out.append(f"{pad}if {lbl}{unparse_expr(stmt.cond)} {{")
+        for s in stmt.then:
+            _unparse_stmt(s, depth + 1, out)
+        if stmt.orelse:
+            out.append(f"{pad}}} else {{")
+            for s in stmt.orelse:
+                _unparse_stmt(s, depth + 1, out)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, A.While):
+        lbl = f"@{stmt.label} " if stmt.label else ""
+        out.append(f"{pad}while {lbl}{unparse_expr(stmt.cond)} {{")
+        for s in stmt.body:
+            _unparse_stmt(s, depth + 1, out)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, A.Fork):
+        lbl = f"@{stmt.label} " if stmt.label else ""
+        out.append(f"{pad}fork {lbl}{{")
+        for child in stmt.children:
+            _unparse_procdef(child, depth + 1, out)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, A.Join):
+        out.append(f"{pad}join{_label_suffix(stmt)}")
+    else:  # pragma: no cover - exhaustive
+        raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _unparse_procdef(proc: A.ProcessDef, depth: int, out: List[str]) -> None:
+    pad = _INDENT * depth
+    out.append(f"{pad}proc {proc.name} {{")
+    for stmt in proc.body:
+        _unparse_stmt(stmt, depth + 1, out)
+    out.append(f"{pad}}}")
+
+
+def unparse_program(program: A.Program) -> str:
+    """Program to its text form (see :mod:`repro.lang.parser` grammar)."""
+    out: List[str] = []
+    for name in sorted(program.shared_initial):
+        out.append(f"shared {name} = {program.shared_initial[name]}")
+    for name in sorted(program.sem_initial):
+        out.append(f"sem {name} = {program.sem_initial[name]}")
+    for name in sorted(program.var_initial):
+        out.append(f"event {name} posted")
+    if out:
+        out.append("")
+    for proc in program.processes:
+        _unparse_procdef(proc, 0, out)
+    return "\n".join(out) + "\n"

@@ -1,0 +1,49 @@
+"""The paper's formal model of a program execution ``P = <E, T, D>``.
+
+Section 2 of Netzer & Miller (TR 908) models a shared-memory parallel
+program execution as a triple of
+
+* ``E`` -- a finite set of *events*, each an execution instance of a set
+  of consecutively executed program statements.  *Synchronization
+  events* are instances of synchronization operations (fork, join,
+  semaphore P/V, event-variable Post/Wait/Clear); *computation events*
+  are instances of groups of non-synchronization statements of a single
+  process.
+* ``T`` -- the *temporal ordering* relation: ``a ->T b`` means the last
+  action of ``a`` can affect the first action of ``b`` (``a`` completes
+  before ``b`` begins); incomparable events executed concurrently.
+* ``D`` -- the *shared-data dependence* relation: ``a ->D b`` means
+  ``a`` accesses a shared variable that ``b`` later accesses, with at
+  least one of the two accesses a write.
+
+This package provides those objects (:mod:`repro.model.events`,
+:mod:`repro.model.execution`), a fluent construction API
+(:mod:`repro.model.builder`), and executable versions of the model
+axioms (:mod:`repro.model.axioms`).
+"""
+
+from repro.model.events import Event, EventKind, Access
+from repro.model.execution import ProgramExecution, SyncStyle
+from repro.model.builder import ExecutionBuilder, ProcessBuilder
+from repro.model.axioms import (
+    AxiomViolation,
+    check_structure,
+    check_temporal_order,
+    check_dependences,
+    validate_execution,
+)
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "Access",
+    "ProgramExecution",
+    "SyncStyle",
+    "ExecutionBuilder",
+    "ProcessBuilder",
+    "AxiomViolation",
+    "check_structure",
+    "check_temporal_order",
+    "check_dependences",
+    "validate_execution",
+]

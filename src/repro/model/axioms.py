@@ -1,0 +1,151 @@
+"""Executable versions of the execution-model axioms.
+
+Section 2 of the paper states that ``T`` and ``D`` "must satisfy
+several axioms that describe properties a valid program execution must
+possess" (citing the companion paper [10]) and omits them because the
+hardness proofs do not need them.  A *library*, however, does: the
+checks here are what keep hand-built executions (reductions, tests)
+and trace-derived executions honest.
+
+The axioms implemented:
+
+* **Structure** -- processes partition ``E``; every non-root process is
+  created by exactly one fork that precedes it; every join awaits
+  processes whose creation precedes the join; the static order graph
+  (program order + fork/join + ``D``) is acyclic.
+* **Temporal order** -- ``T`` is a strict partial order that contains
+  program order and the fork/join orderings, contains ``D`` (a
+  dependence is a causal, hence temporal, ordering), and is an
+  *interval order* (Lamport's "completes before" relation over
+  intervals of real time is always 2+2-free; an arbitrary partial
+  order need not be realizable by intervals).
+* **Dependences** -- ``D`` is irreflexive and only relates events with
+  conflicting shared accesses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.model.events import EventKind
+from repro.model.execution import ProgramExecution
+from repro.util.graphs import is_acyclic, reachable_from
+from repro.util.relations import BinaryRelation, is_strict_partial_order
+
+
+class AxiomViolation(ValueError):
+    """Raised by :func:`validate_execution` when an axiom fails."""
+
+
+def check_structure(exe: ProgramExecution) -> List[str]:
+    """Structural axioms; returns a list of human-readable violations."""
+    problems: List[str] = []
+    g = exe.static_order_graph(include_dependences=True)
+    if not is_acyclic(g):
+        problems.append("static order graph (program order + fork/join + D) is cyclic")
+        return problems  # reachability below assumes a DAG
+
+    for jeid, targets in exe.join_targets.items():
+        below_forks = None
+        for t in targets:
+            feid = exe.parent_fork.get(t)
+            if feid is None:
+                problems.append(f"join {jeid} awaits root process {t!r} (never forked)")
+                continue
+            if below_forks is None:
+                below_forks = reachable_from(g, feid)
+            else:
+                below_forks = reachable_from(g, feid)
+            if jeid not in below_forks:
+                problems.append(
+                    f"join {jeid} awaits process {t!r} whose creating fork {feid} "
+                    f"is not ordered before the join"
+                )
+    for p in exe.process_names:
+        if not exe.process_events(p):
+            problems.append(f"process {p!r} has no events")
+    return problems
+
+
+def check_dependences(exe: ProgramExecution, *, require_conflict: bool = True) -> List[str]:
+    """``D`` axioms.
+
+    ``require_conflict`` can be disabled for executions modelling
+    external-environment interactions as dependences (footnote in
+    Section 3.1), where the conflicting accesses are not visible in the
+    event annotations.
+    """
+    problems: List[str] = []
+    for a, b in sorted(exe.dependences):
+        ea, eb = exe.event(a), exe.event(b)
+        if a == b:
+            problems.append(f"dependence ({a},{a}) is reflexive")
+        if require_conflict and not ea.conflicts_with(eb):
+            problems.append(
+                f"dependence ({a},{b}) relates events without conflicting shared accesses"
+            )
+    return problems
+
+
+def _is_interval_order(rel: BinaryRelation) -> bool:
+    """2+2-freeness: no a->b, c->d with a!/->d and c!/->b.
+
+    Fishburn's theorem: a partial order is an interval order iff it
+    contains no induced 2+2.  ``T`` relations produced by real
+    executions (events occupying real-time intervals) always pass.
+    """
+    pairs = list(rel.pairs)
+    for a, b in pairs:
+        for c, d in pairs:
+            if a == c and b == d:
+                continue
+            if (a, d) not in rel and (c, b) not in rel:
+                return False
+    return True
+
+
+def check_temporal_order(exe: ProgramExecution, temporal: BinaryRelation) -> List[str]:
+    """Check a candidate ``T`` relation against the model axioms."""
+    problems: List[str] = []
+    if set(temporal.universe) != set(exe.eids):
+        problems.append("temporal order not defined over the execution's event set")
+        return problems
+    if not is_strict_partial_order(temporal):
+        problems.append("temporal order is not a strict partial order")
+    # join edges order completions, not intervals: a join may begin
+    # (and block) while awaited children still run, so T need not
+    # contain them
+    g = exe.static_order_graph(include_dependences=False, join_edges=False)
+    for u, v in g.edges:
+        if (u, v) not in temporal:
+            eu, ev = exe.event(u), exe.event(v)
+            problems.append(
+                f"temporal order misses structural edge {eu.describe()} -> {ev.describe()}"
+            )
+    for a, b in exe.dependences:
+        if (a, b) not in temporal:
+            problems.append(f"temporal order misses dependence edge {a} -> {b}")
+    if not _is_interval_order(temporal):
+        problems.append("temporal order is not an interval order (contains a 2+2)")
+    return problems
+
+
+def validate_execution(
+    exe: ProgramExecution,
+    temporal: Optional[BinaryRelation] = None,
+    *,
+    require_conflict: bool = True,
+    raise_on_error: bool = True,
+) -> List[str]:
+    """Run every applicable axiom check.
+
+    Returns the list of violations (empty when the execution is valid);
+    raises :class:`AxiomViolation` instead when ``raise_on_error``.
+    """
+    problems = check_structure(exe)
+    problems += check_dependences(exe, require_conflict=require_conflict)
+    if temporal is not None:
+        problems += check_temporal_order(exe, temporal)
+    if problems and raise_on_error:
+        raise AxiomViolation("; ".join(problems))
+    return problems

@@ -1,0 +1,187 @@
+"""Fluent construction of :class:`~repro.model.execution.ProgramExecution`.
+
+The theorem reductions, the canned workloads and many tests build
+executions directly (the paper's reductions construct straight-line
+programs whose every execution performs the same events, so the event
+set can be written down without running anything).  The builder keeps
+the bookkeeping honest: eids are dense, per-process indices are
+sequential, and fork/join cross-references are created in one place.
+
+Example
+-------
+>>> b = ExecutionBuilder()
+>>> main = b.process("main")
+>>> a = main.skip(label="a")
+>>> f = main.fork()
+>>> t1 = b.process("t1", parent=f)
+>>> _ = t1.sem_v("s")
+>>> _ = main.sem_p("s")
+>>> _ = main.join(f)
+>>> exe = b.build()
+>>> exe.sync_style
+<SyncStyle.SEMAPHORE: 'semaphore'>
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.model.events import Access, Event, EventKind
+from repro.model.execution import ProgramExecution
+
+
+class ForkHandle:
+    """Opaque handle tying a FORK event to the processes it creates."""
+
+    __slots__ = ("eid", "children")
+
+    def __init__(self, eid: int):
+        self.eid = eid
+        self.children: List[str] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ForkHandle(eid={self.eid}, children={self.children})"
+
+
+class ProcessBuilder:
+    """Appends events to one process in program order."""
+
+    def __init__(self, builder: "ExecutionBuilder", name: str):
+        self._b = builder
+        self.name = name
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    def _append(self, kind: EventKind, obj: Optional[str] = None,
+                accesses: Tuple[Access, ...] = (), label: Optional[str] = None) -> int:
+        eid = self._b._new_eid()
+        ev = Event(eid=eid, process=self.name, index=self._next_index,
+                   kind=kind, obj=obj, accesses=accesses, label=label)
+        self._next_index += 1
+        self._b._events.append(ev)
+        self._b._proc_events[self.name].append(eid)
+        return eid
+
+    # -- computation ----------------------------------------------------
+    def compute(self, *, reads: Iterable[str] = (), writes: Iterable[str] = (),
+                label: Optional[str] = None) -> int:
+        """A computation event touching the given shared variables."""
+        acc = tuple(Access(v, False) for v in reads) + tuple(Access(v, True) for v in writes)
+        return self._append(EventKind.COMPUTATION, accesses=acc, label=label)
+
+    def skip(self, label: Optional[str] = None) -> int:
+        """A computation event with no shared accesses (the paper's ``skip``)."""
+        return self._append(EventKind.COMPUTATION, label=label)
+
+    def read(self, variable: str, label: Optional[str] = None) -> int:
+        return self.compute(reads=[variable], label=label)
+
+    def write(self, variable: str, label: Optional[str] = None) -> int:
+        return self.compute(writes=[variable], label=label)
+
+    # -- semaphores -----------------------------------------------------
+    def sem_p(self, name: str, label: Optional[str] = None) -> int:
+        self._b._touch_semaphore(name)
+        return self._append(EventKind.SEM_P, obj=name, label=label)
+
+    def sem_v(self, name: str, label: Optional[str] = None) -> int:
+        self._b._touch_semaphore(name)
+        return self._append(EventKind.SEM_V, obj=name, label=label)
+
+    # -- event variables --------------------------------------------------
+    def post(self, name: str, label: Optional[str] = None) -> int:
+        return self._append(EventKind.POST, obj=name, label=label)
+
+    def wait(self, name: str, label: Optional[str] = None) -> int:
+        return self._append(EventKind.WAIT, obj=name, label=label)
+
+    def clear(self, name: str, label: Optional[str] = None) -> int:
+        return self._append(EventKind.CLEAR, obj=name, label=label)
+
+    # -- tasking ----------------------------------------------------------
+    def fork(self, label: Optional[str] = None) -> ForkHandle:
+        eid = self._append(EventKind.FORK, label=label)
+        handle = ForkHandle(eid)
+        self._b._forks[eid] = handle
+        return handle
+
+    def join(self, target: Union[ForkHandle, Iterable[str]], label: Optional[str] = None) -> int:
+        """Join either everything created by a fork, or named processes."""
+        if isinstance(target, ForkHandle):
+            names: Tuple[str, ...] = tuple(target.children)
+        else:
+            names = tuple(target)
+        eid = self._append(EventKind.JOIN, label=label)
+        self._b._joins[eid] = names
+        return eid
+
+
+class ExecutionBuilder:
+    """Accumulates events/processes and produces a validated execution."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._proc_events: Dict[str, List[int]] = {}
+        self._proc_builders: Dict[str, ProcessBuilder] = {}
+        self._parent_fork: Dict[str, int] = {}
+        self._forks: Dict[int, ForkHandle] = {}
+        self._joins: Dict[int, Tuple[str, ...]] = {}
+        self._sem_initial: Dict[str, int] = {}
+        self._var_initial: List[str] = []
+        self._dependences: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    def _new_eid(self) -> int:
+        return len(self._events)
+
+    def _touch_semaphore(self, name: str) -> None:
+        self._sem_initial.setdefault(name, 0)
+
+    # ------------------------------------------------------------------
+    def process(self, name: str, parent: Optional[ForkHandle] = None) -> ProcessBuilder:
+        """Create a new process.
+
+        ``parent`` ties the process to the FORK event that creates it;
+        processes without a parent are roots (exist from the start).
+        """
+        if name in self._proc_events:
+            raise ValueError(f"duplicate process name {name!r}")
+        self._proc_events[name] = []
+        pb = ProcessBuilder(self, name)
+        self._proc_builders[name] = pb
+        if parent is not None:
+            if parent.eid not in self._forks:
+                raise ValueError("unknown fork handle")
+            parent.children.append(name)
+            self._parent_fork[name] = parent.eid
+        return pb
+
+    def semaphore(self, name: str, initial: int = 0) -> None:
+        """Declare a semaphore's initial count (default 0, per the paper)."""
+        if initial < 0:
+            raise ValueError("semaphore initial count must be non-negative")
+        self._sem_initial[name] = initial
+
+    def event_variable(self, name: str, *, posted: bool = False) -> None:
+        """Declare an event variable's initial state (default cleared)."""
+        if posted and name not in self._var_initial:
+            self._var_initial.append(name)
+
+    def dependence(self, a: int, b: int) -> None:
+        """Record a shared-data dependence ``a ->D b``."""
+        self._dependences.append((a, b))
+
+    # ------------------------------------------------------------------
+    def build(self, observed_schedule: Optional[Sequence[int]] = None) -> ProgramExecution:
+        fork_children = {eid: tuple(h.children) for eid, h in self._forks.items()}
+        return ProgramExecution(
+            self._events,
+            self._proc_events,
+            fork_children=fork_children,
+            join_targets=self._joins,
+            parent_fork=self._parent_fork,
+            sem_initial=self._sem_initial,
+            var_initial=self._var_initial,
+            dependences=self._dependences,
+            observed_schedule=observed_schedule,
+        )

@@ -1,0 +1,160 @@
+"""Event objects of the execution model.
+
+An :class:`Event` is an execution *instance*: the same program statement
+executed twice yields two distinct events.  Events are identified by a
+small integer ``eid`` assigned by the :class:`~repro.model.builder.
+ExecutionBuilder` (or by the tracer when converting an interpreter
+trace); all engine-level data structures index events by ``eid`` so
+that states can be packed into integer bitmasks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+
+class EventKind(enum.Enum):
+    """The kinds of events the paper's program class can perform.
+
+    The paper considers programs on sequentially consistent processors
+    using fork/join plus either counting semaphores (``P``/``V``) or
+    event-style synchronization (``Post``/``Wait``/``Clear``).
+    ``COMPUTATION`` covers instances of groups of ordinary statements.
+    """
+
+    COMPUTATION = "comp"
+    SEM_P = "P"
+    SEM_V = "V"
+    POST = "post"
+    WAIT = "wait"
+    CLEAR = "clear"
+    FORK = "fork"
+    JOIN = "join"
+
+    @property
+    def is_synchronization(self) -> bool:
+        return self is not EventKind.COMPUTATION
+
+    @property
+    def is_semaphore_op(self) -> bool:
+        return self in (EventKind.SEM_P, EventKind.SEM_V)
+
+    @property
+    def is_event_var_op(self) -> bool:
+        return self in (EventKind.POST, EventKind.WAIT, EventKind.CLEAR)
+
+    @property
+    def is_task_op(self) -> bool:
+        return self in (EventKind.FORK, EventKind.JOIN)
+
+    @property
+    def may_block(self) -> bool:
+        """Whether the operation's *completion* can be delayed by state.
+
+        ``P`` blocks until the semaphore is positive, ``Wait`` until the
+        event variable is posted, ``Join`` until the joined processes
+        have completed.  All other operations complete unconditionally.
+        """
+        return self in (EventKind.SEM_P, EventKind.WAIT, EventKind.JOIN)
+
+
+@dataclass(frozen=True)
+class Access:
+    """A single shared-variable access performed by a computation event."""
+
+    variable: str
+    is_write: bool
+
+    def conflicts_with(self, other: "Access") -> bool:
+        """Two accesses conflict when they touch the same variable and
+        at least one is a write -- the paper's condition for a
+        shared-data dependence between their events."""
+        return self.variable == other.variable and (self.is_write or other.is_write)
+
+    def __repr__(self) -> str:
+        mode = "W" if self.is_write else "R"
+        return f"{mode}({self.variable})"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event of a program execution.
+
+    Attributes
+    ----------
+    eid:
+        Dense integer identifier, unique within an execution.
+    process:
+        Name of the process the event belongs to.
+    index:
+        Position of the event within its process (program order).
+    kind:
+        The :class:`EventKind`.
+    obj:
+        Synchronization object name (semaphore or event variable) for
+        ``P``/``V``/``Post``/``Wait``/``Clear`` events; ``None``
+        otherwise.
+    accesses:
+        Shared-variable accesses performed by the event (computation
+        events only; synchronization events access no shared data in
+        the paper's program class).
+    label:
+        Optional human-readable label (e.g. the paper's ``a`` and ``b``
+        marker events in the reductions).
+    """
+
+    eid: int
+    process: str
+    index: int
+    kind: EventKind
+    obj: Optional[str] = None
+    accesses: Tuple[Access, ...] = field(default_factory=tuple)
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        needs_obj = self.kind.is_semaphore_op or self.kind.is_event_var_op
+        if needs_obj and self.obj is None:
+            raise ValueError(f"{self.kind.name} event requires a synchronization object name")
+        if not needs_obj and self.obj is not None and not self.kind.is_task_op:
+            if self.kind is EventKind.COMPUTATION:
+                raise ValueError("computation events carry accesses, not a sync object")
+        if self.accesses and self.kind is not EventKind.COMPUTATION:
+            raise ValueError("only computation events carry shared-variable accesses")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_synchronization(self) -> bool:
+        return self.kind.is_synchronization
+
+    @property
+    def reads(self) -> FrozenSet[str]:
+        return frozenset(a.variable for a in self.accesses if not a.is_write)
+
+    @property
+    def writes(self) -> FrozenSet[str]:
+        return frozenset(a.variable for a in self.accesses if a.is_write)
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(a.variable for a in self.accesses)
+
+    def conflicts_with(self, other: "Event") -> bool:
+        """True when the two events contain at least one pair of
+        conflicting shared accesses (the race / dependence condition)."""
+        return any(a.conflicts_with(b) for a in self.accesses for b in other.accesses)
+
+    def describe(self) -> str:
+        """A compact one-line description used by witnesses and demos."""
+        if self.label:
+            return f"{self.label}"
+        if self.kind is EventKind.COMPUTATION:
+            body = ",".join(repr(a) for a in self.accesses) or "skip"
+            return f"{self.process}[{self.index}]:{body}"
+        if self.kind.is_task_op:
+            return f"{self.process}[{self.index}]:{self.kind.value}"
+        return f"{self.process}[{self.index}]:{self.kind.value}({self.obj})"
+
+    def __repr__(self) -> str:
+        return f"<e{self.eid} {self.describe()}>"

@@ -1,0 +1,107 @@
+"""JSON (de)serialization of program executions.
+
+Executions are plain data, so traces captured once (from the simulator
+or constructed by a reduction) can be saved, shared and re-analyzed --
+the CLI's ``analyze`` command consumes this format.  The schema is
+versioned and deliberately explicit; loading validates through the
+normal :class:`~repro.model.execution.ProgramExecution` constructor, so
+a corrupt document fails loudly rather than producing a bad model.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.model.events import Access, Event, EventKind
+from repro.model.execution import ProgramExecution
+
+FORMAT_VERSION = 1
+
+
+def execution_to_dict(exe: ProgramExecution) -> Dict[str, Any]:
+    """A JSON-ready dict describing the execution."""
+    return {
+        "format": "repro-execution",
+        "version": FORMAT_VERSION,
+        "events": [
+            {
+                "eid": e.eid,
+                "process": e.process,
+                "index": e.index,
+                "kind": e.kind.name,
+                "obj": e.obj,
+                "accesses": [
+                    {"variable": a.variable, "write": a.is_write} for a in e.accesses
+                ],
+                "label": e.label,
+            }
+            for e in exe.events
+        ],
+        "processes": {p: list(exe.process_events(p)) for p in exe.process_names},
+        "fork_children": {str(k): list(v) for k, v in exe.fork_children.items()},
+        "join_targets": {str(k): list(v) for k, v in exe.join_targets.items()},
+        "parent_fork": dict(exe.parent_fork),
+        "sem_initial": {s: exe.sem_initial(s) for s in exe.semaphores},
+        "var_initial": [v for v in exe.event_variables if exe.var_initially_posted(v)],
+        "dependences": sorted(list(pair) for pair in exe.dependences),
+        "observed_schedule": list(exe.observed_schedule)
+        if exe.observed_schedule is not None
+        else None,
+    }
+
+
+def execution_from_dict(data: Dict[str, Any]) -> ProgramExecution:
+    """Inverse of :func:`execution_to_dict` (validating)."""
+    if data.get("format") != "repro-execution":
+        raise ValueError("not a repro-execution document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {data.get('version')!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    events = []
+    for rec in data["events"]:
+        events.append(
+            Event(
+                eid=int(rec["eid"]),
+                process=rec["process"],
+                index=int(rec["index"]),
+                kind=EventKind[rec["kind"]],
+                obj=rec.get("obj"),
+                accesses=tuple(
+                    Access(a["variable"], bool(a["write"]))
+                    for a in rec.get("accesses", ())
+                ),
+                label=rec.get("label"),
+            )
+        )
+    return ProgramExecution(
+        events,
+        {p: list(eids) for p, eids in data["processes"].items()},
+        fork_children={int(k): list(v) for k, v in data.get("fork_children", {}).items()},
+        join_targets={int(k): list(v) for k, v in data.get("join_targets", {}).items()},
+        parent_fork=dict(data.get("parent_fork", {})),
+        sem_initial=dict(data.get("sem_initial", {})),
+        var_initial=list(data.get("var_initial", ())),
+        dependences=[tuple(pair) for pair in data.get("dependences", ())],
+        observed_schedule=data.get("observed_schedule"),
+    )
+
+
+def dumps(exe: ProgramExecution, *, indent: int = 2) -> str:
+    return json.dumps(execution_to_dict(exe), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> ProgramExecution:
+    return execution_from_dict(json.loads(text))
+
+
+def save(exe: ProgramExecution, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(dumps(exe) + "\n")
+
+
+def load(path: str) -> ProgramExecution:
+    with open(path) as fh:
+        return loads(fh.read())

@@ -1,0 +1,20 @@
+"""Data-race detection on top of the ordering relations.
+
+The paper's closing implication: "exhaustively detecting all data races
+potentially exhibited by a given program execution is an intractable
+problem", because a *feasible* race between conflicting events ``a``
+and ``b`` is exactly ``a CCW b`` -- could the two conflicting accesses
+have executed concurrently in some feasible execution?  This package
+provides:
+
+* *apparent* races -- conflicting pairs unordered by the vector-clock
+  happened-before of the observed execution (the cheap, classical
+  detector: sound for the observed pairing only);
+* *feasible* races -- conflicting pairs with ``CCW`` decided by the
+  exact engine, each with a replayable witness schedule exhibiting the
+  overlap.
+"""
+
+from repro.races.detector import Race, RaceDetector, RaceReport
+
+__all__ = ["Race", "RaceDetector", "RaceReport"]

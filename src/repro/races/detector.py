@@ -1,0 +1,130 @@
+"""Race detectors: apparent (vector clock) and feasible (exact CCW)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.approx.vectorclock import VectorClockAnalysis
+from repro.core.queries import OrderingQueries
+from repro.core.witness import Witness
+from repro.model.execution import ProgramExecution
+
+
+@dataclass(frozen=True)
+class Race:
+    """A pair of conflicting events that may run concurrently.
+
+    ``witness`` (feasible races only) is a schedule in which the two
+    events' intervals overlap; ``variables`` lists the shared locations
+    both sides touch conflictingly.
+    """
+
+    a: int
+    b: int
+    variables: FrozenSet[str]
+    kind: str  # "apparent" or "feasible"
+    witness: Optional[Witness] = None
+
+    def describe(self, exe: ProgramExecution) -> str:
+        ea, eb = exe.event(self.a), exe.event(self.b)
+        vs = ",".join(sorted(self.variables))
+        return f"[{self.kind}] {ea.describe()} <-> {eb.describe()} on {{{vs}}}"
+
+
+@dataclass
+class RaceReport:
+    """The result of one detection run."""
+
+    execution: ProgramExecution
+    races: List[Race]
+    kind: str
+    conflicting_pairs_examined: int
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        return [(r.a, r.b) for r in self.races]
+
+    def summary(self) -> str:
+        return (
+            f"{self.kind} races: {len(self.races)} / "
+            f"{self.conflicting_pairs_examined} conflicting pairs"
+        )
+
+    def pretty(self) -> str:
+        lines = [self.summary()]
+        for r in self.races:
+            lines.append("  " + r.describe(self.execution))
+        return "\n".join(lines)
+
+
+def _conflict_variables(exe: ProgramExecution, a: int, b: int) -> FrozenSet[str]:
+    ea, eb = exe.event(a), exe.event(b)
+    out = set()
+    for x in ea.accesses:
+        for y in eb.accesses:
+            if x.conflicts_with(y):
+                out.add(x.variable)
+    return frozenset(out)
+
+
+class RaceDetector:
+    """Detects apparent and feasible races of one execution."""
+
+    def __init__(
+        self,
+        exe: ProgramExecution,
+        *,
+        max_states: Optional[int] = None,
+    ) -> None:
+        self.exe = exe
+        self.max_states = max_states
+
+    # ------------------------------------------------------------------
+    def apparent_races(self, schedule: Optional[Sequence[int]] = None) -> RaceReport:
+        """Conflicting pairs unordered by the observed vector clocks.
+
+        Fast (polynomial) but tied to the observed pairing: it can both
+        miss races (a sync edge in this run masked an overlap another
+        run allows) and, relative to feasibility, report pairs that
+        shared-data dependences actually order.
+        """
+        vc = VectorClockAnalysis(self.exe, schedule)
+        races: List[Race] = []
+        pairs = self.exe.conflicting_pairs()
+        for a, b in pairs:
+            if vc.concurrent(a, b):
+                races.append(Race(a, b, _conflict_variables(self.exe, a, b), "apparent"))
+        return RaceReport(self.exe, races, "apparent", len(pairs))
+
+    # ------------------------------------------------------------------
+    def feasible_races(self, *, drop_racing_dependences: bool = True) -> RaceReport:
+        """Conflicting pairs with ``a CCW b`` -- the paper's notion.
+
+        ``drop_racing_dependences``: a conflicting pair is itself a
+        shared-data dependence of the observed execution, and condition
+        F3 would freeze its order, masking the very race under test.
+        Following the companion race-detection paper [10], the
+        dependence between the two *tested* events is dropped while all
+        other dependences are kept, so the query asks "could these two
+        have overlapped while the rest of the data flow stayed intact".
+        Set it False to keep strict F3 semantics.
+        """
+        races: List[Race] = []
+        pairs = self.exe.conflicting_pairs()
+        for a, b in pairs:
+            if drop_racing_dependences:
+                deps = {
+                    (x, y)
+                    for (x, y) in self.exe.dependences
+                    if {x, y} != {a, b}
+                }
+                exe = self.exe.with_dependences(deps)
+            else:
+                exe = self.exe
+            queries = OrderingQueries(exe, max_states=self.max_states)
+            w = queries.ccw_witness(a, b)
+            if w is not None:
+                races.append(
+                    Race(a, b, _conflict_variables(self.exe, a, b), "feasible", witness=w)
+                )
+        return RaceReport(self.exe, races, "feasible", len(pairs))

@@ -1,0 +1,41 @@
+"""The paper's reduction constructions (Theorems 1-4 and the remarks).
+
+Each reduction maps a 3CNF formula ``B`` to a program execution and a
+pair of marker events ``a``, ``b`` such that
+
+* ``a MHB b``  iff  ``B`` is unsatisfiable   (Theorems 1 and 3), and
+* ``b CHB a``  iff  ``B`` is satisfiable     (Theorems 2 and 4),
+
+for counting semaphores (:mod:`repro.reductions.theorem1`) and for
+event-style Post/Wait/Clear synchronization
+(:mod:`repro.reductions.theorem3`).  The constructed programs contain
+no conditionals and no shared variables, so every execution of the
+program performs the same events and exhibits the same (empty)
+shared-data dependences -- which is also why the results extend to the
+Section 5.3 setting where ``D`` is ignored.
+
+The remarks at the end of Section 5.1 are covered too: the Theorem 1
+construction restricted to *binary* semaphores (exercised via the
+engine's ``binary_semaphores`` mode), and the single-counting-semaphore
+reduction from *sequencing to minimize maximum cumulative cost*
+(Garey & Johnson SS7), implemented in
+:mod:`repro.reductions.seqmaxcost` / :mod:`repro.reductions.single_semaphore`.
+"""
+
+from repro.reductions.common import SatReduction, decide_sat_via_ordering, decide_unsat_via_ordering
+from repro.reductions.theorem1 import semaphore_reduction
+from repro.reductions.theorem3 import event_reduction
+from repro.reductions.seqmaxcost import SeqMaxCostInstance, solve_seqmaxcost, greedy_seqmaxcost
+from repro.reductions.single_semaphore import single_semaphore_reduction
+
+__all__ = [
+    "SatReduction",
+    "decide_sat_via_ordering",
+    "decide_unsat_via_ordering",
+    "semaphore_reduction",
+    "event_reduction",
+    "SeqMaxCostInstance",
+    "solve_seqmaxcost",
+    "greedy_seqmaxcost",
+    "single_semaphore_reduction",
+]

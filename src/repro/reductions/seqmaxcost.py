@@ -1,0 +1,191 @@
+"""Sequencing to minimize maximum cumulative cost (Garey & Johnson SS7).
+
+The paper remarks that its results "can be shown to hold for a program
+execution that uses a single counting semaphore by a reduction from the
+problem of sequencing to minimize maximum cumulative cost".  This
+module implements that source problem:
+
+    Given jobs ``1..n`` with integer costs ``c(i)`` (negative costs
+    release resource, positive costs consume it), a partial order
+    ``prec`` over jobs, and a threshold ``K``: is there a linear
+    extension of ``prec`` in which every prefix has cumulative cost
+    at most ``K``?
+
+The decision problem is NP-complete in general.  Provided here:
+
+* :func:`solve_seqmaxcost` -- exact ``O(2^n)`` subset-DP (the prefix
+  sum depends only on the *set* of scheduled jobs, so memoizing on the
+  set is lossless);
+* :func:`greedy_seqmaxcost` -- the natural heuristic (always run an
+  available resource-releasing job first), which is *incomplete*;
+  tests exhibit instances it misclassifies;
+* :func:`random_instance` -- seeded generator for benchmarks.
+
+:mod:`repro.reductions.single_semaphore` maps instances onto
+single-semaphore executions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class SeqMaxCostInstance:
+    """One SS7 instance."""
+
+    costs: Tuple[int, ...]
+    precedence: FrozenSet[Tuple[int, int]]  # (i, j): i must precede j
+    threshold: int
+
+    def __init__(self, costs: Sequence[int], precedence: Sequence[Tuple[int, int]], threshold: int):
+        object.__setattr__(self, "costs", tuple(int(c) for c in costs))
+        n = len(self.costs)
+        prec = set()
+        for i, j in precedence:
+            if not (0 <= i < n and 0 <= j < n) or i == j:
+                raise ValueError(f"bad precedence pair ({i}, {j})")
+            prec.add((i, j))
+        object.__setattr__(self, "precedence", frozenset(prec))
+        object.__setattr__(self, "threshold", int(threshold))
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.costs)
+
+    def predecessors(self, j: int) -> List[int]:
+        return [i for (i, k) in self.precedence if k == j]
+
+    def is_forest(self) -> bool:
+        """Whether every job has at most one direct predecessor (the
+        fragment our fork-based execution encoding supports)."""
+        seen: Set[int] = set()
+        for _, j in self.precedence:
+            if j in seen:
+                return False
+            seen.add(j)
+        return True
+
+    def check_sequence(self, order: Sequence[int]) -> bool:
+        """Is ``order`` a legal schedule under precedence + threshold?"""
+        if sorted(order) != list(range(self.num_jobs)):
+            return False
+        pos = {j: i for i, j in enumerate(order)}
+        if any(pos[i] > pos[j] for i, j in self.precedence):
+            return False
+        total = 0
+        for j in order:
+            total += self.costs[j]
+            if total > self.threshold:
+                return False
+        return True
+
+
+def solve_seqmaxcost(inst: SeqMaxCostInstance) -> Optional[List[int]]:
+    """An exact witness schedule, or None when none exists.
+
+    DFS over job subsets with failure memoization: the cumulative cost
+    after scheduling a set ``S`` is ``sum(costs[j] for j in S)``
+    independent of order, so a failed set never needs revisiting.
+    """
+    n = inst.num_jobs
+    preds = [0] * n
+    for i, j in inst.precedence:
+        preds[j] |= 1 << i
+    costs = inst.costs
+    K = inst.threshold
+    failed: Set[int] = set()
+    order: List[int] = []
+
+    def total(mask: int) -> int:
+        t = 0
+        m = mask
+        while m:
+            low = m & -m
+            t += costs[low.bit_length() - 1]
+            m ^= low
+        return t
+
+    def rec(mask: int, running: int) -> bool:
+        if mask == (1 << n) - 1:
+            return True
+        for j in range(n):
+            bit = 1 << j
+            if mask & bit or (preds[j] & ~mask):
+                continue
+            new_total = running + costs[j]
+            if new_total > K:
+                continue
+            nxt = mask | bit
+            if nxt in failed:
+                continue
+            order.append(j)
+            if rec(nxt, new_total):
+                return True
+            order.pop()
+            failed.add(nxt)
+        return False
+
+    if rec(0, 0):
+        return list(order)
+    return None
+
+
+def greedy_seqmaxcost(inst: SeqMaxCostInstance) -> Optional[List[int]]:
+    """Heuristic: among available jobs, prefer the cheapest cost.
+
+    Sound when it succeeds (the returned schedule is checked), but
+    incomplete: it can fail on feasible instances where a locally
+    expensive job unlocks releases.
+    """
+    n = inst.num_jobs
+    preds: Dict[int, Set[int]] = {j: set() for j in range(n)}
+    for i, j in inst.precedence:
+        preds[j].add(i)
+    done: Set[int] = set()
+    total = 0
+    order: List[int] = []
+    while len(done) < n:
+        avail = [j for j in range(n) if j not in done and preds[j] <= done]
+        avail.sort(key=lambda j: (inst.costs[j], j))
+        placed = False
+        for j in avail:
+            if total + inst.costs[j] <= inst.threshold:
+                order.append(j)
+                done.add(j)
+                total += inst.costs[j]
+                placed = True
+                break
+        if not placed:
+            return None
+    return order
+
+
+def random_instance(
+    num_jobs: int,
+    *,
+    seed: int = 0,
+    max_cost: int = 3,
+    threshold: Optional[int] = None,
+    edge_prob: float = 0.25,
+    forest: bool = True,
+) -> SeqMaxCostInstance:
+    """A random instance; ``forest=True`` keeps precedence encodable by
+    fork chains (each job at most one direct predecessor)."""
+    rng = random.Random(seed)
+    costs = [rng.randint(-max_cost, max_cost) for _ in range(num_jobs)]
+    prec: List[Tuple[int, int]] = []
+    for j in range(1, num_jobs):
+        candidates = list(range(j))
+        if forest:
+            if rng.random() < edge_prob * len(candidates):
+                prec.append((rng.choice(candidates), j))
+        else:
+            for i in candidates:
+                if rng.random() < edge_prob:
+                    prec.append((i, j))
+    if threshold is None:
+        threshold = max(1, max_cost)
+    return SeqMaxCostInstance(costs, prec, threshold)

@@ -1,0 +1,89 @@
+"""Single-counting-semaphore executions from SS7 instances.
+
+The paper remarks (end of Section 5.1) that the hardness results also
+hold for executions using a *single* counting semaphore, "by a
+reduction from the problem of sequencing to minimize maximum cumulative
+cost" -- without giving the construction.  This module supplies one for
+the fragment expressible with fork chains:
+
+* the lone semaphore ``s`` starts at the threshold ``K``;
+* a job of cost ``c > 0`` becomes a process performing ``c`` ``P(s)``
+  operations (consuming resource), a job of cost ``c < 0`` becomes
+  ``|c|`` ``V(s)`` operations (releasing), cost 0 becomes ``skip``;
+* precedence ``i prec j`` is encoded by having ``i``'s process fork
+  ``j``'s process *after* ``i``'s operations, so ``j`` cannot start
+  until ``i`` completes.  Fork trees encode exactly forest-shaped
+  precedence (each job at most one direct predecessor); general DAGs
+  would need extra synchronization objects, which the single-semaphore
+  setting forbids -- this scoping is documented in DESIGN.md.
+
+With two independent marker events ``a`` and ``b`` added, the instance
+is schedulable iff the event set is feasible iff ``a CHB b`` (any pair
+of unconstrained events can be ordered either way in a feasible event
+set), connecting SS7 directly to a could-have-ordering query on a
+single-semaphore execution.
+
+The correspondence between *atomic job sequences* (SS7's schedules) and
+the execution's *interleaved operations* holds because every job's
+operations have uniform sign: releases can always be hoisted whole and
+consumptions delayed whole, so an interleaved completion exists iff an
+atomic one does.  ``tests/test_single_semaphore.py`` cross-validates
+this equivalence exhaustively on random instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.builder import ExecutionBuilder, ProcessBuilder
+from repro.model.execution import ProgramExecution
+from repro.reductions.seqmaxcost import SeqMaxCostInstance
+
+SEMAPHORE_NAME = "s"
+
+
+def single_semaphore_reduction(
+    inst: SeqMaxCostInstance,
+) -> Tuple[ProgramExecution, int, int]:
+    """Build the execution for a forest-precedence SS7 instance.
+
+    Returns ``(execution, a_eid, b_eid)`` with the marker events as
+    described in the module docstring.
+    """
+    if not inst.is_forest():
+        raise ValueError(
+            "single-semaphore encoding supports forest precedence only "
+            "(each job needs at most one direct predecessor)"
+        )
+    n = inst.num_jobs
+    children: Dict[int, List[int]] = {j: [] for j in range(n)}
+    has_pred = [False] * n
+    for i, j in sorted(inst.precedence):
+        children[i].append(j)
+        has_pred[j] = True
+
+    b = ExecutionBuilder()
+    b.semaphore(SEMAPHORE_NAME, inst.threshold)
+
+    def emit_job(pb: ProcessBuilder, j: int) -> None:
+        c = inst.costs[j]
+        if c > 0:
+            for _ in range(c):
+                pb.sem_p(SEMAPHORE_NAME)
+        elif c < 0:
+            for _ in range(-c):
+                pb.sem_v(SEMAPHORE_NAME)
+        else:
+            pb.skip(label=f"job{j}")
+        if children[j]:
+            handle = pb.fork()
+            for k in children[j]:
+                emit_job(b.process(f"job{k}", parent=handle), k)
+
+    for j in range(n):
+        if not has_pred[j]:
+            emit_job(b.process(f"job{j}"), j)
+
+    a_eid = b.process("marker_a").skip(label="a")
+    b_eid = b.process("marker_b").skip(label="b")
+    return b.build(), a_eid, b_eid

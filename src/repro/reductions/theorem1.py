@@ -1,0 +1,112 @@
+"""Theorem 1/2 construction: 3CNFSAT -> counting-semaphore execution.
+
+From a formula with ``n`` variables and ``m`` clauses the paper builds
+a program of ``3n + 3m + 2`` processes over ``3n + m + 1`` semaphores
+(all initialized to zero) whose execution simulates a nondeterministic
+evaluation of ``B``:
+
+for each variable ``X_i`` (semaphores ``Xi+``, ``Xi-`` for the two
+literals and a one-token gate ``Ai``)::
+
+    true_i:  P(Ai); V(Xi+) x occ(Xi)      -- "guess X_i = True"
+    false_i: P(Ai); V(Xi-) x occ(~Xi)     -- "guess X_i = False"
+    gate_i:  V(Ai); P(Pass2); V(Ai)       -- one guess per pass
+
+for each clause ``C_j`` with literals ``L1, L2, L3``::
+
+    clause_j_k:  P(Lk); V(Cj)             -- k = 1, 2, 3
+
+and the two marker processes::
+
+    alpha: a: skip; V(Pass2) x n
+    beta:  P(C1); ...; P(Cm); b: skip
+
+During the first pass exactly one of ``true_i``/``false_i`` can run per
+variable (the gate holds one token), so the ``V(Cj)`` signals issued
+before ``a`` executes correspond exactly to clauses satisfied by some
+consistent truth assignment.  ``b`` can therefore execute before ``a``
+iff ``B`` is satisfiable; if ``B`` is unsatisfiable, some ``P(Cj)``
+can only be satisfied during the second pass, which ``a`` gates --
+hence ``a MHB b``.  The second pass (``Pass2`` tokens re-arming the
+gates) guarantees every execution can run to completion, so the event
+set is always feasible.
+
+The program has no conditionals and no shared variables: every
+execution performs the same events with the same (empty) ``D``.
+"""
+
+from __future__ import annotations
+
+from repro.model.builder import ExecutionBuilder
+from repro.model.execution import SyncStyle
+from repro.reductions.common import SatReduction
+from repro.sat.cnf import CNF
+
+
+def _literal_semaphore(lit: int) -> str:
+    return f"X{abs(lit)}{'+' if lit > 0 else '-'}"
+
+
+def semaphore_reduction(cnf: CNF) -> SatReduction:
+    """Build the Theorem 1 execution for ``cnf``.
+
+    The formula need not be exactly 3-CNF -- the construction
+    generalizes to any clause width by creating one process per literal
+    occurrence -- but the paper's complexity claim is stated for 3-CNF
+    (apply :meth:`~repro.sat.cnf.CNF.to_3cnf` first to match it
+    exactly).
+    """
+    if any(len(c) == 0 for c in cnf.clauses):
+        raise ValueError("empty clauses are not representable (pad via to_3cnf)")
+
+    b = ExecutionBuilder()
+    occurrences = cnf.literal_occurrences()
+    n = cnf.num_vars
+    m = len(cnf.clauses)
+
+    # declare semaphores (all zero-initialized, as in the paper)
+    for i in range(1, n + 1):
+        b.semaphore(f"A{i}", 0)
+        b.semaphore(_literal_semaphore(i), 0)
+        b.semaphore(_literal_semaphore(-i), 0)
+    for j in range(1, m + 1):
+        b.semaphore(f"C{j}", 0)
+    b.semaphore("Pass2", 0)
+
+    # variable gadgets ---------------------------------------------------
+    for i in range(1, n + 1):
+        true_p = b.process(f"var{i}_true")
+        true_p.sem_p(f"A{i}")
+        for _ in range(occurrences.get(i, 0)):
+            true_p.sem_v(_literal_semaphore(i))
+
+        false_p = b.process(f"var{i}_false")
+        false_p.sem_p(f"A{i}")
+        for _ in range(occurrences.get(-i, 0)):
+            false_p.sem_v(_literal_semaphore(-i))
+
+        gate = b.process(f"var{i}_gate")
+        gate.sem_v(f"A{i}")
+        gate.sem_p("Pass2")
+        gate.sem_v(f"A{i}")
+
+    # clause gadgets -------------------------------------------------------
+    for j, clause in enumerate(cnf.clauses, start=1):
+        for k, lit in enumerate(clause, start=1):
+            proc = b.process(f"clause{j}_lit{k}")
+            proc.sem_p(_literal_semaphore(lit))
+            proc.sem_v(f"C{j}")
+
+    # marker processes -----------------------------------------------------
+    alpha = b.process("alpha")
+    a_eid = alpha.skip(label="a")
+    for _ in range(n):
+        alpha.sem_v("Pass2")
+
+    beta = b.process("beta")
+    for j in range(1, m + 1):
+        beta.sem_p(f"C{j}")
+    b_eid = beta.skip(label="b")
+
+    exe = b.build()
+    return SatReduction(cnf=cnf, execution=exe, a=a_eid, b=b_eid, style=SyncStyle.SEMAPHORE)

@@ -1,0 +1,91 @@
+"""Theorem 3/4 construction: 3CNFSAT -> event-style execution.
+
+The event-variable analogue of Theorem 1's program.  The variable
+gadget implements two-process mutual exclusion with the ``Clear``
+primitive (the paper stresses that ``Clear`` is what makes this
+possible; without it the problem's complexity is open)::
+
+    var_i (parent):  Post(Ai); Post(Bi); fork; join
+        child true_i:   Clear(Ai); Wait(Bi); Post(Xi+)
+        child false_i:  Clear(Bi); Wait(Ai); Post(Xi-)
+
+During the first pass at most one child can get through -- the cycle
+``Wait(Ai) before Clear(Ai)``'s effect and ``Wait(Bi) before
+Clear(Bi)``'s effect cannot both be satisfied -- so at most one of
+``Post(Xi+)``/``Post(Xi-)`` is issued before the second pass.  (Both
+children may also block, which merely guesses "no value"; that can
+only make fewer clauses true.)
+
+Clause and marker processes mirror Theorem 1::
+
+    clause_j_k: Wait(Lk); Post(Cj)
+    alpha:      a: skip; Post(A1); Post(B1); ...; Post(An); Post(Bn)
+    beta:       Wait(C1); ...; Wait(Cm); b: skip
+
+``alpha``'s second-pass posts re-arm every gadget so all events can
+always complete; ``b`` can execute before ``a`` iff a consistent set of
+first-pass guesses satisfies every clause, i.e. iff ``B`` is
+satisfiable.
+"""
+
+from __future__ import annotations
+
+from repro.model.builder import ExecutionBuilder
+from repro.model.execution import SyncStyle
+from repro.reductions.common import SatReduction
+from repro.sat.cnf import CNF
+
+
+def _literal_variable(lit: int) -> str:
+    return f"X{abs(lit)}{'+' if lit > 0 else '-'}"
+
+
+def event_reduction(cnf: CNF) -> SatReduction:
+    """Build the Theorem 3 execution for ``cnf``."""
+    if any(len(c) == 0 for c in cnf.clauses):
+        raise ValueError("empty clauses are not representable (pad via to_3cnf)")
+
+    b = ExecutionBuilder()
+    n = cnf.num_vars
+    m = len(cnf.clauses)
+
+    # variable gadgets (all event variables start cleared) ----------------
+    for i in range(1, n + 1):
+        parent = b.process(f"var{i}")
+        parent.post(f"A{i}")
+        parent.post(f"B{i}")
+        handle = parent.fork()
+
+        true_c = b.process(f"var{i}_true", parent=handle)
+        true_c.clear(f"A{i}")
+        true_c.wait(f"B{i}")
+        true_c.post(_literal_variable(i))
+
+        false_c = b.process(f"var{i}_false", parent=handle)
+        false_c.clear(f"B{i}")
+        false_c.wait(f"A{i}")
+        false_c.post(_literal_variable(-i))
+
+        parent.join(handle)
+
+    # clause gadgets -------------------------------------------------------
+    for j, clause in enumerate(cnf.clauses, start=1):
+        for k, lit in enumerate(clause, start=1):
+            proc = b.process(f"clause{j}_lit{k}")
+            proc.wait(_literal_variable(lit))
+            proc.post(f"C{j}")
+
+    # marker processes -----------------------------------------------------
+    alpha = b.process("alpha")
+    a_eid = alpha.skip(label="a")
+    for i in range(1, n + 1):
+        alpha.post(f"A{i}")
+        alpha.post(f"B{i}")
+
+    beta = b.process("beta")
+    for j in range(1, m + 1):
+        beta.wait(f"C{j}")
+    b_eid = beta.skip(label="b")
+
+    exe = b.build()
+    return SatReduction(cnf=cnf, execution=exe, a=a_eid, b=b_eid, style=SyncStyle.EVENT)

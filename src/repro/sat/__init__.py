@@ -1,0 +1,37 @@
+"""Boolean satisfiability substrate for the theorem reductions.
+
+Theorems 1-4 reduce from 3CNFSAT; validating them empirically requires
+an independent SAT decision procedure.  Everything here is built from
+scratch:
+
+* :mod:`repro.sat.cnf` -- CNF formulas over integer literals
+  (DIMACS convention: ``+i`` / ``-i``), with evaluation and 3-CNF
+  normalization;
+* :mod:`repro.sat.dpll` -- a DPLL solver with unit propagation, pure
+  literal elimination and a most-frequent-literal branching heuristic;
+* :mod:`repro.sat.bruteforce` -- exhaustive truth-table search, ground
+  truth for the solver's own property tests;
+* :mod:`repro.sat.generators` -- seeded random k-CNF instances and the
+  small structured families (pigeonhole, chains) used by tests and
+  benchmarks.
+"""
+
+from repro.sat.cnf import CNF, Clause, parse_dimacs, to_dimacs
+from repro.sat.dpll import DPLLSolver, solve
+from repro.sat.bruteforce import brute_force_satisfiable, all_models
+from repro.sat.generators import random_ksat, pigeonhole, chain_formula, all_assignment_formula
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "parse_dimacs",
+    "to_dimacs",
+    "DPLLSolver",
+    "solve",
+    "brute_force_satisfiable",
+    "all_models",
+    "random_ksat",
+    "pigeonhole",
+    "chain_formula",
+    "all_assignment_formula",
+]

@@ -1,0 +1,41 @@
+"""Exhaustive truth-table SAT (ground truth for tests).
+
+``O(2^n)`` by construction; the property tests keep ``n`` small and use
+this to validate :mod:`repro.sat.dpll` -- and transitively, through the
+reductions, the ordering engine itself.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Optional
+
+from repro.sat.cnf import CNF, Assignment
+
+
+def _assignments(num_vars: int) -> Iterator[Assignment]:
+    for bits in product((False, True), repeat=num_vars):
+        yield {i + 1: bits[i] for i in range(num_vars)}
+
+
+def brute_force_satisfiable(cnf: CNF) -> Optional[Assignment]:
+    """The first satisfying assignment in lexicographic order, or None."""
+    if any(len(c) == 0 for c in cnf.clauses):
+        return None
+    for assignment in _assignments(cnf.num_vars):
+        if cnf.evaluate(assignment):
+            return assignment
+    return None
+
+
+def all_models(cnf: CNF) -> Iterator[Assignment]:
+    """Every satisfying assignment (lexicographic order)."""
+    if any(len(c) == 0 for c in cnf.clauses):
+        return
+    for assignment in _assignments(cnf.num_vars):
+        if cnf.evaluate(assignment):
+            yield assignment
+
+
+def count_models(cnf: CNF) -> int:
+    return sum(1 for _ in all_models(cnf))

@@ -1,0 +1,179 @@
+"""CNF formulas over integer literals.
+
+Literals follow the DIMACS convention: variable ``i`` (1-based) appears
+positively as ``+i`` and negatively as ``-i``.  A :class:`CNF` is a
+conjunction of :class:`Clause` disjunctions.  The reductions consume
+*3-CNF* formulas (exactly the paper's 3CNFSAT source problem);
+:meth:`CNF.to_3cnf` normalizes arbitrary clause widths by splitting
+with fresh variables and padding short clauses by literal repetition
+(the paper's clauses are literal multisets, so repetition is benign).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Assignment = Dict[int, bool]
+
+
+class Clause:
+    """A disjunction of literals (non-empty unless explicitly empty)."""
+
+    __slots__ = ("literals",)
+
+    def __init__(self, literals: Iterable[int]):
+        lits = tuple(int(l) for l in literals)
+        if any(l == 0 for l in lits):
+            raise ValueError("literal 0 is reserved (DIMACS terminator)")
+        self.literals = lits
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return self.literals == other.literals
+
+    def __hash__(self) -> int:
+        return hash(self.literals)
+
+    @property
+    def variables(self) -> FrozenSet[int]:
+        return frozenset(abs(l) for l in self.literals)
+
+    def is_tautology(self) -> bool:
+        s = set(self.literals)
+        return any(-l in s for l in s)
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return any(
+            assignment.get(abs(l), False) == (l > 0) for l in self.literals
+        )
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(f"x{l}" if l > 0 else f"~x{-l}" for l in self.literals) + ")"
+
+
+class CNF:
+    """A conjunction of clauses over variables ``1..num_vars``."""
+
+    def __init__(self, clauses: Iterable[Iterable[int]], num_vars: Optional[int] = None):
+        self.clauses: Tuple[Clause, ...] = tuple(
+            c if isinstance(c, Clause) else Clause(c) for c in clauses
+        )
+        max_var = max((max(c.variables) for c in self.clauses if len(c)), default=0)
+        if num_vars is None:
+            num_vars = max_var
+        if num_vars < max_var:
+            raise ValueError(f"num_vars={num_vars} but clause mentions variable {max_var}")
+        self.num_vars = num_vars
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CNF):
+            return NotImplemented
+        return self.clauses == other.clauses and self.num_vars == other.num_vars
+
+    @property
+    def variables(self) -> range:
+        return range(1, self.num_vars + 1)
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return all(c.evaluate(assignment) for c in self.clauses)
+
+    def is_3cnf(self) -> bool:
+        return all(len(c) == 3 for c in self.clauses)
+
+    # ------------------------------------------------------------------
+    def to_3cnf(self) -> "CNF":
+        """An equisatisfiable formula with exactly three literals per clause.
+
+        * width 1/2 clauses are padded by repeating a literal (a clause
+          is a disjunction, so repetition preserves its meaning);
+        * width > 3 clauses split with fresh chaining variables
+          (the standard Tseitin-style transformation).
+        """
+        out: List[Tuple[int, ...]] = []
+        fresh = self.num_vars
+        for c in self.clauses:
+            lits = list(c.literals)
+            if len(lits) == 0:
+                # an empty clause is unsatisfiable; encode x & ~x & pad
+                fresh += 1
+                out.append((fresh, fresh, fresh))
+                out.append((-fresh, -fresh, -fresh))
+            elif len(lits) <= 3:
+                while len(lits) < 3:
+                    lits.append(lits[0])
+                out.append(tuple(lits))
+            else:
+                prev = lits[0]
+                rest = lits[1:]
+                while len(rest) > 2:
+                    fresh += 1
+                    out.append((prev, rest[0], fresh))
+                    prev = -fresh
+                    rest = rest[1:]
+                out.append((prev, rest[0], rest[1]))
+        return CNF(out, num_vars=fresh)
+
+    # ------------------------------------------------------------------
+    def literal_occurrences(self) -> Dict[int, int]:
+        """How often each literal appears (the reduction sizes gadgets
+        by occurrence counts)."""
+        counts: Dict[int, int] = {}
+        for c in self.clauses:
+            for l in c:
+                counts[l] = counts.get(l, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"CNF({len(self.clauses)} clauses, {self.num_vars} vars)"
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse a DIMACS ``cnf`` document (comments and header optional)."""
+    clauses: List[List[int]] = []
+    declared_vars: Optional[int] = None
+    current: List[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            continue
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        clauses.append(current)
+    return CNF(clauses, num_vars=declared_vars)
+
+
+def to_dimacs(cnf: CNF, comment: str = "") -> str:
+    lines = []
+    if comment:
+        for row in comment.splitlines():
+            lines.append(f"c {row}")
+    lines.append(f"p cnf {cnf.num_vars} {len(cnf.clauses)}")
+    for c in cnf.clauses:
+        lines.append(" ".join(str(l) for l in c) + " 0")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,122 @@
+"""A DPLL SAT solver.
+
+Unit propagation, pure-literal elimination, and a most-occurrences
+branching heuristic.  Intentionally classic: the point is an
+*independent* decision procedure to validate the theorem reductions
+against, not a competitive solver; formulas in the benchmarks are tens
+of variables at most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.sat.cnf import CNF, Assignment
+
+
+@dataclass
+class SolveStats:
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+
+
+class DPLLSolver:
+    """Decides satisfiability and produces a model when one exists."""
+
+    def __init__(self, cnf: CNF):
+        self.cnf = cnf
+        self.stats = SolveStats()
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Optional[Assignment]:
+        """A satisfying assignment (totalized over all variables), or None."""
+        clauses = [frozenset(c.literals) for c in self.cnf.clauses]
+        if any(len(c) == 0 for c in clauses):
+            return None
+        result = self._dpll(clauses, {})
+        if result is None:
+            return None
+        # totalize: unconstrained variables default to False
+        for v in self.cnf.variables:
+            result.setdefault(v, False)
+        return result
+
+    def is_satisfiable(self) -> bool:
+        return self.solve() is not None
+
+    # ------------------------------------------------------------------
+    def _simplify(
+        self, clauses: List[FrozenSet[int]], lit: int
+    ) -> Optional[List[FrozenSet[int]]]:
+        """Assign ``lit`` true: drop satisfied clauses, shrink the rest.
+        Returns None on an empty-clause conflict."""
+        out: List[FrozenSet[int]] = []
+        for c in clauses:
+            if lit in c:
+                continue
+            if -lit in c:
+                reduced = c - {-lit}
+                if not reduced:
+                    self.stats.conflicts += 1
+                    return None
+                out.append(reduced)
+            else:
+                out.append(c)
+        return out
+
+    def _dpll(
+        self, clauses: List[FrozenSet[int]], assignment: Assignment
+    ) -> Optional[Assignment]:
+        # unit propagation ------------------------------------------------
+        while True:
+            unit = next((c for c in clauses if len(c) == 1), None)
+            if unit is None:
+                break
+            lit = next(iter(unit))
+            self.stats.propagations += 1
+            assignment = {**assignment, abs(lit): lit > 0}
+            simplified = self._simplify(clauses, lit)
+            if simplified is None:
+                return None
+            clauses = simplified
+
+        if not clauses:
+            return dict(assignment)
+
+        # pure literal elimination ---------------------------------------
+        polarity: Dict[int, Set[bool]] = {}
+        for c in clauses:
+            for lit in c:
+                polarity.setdefault(abs(lit), set()).add(lit > 0)
+        pure = [v if pol == {True} else -v for v, pol in polarity.items() if len(pol) == 1]
+        if pure:
+            for lit in pure:
+                assignment = {**assignment, abs(lit): lit > 0}
+                simplified = self._simplify(clauses, lit)
+                if simplified is None:  # pragma: no cover - pure literals cannot conflict
+                    return None
+                clauses = simplified
+            return self._dpll(clauses, assignment)
+
+        # branch on the most frequent literal -----------------------------
+        counts: Dict[int, int] = {}
+        for c in clauses:
+            for lit in c:
+                counts[lit] = counts.get(lit, 0) + 1
+        branch = max(counts, key=lambda l: (counts[l], -abs(l), l > 0))
+        self.stats.decisions += 1
+        for lit in (branch, -branch):
+            simplified = self._simplify(clauses, lit)
+            if simplified is None:
+                continue
+            result = self._dpll(simplified, {**assignment, abs(lit): lit > 0})
+            if result is not None:
+                return result
+        return None
+
+
+def solve(cnf: CNF) -> Optional[Assignment]:
+    """Module-level convenience: model or None."""
+    return DPLLSolver(cnf).solve()

@@ -1,0 +1,86 @@
+"""Formula generators for tests and the theorem benchmarks.
+
+Random 3-CNF near the satisfiability threshold (clause/variable ratio
+around 4.27) gives a healthy mix of SAT and UNSAT instances, which the
+theorem benches need: Theorems 1/3 are only exercised by UNSAT
+formulas, Theorems 2/4 by SAT ones.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from repro.sat.cnf import CNF
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    *,
+    k: int = 3,
+    seed: int = 0,
+    allow_duplicate_vars: bool = False,
+) -> CNF:
+    """A uniformly random k-CNF formula with a reproducible seed.
+
+    Each clause draws ``k`` distinct variables (unless
+    ``allow_duplicate_vars``) with independent random polarities.
+    """
+    if num_vars < k and not allow_duplicate_vars:
+        raise ValueError(f"need at least k={k} variables for distinct-variable clauses")
+    rng = random.Random(seed)
+    clauses: List[Tuple[int, ...]] = []
+    for _ in range(num_clauses):
+        if allow_duplicate_vars:
+            vs = [rng.randint(1, num_vars) for _ in range(k)]
+        else:
+            vs = rng.sample(range(1, num_vars + 1), k)
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in vs))
+    return CNF(clauses, num_vars=num_vars)
+
+
+def pigeonhole(holes: int) -> CNF:
+    """PHP(holes+1, holes): provably UNSAT, classically hard for DPLL.
+
+    Variable ``p(i, j)`` (pigeon ``i`` in hole ``j``) is numbered
+    ``i * holes + j + 1``.  Returned in raw CNF; callers wanting 3-CNF
+    apply :meth:`~repro.sat.cnf.CNF.to_3cnf`.
+    """
+    pigeons = holes + 1
+
+    def var(i: int, j: int) -> int:
+        return i * holes + j + 1
+
+    clauses: List[Tuple[int, ...]] = []
+    for i in range(pigeons):
+        clauses.append(tuple(var(i, j) for j in range(holes)))
+    for j in range(holes):
+        for i1, i2 in combinations(range(pigeons), 2):
+            clauses.append((-var(i1, j), -var(i2, j)))
+    return CNF(clauses, num_vars=pigeons * holes)
+
+
+def chain_formula(n: int, *, satisfiable: bool = True) -> CNF:
+    """An implication chain ``x1 -> x2 -> ... -> xn`` with unit heads.
+
+    With ``satisfiable=False`` the chain is closed with ``~xn`` against
+    a forced ``x1``, yielding a minimal UNSAT family whose refutations
+    are linear -- useful for scaling plots where DPLL should stay fast.
+    Padded to 3-CNF by literal repetition.
+    """
+    if n < 1:
+        raise ValueError("need at least one variable")
+    clauses: List[Tuple[int, ...]] = [(1, 1, 1)]
+    for i in range(1, n):
+        clauses.append((-i, i + 1, i + 1))
+    if not satisfiable:
+        clauses.append((-n, -n, -n))
+    return CNF(clauses, num_vars=n)
+
+
+def all_assignment_formula(num_vars: int) -> CNF:
+    """A formula satisfied by every assignment (each clause tautological
+    after padding: ``x | ~x | x``)."""
+    return CNF([(v, -v, v) for v in range(1, num_vars + 1)], num_vars=num_vars)

@@ -1,0 +1,31 @@
+"""Synchronization-object semantics (the paper's program class).
+
+The paper considers fork/join plus either counting semaphores or
+event-style synchronization on a sequentially consistent machine:
+
+* a counting semaphore ``s`` holds a non-negative count; ``V(s)``
+  increments it, ``P(s)`` blocks until the count is positive and then
+  decrements it (the paper's reductions initialize all semaphores to
+  zero);
+* an event variable ``v`` is either *posted* or *cleared*; ``Post(v)``
+  sets it posted, ``Clear(v)`` sets it cleared, ``Wait(v)`` blocks
+  until it is posted (it does **not** consume the post);
+* ``fork`` creates processes, ``join`` blocks until the named processes
+  have completed.
+
+These state machines are the single source of truth for legality: the
+interpreter steps them as a program runs, and the exact ordering engine
+replays them when validating witness schedules.
+"""
+
+from repro.sync.semaphore import Semaphore, BinarySemaphore, SemaphoreError
+from repro.sync.eventvar import EventVariable
+from repro.sync.state import SyncState
+
+__all__ = [
+    "Semaphore",
+    "BinarySemaphore",
+    "SemaphoreError",
+    "EventVariable",
+    "SyncState",
+]

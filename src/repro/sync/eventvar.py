@@ -1,0 +1,49 @@
+"""Event-style synchronization variables (Post / Wait / Clear).
+
+An event variable is a latch: ``Post`` sets it, ``Clear`` resets it,
+``Wait`` blocks until it is set and does not consume the post.  This is
+the synchronization style of Theorems 3 and 4; the paper stresses that
+the ``Clear`` primitive is what lets two-process mutual exclusion be
+built from event variables alone, and leaves the no-``Clear`` case as
+an open problem (our engine answers individual instances either way,
+but no polynomial algorithm is implied).
+"""
+
+from __future__ import annotations
+
+
+class EventVariable:
+    """A posted/cleared latch."""
+
+    __slots__ = ("name", "posted", "initially_posted")
+
+    def __init__(self, name: str, posted: bool = False):
+        self.name = name
+        self.posted = posted
+        self.initially_posted = posted
+
+    def can_wait(self) -> bool:
+        """Whether a ``Wait`` could complete right now."""
+        return self.posted
+
+    def wait(self) -> None:
+        if not self.posted:
+            raise RuntimeError(f"Wait({self.name}) completed while cleared")
+
+    def post(self) -> None:
+        self.posted = True
+
+    def clear(self) -> None:
+        self.posted = False
+
+    def reset(self) -> None:
+        self.posted = self.initially_posted
+
+    def copy(self) -> "EventVariable":
+        v = EventVariable(self.name, self.initially_posted)
+        v.posted = self.posted
+        return v
+
+    def __repr__(self) -> str:
+        state = "posted" if self.posted else "cleared"
+        return f"EventVariable({self.name!r}, {state})"

@@ -1,0 +1,73 @@
+"""Counting and binary semaphores.
+
+Semantics follow the paper exactly: ``P`` completes only when the count
+is positive (and then decrements it); ``V`` increments.  Effects take
+place at operation *completion*, which is the only instant that matters
+on a sequentially consistent machine.  The paper notes its hardness
+results hold for binary semaphores too ("the above proofs do not make
+use of the general counting ability"), so a clamped binary variant is
+provided and exercised by ``benchmarks/bench_binary_semaphore.py``.
+"""
+
+from __future__ import annotations
+
+
+class SemaphoreError(RuntimeError):
+    """An illegal semaphore transition (e.g. completing P at count 0)."""
+
+
+class Semaphore:
+    """A counting semaphore."""
+
+    __slots__ = ("name", "count", "initial")
+
+    def __init__(self, name: str, initial: int = 0):
+        if initial < 0:
+            raise ValueError("semaphore count must be non-negative")
+        self.name = name
+        self.initial = initial
+        self.count = initial
+
+    def can_p(self) -> bool:
+        """Whether a ``P`` operation could complete right now."""
+        return self.count > 0
+
+    def p(self) -> None:
+        """Complete a ``P``: requires a positive count."""
+        if self.count <= 0:
+            raise SemaphoreError(f"P({self.name}) completed with count {self.count}")
+        self.count -= 1
+
+    def v(self) -> None:
+        """Complete a ``V``: increments the count."""
+        self.count += 1
+
+    def reset(self) -> None:
+        self.count = self.initial
+
+    def copy(self) -> "Semaphore":
+        s = type(self)(self.name, self.initial)
+        s.count = self.count
+        return s
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, count={self.count})"
+
+
+class BinarySemaphore(Semaphore):
+    """A semaphore whose count saturates at 1.
+
+    ``V`` on an already-signalled binary semaphore is a no-op (the
+    common hardware definition).  The Theorem 1 construction is valid
+    under either definition because its gadgets never double-signal a
+    semaphore that has not been consumed, but the distinct type lets
+    the binary-semaphore benchmark state its claim precisely.
+    """
+
+    def __init__(self, name: str, initial: int = 0):
+        if initial not in (0, 1):
+            raise ValueError("binary semaphore initial count must be 0 or 1")
+        super().__init__(name, initial)
+
+    def v(self) -> None:
+        self.count = min(1, self.count + 1)

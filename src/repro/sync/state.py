@@ -1,0 +1,96 @@
+"""Combined synchronization state for one run of an execution's events.
+
+:class:`SyncState` bundles every semaphore and event variable of an
+execution plus process-completion tracking (for joins), and exposes the
+two operations every consumer needs:
+
+* ``can_complete(event)`` -- could this event's operation complete in
+  the current state?
+* ``complete(event)`` -- apply the operation's effect (raises if the
+  operation could not legally complete).
+
+The exact ordering engine packs the same information into integers for
+speed; ``tests/test_core_engine.py`` cross-checks the packed transition
+function against this reference implementation on random executions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.model.events import Event, EventKind
+from repro.model.execution import ProgramExecution
+from repro.sync.eventvar import EventVariable
+from repro.sync.semaphore import BinarySemaphore, Semaphore
+
+
+class SyncState:
+    """Mutable synchronization state for replaying/validating schedules."""
+
+    def __init__(self, exe: ProgramExecution, *, binary_semaphores: bool = False):
+        self._exe = exe
+        sem_cls = BinarySemaphore if binary_semaphores else Semaphore
+        self.semaphores: Dict[str, Semaphore] = {
+            s: sem_cls(s, exe.sem_initial(s)) for s in exe.semaphores
+        }
+        self.variables: Dict[str, EventVariable] = {
+            v: EventVariable(v, exe.var_initially_posted(v)) for v in exe.event_variables
+        }
+        self._completed: Set[int] = set()
+        self._remaining_per_process: Dict[str, int] = {
+            p: len(exe.process_events(p)) for p in exe.process_names
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> Set[int]:
+        return set(self._completed)
+
+    def process_done(self, name: str) -> bool:
+        return self._remaining_per_process[name] == 0
+
+    # ------------------------------------------------------------------
+    def can_complete(self, event: Event) -> bool:
+        """Synchronization-semantics gate for the event's completion.
+
+        This checks only the operation semantics -- program order, fork
+        prerequisites and dependences are ordering constraints handled
+        by the caller (engine or interpreter).
+        """
+        k = event.kind
+        if k is EventKind.SEM_P:
+            return self.semaphores[event.obj].can_p()
+        if k is EventKind.WAIT:
+            return self.variables[event.obj].can_wait()
+        if k is EventKind.JOIN:
+            targets = self._exe.join_targets[event.eid]
+            return all(self.process_done(t) for t in targets)
+        return True
+
+    def complete(self, event: Event) -> None:
+        """Apply the event's completion effect."""
+        if event.eid in self._completed:
+            raise RuntimeError(f"event {event.eid} completed twice")
+        if not self.can_complete(event):
+            raise RuntimeError(f"event {event!r} completed while blocked")
+        k = event.kind
+        if k is EventKind.SEM_P:
+            self.semaphores[event.obj].p()
+        elif k is EventKind.SEM_V:
+            self.semaphores[event.obj].v()
+        elif k is EventKind.POST:
+            self.variables[event.obj].post()
+        elif k is EventKind.CLEAR:
+            self.variables[event.obj].clear()
+        elif k is EventKind.WAIT:
+            self.variables[event.obj].wait()
+        # COMPUTATION / FORK / JOIN have no synchronization effect.
+        self._completed.add(event.eid)
+        self._remaining_per_process[event.process] -= 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """A hashable snapshot (used in tests comparing against the engine)."""
+        sems = tuple(self.semaphores[s].count for s in sorted(self.semaphores))
+        vars_ = tuple(self.variables[v].posted for v in sorted(self.variables))
+        return (frozenset(self._completed), sems, vars_)

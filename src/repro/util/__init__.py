@@ -1,0 +1,53 @@
+"""Small self-contained graph and ordering utilities.
+
+Everything in this package is implemented from scratch (no networkx
+dependency in the core library) so that the reproduction is
+self-contained.  The benchmark harness may still use numpy for
+aggregate statistics.
+"""
+
+from repro.util.graphs import (
+    Digraph,
+    CycleError,
+    topological_sort,
+    transitive_closure,
+    transitive_reduction,
+    reachable_from,
+    ancestors_of,
+    is_acyclic,
+    maximal_elements,
+    minimal_elements,
+    common_ancestors,
+    closest_common_ancestors,
+)
+from repro.util.relations import (
+    BinaryRelation,
+    relation_from_pairs,
+    is_transitive,
+    is_irreflexive,
+    is_symmetric,
+    is_antisymmetric,
+    is_strict_partial_order,
+)
+
+__all__ = [
+    "Digraph",
+    "CycleError",
+    "topological_sort",
+    "transitive_closure",
+    "transitive_reduction",
+    "reachable_from",
+    "ancestors_of",
+    "is_acyclic",
+    "maximal_elements",
+    "minimal_elements",
+    "common_ancestors",
+    "closest_common_ancestors",
+    "BinaryRelation",
+    "relation_from_pairs",
+    "is_transitive",
+    "is_irreflexive",
+    "is_symmetric",
+    "is_antisymmetric",
+    "is_strict_partial_order",
+]

@@ -1,0 +1,264 @@
+"""Directed-graph utilities used throughout the reproduction.
+
+The graphs handled here are small (hundreds of nodes), so the
+implementations favour clarity and predictable asymptotics over raw
+constant-factor speed.  Reachability-heavy helpers use Python integers
+as bitsets, which keeps transitive closure at ``O(V * E / wordsize)``
+word operations -- easily fast enough for every workload in the paper's
+reproduction while remaining dependency free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+
+
+class CycleError(ValueError):
+    """Raised when an operation that requires a DAG meets a cycle."""
+
+    def __init__(self, message: str, cycle: Sequence[Hashable] = ()):  # pragma: no cover - trivial
+        super().__init__(message)
+        self.cycle = tuple(cycle)
+
+
+class Digraph:
+    """A minimal directed graph over hashable node labels.
+
+    Nodes are kept in insertion order, which makes every derived
+    ordering (topological sorts, closures) deterministic -- important
+    for reproducible benchmark output and for replayable witnesses.
+    """
+
+    def __init__(self, nodes: Iterable[Hashable] = (), edges: Iterable[Tuple[Hashable, Hashable]] = ()):
+        self._succ: Dict[Hashable, List[Hashable]] = {}
+        self._pred: Dict[Hashable, List[Hashable]] = {}
+        self._edge_set: Set[Tuple[Hashable, Hashable]] = set()
+        for n in nodes:
+            self.add_node(n)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, n: Hashable) -> None:
+        """Add ``n`` if not already present (idempotent)."""
+        if n not in self._succ:
+            self._succ[n] = []
+            self._pred[n] = []
+
+    def add_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Add edge ``u -> v``; returns True if the edge was new."""
+        self.add_node(u)
+        self.add_node(v)
+        if (u, v) in self._edge_set:
+            return False
+        self._edge_set.add((u, v))
+        self._succ[u].append(v)
+        self._pred[v].append(u)
+        return True
+
+    def copy(self) -> "Digraph":
+        g = Digraph()
+        for n in self._succ:
+            g.add_node(n)
+        for u, v in self._edge_set:
+            g.add_edge(u, v)
+        return g
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[Hashable, ...]:
+        return tuple(self._succ.keys())
+
+    @property
+    def edges(self) -> FrozenSet[Tuple[Hashable, Hashable]]:
+        return frozenset(self._edge_set)
+
+    def successors(self, n: Hashable) -> Tuple[Hashable, ...]:
+        return tuple(self._succ[n])
+
+    def predecessors(self, n: Hashable) -> Tuple[Hashable, ...]:
+        return tuple(self._pred[n])
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return (u, v) in self._edge_set
+
+    def has_node(self, n: Hashable) -> bool:
+        return n in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, n: Hashable) -> bool:
+        return n in self._succ
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._succ)
+
+    def out_degree(self, n: Hashable) -> int:
+        return len(self._succ[n])
+
+    def in_degree(self, n: Hashable) -> int:
+        return len(self._pred[n])
+
+
+def topological_sort(g: Digraph) -> List[Hashable]:
+    """Kahn's algorithm; deterministic given insertion order.
+
+    Raises :class:`CycleError` when ``g`` contains a cycle.
+    """
+    indeg = {n: g.in_degree(n) for n in g.nodes}
+    queue: deque = deque(n for n in g.nodes if indeg[n] == 0)
+    order: List[Hashable] = []
+    while queue:
+        n = queue.popleft()
+        order.append(n)
+        for m in g.successors(n):
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                queue.append(m)
+    if len(order) != len(g):
+        remaining = [n for n in g.nodes if indeg[n] > 0]
+        raise CycleError("graph contains a cycle", remaining)
+    return order
+
+
+def is_acyclic(g: Digraph) -> bool:
+    try:
+        topological_sort(g)
+        return True
+    except CycleError:
+        return False
+
+
+def _index_map(g: Digraph) -> Dict[Hashable, int]:
+    return {n: i for i, n in enumerate(g.nodes)}
+
+
+def transitive_closure(g: Digraph) -> Digraph:
+    """Return the transitive closure of a DAG as a new graph.
+
+    Uses per-node reachability bitsets computed in reverse topological
+    order: ``reach(n) = union(reach(s) | {s} for s in succ(n))``.
+    """
+    order = topological_sort(g)
+    idx = _index_map(g)
+    reach: Dict[Hashable, int] = {}
+    for n in reversed(order):
+        mask = 0
+        for s in g.successors(n):
+            mask |= reach[s] | (1 << idx[s])
+        reach[n] = mask
+    nodes = g.nodes
+    closed = Digraph(nodes)
+    for n in nodes:
+        mask = reach[n]
+        while mask:
+            low = mask & -mask
+            closed.add_edge(n, nodes[low.bit_length() - 1])
+            mask ^= low
+    return closed
+
+
+def transitive_reduction(g: Digraph) -> Digraph:
+    """Return the unique transitive reduction of a DAG.
+
+    Edge ``u -> v`` is kept iff there is no other path from ``u`` to
+    ``v`` (i.e. no successor ``w != v`` of ``u`` that reaches ``v``).
+    """
+    order = topological_sort(g)
+    idx = _index_map(g)
+    reach: Dict[Hashable, int] = {}
+    for n in reversed(order):
+        mask = 0
+        for s in g.successors(n):
+            mask |= reach[s] | (1 << idx[s])
+        reach[n] = mask
+    reduced = Digraph(g.nodes)
+    for u in g.nodes:
+        for v in g.successors(u):
+            indirect = False
+            for w in g.successors(u):
+                if w is not v and w != v and (reach[w] >> idx[v]) & 1:
+                    indirect = True
+                    break
+            if not indirect:
+                reduced.add_edge(u, v)
+    return reduced
+
+
+def reachable_from(g: Digraph, src: Hashable) -> Set[Hashable]:
+    """All nodes reachable from ``src`` (excluding ``src`` itself unless on a cycle)."""
+    seen: Set[Hashable] = set()
+    stack = list(g.successors(src))
+    while stack:
+        n = stack.pop()
+        if n in seen:
+            continue
+        seen.add(n)
+        stack.extend(g.successors(n))
+    return seen
+
+
+def ancestors_of(g: Digraph, dst: Hashable) -> Set[Hashable]:
+    """All nodes with a (non-empty) path to ``dst``."""
+    seen: Set[Hashable] = set()
+    stack = list(g.predecessors(dst))
+    while stack:
+        n = stack.pop()
+        if n in seen:
+            continue
+        seen.add(n)
+        stack.extend(g.predecessors(n))
+    return seen
+
+
+def maximal_elements(g: Digraph, subset: Iterable[Hashable]) -> List[Hashable]:
+    """Elements of ``subset`` from which no *other* subset element is reachable."""
+    sub = list(dict.fromkeys(subset))
+    result = []
+    for n in sub:
+        below = reachable_from(g, n)
+        if not any(m in below for m in sub if m != n):
+            result.append(n)
+    return result
+
+
+def minimal_elements(g: Digraph, subset: Iterable[Hashable]) -> List[Hashable]:
+    """Elements of ``subset`` not reachable from any *other* subset element."""
+    sub = list(dict.fromkeys(subset))
+    result = []
+    for n in sub:
+        above = ancestors_of(g, n)
+        if not any(m in above for m in sub if m != n):
+            result.append(n)
+    return result
+
+
+def common_ancestors(g: Digraph, targets: Sequence[Hashable]) -> Set[Hashable]:
+    """Nodes that reach every node in ``targets``.
+
+    A target is considered an ancestor of itself for this purpose, so a
+    single-element target set yields that element plus its proper
+    ancestors (matching the Emrath/Ghosh/Padua usage where a sole
+    candidate Post is its own "closest common ancestor").
+    """
+    if not targets:
+        return set()
+    sets = []
+    for t in targets:
+        s = ancestors_of(g, t)
+        s.add(t)
+        sets.append(s)
+    result = set.intersection(*sets)
+    return result
+
+
+def closest_common_ancestors(g: Digraph, targets: Sequence[Hashable]) -> List[Hashable]:
+    """The maximal (deepest) common ancestors of ``targets`` in a DAG."""
+    commons = common_ancestors(g, targets)
+    return maximal_elements(g, commons)

@@ -1,0 +1,159 @@
+"""Binary-relation helpers.
+
+The paper's six ordering relations (Table 1) are all binary relations
+over the event set of an execution.  :class:`BinaryRelation` is a thin,
+set-backed value type with the algebra needed by the analysis layer:
+union, intersection, complement (over an explicit universe), converse,
+and the order-theoretic predicates used by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+Pair = Tuple[Hashable, Hashable]
+
+
+class BinaryRelation:
+    """An immutable binary relation over a fixed universe of elements."""
+
+    __slots__ = ("_universe", "_pairs")
+
+    def __init__(self, universe: Iterable[Hashable], pairs: Iterable[Pair] = ()):
+        self._universe: Tuple[Hashable, ...] = tuple(dict.fromkeys(universe))
+        uset = set(self._universe)
+        ps = set()
+        for a, b in pairs:
+            if a not in uset or b not in uset:
+                raise ValueError(f"pair ({a!r}, {b!r}) not within universe")
+            ps.add((a, b))
+        self._pairs: FrozenSet[Pair] = frozenset(ps)
+
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> Tuple[Hashable, ...]:
+        return self._universe
+
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        return self._pairs
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def __call__(self, a: Hashable, b: Hashable) -> bool:
+        return (a, b) in self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(sorted(self._pairs, key=repr))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinaryRelation):
+            return NotImplemented
+        return set(self._universe) == set(other._universe) and self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._universe), self._pairs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BinaryRelation({len(self._universe)} elems, {len(self._pairs)} pairs)"
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def _check_same_universe(self, other: "BinaryRelation") -> None:
+        if set(self._universe) != set(other._universe):
+            raise ValueError("relations defined over different universes")
+
+    def union(self, other: "BinaryRelation") -> "BinaryRelation":
+        self._check_same_universe(other)
+        return BinaryRelation(self._universe, self._pairs | other._pairs)
+
+    def intersection(self, other: "BinaryRelation") -> "BinaryRelation":
+        self._check_same_universe(other)
+        return BinaryRelation(self._universe, self._pairs & other._pairs)
+
+    def difference(self, other: "BinaryRelation") -> "BinaryRelation":
+        self._check_same_universe(other)
+        return BinaryRelation(self._universe, self._pairs - other._pairs)
+
+    def complement(self, *, reflexive: bool = False) -> "BinaryRelation":
+        """All pairs not in the relation.
+
+        By default the diagonal is excluded, because every relation in
+        the paper is over *distinct* event pairs (an event is never
+        ordered with or concurrent with itself in a meaningful way).
+        """
+        pairs = set()
+        for a in self._universe:
+            for b in self._universe:
+                if a == b and not reflexive:
+                    continue
+                if (a, b) not in self._pairs:
+                    pairs.add((a, b))
+        return BinaryRelation(self._universe, pairs)
+
+    def converse(self) -> "BinaryRelation":
+        return BinaryRelation(self._universe, {(b, a) for (a, b) in self._pairs})
+
+    def issubset(self, other: "BinaryRelation") -> bool:
+        self._check_same_universe(other)
+        return self._pairs <= other._pairs
+
+    def restricted(self, elems: Iterable[Hashable]) -> "BinaryRelation":
+        keep = set(elems)
+        return BinaryRelation(
+            [e for e in self._universe if e in keep],
+            {(a, b) for (a, b) in self._pairs if a in keep and b in keep},
+        )
+
+    def transitive_closure(self) -> "BinaryRelation":
+        succ = {a: set() for a in self._universe}
+        for a, b in self._pairs:
+            succ[a].add(b)
+        closed: Set[Pair] = set()
+        for a in self._universe:
+            seen: Set[Hashable] = set()
+            stack = list(succ[a])
+            while stack:
+                n = stack.pop()
+                if n in seen:
+                    continue
+                seen.add(n)
+                stack.extend(succ[n])
+            closed.update((a, b) for b in seen)
+        return BinaryRelation(self._universe, closed)
+
+
+def relation_from_pairs(universe: Iterable[Hashable], pairs: Iterable[Pair]) -> BinaryRelation:
+    return BinaryRelation(universe, pairs)
+
+
+def is_irreflexive(r: BinaryRelation) -> bool:
+    return all((a, a) not in r for a in r.universe)
+
+
+def is_symmetric(r: BinaryRelation) -> bool:
+    return all((b, a) in r for (a, b) in r.pairs)
+
+
+def is_antisymmetric(r: BinaryRelation) -> bool:
+    return all(not ((b, a) in r and a != b) for (a, b) in r.pairs)
+
+
+def is_transitive(r: BinaryRelation) -> bool:
+    succ = {}
+    for a, b in r.pairs:
+        succ.setdefault(a, set()).add(b)
+    for a, b in r.pairs:
+        for c in succ.get(b, ()):  # a->b->c requires a->c
+            if (a, c) not in r:
+                return False
+    return True
+
+
+def is_strict_partial_order(r: BinaryRelation) -> bool:
+    return is_irreflexive(r) and is_transitive(r) and is_antisymmetric(r)

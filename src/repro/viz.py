@@ -1,0 +1,112 @@
+"""Graphviz (DOT) export for executions, task graphs and witnesses.
+
+Pure text generation (no graphviz dependency): feed the output to
+``dot -Tpng`` or any renderer.  Three views:
+
+* :func:`execution_dot` -- the static order graph of an execution:
+  events as nodes, program order / fork / join / dependence edges
+  distinguished by style (dependences dashed red, exactly the edges
+  the Emrath/Ghosh/Padua method ignores);
+* :func:`task_graph_dot` -- the EGP task graph with its four edge
+  kinds (the paper's Figure 1b rendering);
+* :func:`witness_dot` -- a witness schedule as a timeline: events
+  ordered by completion, overlap pairs marked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.approx.taskgraph import TaskGraph, TaskGraphEdge
+from repro.core.witness import Witness
+from repro.model.execution import ProgramExecution
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', '\\"') + '"'
+
+
+def _event_node(exe: ProgramExecution, eid: int) -> str:
+    e = exe.event(eid)
+    return f"  n{eid} [label={_quote(e.describe())}];"
+
+
+def execution_dot(exe: ProgramExecution, *, include_dependences: bool = True,
+                  name: str = "execution") -> str:
+    """DOT for the static order graph, one cluster per process."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=box, fontsize=10];"]
+    for i, proc in enumerate(exe.process_names):
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f"    label={_quote(proc)};")
+        for eid in exe.process_events(proc):
+            lines.append("  " + _event_node(exe, eid))
+        lines.append("  }")
+    # program order
+    for proc in exe.process_names:
+        eids = exe.process_events(proc)
+        for u, v in zip(eids, eids[1:]):
+            lines.append(f"  n{u} -> n{v};")
+    # fork / join
+    for feid, children in exe.fork_children.items():
+        for c in children:
+            evs = exe.process_events(c)
+            if evs:
+                lines.append(f"  n{feid} -> n{evs[0]} [style=dotted];")
+    for jeid, targets in exe.join_targets.items():
+        for t in targets:
+            evs = exe.process_events(t)
+            if evs:
+                lines.append(f"  n{evs[-1]} -> n{jeid} [style=dotted];")
+    if include_dependences:
+        for a, b in sorted(exe.dependences):
+            lines.append(f"  n{a} -> n{b} [style=dashed, color=red, label=\"D\"];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_EDGE_STYLE: Dict[TaskGraphEdge, str] = {
+    TaskGraphEdge.MACHINE: "",
+    TaskGraphEdge.TASK_START: "style=dotted",
+    TaskGraphEdge.TASK_END: "style=dotted",
+    TaskGraphEdge.SYNCHRONIZATION: "penwidth=2",
+}
+
+
+def task_graph_dot(tg: TaskGraph, *, name: str = "taskgraph") -> str:
+    """DOT for an EGP task graph (Figure 1b style)."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=ellipse, fontsize=10];"]
+    for eid in tg.nodes:
+        lines.append(_event_node(tg.exe, eid))
+    for (u, v), kind in sorted(tg.edge_kinds.items()):
+        style = _EDGE_STYLE[kind]
+        attr = f" [{style}]" if style else ""
+        lines.append(f"  n{u} -> n{v}{attr};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def witness_dot(witness: Witness, *, name: str = "witness",
+                highlight: Optional[List[int]] = None) -> str:
+    """DOT timeline of a witness: completion order left to right,
+    overlapping pairs joined by red undirected edges."""
+    exe = witness.exe
+    order = witness.serial_order()
+    highlight = set(highlight or ())
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box, fontsize=10];"]
+    for eid in order:
+        extra = ", color=red, penwidth=2" if eid in highlight else ""
+        e = exe.event(eid)
+        lines.append(f"  n{eid} [label={_quote(e.describe())}{extra}];")
+    for u, v in zip(order, order[1:]):
+        lines.append(f"  n{u} -> n{v} [color=gray];")
+    seen = set()
+    for a in order:
+        for b in order:
+            if a < b and witness.concurrent(a, b) and (a, b) not in seen:
+                seen.add((a, b))
+                lines.append(
+                    f"  n{a} -> n{b} [dir=none, color=red, style=dashed, "
+                    f"constraint=false, label=\"overlap\"];"
+                )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Canned programs and random workload generators.
+
+:mod:`repro.workloads.programs` contains the paper's Figure 1 fragment
+and a set of realistic small concurrent programs (producer/consumer,
+barrier phases, dining philosophers, data-dependent synchronization)
+used by the examples, tests and benchmarks.
+:mod:`repro.workloads.generators` produces seeded random executions --
+built directly as event sets with a feasible schedule by construction
+-- for the soundness/precision benchmarks, where hundreds of varied
+executions are needed.
+"""
+
+from repro.workloads.programs import (
+    figure1_program,
+    figure1_execution,
+    producer_consumer_program,
+    barrier_program,
+    dining_philosophers_program,
+    data_dependent_branch_program,
+    pipeline_program,
+    readers_writers_program,
+    reusable_barrier_program,
+    work_queue_program,
+)
+from repro.workloads.generators import (
+    random_semaphore_execution,
+    random_event_execution,
+    random_computation_overlay,
+    independent_processes_execution,
+)
+
+__all__ = [
+    "figure1_program",
+    "figure1_execution",
+    "producer_consumer_program",
+    "barrier_program",
+    "dining_philosophers_program",
+    "data_dependent_branch_program",
+    "pipeline_program",
+    "readers_writers_program",
+    "reusable_barrier_program",
+    "work_queue_program",
+    "random_semaphore_execution",
+    "random_event_execution",
+    "random_computation_overlay",
+    "independent_processes_execution",
+]

@@ -1,0 +1,344 @@
+"""Seeded random execution generators.
+
+Executions are generated *schedule-first*: a random legal serial
+schedule of synchronization operations is grown step by step (only
+operations that can complete in the current synchronization state are
+eligible), then the operations are attributed to processes and the
+schedule becomes the execution's observed schedule.  Feasibility is
+therefore guaranteed by construction -- every generated execution has a
+non-empty ``F`` -- which the soundness benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.builder import ExecutionBuilder
+from repro.model.execution import ProgramExecution
+
+
+def _build_from_plan(
+    plan: Dict[str, List[Tuple[str, Optional[str]]]],
+    schedule_names: List[Tuple[str, int]],
+    *,
+    sem_initial: Dict[str, int],
+    posted_vars: Sequence[str] = (),
+    dependences: Sequence[Tuple[Tuple[str, int], Tuple[str, int]]] = (),
+) -> ProgramExecution:
+    """Assemble an execution from per-process op lists plus a schedule.
+
+    ``plan[proc]`` is a list of ``(op, obj)`` pairs where op is one of
+    ``P V post wait clear skip read:<var> write:<var>``;
+    ``schedule_names`` lists ``(proc, index)`` in completion order.
+    """
+    b = ExecutionBuilder()
+    for sem, init in sem_initial.items():
+        b.semaphore(sem, init)
+    for v in posted_vars:
+        b.event_variable(v, posted=True)
+    eids: Dict[Tuple[str, int], int] = {}
+    for proc, ops in plan.items():
+        pb = b.process(proc)
+        for i, (op, obj) in enumerate(ops):
+            if op == "P":
+                eid = pb.sem_p(obj)
+            elif op == "V":
+                eid = pb.sem_v(obj)
+            elif op == "post":
+                eid = pb.post(obj)
+            elif op == "wait":
+                eid = pb.wait(obj)
+            elif op == "clear":
+                eid = pb.clear(obj)
+            elif op == "skip":
+                eid = pb.skip()
+            elif op.startswith("read:"):
+                eid = pb.read(op.split(":", 1)[1])
+            elif op.startswith("write:"):
+                eid = pb.write(op.split(":", 1)[1])
+            else:  # pragma: no cover - generator internal
+                raise AssertionError(op)
+            eids[(proc, i)] = eid
+    for (pa, ia), (pb_, ib) in dependences:
+        b.dependence(eids[(pa, ia)], eids[(pb_, ib)])
+    observed = [eids[key] for key in schedule_names]
+    return b.build(observed_schedule=observed)
+
+
+def random_semaphore_execution(
+    *,
+    processes: int = 3,
+    events_per_process: int = 4,
+    semaphores: int = 2,
+    seed: int = 0,
+    p_fraction: float = 0.45,
+    initial_counts: Optional[Dict[str, int]] = None,
+) -> ProgramExecution:
+    """A random feasible semaphore execution (schedule-first).
+
+    At each step a process is chosen and performs either a ``V`` or --
+    when some semaphore currently has a token -- a ``P`` on a random
+    non-empty semaphore.  The resulting serial schedule is legal by
+    construction.
+    """
+    rng = random.Random(seed)
+    sems = [f"s{k}" for k in range(semaphores)]
+    counts = {s: 0 for s in sems}
+    if initial_counts:
+        counts.update(initial_counts)
+    sem_initial = dict(counts)
+    remaining = {f"p{i}": events_per_process for i in range(processes)}
+    plan: Dict[str, List[Tuple[str, Optional[str]]]] = {p: [] for p in remaining}
+    schedule: List[Tuple[str, int]] = []
+    while any(remaining.values()):
+        proc = rng.choice([p for p, r in remaining.items() if r > 0])
+        nonempty = [s for s in sems if counts[s] > 0]
+        if nonempty and rng.random() < p_fraction:
+            s = rng.choice(nonempty)
+            counts[s] -= 1
+            op = ("P", s)
+        else:
+            s = rng.choice(sems)
+            counts[s] += 1
+            op = ("V", s)
+        idx = len(plan[proc])
+        plan[proc].append(op)
+        schedule.append((proc, idx))
+        remaining[proc] -= 1
+    return _build_from_plan(plan, schedule, sem_initial=sem_initial)
+
+
+def random_event_execution(
+    *,
+    processes: int = 3,
+    events_per_process: int = 4,
+    variables: int = 2,
+    seed: int = 0,
+    clear_fraction: float = 0.2,
+) -> ProgramExecution:
+    """A random feasible Post/Wait/Clear execution (schedule-first)."""
+    rng = random.Random(seed)
+    evars = [f"v{k}" for k in range(variables)]
+    posted = {v: False for v in evars}
+    remaining = {f"p{i}": events_per_process for i in range(processes)}
+    plan: Dict[str, List[Tuple[str, Optional[str]]]] = {p: [] for p in remaining}
+    schedule: List[Tuple[str, int]] = []
+    while any(remaining.values()):
+        proc = rng.choice([p for p, r in remaining.items() if r > 0])
+        roll = rng.random()
+        posted_vars = [v for v in evars if posted[v]]
+        if posted_vars and roll < 0.4:
+            op = ("wait", rng.choice(posted_vars))
+        elif roll < 0.4 + clear_fraction:
+            v = rng.choice(evars)
+            posted[v] = False
+            op = ("clear", v)
+        else:
+            v = rng.choice(evars)
+            posted[v] = True
+            op = ("post", v)
+        idx = len(plan[proc])
+        plan[proc].append(op)
+        schedule.append((proc, idx))
+        remaining[proc] -= 1
+    return _build_from_plan(plan, schedule, sem_initial={})
+
+
+def random_computation_overlay(
+    *,
+    processes: int = 3,
+    events_per_process: int = 4,
+    semaphores: int = 1,
+    shared_vars: int = 2,
+    seed: int = 0,
+    access_fraction: float = 0.5,
+) -> ProgramExecution:
+    """A mixed workload: semaphore sync plus shared reads/writes.
+
+    Computation events carry accesses to random shared variables, and
+    ``D`` is derived from the generated schedule's access order --
+    producing executions where ordering answers genuinely differ with
+    ``include_dependences`` on/off (the Section 5.3 benchmark's input).
+    """
+    rng = random.Random(seed)
+    sems = [f"s{k}" for k in range(semaphores)]
+    counts = {s: 0 for s in sems}
+    svars = [f"x{k}" for k in range(shared_vars)]
+    remaining = {f"p{i}": events_per_process for i in range(processes)}
+    plan: Dict[str, List[Tuple[str, Optional[str]]]] = {p: [] for p in remaining}
+    schedule: List[Tuple[str, int]] = []
+    accesses: List[Tuple[str, int, str, bool]] = []  # (proc, idx, var, is_write)
+    while any(remaining.values()):
+        proc = rng.choice([p for p, r in remaining.items() if r > 0])
+        roll = rng.random()
+        idx = len(plan[proc])
+        if roll < access_fraction:
+            var = rng.choice(svars)
+            is_write = rng.random() < 0.5
+            plan[proc].append((f"{'write' if is_write else 'read'}:{var}", None))
+            accesses.append((proc, idx, var, is_write))
+        else:
+            nonempty = [s for s in sems if counts[s] > 0]
+            if nonempty and rng.random() < 0.5:
+                s = rng.choice(nonempty)
+                counts[s] -= 1
+                plan[proc].append(("P", s))
+            else:
+                s = rng.choice(sems)
+                counts[s] += 1
+                plan[proc].append(("V", s))
+        schedule.append((proc, idx))
+        remaining[proc] -= 1
+    # derive D from schedule order of conflicting accesses
+    pos = {key: i for i, key in enumerate(schedule)}
+    deps = []
+    for i, (pa, ia, va, wa) in enumerate(accesses):
+        for pb_, ib, vb, wb in accesses[i + 1 :]:
+            if va == vb and (wa or wb):
+                first, second = ((pa, ia), (pb_, ib))
+                if pos[first] > pos[second]:
+                    first, second = second, first
+                deps.append((first, second))
+    return _build_from_plan(
+        plan, schedule, sem_initial={s: 0 for s in sems}, dependences=deps
+    )
+
+
+def random_forkjoin_program(
+    *,
+    depth: int = 2,
+    max_children: int = 2,
+    ops_per_process: int = 2,
+    semaphores: int = 1,
+    seed: int = 0,
+):
+    """A random program with nested fork/join plus semaphore traffic.
+
+    Returns a :class:`~repro.lang.ast.Program`.  Every ``P`` is paired
+    with an earlier-declared supply: the root seeds each semaphore with
+    enough initial tokens to cover all consumers, so every run
+    completes (deadlock-free by construction) -- run it through the
+    interpreter to obtain feasible executions with genuine fork/join
+    nesting, which the flat schedule-first generators cannot produce.
+    """
+    from repro.lang.ast import Fork, Join, ProcessDef, Program, SemP, SemV, Skip
+
+    rng = random.Random(seed)
+    sems = [f"s{k}" for k in range(semaphores)]
+    p_count = {s: 0 for s in sems}
+    counter = [0]
+
+    def make_body(level: int):
+        body = []
+        for _ in range(ops_per_process):
+            roll = rng.random()
+            s = rng.choice(sems)
+            if roll < 0.3:
+                body.append(SemV(s))
+            elif roll < 0.6:
+                body.append(SemP(s))
+                p_count[s] += 1
+            else:
+                body.append(Skip())
+        if level < depth and rng.random() < 0.7:
+            children = []
+            for _ in range(rng.randint(1, max_children)):
+                counter[0] += 1
+                children.append(ProcessDef(f"t{counter[0]}", make_body(level + 1)))
+            body.append(Fork(children))
+            body.append(Join())
+        return body
+
+    root = ProcessDef("root", make_body(0))
+    # seed enough tokens for every P: V supply inside the tree may be
+    # unreachable before a given P, so over-provision initial counts
+    return Program([root], sem_initial={s: p_count[s] for s in sems})
+
+
+def random_full_program(
+    *,
+    seed: int = 0,
+    processes: int = 3,
+    statements_per_process: int = 4,
+    shared_vars: int = 2,
+    semaphores: int = 1,
+):
+    """A random program exercising the whole statement grammar.
+
+    Used for interpreter fuzzing: assignments, conditionals over shared
+    state, bounded whiles, semaphore traffic (deadlock-free: every
+    semaphore is seeded with enough tokens for all its ``P``\\ s) and
+    local variables.  Returns a :class:`~repro.lang.ast.Program`.
+    """
+    from repro.lang.ast import (
+        Assign, BinOp, Const, If, LocalAssign, Local, ProcessDef, Program,
+        SemP, SemV, Shared, Skip, While,
+    )
+
+    rng = random.Random(seed)
+    svars = [f"x{k}" for k in range(shared_vars)]
+    sems = [f"s{k}" for k in range(semaphores)]
+    p_needed = {s: 0 for s in sems}
+
+    def expr(depth=1):
+        roll = rng.random()
+        if depth == 0 or roll < 0.4:
+            return rng.choice(
+                [Const(rng.randint(0, 3)), Shared(rng.choice(svars)), Local("t")]
+            )
+        op = rng.choice(["+", "-", "*", "==", "<", ">="])
+        return BinOp(op, expr(depth - 1), expr(depth - 1))
+
+    def stmt(depth=1):
+        roll = rng.random()
+        if roll < 0.30:
+            return Assign(rng.choice(svars), expr())
+        if roll < 0.40:
+            return LocalAssign("t", expr())
+        if roll < 0.50:
+            return Skip()
+        if roll < 0.62:
+            s = rng.choice(sems)
+            return SemV(s)
+        if roll < 0.74:
+            s = rng.choice(sems)
+            p_needed[s] += 1
+            return SemP(s)
+        if roll < 0.90 and depth > 0:
+            return If(expr(), [stmt(depth - 1)], [stmt(depth - 1)])
+        if depth > 0:
+            # a bounded countdown loop over a local variable
+            return While(
+                BinOp("<", Local("i"), Const(0)),  # never entered; shape only
+                [stmt(depth - 1)],
+            )
+        return Skip()
+
+    defs = [
+        ProcessDef(f"p{i}", [stmt() for _ in range(statements_per_process)])
+        for i in range(processes)
+    ]
+    return Program(defs, sem_initial={s: p_needed[s] for s in sems})
+
+
+def random_forkjoin_execution(*, seed: int = 0, **kw):
+    """A feasible execution with nested fork/join (simulator-produced)."""
+    from repro.lang.interpreter import run_program
+
+    program = random_forkjoin_program(seed=seed, **kw)
+    return run_program(program, seed).to_execution()
+
+
+def independent_processes_execution(
+    *, processes: int = 4, events_per_process: int = 3
+) -> ProgramExecution:
+    """No synchronization at all: the engine's easy case (used by the
+    scaling benchmark as the polynomial-behaviour contrast)."""
+    b = ExecutionBuilder()
+    eids = []
+    for i in range(processes):
+        pb = b.process(f"p{i}")
+        for _ in range(events_per_process):
+            eids.append(pb.skip())
+    return b.build(observed_schedule=sorted(eids))

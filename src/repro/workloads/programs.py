@@ -1,0 +1,295 @@
+"""Canned concurrent programs, including the paper's Figure 1.
+
+Figure 1 (reconstructed from the prose of Section 4 -- the figure
+graphic itself describes a fragment where a parent forks three tasks,
+the first of which "completely executes before the other two"):
+
+* task ``t1``: ``Post(ev); X := 1``   (the *left-most* Post)
+* task ``t2``: ``if X = 1 then Post(ev) else Wait(ev)``  (the
+  *right-most* Post, in the observed then-branch)
+* task ``t3``: ``Wait(ev)``
+
+In the observed execution ``t1`` runs first, so ``t2`` reads ``X = 1``
+and issues the second Post.  The shared-data dependence
+``X := 1  ->D  if X = 1`` must recur in every feasible execution (F3),
+which chains ``Post_left ->T X:=1 ->T if ->T Post_right``: the two
+Posts are *must-ordered*.  The EGP task graph ignores ``D`` and shows
+no path between them -- exactly the paper's criticism.  If the
+dependence did *not* occur, the else branch would run and a Wait would
+replace the right-most Post, changing the event set -- which is why
+executions violating F3 are not feasible alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Clear,
+    Const,
+    Fork,
+    If,
+    Join,
+    LocalAssign,
+    Local,
+    Post,
+    ProcessDef,
+    Program,
+    SemP,
+    SemV,
+    Shared,
+    Skip,
+    Wait,
+    While,
+)
+from repro.lang.interpreter import run_program
+from repro.lang.scheduler import PriorityScheduler
+from repro.model.execution import ProgramExecution
+
+
+def figure1_program() -> Program:
+    """The Figure 1 fragment (see module docstring)."""
+    t1 = ProcessDef("t1", [Post("ev", label="post_left"), Assign("X", Const(1), label="x_assign")])
+    t2 = ProcessDef(
+        "t2",
+        [
+            If(
+                BinOp("==", Shared("X"), Const(1)),
+                then=[Post("ev", label="post_right")],
+                orelse=[Wait("ev", label="wait_else")],
+                label="x_test",
+            )
+        ],
+    )
+    t3 = ProcessDef("t3", [Wait("ev", label="wait_t3")])
+    main = ProcessDef("main", [Fork([t1, t2, t3], label="fork_main"), Join(label="join_main")])
+    return Program([main], shared_initial={"X": 0})
+
+
+def figure1_execution() -> ProgramExecution:
+    """The observed execution of Figure 1: ``t1`` completes first.
+
+    Running under a priority scheduler (main, then t1 to completion,
+    then t2, then t3) realizes exactly the paper's scenario, so the
+    then-branch executes and both Posts appear in the event set.
+    """
+    trace = run_program(figure1_program(), PriorityScheduler(["main", "t1", "t2", "t3"]))
+    return trace.to_execution()
+
+
+def producer_consumer_program(items: int = 3, *, buffer_size: int = 2) -> Program:
+    """A bounded-buffer producer/consumer over counting semaphores.
+
+    ``slots`` starts at the buffer size, ``full`` at zero; the shared
+    cursor variables create genuine data dependences between producer
+    and consumer computation events.
+    """
+    producer = ProcessDef(
+        "producer",
+        [
+            stmt
+            for i in range(items)
+            for stmt in (
+                SemP("slots"),
+                Assign("buf_head", Const(i + 1)),
+                SemV("full"),
+            )
+        ],
+    )
+    consumer = ProcessDef(
+        "consumer",
+        [
+            stmt
+            for _ in range(items)
+            for stmt in (
+                SemP("full"),
+                LocalAssign("got", Shared("buf_head")),
+                SemV("slots"),
+            )
+        ],
+    )
+    main = ProcessDef("main", [Fork([producer, consumer]), Join()])
+    return Program([main], sem_initial={"slots": buffer_size, "full": 0})
+
+
+def barrier_program(workers: int = 3) -> Program:
+    """A two-phase barrier built from event variables.
+
+    Each worker posts its arrival variable and waits for ``go``; the
+    coordinator waits for every arrival, then posts ``go``.  After the
+    barrier each worker writes a distinct shared variable -- those
+    writes are all must-after the coordinator's post.
+    """
+    defs = [
+        ProcessDef(
+            f"w{k}",
+            [
+                Post(f"arrive{k}"),
+                Wait("go"),
+                Assign(f"out{k}", Const(k)),
+            ],
+        )
+        for k in range(workers)
+    ]
+    coordinator = ProcessDef(
+        "coord",
+        [Wait(f"arrive{k}") for k in range(workers)] + [Post("go")],
+    )
+    main = ProcessDef("main", [Fork(defs + [coordinator]), Join()])
+    return Program([main])
+
+
+def dining_philosophers_program(n: int = 3, *, rounds: int = 1) -> Program:
+    """Asymmetric dining philosophers (deadlock-free ordering).
+
+    Philosopher ``i`` takes forks ``min(i, i+1 mod n)`` then
+    ``max(...)`` -- the classic total-order fix -- and "eats" by
+    writing a shared counter, so eat events of neighbours conflict.
+    """
+    philosophers = []
+    for i in range(n):
+        left, right = i, (i + 1) % n
+        first, second = min(left, right), max(left, right)
+        body = []
+        for _ in range(rounds):
+            body += [
+                SemP(f"fork{first}"),
+                SemP(f"fork{second}"),
+                Assign(f"meals{i}", BinOp("+", Shared(f"meals{i}"), Const(1))),
+                Assign("table", Const(i)),
+                SemV(f"fork{second}"),
+                SemV(f"fork{first}"),
+            ]
+        philosophers.append(ProcessDef(f"phil{i}", body))
+    main = ProcessDef("main", [Fork(philosophers), Join()])
+    return Program([main], sem_initial={f"fork{i}": 1 for i in range(n)})
+
+
+def data_dependent_branch_program() -> Program:
+    """Synchronization chosen by a shared read (Figure-1-like, with
+    semaphores): the writer's value decides whether the reader signals
+    or consumes.  Exercises F3: feasible executions must preserve the
+    write->read dependence, which freezes the branch."""
+    writer = ProcessDef("writer", [SemV("ready"), Assign("flag", Const(1))])
+    reader = ProcessDef(
+        "reader",
+        [
+            If(
+                BinOp("==", Shared("flag"), Const(1)),
+                then=[SemV("done")],
+                orelse=[SemP("ready"), SemV("done")],
+            )
+        ],
+    )
+    sink = ProcessDef("sink", [SemP("done")])
+    main = ProcessDef("main", [Fork([writer, reader, sink]), Join()])
+    return Program([main], shared_initial={"flag": 0})
+
+
+def readers_writers_program(readers: int = 2, *, writes: int = 1) -> Program:
+    """Readers/writers with a writer-preference token scheme.
+
+    The writer takes the exclusive token; each reader takes and returns
+    it around its read (a simple mutex formulation, enough to create
+    the classic ordered-but-unordered access pattern: reads conflict
+    with the write but not with each other).
+    """
+    writer_body = []
+    for k in range(writes):
+        writer_body += [
+            SemP("token"),
+            Assign("data", Const(k + 1)),
+            SemV("token"),
+        ]
+    procs = [ProcessDef("writer", writer_body)]
+    for r in range(readers):
+        procs.append(
+            ProcessDef(
+                f"reader{r}",
+                [
+                    SemP("token"),
+                    LocalAssign("seen", Shared("data")),
+                    SemV("token"),
+                ],
+            )
+        )
+    main = ProcessDef("main", [Fork(procs), Join()])
+    return Program([main], sem_initial={"token": 1}, shared_initial={"data": 0})
+
+
+def reusable_barrier_program(workers: int = 2, phases: int = 2) -> Program:
+    """A Clear-reusing two-phase barrier (exercises Post/Wait/Clear).
+
+    The coordinator waits for every worker's arrival, clears the
+    arrival latches, then posts ``go{phase}``; workers write a
+    per-phase shared cell after each release.  Clear is what makes the
+    latch reusable across phases -- exactly the primitive the paper
+    singles out (Theorems 3/4 need it; without it the complexity is
+    open).
+    """
+    worker_defs = []
+    for k in range(workers):
+        body = []
+        for ph in range(phases):
+            body += [
+                Post(f"arrive{k}"),
+                Wait(f"go{ph}"),
+                Assign(f"out{k}_{ph}", Const(ph)),
+                # re-arm for the next phase by waiting on the clear ack
+                Wait(f"cleared{ph}") if ph < phases - 1 else Skip(),
+            ]
+        worker_defs.append(ProcessDef(f"w{k}", body))
+    coord_body = []
+    for ph in range(phases):
+        coord_body += [Wait(f"arrive{k}") for k in range(workers)]
+        coord_body += [Clear(f"arrive{k}") for k in range(workers)]
+        coord_body.append(Post(f"go{ph}"))
+        if ph < phases - 1:
+            coord_body.append(Post(f"cleared{ph}"))
+    worker_defs.append(ProcessDef("coord", coord_body))
+    main = ProcessDef("main", [Fork(worker_defs), Join()])
+    return Program([main])
+
+
+def work_queue_program(items: int = 3, workers: int = 2) -> Program:
+    """A counting-semaphore work queue: the master publishes items and
+    signals ``work``; each worker repeatedly takes a slot.  Item counts
+    are split statically so the program is loop-free (the paper's
+    program class)."""
+    master = ProcessDef(
+        "master",
+        [
+            stmt
+            for i in range(items)
+            for stmt in (Assign("queue", Const(i + 1)), SemV("work"))
+        ],
+    )
+    per_worker = [items // workers + (1 if w < items % workers else 0) for w in range(workers)]
+    procs = [master]
+    for w, count in enumerate(per_worker):
+        body = []
+        for _ in range(count):
+            body += [SemP("work"), LocalAssign("got", Shared("queue"))]
+        procs.append(ProcessDef(f"worker{w}", body))
+    main = ProcessDef("main", [Fork(procs), Join()])
+    return Program([main], shared_initial={"queue": 0})
+
+
+def pipeline_program(stages: int = 3) -> Program:
+    """A hand-off pipeline: stage ``k`` reads ``data{k}``, writes
+    ``data{k+1}`` and signals stage ``k+1`` through a semaphore."""
+    defs = []
+    for k in range(stages):
+        body = []
+        if k > 0:
+            body.append(SemP(f"stage{k}"))
+        body.append(
+            Assign(f"data{k + 1}", BinOp("+", Shared(f"data{k}"), Const(1)))
+        )
+        if k < stages - 1:
+            body.append(SemV(f"stage{k + 1}"))
+        defs.append(ProcessDef(f"stage{k}_proc", body))
+    main = ProcessDef("main", [Fork(defs), Join()])
+    return Program([main], shared_initial={"data0": 0})

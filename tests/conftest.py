@@ -1,0 +1,8 @@
+"""Pytest fixtures (strategies live in tests.strategies)."""
+
+from tests.strategies import (  # noqa: F401  (re-exported fixtures)
+    deadlocked_execution,
+    fork_join_execution,
+    independent_pair,
+    vp_execution,
+)

@@ -1,0 +1,117 @@
+"""Tests for exhaustive schedule-tree exploration."""
+
+import pytest
+
+from repro.analysis.explore import ProgramAnalysis, explore_program
+from repro.lang.ast import Assign, Const, ProcessDef, Program, SemP, SemV, Skip
+from repro.lang.parser import parse_program
+from repro.workloads.programs import figure1_program
+
+
+class TestExploreProgram:
+    def test_single_process_single_run(self):
+        prog = Program([ProcessDef("p", [Skip(), Skip()])])
+        res = explore_program(prog)
+        assert len(res.runs) == 1
+        assert not res.runs[0].deadlocked
+        assert res.runs[0].schedule == ("p", "p")
+
+    def test_two_independent_events_two_runs(self):
+        prog = Program([ProcessDef("a", [Skip()]), ProcessDef("b", [Skip()])])
+        res = explore_program(prog)
+        assert sorted(r.schedule for r in res.runs) == [("a", "b"), ("b", "a")]
+
+    def test_interleaving_count(self):
+        # 2 processes x 2 steps: C(4,2) = 6 interleavings
+        prog = Program(
+            [ProcessDef("a", [Skip(), Skip()]), ProcessDef("b", [Skip(), Skip()])]
+        )
+        assert len(explore_program(prog).runs) == 6
+
+    def test_blocking_prunes_schedules(self):
+        prog = Program(
+            [ProcessDef("w", [SemP("s")]), ProcessDef("s_", [SemV("s")])]
+        )
+        res = explore_program(prog)
+        assert all(r.schedule == ("s_", "w") for r in res.runs)
+
+    def test_deadlock_recorded(self):
+        src = "proc a { wait v1; post v2 }\nproc b { wait v2; post v1 }"
+        res = explore_program(parse_program(src))
+        assert len(res.runs) == 1
+        assert res.runs[0].deadlocked
+        assert res.runs[0].blocked == ("a", "b")
+
+    def test_partial_deadlock_mix(self):
+        # a and b race to P the single token; loser blocks forever
+        src = "sem s = 1\nproc a { P(s) }\nproc b { P(s) }"
+        res = explore_program(parse_program(src))
+        assert len(res.deadlocked_runs) == 2
+        assert len(res.complete_runs) == 0
+
+    def test_max_runs_truncates(self):
+        prog = Program(
+            [ProcessDef("a", [Skip()] * 3), ProcessDef("b", [Skip()] * 3)]
+        )
+        res = explore_program(prog, max_runs=2)
+        assert res.truncated and len(res.runs) == 2
+
+    def test_traces_are_replayable_runs(self):
+        res = explore_program(figure1_program())
+        for run in res.complete_runs:
+            assert len(run.trace) == len(run.schedule)
+
+
+class TestProgramAnalysis:
+    def test_figure1_two_signatures(self):
+        ana = ProgramAnalysis(figure1_program())
+        assert not ana.can_deadlock
+        sigs = ana.event_signatures()
+        assert len(sigs) == 2  # then-branch and else-branch event sets
+        assert sum(sigs.values()) == len(ana.result.complete_runs)
+
+    def test_figure1_guaranteed_orderings(self):
+        ana = ProgramAnalysis(figure1_program())
+        guaranteed = ana.guaranteed_orderings()
+        # post_left precedes t3's wait in every complete run: either the
+        # wait was triggered by it, or by the data-dependent right post,
+        # which itself needs X:=1 after post_left
+        assert ("post_left", "wait_t3") in guaranteed
+        # ... but the converse never holds
+        assert ("wait_t3", "post_left") not in guaranteed
+
+    def test_branch_dependent_labels_excluded(self):
+        ana = ProgramAnalysis(figure1_program())
+        common = ana.labels_in_all_runs()
+        # the right post only exists in then-branch runs
+        assert "post_right" not in common
+        assert "post_left" in common
+
+    def test_sequential_program_totally_ordered(self):
+        src = "proc p { skip @a; skip @b; skip @c }"
+        ana = ProgramAnalysis(parse_program(src))
+        assert ana.guaranteed_orderings() == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_unordered_pair_detected(self):
+        src = "proc a { skip @x }\nproc b { skip @y }"
+        ana = ProgramAnalysis(parse_program(src))
+        assert ana.guaranteed_orderings() == set()
+
+    def test_semaphore_forces_program_level_ordering(self):
+        src = "proc a { V(s) @sig }\nproc b { P(s) @ack }"
+        ana = ProgramAnalysis(parse_program(src))
+        assert ("sig", "ack") in ana.guaranteed_orderings()
+
+    def test_budget_exhaustion_raises(self):
+        prog = Program(
+            [ProcessDef("a", [Skip()] * 4), ProcessDef("b", [Skip()] * 4)]
+        )
+        with pytest.raises(RuntimeError, match="max_runs"):
+            ProgramAnalysis(prog, max_runs=3)
+
+    def test_summary_keys(self):
+        ana = ProgramAnalysis(parse_program("proc p { skip @a }"))
+        assert set(ana.summary()) == {
+            "runs", "complete", "deadlocked", "event_signatures",
+            "guaranteed_orderings",
+        }

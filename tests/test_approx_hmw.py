@@ -1,0 +1,144 @@
+"""Tests for the HMW-style safe-ordering algorithm.
+
+The key claims, mirroring the paper's Section 4 discussion:
+
+* phase 1 (trace pairing) is **unsafe** -- a concrete trace exhibits an
+  edge the exact engine refutes;
+* phases 2 and 3 are **safe** -- every edge is an exact
+  must-complete-before ordering (property-tested);
+* phase 3 sharpens phase 2, and both are incomplete w.r.t. the exact
+  relation (the paper proves no polynomial algorithm can close that
+  gap) -- a deadlock-avoidance ordering is exhibited that phase 3
+  misses.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.approx.hmw import HMWAnalysis, InfeasibleTraceError
+from repro.core.queries import OrderingQueries
+from repro.model.builder import ExecutionBuilder
+
+from tests.strategies import medium_semaphore_executions
+
+
+def two_v_one_consumer():
+    """A: V(s); B: V(s); C: P(s), P(s) -- pairing is accidental."""
+    b = ExecutionBuilder()
+    va = b.process("A").sem_v("s")
+    vb = b.process("B").sem_v("s")
+    c = b.process("C")
+    p1, p2 = c.sem_p("s"), c.sem_p("s")
+    exe = b.build(observed_schedule=[va, vb, p1, p2])
+    return exe, va, vb, p1, p2
+
+
+class TestPhase1Unsafety:
+    def test_pairing_edge_not_guaranteed(self):
+        exe, va, vb, p1, p2 = two_v_one_consumer()
+        h = HMWAnalysis(exe)
+        phase1 = h.phase1()
+        # trace pairing claims the i-th V precedes the i-th P
+        assert (va, p1) in phase1
+        # ... but another feasible execution pairs B's V with the first P
+        q = OrderingQueries(exe)
+        assert not q.mcb(va, p1)
+
+    def test_phase1_needs_schedule(self):
+        b = ExecutionBuilder()
+        b.process("A").sem_v("s")
+        with pytest.raises(ValueError, match="observed schedule"):
+            HMWAnalysis(b.build()).phase1()
+
+
+class TestCountingRuleSafety:
+    def test_single_supplier_forced(self):
+        b = ExecutionBuilder()
+        v = b.process("A").sem_v("s")
+        p = b.process("B").sem_p("s")
+        exe = b.build(observed_schedule=[v, p])
+        h = HMWAnalysis(exe)
+        assert (v, p) in h.phase2()
+        assert (v, p) in h.phase3()
+
+    def test_last_p_needs_all_vs(self):
+        exe, va, vb, p1, p2 = two_v_one_consumer()
+        h = HMWAnalysis(exe)
+        p3 = h.phase3()
+        # the second P needs two tokens: both Vs must complete before it
+        assert (va, p2) in p3 and (vb, p2) in p3
+        # the first P is not tied to a specific V
+        assert (va, p1) not in p3 and (vb, p1) not in p3
+
+    def test_initial_count_weakens_requirement(self):
+        b = ExecutionBuilder()
+        b.semaphore("s", 1)
+        v = b.process("A").sem_v("s")
+        p = b.process("B").sem_p("s")
+        exe = b.build(observed_schedule=[v, p])
+        # the initial token satisfies the P; V is not required
+        assert (v, p) not in HMWAnalysis(exe).phase3()
+
+    def test_iteration_sharpens(self):
+        # chain: A: V(a); B: P(a), V(b); C: P(b)
+        # phase 2 forces V(a)->P(a) and V(b)->P(b); only the iterated
+        # phase 3 view (through closure) relates V(a) to P(b)
+        b = ExecutionBuilder()
+        va = b.process("A").sem_v("a")
+        proc_b = b.process("B")
+        pa, vb = proc_b.sem_p("a"), proc_b.sem_v("b")
+        pb = b.process("C").sem_p("b")
+        exe = b.build(observed_schedule=[va, pa, vb, pb])
+        p3 = HMWAnalysis(exe).phase3()
+        assert (va, pb) in p3
+
+    def test_infeasible_trace_detected(self):
+        # one V cannot serve two forced-before P's... but two P's with a
+        # single V and no other supply is simply infeasible
+        b = ExecutionBuilder()
+        v = b.process("A").sem_v("s")
+        c = b.process("B")
+        c.sem_p("s"), c.sem_p("s")
+        exe = b.build()
+        with pytest.raises(InfeasibleTraceError):
+            HMWAnalysis(exe).phase3()
+
+    def test_rejects_event_style_executions(self):
+        b = ExecutionBuilder()
+        b.process("p").post("v")
+        with pytest.raises(ValueError, match="semaphore"):
+            HMWAnalysis(b.build())
+
+
+class TestSafetyProperty:
+    @given(medium_semaphore_executions())
+    @settings(max_examples=15, deadline=None)
+    def test_phase2_and_3_sound_wrt_exact(self, exe):
+        h = HMWAnalysis(exe)
+        q = OrderingQueries(exe)
+        p2, p3 = h.phase2(), h.phase3()
+        assert p2.issubset(p3)
+        for a, b in p3.pairs:
+            assert q.mcb(a, b), (a, b)
+
+
+class TestIncompleteness:
+    def test_deadlock_avoidance_ordering_missed(self):
+        """A: V1(s); B: P1(s), V2(s); C: P2(s).
+
+        Any execution completing P2 first deadlocks (P1's refill comes
+        after P1), so P1 must complete before P2 in every *complete*
+        execution.  The local counting rule cannot see that; the exact
+        engine can.  This is the gap Theorem 1 says is unavoidable for
+        polynomial algorithms.
+        """
+        b = ExecutionBuilder()
+        v1 = b.process("A").sem_v("s")
+        proc_b = b.process("B")
+        p1, v2 = proc_b.sem_p("s"), proc_b.sem_v("s")
+        p2 = b.process("C").sem_p("s")
+        exe = b.build(observed_schedule=[v1, p1, v2, p2])
+        q = OrderingQueries(exe)
+        assert q.mcb(p1, p2)  # exact: forced by deadlock avoidance
+        p3 = HMWAnalysis(exe).phase3()
+        assert (p1, p2) not in p3  # HMW: invisible to counting

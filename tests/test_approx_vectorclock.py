@@ -1,0 +1,122 @@
+"""Tests for the vector-clock baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.approx.vectorclock import VectorClockAnalysis
+from repro.core.queries import OrderingQueries
+from repro.core.witness import Witness
+from repro.model.builder import ExecutionBuilder
+from repro.util.relations import is_strict_partial_order
+
+from tests.strategies import medium_semaphore_executions, small_event_executions
+
+
+class TestBasics:
+    def test_requires_schedule(self):
+        b = ExecutionBuilder()
+        b.process("p").skip()
+        with pytest.raises(ValueError, match="observed schedule"):
+            VectorClockAnalysis(b.build())
+
+    def test_program_order_captured(self):
+        b = ExecutionBuilder()
+        p = b.process("p")
+        x, y = p.skip(), p.skip()
+        vc = VectorClockAnalysis(b.build(observed_schedule=[x, y]))
+        assert vc.happened_before(x, y)
+        assert not vc.happened_before(y, x)
+
+    def test_independent_events_concurrent(self):
+        b = ExecutionBuilder()
+        x = b.process("A").skip()
+        y = b.process("B").skip()
+        vc = VectorClockAnalysis(b.build(observed_schedule=[x, y]))
+        assert vc.concurrent(x, y)
+
+    def test_semaphore_pairing_edge(self):
+        b = ExecutionBuilder()
+        v = b.process("A").sem_v("s")
+        p = b.process("B").sem_p("s")
+        vc = VectorClockAnalysis(b.build(observed_schedule=[v, p]))
+        assert vc.happened_before(v, p)
+
+    def test_initial_tokens_skip_pairing(self):
+        # the first P consumes the initial token, not A's V
+        b = ExecutionBuilder()
+        b.semaphore("s", 1)
+        v = b.process("A").sem_v("s")
+        proc = b.process("B")
+        p1 = proc.sem_p("s")
+        p2 = proc.sem_p("s")
+        vc = VectorClockAnalysis(b.build(observed_schedule=[p1, v, p2]))
+        assert not vc.happened_before(v, p1)
+        assert vc.happened_before(v, p2)
+
+    def test_post_wait_edge(self):
+        b = ExecutionBuilder()
+        post = b.process("A").post("v")
+        wait = b.process("B").wait("v")
+        vc = VectorClockAnalysis(b.build(observed_schedule=[post, wait]))
+        assert vc.happened_before(post, wait)
+
+    def test_clear_breaks_pairing(self):
+        b = ExecutionBuilder()
+        a = b.process("A")
+        post1 = a.post("v")
+        clear = a.clear("v")
+        post2 = a.post("v")
+        wait = b.process("B").wait("v")
+        vc = VectorClockAnalysis(
+            b.build(observed_schedule=[post1, clear, post2, wait])
+        )
+        # the wait pairs with the post after the clear (and inherits the
+        # rest transitively through program order)
+        assert (post2, wait) in [e for e in vc.sync_edges]
+
+    def test_fork_join_edges(self):
+        b = ExecutionBuilder()
+        main = b.process("main")
+        f = main.fork()
+        c = b.process("c", parent=f).skip()
+        j = main.join(f)
+        vc = VectorClockAnalysis(b.build(observed_schedule=[f.eid, c, j]))
+        assert vc.happened_before(f.eid, c)
+        assert vc.happened_before(c, j)
+
+    def test_inconsistent_schedule_rejected(self):
+        b = ExecutionBuilder()
+        p = b.process("p")
+        x, y = p.skip(), p.skip()
+        with pytest.raises(ValueError, match="not consistent"):
+            VectorClockAnalysis(b.build(), schedule=[y, x])
+
+
+class TestAgainstExact:
+    @given(medium_semaphore_executions())
+    @settings(max_examples=25, deadline=None)
+    def test_vc_relation_is_a_partial_order(self, exe):
+        vc = VectorClockAnalysis(exe)
+        assert is_strict_partial_order(vc.relation())
+
+    @given(medium_semaphore_executions())
+    @settings(max_examples=15, deadline=None)
+    def test_vc_orderings_hold_in_observed_run(self, exe):
+        """Every VC edge is real *in the observed execution*: replaying
+        the observed schedule shows a completing before b."""
+        vc = VectorClockAnalysis(exe)
+        pos = {eid: i for i, eid in enumerate(exe.observed_schedule)}
+        for a, b in vc.relation().pairs:
+            assert pos[a] < pos[b]
+
+    @given(small_event_executions())
+    @settings(max_examples=15, deadline=None)
+    def test_exact_mcb_implies_vc_or_concurrent(self, exe):
+        """VC misses no *observed* ordering: if a completed before b in
+        the observed schedule, VC never claims b -> a."""
+        vc = VectorClockAnalysis(exe)
+        pos = {eid: i for i, eid in enumerate(exe.observed_schedule)}
+        for a in exe.eids:
+            for b in exe.eids:
+                if a != b and pos[a] < pos[b]:
+                    assert not vc.happened_before(b, a)

@@ -1,0 +1,143 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+FIGURE1_SRC = """
+shared X = 0
+proc main {
+  fork {
+    proc t1 { post ev @post_left; X := 1 }
+    proc t2 { if X == 1 { post ev @post_right } else { wait ev } }
+    proc t3 { wait ev @w3 }
+  }
+  join
+}
+"""
+
+DEADLOCK_SRC = """
+proc a { wait v1; post v2 }
+proc b { wait v2; post v1 }
+"""
+
+SAT_DIMACS = "p cnf 3 2\n1 2 3 0\n-1 -2 -3 0\n"
+UNSAT_DIMACS = "p cnf 1 2\n1 0\n-1 0\n"
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "fig1.rp"
+    path.write_text(FIGURE1_SRC)
+    return str(path)
+
+
+@pytest.fixture
+def execution_file(tmp_path, program_file):
+    out = tmp_path / "fig1.json"
+    rc = main(["run", program_file, "--priority", "main,t1,t2,t3",
+               "--save", str(out)])
+    assert rc == 0
+    return str(out)
+
+
+class TestRun:
+    def test_run_prints_trace(self, program_file, capsys):
+        assert main(["run", program_file, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "final shared state" in out
+
+    def test_run_saves_json_and_dot(self, tmp_path, program_file):
+        json_out = tmp_path / "e.json"
+        dot_out = tmp_path / "e.dot"
+        rc = main(["run", program_file, "--priority", "main,t1,t2,t3",
+                   "--save", str(json_out), "--dot", str(dot_out)])
+        assert rc == 0
+        assert json_out.exists() and "repro-execution" in json_out.read_text()
+        assert dot_out.read_text().startswith("digraph")
+
+    def test_run_reports_deadlock(self, tmp_path, capsys):
+        path = tmp_path / "dead.rp"
+        path.write_text(DEADLOCK_SRC)
+        assert main(["run", str(path)]) == 1
+        assert "DEADLOCK" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_summary(self, execution_file, capsys):
+        assert main(["analyze", execution_file]) == 0
+        out = capsys.readouterr().out
+        for name in ("MHB", "CHB", "MCW", "CCW", "MOW", "COW"):
+            assert name in out
+
+    def test_pair_query(self, execution_file, capsys):
+        rc = main(["analyze", execution_file, "--pair", "post_left", "post_right",
+                   "--relation", "mhb"])
+        assert rc == 0
+        assert "MHB(post_left, post_right) = True" in capsys.readouterr().out
+
+    def test_pair_all_relations(self, execution_file, capsys):
+        main(["analyze", execution_file, "--pair", "post_left", "w3"])
+        out = capsys.readouterr().out
+        assert "MHB(post_left, w3)" in out and "CCW(post_left, w3)" in out
+
+    def test_ignore_deps_changes_answer(self, execution_file, capsys):
+        main(["analyze", execution_file, "--pair", "post_left", "post_right",
+              "--relation", "mhb", "--ignore-deps"])
+        assert "= False" in capsys.readouterr().out
+
+    def test_witness_printed_for_ccw(self, execution_file, capsys):
+        main(["analyze", execution_file, "--pair", "post_left", "w3",
+              "--relation", "ccw"])
+        out = capsys.readouterr().out
+        assert "overlaps" in out
+
+    def test_matrix(self, execution_file, capsys):
+        main(["analyze", execution_file, "--matrix", "mhb"])
+        assert "X" in capsys.readouterr().out
+
+
+class TestRaces:
+    def test_apparent_only(self, execution_file, capsys):
+        assert main(["races", execution_file]) == 0
+        assert "apparent races: 1" in capsys.readouterr().out
+
+    def test_feasible_with_witness(self, execution_file, capsys):
+        assert main(["races", execution_file, "--feasible", "--witnesses"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible races: 1" in out and "witness for" in out
+
+
+class TestSat:
+    def test_sat_formula(self, tmp_path, capsys):
+        path = tmp_path / "f.cnf"
+        path.write_text(SAT_DIMACS)
+        assert main(["sat", str(path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "SAT" in out and "agree" in out
+
+    def test_unsat_formula_event_style(self, tmp_path, capsys):
+        path = tmp_path / "f.cnf"
+        path.write_text(UNSAT_DIMACS)
+        assert main(["sat", str(path), "--style", "evt", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "UNSAT" in out and "agree" in out
+
+
+class TestExplore:
+    def test_explore_summary(self, program_file, capsys):
+        assert main(["explore", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "runs: 18" in out
+        assert "event_signatures: 2" in out
+
+    def test_explore_reports_deadlock(self, tmp_path, capsys):
+        path = tmp_path / "dead.rp"
+        path.write_text(DEADLOCK_SRC)
+        assert main(["explore", str(path)]) == 0
+        assert "example deadlock" in capsys.readouterr().out
+
+    def test_explore_program_races(self, program_file, capsys):
+        assert main(["explore", program_file, "--races"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible races across all executions: 1" in out

@@ -1,0 +1,127 @@
+"""Tests for the eager-begin timing model (core.eager)."""
+
+from hypothesis import given, settings
+
+from repro.core.eager import EagerOrderingQueries, eager_relations_by_enumeration
+from repro.core.relations import RelationName
+from repro.model.builder import ExecutionBuilder
+
+from tests.strategies import small_event_executions, small_semaphore_executions
+
+
+def eager_fns(q):
+    return {
+        RelationName.MHB: q.mhb,
+        RelationName.CHB: q.chb,
+        RelationName.MCW: q.mcw,
+        RelationName.CCW: q.ccw,
+        RelationName.MOW: q.mow,
+        RelationName.COW: q.cow,
+    }
+
+
+class TestEagerBasics:
+    def test_root_first_events_must_be_concurrent(self):
+        """Both begin at time zero in every execution: MCW holds --
+        the eager model's signature difference from the lazy model."""
+        b = ExecutionBuilder()
+        x = b.process("A").skip()
+        y = b.process("B").skip()
+        q = EagerOrderingQueries(b.build())
+        assert q.mcw(x, y)
+        assert not q.cow(x, y)
+        assert not q.chb(x, y) and not q.chb(y, x)
+
+    def test_program_order_still_must_order(self):
+        b = ExecutionBuilder()
+        p = b.process("p")
+        x, y = p.skip(), p.skip()
+        q = EagerOrderingQueries(b.build())
+        assert q.mhb(x, y)
+        assert not q.ccw(x, y)
+
+    def test_chb_via_prerequisite(self):
+        # x in another process can complete before y's po-predecessor
+        # completes, so x ->T y is possible under eager begins
+        b = ExecutionBuilder()
+        p = b.process("p")
+        pre, y = p.skip(), p.skip()
+        x = b.process("q").skip()
+        q = EagerOrderingQueries(b.build())
+        assert q.chb(x, y)
+        # ... but x can never happen-before the prerequisite-free `pre`
+        assert not q.chb(x, pre)
+
+    def test_deadlocked_vacuous(self):
+        b = ExecutionBuilder()
+        x = b.process("A").sem_p("never")
+        y = b.process("B").skip()
+        q = EagerOrderingQueries(b.build())
+        assert not q.has_feasible_execution()
+        assert q.mhb(x, y) and q.mcw(x, y) and q.mow(x, y)
+        assert not q.chb(x, y) and not q.ccw(x, y) and not q.cow(x, y)
+
+    def test_self_pair_conventions(self):
+        b = ExecutionBuilder()
+        x = b.process("A").skip()
+        q = EagerOrderingQueries(b.build())
+        assert q.mcw(x, x) and q.ccw(x, x)
+        assert not q.chb(x, x) and not q.mhb(x, x)
+        assert not q.cow(x, x) and not q.mow(x, x)
+
+
+class TestEagerAgainstEnumeration:
+    @given(small_semaphore_executions())
+    @settings(max_examples=25, deadline=None)
+    def test_semaphore_agreement(self, exe):
+        ref = eager_relations_by_enumeration(exe)
+        fns = eager_fns(EagerOrderingQueries(exe))
+        n = len(exe)
+        for name in RelationName:
+            for a in range(n):
+                for b in range(n):
+                    if a != b:
+                        assert fns[name](a, b) == ((a, b) in ref[name]), (name, a, b)
+
+    @given(small_event_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_event_agreement(self, exe):
+        ref = eager_relations_by_enumeration(exe)
+        fns = eager_fns(EagerOrderingQueries(exe))
+        n = len(exe)
+        for name in RelationName:
+            for a in range(n):
+                for b in range(n):
+                    if a != b:
+                        assert fns[name](a, b) == ((a, b) in ref[name]), (name, a, b)
+
+
+class TestCrossModelRelationships:
+    """Eager feasible executions are a subset of lazy ones with earlier
+    begins, so eager CHB implies lazy CHB and lazy MHB implies eager MHB."""
+
+    @given(small_semaphore_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_eager_chb_subset_of_lazy_chb(self, exe):
+        from repro.core.queries import OrderingQueries
+
+        lazy = OrderingQueries(exe)
+        eager = EagerOrderingQueries(exe)
+        n = len(exe)
+        for a in range(n):
+            for b in range(n):
+                if a != b and eager.chb(a, b):
+                    assert lazy.chb(a, b)
+
+    @given(small_semaphore_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_lazy_mhb_subset_of_eager_mhb(self, exe):
+        from repro.core.queries import OrderingQueries
+
+        lazy = OrderingQueries(exe)
+        eager = EagerOrderingQueries(exe)
+        n = len(exe)
+        for a in range(n):
+            for b in range(n):
+                if a != b and lazy.mhb(a, b):
+                    assert eager.mhb(a, b)

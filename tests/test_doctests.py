@@ -1,0 +1,29 @@
+"""Run the executable examples embedded in key docstrings.
+
+The package docstring's quickstart and the builder/parser examples are
+part of the documented API surface; this keeps them honest.
+"""
+
+import doctest
+
+import repro
+import repro.lang.parser
+import repro.model.builder
+
+
+def _run(module) -> None:
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
+
+
+def test_package_quickstart_doctest():
+    _run(repro)
+
+
+def test_builder_doctest():
+    _run(repro.model.builder)
+
+
+def test_parser_doctest():
+    _run(repro.lang.parser)

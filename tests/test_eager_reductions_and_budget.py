@@ -1,0 +1,97 @@
+"""Cross-model theorem validation and search-budget safety."""
+
+import pytest
+
+from repro.core.eager import EagerOrderingQueries
+from repro.core.engine import SearchBudgetExceeded
+from repro.core.queries import OrderingQueries
+from repro.reductions import event_reduction, semaphore_reduction
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve
+
+SAT_FORMULA = CNF([(1, 2, 3), (-1, 2, 3), (1, -2, 3)])
+UNSAT_FORMULA = CNF([(1, 1, 1), (-1, -1, -1)])
+
+
+class TestTheoremsUnderEagerModel:
+    """DESIGN.md 4.2b: the co-NP-hard equivalence (a MHB b iff UNSAT)
+    holds under both timing models.  The NP-hard existential changes
+    face under eager begins: marker ``a`` is the first event of a root
+    process, so it begins at time zero and *nothing* can eagerly
+    happen-before it -- ``b CHB a`` is identically false.  The
+    satisfiability witness becomes the overlap ``a CCW b`` instead
+    (checked here), which is exactly the MHB complement."""
+
+    @pytest.mark.parametrize("build", [semaphore_reduction, event_reduction])
+    def test_sat_formula(self, build):
+        red = build(SAT_FORMULA)
+        q = EagerOrderingQueries(red.execution)
+        assert not q.mhb(red.a, red.b)
+        assert q.ccw(red.a, red.b)  # the eager-model SAT witness
+        assert not q.chb(red.b, red.a)  # degenerate: a begins at time 0
+
+    @pytest.mark.parametrize("build", [semaphore_reduction, event_reduction])
+    def test_unsat_formula(self, build):
+        red = build(UNSAT_FORMULA)
+        q = EagerOrderingQueries(red.execution)
+        assert q.mhb(red.a, red.b)
+        assert not q.ccw(red.a, red.b)
+        assert not q.chb(red.b, red.a)
+
+    @pytest.mark.parametrize("build", [semaphore_reduction])
+    def test_models_agree_on_reduction_answers(self, build):
+        for f in (SAT_FORMULA, UNSAT_FORMULA):
+            expect_sat = solve(f) is not None
+            red = build(f)
+            lazy = OrderingQueries(red.execution)
+            eager = EagerOrderingQueries(red.execution)
+            assert lazy.mhb(red.a, red.b) == eager.mhb(red.a, red.b) == (not expect_sat)
+
+
+class TestBudgetSafety:
+    """A SearchBudgetExceeded abort must propagate -- never be cached
+    or silently converted into a (wrong) boolean answer."""
+
+    def _tight_queries(self):
+        red = semaphore_reduction(UNSAT_FORMULA)
+        return red, OrderingQueries(red.execution, max_states=5)
+
+    def test_exception_propagates(self):
+        red, q = self._tight_queries()
+        with pytest.raises(SearchBudgetExceeded):
+            q.mhb(red.a, red.b)
+
+    def test_no_poisoned_cache_after_abort(self):
+        red, q = self._tight_queries()
+        with pytest.raises(SearchBudgetExceeded):
+            q.mhb(red.a, red.b)
+        # raising the budget on the SAME query object must now succeed
+        # with the correct answer (nothing wrong was cached)
+        q.max_states = None
+        assert q.mhb(red.a, red.b) is True
+
+    def test_feasibility_not_poisoned(self):
+        red, q = self._tight_queries()
+        with pytest.raises(SearchBudgetExceeded):
+            q.has_feasible_execution()
+        q.max_states = None
+        assert q.has_feasible_execution() is True
+
+    def test_eager_budget_propagates(self):
+        red = semaphore_reduction(UNSAT_FORMULA)
+        q = EagerOrderingQueries(red.execution, max_states=5)
+        with pytest.raises(SearchBudgetExceeded):
+            q.mhb(red.a, red.b)
+
+    def test_static_shortcuts_bypass_budget(self):
+        """Pairs decided structurally never touch the search, so they
+        work even under a hopeless budget."""
+        from repro.model.builder import ExecutionBuilder
+
+        b = ExecutionBuilder()
+        p = b.process("p")
+        x, y = p.skip(), p.skip()
+        b.process("q").skip()
+        q = OrderingQueries(b.build(), max_states=10_000)
+        assert q.statically_ordered(x, y)
+        assert q.chb(x, y)

@@ -1,0 +1,146 @@
+"""Tests for the ordering -> SAT encoder (the converse reduction)."""
+
+from hypothesis import given, settings
+
+from repro.core.queries import OrderingQueries
+from repro.core.engine import Point
+from repro.core.witness import replay_schedule
+from repro.encoding import OrderSatEncoder, sat_chb, sat_is_feasible
+from repro.model.builder import ExecutionBuilder
+
+from tests.strategies import small_event_executions, small_semaphore_executions
+
+
+class TestBasics:
+    def test_single_event(self):
+        b = ExecutionBuilder()
+        b.process("p").skip()
+        assert sat_is_feasible(b.build())
+
+    def test_deadlock_unsat(self):
+        b = ExecutionBuilder()
+        b.process("p").sem_p("never")
+        assert not sat_is_feasible(b.build())
+
+    def test_program_order_forced(self):
+        b = ExecutionBuilder()
+        p = b.process("p")
+        x, y = p.skip(), p.skip()
+        exe = b.build()
+        assert sat_chb(exe, x, y)
+        assert not sat_chb(exe, y, x)
+
+    def test_semaphore_ordering(self):
+        b = ExecutionBuilder()
+        v = b.process("A").sem_v("s")
+        p = b.process("B").sem_p("s")
+        exe = b.build()
+        assert sat_chb(exe, v, p)
+        assert not sat_chb(exe, p, v)
+
+    def test_initial_tokens_matched(self):
+        b = ExecutionBuilder()
+        b.semaphore("s", 2)
+        proc = b.process("p")
+        proc.sem_p("s"), proc.sem_p("s")
+        assert sat_is_feasible(b.build())
+
+    def test_insufficient_supply_unsat(self):
+        b = ExecutionBuilder()
+        b.process("A").sem_v("s")
+        proc = b.process("B")
+        proc.sem_p("s"), proc.sem_p("s")
+        assert not sat_is_feasible(b.build())
+
+    def test_clear_blocks_wait(self):
+        b = ExecutionBuilder()
+        a = b.process("A")
+        a.post("v"), a.clear("v")
+        b.process("B").wait("v")
+        # the wait CAN be scheduled between post and clear
+        assert sat_is_feasible(b.build())
+        # ... but a wait ordered after the only post's clear cannot
+        b2 = ExecutionBuilder()
+        a2 = b2.process("A")
+        post, clear = a2.post("v"), a2.clear("v")
+        w = a2.wait("v")  # po-after the clear, same process
+        assert not sat_is_feasible(b2.build())
+
+    def test_initially_posted_variable(self):
+        b = ExecutionBuilder()
+        b.event_variable("v", posted=True)
+        w = b.process("A").wait("v")
+        c = b.process("B").clear("v")
+        exe = b.build()
+        assert sat_is_feasible(exe)
+        # forcing the clear first starves the wait
+        assert not sat_chb(exe, c, w)
+
+    def test_decoded_schedule_replays(self):
+        b = ExecutionBuilder()
+        v = b.process("A").sem_v("s")
+        p = b.process("B").sem_p("s")
+        w = b.process("C").post("x")
+        exe = b.build()
+        order = OrderSatEncoder(exe).solve()
+        points = [pt for e in order for pt in (Point(e, False), Point(e, True))]
+        replay_schedule(exe, points)
+
+    def test_ignore_dependences_mode(self):
+        b = ExecutionBuilder()
+        x = b.process("p1").write("v")
+        y = b.process("p2").read("v")
+        b.dependence(x, y)
+        exe = b.build()
+        assert not sat_chb(exe, y, x)
+        assert sat_chb(exe, y, x, include_dependences=False)
+
+
+class TestAgainstEngine:
+    """Two decision procedures with zero shared code must agree."""
+
+    @given(small_semaphore_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_chb_agreement_semaphores(self, exe):
+        q = OrderingQueries(exe)
+        assert sat_is_feasible(exe) == q.has_feasible_execution()
+        enc = OrderSatEncoder(exe)
+        n = len(exe)
+        for a in range(n):
+            for b in range(n):
+                if a != b:
+                    assert (enc.solve([(a, b)]) is not None) == q.chb(a, b), (a, b)
+
+    @given(small_event_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_chb_agreement_events(self, exe):
+        q = OrderingQueries(exe)
+        enc = OrderSatEncoder(exe)
+        n = len(exe)
+        for a in range(n):
+            for b in range(n):
+                if a != b:
+                    assert (enc.solve([(a, b)]) is not None) == q.chb(a, b), (a, b)
+
+
+class TestFullCircle:
+    def test_sat_to_ordering_to_sat(self):
+        """Compose the paper's reduction with the converse encoder:
+        formula -> Theorem 1 execution -> ordering query -> CNF ->
+        DPLL.  The satisfiable direction round-trips on the smallest
+        instance (18 events, ~2.5k clauses).  The unsatisfiable
+        direction would need the plain DPLL to *refute* a
+        multi-thousand-clause encoding -- beyond the teaching solver's
+        reach, and exactly the co-NP-side asymmetry the paper's
+        theorems describe; the engine-vs-encoder agreement tests above
+        cover refutation on small executions instead."""
+        from repro.reductions import semaphore_reduction
+        from repro.sat.cnf import CNF
+        from repro.sat.dpll import solve
+
+        formula = CNF([(1, 1, 1)])
+        assert solve(formula) is not None
+        red = semaphore_reduction(formula)
+        # Theorem 2: b CHB a <=> satisfiable; decided via the converse
+        # encoding this time
+        assert sat_chb(red.execution, red.b, red.a)

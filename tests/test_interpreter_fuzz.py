@@ -1,0 +1,82 @@
+"""Interpreter fuzzing with replay determinism as the oracle.
+
+For random full programs:
+
+* runs complete (the generator provisions semaphores);
+* the trace converts to a valid execution (axioms hold) and its
+  observed schedule replays through the engine's reference semantics;
+* **replay determinism**: re-running under a FixedScheduler that plays
+  back the observed process sequence reproduces the byte-identical
+  trace -- the property that makes observed executions trustworthy
+  inputs for the whole analysis stack;
+* the parser/unparser round-trips the generated programs, and the
+  re-parsed program behaves identically under the same schedule.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import FeasibilityEngine, Point
+from repro.core.witness import replay_schedule
+from repro.lang.interpreter import run_program
+from repro.lang.parser import parse_program
+from repro.lang.scheduler import FixedScheduler
+from repro.lang.unparse import unparse_program
+from repro.model.axioms import validate_execution
+from repro.workloads.generators import random_full_program
+
+seeds = st.integers(0, 2_000)
+
+
+def trace_fingerprint(trace):
+    return [
+        (s.process, s.kind, s.obj, s.text, tuple(s.accesses)) for s in trace.steps
+    ]
+
+
+class TestInterpreterFuzz:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_runs_complete_and_convert(self, seed):
+        program = random_full_program(seed=seed)
+        trace = run_program(program, seed)
+        exe = trace.to_execution()
+        assert validate_execution(exe) == []
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_replay_determinism(self, seed):
+        program = random_full_program(seed=seed)
+        trace = run_program(program, seed)
+        schedule = [s.process for s in trace.steps]
+        replayed = run_program(program, FixedScheduler(schedule))
+        assert trace_fingerprint(replayed) == trace_fingerprint(trace)
+        assert replayed.final_shared == trace.final_shared
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_observed_schedule_replays_through_engine_semantics(self, seed):
+        program = random_full_program(seed=seed)
+        exe = run_program(program, seed).to_execution()
+        points = []
+        for eid in exe.observed_schedule:
+            points.append(Point(eid, False))
+            points.append(Point(eid, True))
+        replay_schedule(exe, points)
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_feasible_set_nonempty(self, seed):
+        program = random_full_program(seed=seed)
+        exe = run_program(program, seed).to_execution()
+        assert FeasibilityEngine(exe).search() is not None
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_parse_unparse_behavioural_equivalence(self, seed):
+        program = random_full_program(seed=seed)
+        reparsed = parse_program(unparse_program(program))
+        a = run_program(program, seed)
+        b = run_program(reparsed, seed)
+        assert trace_fingerprint(a) == trace_fingerprint(b)
+        assert a.final_shared == b.final_shared

@@ -1,0 +1,201 @@
+"""Tests for the mini-language interpreter (sequential consistency)."""
+
+import pytest
+
+from repro.lang.ast import (
+    Assign, BinOp, Clear, Const, Fork, If, Join, Local, LocalAssign,
+    Post, ProcessDef, Program, SemP, SemV, Shared, Skip, UnOp, Wait, While,
+)
+from repro.lang.interpreter import DeadlockError, Interpreter, StepLimitExceeded, run_program
+from repro.lang.scheduler import FixedScheduler, PriorityScheduler, RandomScheduler
+from repro.model.events import EventKind
+
+
+def single(name, *stmts):
+    return Program([ProcessDef(name, list(stmts))])
+
+
+class TestSequentialExecution:
+    def test_assignment_and_arithmetic(self):
+        prog = single(
+            "p",
+            Assign("x", Const(2)),
+            Assign("y", BinOp("+", Shared("x"), Const(3))),
+        )
+        trace = run_program(prog)
+        assert trace.final_shared == {"x": 2, "y": 5}
+
+    def test_local_variables_not_shared(self):
+        prog = single(
+            "p",
+            LocalAssign("t", Const(7)),
+            Assign("x", Local("t")),
+        )
+        trace = run_program(prog)
+        assert trace.final_shared == {"x": 7}
+        # the local assignment performs no shared accesses
+        assert trace.steps[0].accesses == ()
+
+    def test_if_branches(self):
+        prog = single(
+            "p",
+            Assign("x", Const(1)),
+            If(BinOp("==", Shared("x"), Const(1)), [Assign("y", Const(10))], [Assign("y", Const(20))]),
+        )
+        assert run_program(prog).final_shared["y"] == 10
+        prog2 = single(
+            "p",
+            Assign("x", Const(0)),
+            If(BinOp("==", Shared("x"), Const(1)), [Assign("y", Const(10))], [Assign("y", Const(20))]),
+        )
+        assert run_program(prog2).final_shared["y"] == 20
+
+    def test_while_loop(self):
+        prog = single(
+            "p",
+            Assign("i", Const(0)),
+            While(
+                BinOp("<", Shared("i"), Const(4)),
+                [Assign("i", BinOp("+", Shared("i"), Const(1)))],
+            ),
+        )
+        assert run_program(prog).final_shared["i"] == 4
+
+    def test_unop(self):
+        prog = single("p", Assign("x", UnOp("not", Const(0))), Assign("y", UnOp("-", Const(5))))
+        t = run_program(prog)
+        assert t.final_shared == {"x": 1, "y": -5}
+
+    def test_condition_reads_recorded(self):
+        prog = single("p", Assign("x", Const(1)), If(BinOp(">", Shared("x"), Const(0)), [Skip()]))
+        trace = run_program(prog)
+        cond_step = trace.steps[1]
+        assert any(a.variable == "x" and not a.is_write for a in cond_step.accesses)
+
+    def test_step_limit(self):
+        prog = single("p", While(Const(1), [Skip()]))
+        with pytest.raises(StepLimitExceeded):
+            run_program(prog, max_steps=50)
+
+
+class TestSynchronization:
+    def test_semaphore_blocks_until_signal(self):
+        waiter = ProcessDef("waiter", [SemP("s"), Assign("done", Const(1))])
+        signaler = ProcessDef("signaler", [Skip(), Skip(), SemV("s")])
+        prog = Program([waiter, signaler])
+        trace = run_program(prog, PriorityScheduler(["waiter", "signaler"]))
+        kinds = [(s.process, s.kind) for s in trace.steps]
+        # despite waiter priority, its P completes only after the V
+        assert kinds.index(("signaler", EventKind.SEM_V)) < kinds.index(("waiter", EventKind.SEM_P))
+
+    def test_wait_blocks_until_post(self):
+        waiter = ProcessDef("waiter", [Wait("v"), Assign("done", Const(1))])
+        poster = ProcessDef("poster", [Post("v")])
+        trace = run_program(Program([waiter, poster]), PriorityScheduler(["waiter", "poster"]))
+        assert trace.final_shared["done"] == 1
+
+    def test_clear_reblocks(self):
+        prog = Program(
+            [ProcessDef("p", [Post("v"), Clear("v"), Wait("v")])]
+        )
+        with pytest.raises(DeadlockError):
+            run_program(prog)
+
+    def test_initially_posted_variable(self):
+        prog = Program([ProcessDef("p", [Wait("v")])], var_initial={"v"})
+        assert len(run_program(prog)) == 1
+
+    def test_semaphore_initial_count(self):
+        prog = Program([ProcessDef("p", [SemP("s"), SemP("s")])], sem_initial={"s": 2})
+        assert len(run_program(prog)) == 2
+
+    def test_deadlock_detected_with_trace(self):
+        prog = Program([ProcessDef("p", [SemP("s")])])
+        with pytest.raises(DeadlockError) as exc:
+            run_program(prog)
+        assert exc.value.blocked == ("p",)
+        assert len(exc.value.trace) == 0
+
+
+class TestForkJoin:
+    def test_fork_runs_children(self):
+        child = ProcessDef("child", [Assign("x", Const(1))])
+        prog = Program([ProcessDef("main", [Fork([child]), Join()])])
+        trace = run_program(prog)
+        assert trace.final_shared["x"] == 1
+        assert trace.steps[0].created == ("child",)
+        assert trace.steps[-1].joined == ("child",)
+
+    def test_join_waits_for_children(self):
+        child = ProcessDef("child", [Skip(), Skip(), Assign("x", Const(1))])
+        prog = Program([ProcessDef("main", [Fork([child]), Join(), Assign("y", Shared("x"))])])
+        # main has priority; its join must still wait for the child
+        trace = run_program(prog, PriorityScheduler(["main", "child"]))
+        assert trace.final_shared["y"] == 1
+
+    def test_join_without_fork_is_error(self):
+        prog = Program([ProcessDef("main", [Join()])])
+        with pytest.raises(RuntimeError, match="join without"):
+            run_program(prog)
+
+    def test_duplicate_child_names_get_suffixes(self):
+        child = ProcessDef("w", [Skip()])
+        prog = Program(
+            [ProcessDef("main", [Fork([child, child]), Join()])]
+        )
+        trace = run_program(prog)
+        assert set(trace.steps[0].created) == {"w", "w#2"}
+
+    def test_nested_fork_join(self):
+        inner = ProcessDef("inner", [Assign("z", Const(3))])
+        outer = ProcessDef("outer", [Fork([inner]), Join(), Assign("w", Shared("z"))])
+        prog = Program([ProcessDef("main", [Fork([outer]), Join()])])
+        assert run_program(prog).final_shared == {"z": 3, "w": 3}
+
+    def test_parent_of_recorded(self):
+        child = ProcessDef("c", [Skip()])
+        prog = Program([ProcessDef("main", [Fork([child]), Join()])])
+        trace = run_program(prog)
+        assert trace.parent_of["c"][0] == "main"
+
+
+class TestSchedulers:
+    def test_random_scheduler_reproducible(self):
+        child1 = ProcessDef("a", [Assign("x", Const(1)), Skip(), Skip()])
+        child2 = ProcessDef("b", [Assign("x", Const(2)), Skip(), Skip()])
+        prog = Program([child1, child2])
+        t1 = run_program(prog, 42)
+        t2 = run_program(prog, 42)
+        assert [s.process for s in t1.steps] == [s.process for s in t2.steps]
+
+    def test_different_seeds_can_differ(self):
+        child1 = ProcessDef("a", [Skip(), Skip(), Skip()])
+        child2 = ProcessDef("b", [Skip(), Skip(), Skip()])
+        prog = Program([child1, child2])
+        orders = {
+            tuple(s.process for s in run_program(prog, seed).steps)
+            for seed in range(20)
+        }
+        assert len(orders) > 1
+
+    def test_fixed_scheduler_replays_exactly(self):
+        prog = Program([ProcessDef("a", [Skip()]), ProcessDef("b", [Skip()])])
+        trace = run_program(prog, FixedScheduler(["b", "a"]))
+        assert [s.process for s in trace.steps] == ["b", "a"]
+
+    def test_fixed_scheduler_rejects_non_runnable(self):
+        prog = Program([ProcessDef("a", [SemP("s")]), ProcessDef("b", [SemV("s")])])
+        with pytest.raises(RuntimeError, match="runnable"):
+            run_program(prog, FixedScheduler(["a", "b"]))
+
+    def test_fixed_scheduler_exhaustion(self):
+        prog = Program([ProcessDef("a", [Skip(), Skip()])])
+        with pytest.raises(RuntimeError, match="exhausted"):
+            run_program(prog, FixedScheduler(["a"]))
+
+    def test_round_robin_cycles(self):
+        from repro.lang.scheduler import RoundRobinScheduler
+
+        prog = Program([ProcessDef("a", [Skip(), Skip()]), ProcessDef("b", [Skip(), Skip()])])
+        trace = run_program(prog, RoundRobinScheduler())
+        assert [s.process for s in trace.steps] == ["a", "b", "a", "b"]

@@ -1,0 +1,178 @@
+"""Tests for the text syntax parser."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.interpreter import run_program
+from repro.lang.parser import ParseError, parse_expression, parse_program
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, A.BinOp) and e.op == "+"
+        assert isinstance(e.right, A.BinOp) and e.right.op == "*"
+
+    def test_parentheses_override(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert isinstance(e, A.BinOp) and e.op == "*"
+
+    def test_comparison_and_logic(self):
+        e = parse_expression("x >= 1 && y < 2 || !z")
+        assert isinstance(e, A.BinOp) and e.op == "or"
+
+    def test_locals_vs_shared(self):
+        e = parse_expression("$t + x")
+        assert isinstance(e.left, A.Local) and isinstance(e.right, A.Shared)
+
+    def test_unary_minus(self):
+        e = parse_expression("-5")
+        assert isinstance(e, A.UnOp) and e.op == "-"
+
+    def test_division_and_modulo(self):
+        assert parse_expression("7 / 2").op == "//"
+        assert parse_expression("7 % 2").op == "%"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_expression("1 + 2 )")
+
+    def test_evaluates_like_ast(self):
+        e = parse_expression("(3 + 4) * 2 == 14")
+        assert e.evaluate({}, {}, set()) == 1
+
+
+class TestDeclarations:
+    def test_shared_initial_values(self):
+        prog = parse_program("shared X = 5\nshared Y = -2\nproc p { skip }")
+        assert prog.shared_initial == {"X": 5, "Y": -2}
+
+    def test_semaphore_defaults_to_zero(self):
+        prog = parse_program("sem a\nsem b = 3\nproc p { skip }")
+        assert prog.sem_initial == {"a": 0, "b": 3}
+
+    def test_event_posted_flag(self):
+        prog = parse_program("event go posted\nevent stop\nproc p { skip }")
+        assert prog.var_initial == {"go"}
+
+    def test_program_without_processes_rejected(self):
+        with pytest.raises(ParseError, match="no processes"):
+            parse_program("shared X = 1\n")
+
+
+class TestStatements:
+    def wrap(self, body):
+        return parse_program(f"proc p {{ {body} }}").processes[0].body
+
+    def test_assignment(self):
+        (stmt,) = self.wrap("X := 1 + 2")
+        assert isinstance(stmt, A.Assign) and stmt.target == "X"
+
+    def test_local_assignment(self):
+        (stmt,) = self.wrap("$t := X")
+        assert isinstance(stmt, A.LocalAssign)
+
+    def test_sync_statements(self):
+        stmts = self.wrap("P(s); V(s); post v; wait v; clear v")
+        kinds = [type(s) for s in stmts]
+        assert kinds == [A.SemP, A.SemV, A.Post, A.Wait, A.Clear]
+
+    def test_labels(self):
+        (stmt,) = self.wrap("skip @marker")
+        assert stmt.label == "marker"
+        (stmt,) = self.wrap("P(s) @acquire")
+        assert stmt.label == "acquire"
+
+    def test_if_else(self):
+        (stmt,) = self.wrap("if X == 1 { skip } else { V(s) }")
+        assert isinstance(stmt, A.If)
+        assert len(stmt.then) == 1 and len(stmt.orelse) == 1
+
+    def test_if_without_else(self):
+        (stmt,) = self.wrap("if X { skip }")
+        assert stmt.orelse == ()
+
+    def test_while(self):
+        (stmt,) = self.wrap("while X < 3 { X := X + 1 }")
+        assert isinstance(stmt, A.While)
+
+    def test_fork_join(self):
+        stmts = self.wrap("fork { proc a { skip } proc b { skip } } join")
+        assert isinstance(stmts[0], A.Fork)
+        assert [c.name for c in stmts[0].children] == ["a", "b"]
+        assert isinstance(stmts[1], A.Join)
+
+    def test_empty_fork_rejected(self):
+        with pytest.raises(ParseError, match="at least one proc"):
+            self.wrap("fork { }")
+
+    def test_newlines_separate_statements(self):
+        stmts = self.wrap("skip\nskip\nskip")
+        assert len(stmts) == 3
+
+    def test_comments_ignored(self):
+        stmts = self.wrap("skip  # a comment\nskip")
+        assert len(stmts) == 2
+
+
+class TestErrors:
+    def test_position_reported(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("proc p {\n  wibble %\n}")
+        assert exc.value.line == 2
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_program("proc p { skip")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_program("proc p { skip ~ }")
+
+
+class TestEndToEnd:
+    FIGURE1 = """
+    # the paper's Figure 1 fragment
+    shared X = 0
+    proc main {
+      fork {
+        proc t1 { post ev @post_left; X := 1 }
+        proc t2 { if X == 1 { post ev @post_right } else { wait ev } }
+        proc t3 { wait ev }
+      }
+      join
+    }
+    """
+
+    def test_figure1_parses_and_runs(self):
+        from repro.lang.scheduler import PriorityScheduler
+
+        prog = parse_program(self.FIGURE1)
+        trace = run_program(prog, PriorityScheduler(["main", "t1", "t2", "t3"]))
+        exe = trace.to_execution()
+        assert {"post_left", "post_right"} <= set(exe.labels)
+        assert len(exe.dependences) == 1
+
+    def test_parsed_equals_constructed(self):
+        """The parsed Figure 1 behaves identically to the hand-built one."""
+        from repro.core.queries import OrderingQueries
+        from repro.lang.scheduler import PriorityScheduler
+        from repro.workloads.programs import figure1_execution
+
+        prog = parse_program(self.FIGURE1)
+        exe = run_program(prog, PriorityScheduler(["main", "t1", "t2", "t3"])).to_execution()
+        ref = figure1_execution()
+        q, q_ref = OrderingQueries(exe), OrderingQueries(ref)
+        pair = (exe.by_label("post_left").eid, exe.by_label("post_right").eid)
+        ref_pair = (ref.by_label("post_left").eid, ref.by_label("post_right").eid)
+        assert q.mhb(*pair) == q_ref.mhb(*ref_pair) is True
+
+    def test_producer_consumer_text(self):
+        src = """
+        sem slots = 2
+        sem full
+        proc producer { P(slots); buf := 1; V(full); P(slots); buf := 2; V(full) }
+        proc consumer { P(full); $x := buf; V(slots); P(full); $x := buf; V(slots) }
+        """
+        trace = run_program(parse_program(src), 1)
+        assert trace.final_shared["buf"] == 2

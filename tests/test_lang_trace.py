@@ -1,0 +1,138 @@
+"""Tests for trace -> execution conversion (event grouping, D derivation)."""
+
+from repro.lang.ast import (
+    Assign, BinOp, Const, Fork, Join, Post, ProcessDef, Program,
+    SemP, SemV, Shared, Skip, Wait,
+)
+from repro.lang.interpreter import run_program
+from repro.lang.scheduler import FixedScheduler, PriorityScheduler
+from repro.model.axioms import validate_execution
+from repro.model.events import EventKind
+
+
+class TestEventGrouping:
+    def test_uninterrupted_run_becomes_one_event(self):
+        prog = Program(
+            [ProcessDef("p", [Assign("x", Const(1)), Assign("y", Const(2)), Assign("z", Const(3))])]
+        )
+        exe = run_program(prog).to_execution()
+        assert len(exe) == 1
+        assert exe.event(0).writes == {"x", "y", "z"}
+
+    def test_sync_operation_breaks_run(self):
+        prog = Program(
+            [ProcessDef("p", [Assign("x", Const(1)), SemV("s"), Assign("y", Const(2))])]
+        )
+        exe = run_program(prog).to_execution()
+        kinds = [e.kind for e in exe.events]
+        assert kinds == [EventKind.COMPUTATION, EventKind.SEM_V, EventKind.COMPUTATION]
+
+    def test_interleaving_breaks_run(self):
+        prog = Program(
+            [ProcessDef("a", [Skip(), Skip()]), ProcessDef("b", [Skip()])]
+        )
+        exe = run_program(prog, FixedScheduler(["a", "b", "a"])).to_execution()
+        # a's two skips are split by b's step: three events
+        assert len(exe) == 3
+        assert len(exe.process_events("a")) == 2
+
+    def test_uninterrupted_schedule_merges(self):
+        prog = Program(
+            [ProcessDef("a", [Skip(), Skip()]), ProcessDef("b", [Skip()])]
+        )
+        exe = run_program(prog, FixedScheduler(["a", "a", "b"])).to_execution()
+        assert len(exe) == 2
+
+    def test_labelled_steps_stay_separate(self):
+        prog = Program(
+            [ProcessDef("p", [Skip(label="a"), Skip(label="b"), Skip()])]
+        )
+        exe = run_program(prog).to_execution()
+        assert len(exe) == 3
+        assert exe.by_label("a").eid != exe.by_label("b").eid
+
+    def test_observed_schedule_is_identity(self):
+        prog = Program([ProcessDef("a", [Skip()]), ProcessDef("b", [SemV("s")])])
+        exe = run_program(prog).to_execution()
+        assert exe.observed_schedule == tuple(range(len(exe)))
+
+
+class TestDependenceDerivation:
+    def test_write_read_dependence(self):
+        prog = Program(
+            [
+                ProcessDef("w", [Assign("x", Const(1))]),
+                ProcessDef("r", [Assign("y", Shared("x"))]),
+            ]
+        )
+        exe = run_program(prog, FixedScheduler(["w", "r"])).to_execution()
+        w_eid = exe.process_events("w")[0]
+        r_eid = exe.process_events("r")[0]
+        assert (w_eid, r_eid) in exe.dependences
+
+    def test_read_read_no_dependence(self):
+        prog = Program(
+            [
+                ProcessDef("r1", [Assign("a", Shared("x"))]),
+                ProcessDef("r2", [Assign("b", Shared("x"))]),
+            ]
+        )
+        exe = run_program(prog, FixedScheduler(["r1", "r2"])).to_execution()
+        r1, r2 = exe.process_events("r1")[0], exe.process_events("r2")[0]
+        # the reads of x don't conflict; the writes target different vars
+        assert (r1, r2) not in exe.dependences and (r2, r1) not in exe.dependences
+
+    def test_dependence_follows_schedule_order(self):
+        prog = Program(
+            [
+                ProcessDef("w1", [Assign("x", Const(1))]),
+                ProcessDef("w2", [Assign("x", Const(2))]),
+            ]
+        )
+        exe = run_program(prog, FixedScheduler(["w2", "w1"])).to_execution()
+        w1, w2 = exe.process_events("w1")[0], exe.process_events("w2")[0]
+        assert (w2, w1) in exe.dependences
+        assert (w1, w2) not in exe.dependences
+
+
+class TestStructureConversion:
+    def test_fork_join_round_trip(self):
+        child = ProcessDef("c", [Assign("x", Const(1))])
+        prog = Program([ProcessDef("main", [Fork([child]), Join()])])
+        exe = run_program(prog).to_execution()
+        fork_eid = [e.eid for e in exe.events if e.kind is EventKind.FORK][0]
+        join_eid = [e.eid for e in exe.events if e.kind is EventKind.JOIN][0]
+        assert exe.fork_children[fork_eid] == ("c",)
+        assert exe.join_targets[join_eid] == ("c",)
+        assert exe.parent_fork["c"] == fork_eid
+
+    def test_initial_sync_state_carried(self):
+        prog = Program(
+            [ProcessDef("p", [SemP("s"), Wait("v")])],
+            sem_initial={"s": 1},
+            var_initial={"v"},
+        )
+        exe = run_program(prog).to_execution()
+        assert exe.sem_initial("s") == 1
+        assert exe.var_initially_posted("v")
+
+    def test_converted_executions_satisfy_axioms(self):
+        from repro.workloads.programs import (
+            barrier_program,
+            dining_philosophers_program,
+            producer_consumer_program,
+        )
+
+        for prog in (
+            producer_consumer_program(2),
+            barrier_program(2),
+            dining_philosophers_program(3),
+        ):
+            for seed in range(3):
+                exe = run_program(prog, seed).to_execution()
+                assert validate_execution(exe) == []
+
+    def test_pretty_renders(self):
+        prog = Program([ProcessDef("p", [Assign("x", Const(1))])])
+        out = run_program(prog).pretty()
+        assert "x := 1" in out

@@ -1,0 +1,156 @@
+"""Parse/unparse round-trip tests (structural equality)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast as A
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.unparse import unparse_expr, unparse_program
+from repro.workloads.programs import (
+    barrier_program,
+    data_dependent_branch_program,
+    dining_philosophers_program,
+    figure1_program,
+    pipeline_program,
+    producer_consumer_program,
+)
+
+# ----------------------------------------------------------------------
+# strategies over random ASTs
+# ----------------------------------------------------------------------
+names = st.sampled_from(["x", "y", "flag", "count", "buf"])
+sem_names = st.sampled_from(["s", "lock", "full"])
+var_names = st.sampled_from(["ev", "go", "done"])
+labels = st.one_of(st.none(), st.sampled_from(["a", "b", "mark"]))
+
+
+def exprs(depth=2):
+    base = st.one_of(
+        st.integers(0, 99).map(A.Const),
+        names.map(A.Shared),
+        names.map(A.Local),
+    )
+    if depth == 0:
+        return base
+    sub = exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(A.UnOp, st.sampled_from(["-", "not"]), sub),
+        st.builds(
+            A.BinOp,
+            st.sampled_from(["+", "-", "*", "//", "%", "==", "!=", "<", "<=", ">", ">=", "and", "or"]),
+            sub,
+            sub,
+        ),
+    )
+
+
+def simple_stmts():
+    return st.one_of(
+        st.builds(A.Skip, label=labels),
+        st.builds(A.Assign, names, exprs(), label=labels),
+        st.builds(A.LocalAssign, names, exprs(), label=labels),
+        st.builds(A.SemP, sem_names, label=labels),
+        st.builds(A.SemV, sem_names, label=labels),
+        st.builds(A.Post, var_names, label=labels),
+        st.builds(A.Wait, var_names, label=labels),
+        st.builds(A.Clear, var_names, label=labels),
+    )
+
+
+def stmts(depth=1):
+    if depth == 0:
+        return simple_stmts()
+    sub = st.lists(stmts(depth - 1), min_size=1, max_size=3)
+    return st.one_of(
+        simple_stmts(),
+        st.builds(A.If, exprs(1), sub, st.one_of(st.just(()), sub)),
+        st.builds(A.While, exprs(1), sub),
+    )
+
+
+def programs():
+    body = st.lists(stmts(), min_size=1, max_size=4)
+    proc_names = st.sampled_from(["main", "worker", "helper"])
+    return st.builds(
+        lambda bodies: A.Program(
+            [A.ProcessDef(f"p{i}", b) for i, b in enumerate(bodies)]
+        ),
+        st.lists(body, min_size=1, max_size=3),
+    )
+
+
+class TestExpressionRoundTrip:
+    @given(exprs())
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_structural(self, expr):
+        assert parse_expression(unparse_expr(expr)) == expr
+
+    @given(exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_semantics(self, expr):
+        shared = {"x": 3, "y": -1, "flag": 1, "count": 0, "buf": 7}
+        local = dict(shared)
+        reads: set = set()
+        reparsed = parse_expression(unparse_expr(expr))
+        assert expr.evaluate(shared, local, set()) == reparsed.evaluate(
+            shared, local, reads
+        )
+
+    def test_precedence_minimal_parens(self):
+        e = A.BinOp("+", A.Const(1), A.BinOp("*", A.Const(2), A.Const(3)))
+        assert unparse_expr(e) == "1 + 2 * 3"
+        e2 = A.BinOp("*", A.BinOp("+", A.Const(1), A.Const(2)), A.Const(3))
+        assert unparse_expr(e2) == "(1 + 2) * 3"
+
+    def test_left_associativity_preserved(self):
+        # (1 - 2) - 3 prints without parens; 1 - (2 - 3) needs them
+        left = A.BinOp("-", A.BinOp("-", A.Const(1), A.Const(2)), A.Const(3))
+        right = A.BinOp("-", A.Const(1), A.BinOp("-", A.Const(2), A.Const(3)))
+        assert parse_expression(unparse_expr(left)) == left
+        assert parse_expression(unparse_expr(right)) == right
+        assert unparse_expr(left) != unparse_expr(right)
+
+
+class TestProgramRoundTrip:
+    @given(programs())
+    @settings(max_examples=80, deadline=None)
+    def test_random_programs(self, program):
+        again = parse_program(unparse_program(program))
+        assert again.processes == program.processes
+        assert again.shared_initial == program.shared_initial
+        assert again.sem_initial == program.sem_initial
+        assert again.var_initial == program.var_initial
+
+    def test_canned_workloads_round_trip(self):
+        for program in (
+            figure1_program(),
+            producer_consumer_program(2),
+            barrier_program(2),
+            dining_philosophers_program(3),
+            data_dependent_branch_program(),
+            pipeline_program(3),
+        ):
+            again = parse_program(unparse_program(program))
+            assert again.processes == program.processes
+            assert again.sem_initial == program.sem_initial
+
+    def test_declarations_emitted(self):
+        program = A.Program(
+            [A.ProcessDef("p", [A.Skip()])],
+            sem_initial={"s": 2},
+            var_initial={"go"},
+            shared_initial={"x": 5},
+        )
+        text = unparse_program(program)
+        assert "shared x = 5" in text
+        assert "sem s = 2" in text
+        assert "event go posted" in text
+
+    def test_fork_join_nested(self):
+        inner = A.ProcessDef("c", [A.Skip(label="inner")])
+        program = A.Program(
+            [A.ProcessDef("main", [A.Fork([inner]), A.Join()])]
+        )
+        again = parse_program(unparse_program(program))
+        assert again.processes == program.processes

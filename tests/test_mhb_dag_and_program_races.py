@@ -1,0 +1,74 @@
+"""Tests for the MHB DAG view and program-level race aggregation."""
+
+from repro.analysis.explore import ProgramAnalysis
+from repro.core.relations import OrderingAnalyzer, RelationName
+from repro.lang.parser import parse_program
+from repro.model.builder import ExecutionBuilder
+from repro.util.graphs import reachable_from
+from repro.workloads.programs import figure1_program
+
+
+class TestMhbDag:
+    def test_closure_equals_relation(self):
+        b = ExecutionBuilder()
+        p = b.process("p")
+        x, y, z = p.skip(), p.skip(), p.skip()
+        w = b.process("q").sem_v("s")
+        v = b.process("r").sem_p("s")
+        ana = OrderingAnalyzer(b.build())
+        dag = ana.mhb_dag()
+        mhb = ana.relation(RelationName.MHB)
+        closed = set()
+        for node in dag.nodes:
+            closed.update((node, m) for m in reachable_from(dag, node))
+        assert closed == set(mhb.pairs)
+
+    def test_reduction_drops_transitive_edge(self):
+        b = ExecutionBuilder()
+        p = b.process("p")
+        x, y, z = p.skip(), p.skip(), p.skip()
+        dag = OrderingAnalyzer(b.build()).mhb_dag()
+        assert dag.has_edge(x, y) and dag.has_edge(y, z)
+        assert not dag.has_edge(x, z)
+
+    def test_dag_renders_via_viz(self):
+        from repro import viz
+        from repro.workloads.programs import figure1_execution
+
+        exe = figure1_execution()
+        dag = OrderingAnalyzer(exe).mhb_dag()
+        # nodes are eids of the same execution: DOT export applies
+        assert len(dag) == len(exe)
+
+
+class TestProgramRaces:
+    def test_figure1_race_found_across_signatures(self):
+        ana = ProgramAnalysis(figure1_program())
+        races = ana.program_races()
+        # the X write/read race exists in both branch signatures
+        assert ("x_assign", "x_test") in races
+        assert races[("x_assign", "x_test")] == 2
+
+    def test_race_free_program(self):
+        src = """
+        proc a { V(s) }
+        proc b { P(s); x := 1 }
+        proc c { P(t) }
+        proc d { V(t) }
+        """
+        ana = ProgramAnalysis(parse_program(src))
+        assert ana.program_races() == {}
+
+    def test_signature_deduplication(self):
+        # two unsynchronized writers: many runs, one signature, one race
+        src = "proc a { x := 1 }\nproc b { x := 2 }"
+        ana = ProgramAnalysis(parse_program(src))
+        races = ana.program_races()
+        assert len(races) == 1
+        assert all(count == 1 for count in races.values())
+
+    def test_branch_dependent_race_counted_once_per_signature(self):
+        ana = ProgramAnalysis(figure1_program())
+        races = ana.program_races()
+        # at most one counted occurrence per distinct event signature
+        assert all(count <= len(ana.event_signatures()) for count in races.values())

@@ -1,0 +1,154 @@
+"""Tests for the executable model axioms."""
+
+import pytest
+
+from repro.core.queries import OrderingQueries
+from repro.core.witness import Witness
+from repro.model.axioms import (
+    AxiomViolation,
+    _is_interval_order,
+    check_dependences,
+    check_structure,
+    check_temporal_order,
+    validate_execution,
+)
+from repro.model.builder import ExecutionBuilder
+from repro.util.relations import BinaryRelation
+from repro.workloads.generators import random_semaphore_execution
+
+
+def clean_execution():
+    b = ExecutionBuilder()
+    main = b.process("main")
+    f = main.fork()
+    b.process("c", parent=f).write("x")
+    main.join(f)
+    main.read("x")
+    b.dependence(1, 3)
+    return b.build()
+
+
+class TestStructureAxioms:
+    def test_clean_execution_passes(self):
+        assert check_structure(clean_execution()) == []
+
+    def test_cyclic_dependence_reported(self):
+        b = ExecutionBuilder()
+        x = b.process("p").write("v")
+        y = b.process("q").write("v")
+        b.dependence(x, y)
+        b.dependence(y, x)
+        problems = check_structure(b.build())
+        assert any("cyclic" in p for p in problems)
+
+    def test_join_of_root_process_reported(self):
+        b = ExecutionBuilder()
+        b.process("other").skip()
+        b.process("main").join(["other"])
+        problems = check_structure(b.build())
+        assert any("root process" in p for p in problems)
+
+    def test_empty_process_reported(self):
+        b = ExecutionBuilder()
+        b.process("p").skip()
+        b.process("empty")
+        problems = check_structure(b.build())
+        assert any("no events" in p for p in problems)
+
+
+class TestDependenceAxioms:
+    def test_conflicting_dependence_ok(self):
+        assert check_dependences(clean_execution()) == []
+
+    def test_non_conflicting_dependence_reported(self):
+        b = ExecutionBuilder()
+        x = b.process("p").read("v")
+        y = b.process("q").read("v")  # read/read: no conflict
+        b.dependence(x, y)
+        problems = check_dependences(b.build())
+        assert len(problems) == 1
+
+    def test_require_conflict_can_be_disabled(self):
+        b = ExecutionBuilder()
+        x = b.process("p").skip()
+        y = b.process("q").skip()
+        b.dependence(x, y)
+        assert check_dependences(b.build(), require_conflict=False) == []
+
+
+class TestIntervalOrderCheck:
+    def test_two_plus_two_detected(self):
+        # a->b, c->d with no cross edges: the canonical non-interval order
+        r = BinaryRelation(range(4), [(0, 1), (2, 3)])
+        assert not _is_interval_order(r)
+
+    def test_chain_is_interval(self):
+        r = BinaryRelation(range(3), [(0, 1), (1, 2), (0, 2)])
+        assert _is_interval_order(r)
+
+    def test_empty_is_interval(self):
+        assert _is_interval_order(BinaryRelation(range(3), []))
+
+
+class TestTemporalOrderAxioms:
+    def test_witness_temporal_relation_passes(self):
+        exe = clean_execution()
+        w = OrderingQueries(exe).feasible_witness()
+        assert w is not None
+        assert check_temporal_order(exe, w.temporal_relation()) == []
+
+    def test_missing_structural_edge_reported(self):
+        exe = clean_execution()
+        empty = BinaryRelation(range(len(exe)), [])
+        problems = check_temporal_order(exe, empty)
+        assert any("structural edge" in p for p in problems)
+
+    def test_wrong_universe_reported(self):
+        exe = clean_execution()
+        problems = check_temporal_order(exe, BinaryRelation(range(2), []))
+        assert problems
+
+    def test_missing_dependence_edge_reported(self):
+        # D edge between otherwise unrelated processes: a temporal order
+        # satisfying only the structural edges must be flagged
+        b = ExecutionBuilder()
+        x = b.process("p").write("v")
+        y = b.process("q").read("v")
+        b.dependence(x, y)
+        exe = b.build()
+        problems = check_temporal_order(exe, BinaryRelation(range(len(exe)), []))
+        assert any("dependence" in p for p in problems)
+
+
+class TestValidateExecution:
+    def test_valid_execution_returns_empty(self):
+        assert validate_execution(clean_execution()) == []
+
+    def test_raises_on_violation(self):
+        b = ExecutionBuilder()
+        x = b.process("p").read("v")
+        y = b.process("q").read("v")
+        b.dependence(x, y)
+        with pytest.raises(AxiomViolation):
+            validate_execution(b.build())
+
+    def test_collects_without_raising(self):
+        b = ExecutionBuilder()
+        x = b.process("p").read("v")
+        y = b.process("q").read("v")
+        b.dependence(x, y)
+        problems = validate_execution(b.build(), raise_on_error=False)
+        assert problems
+
+    def test_random_generated_executions_are_valid(self):
+        for seed in range(5):
+            exe = random_semaphore_execution(seed=seed)
+            assert validate_execution(exe) == []
+
+    def test_witness_relations_are_valid_temporal_orders(self):
+        for seed in range(3):
+            exe = random_semaphore_execution(
+                processes=2, events_per_process=2, seed=seed
+            )
+            w = OrderingQueries(exe).feasible_witness()
+            assert validate_execution(exe, w.temporal_relation()) == []

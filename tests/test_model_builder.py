@@ -1,0 +1,165 @@
+"""Unit tests for the execution builder."""
+
+import pytest
+
+from repro.model.builder import ExecutionBuilder
+from repro.model.events import EventKind
+from repro.model.execution import SyncStyle
+
+
+class TestProcessConstruction:
+    def test_duplicate_process_name_rejected(self):
+        b = ExecutionBuilder()
+        b.process("p")
+        with pytest.raises(ValueError):
+            b.process("p")
+
+    def test_eids_dense_in_creation_order(self):
+        b = ExecutionBuilder()
+        p1, p2 = b.process("p1"), b.process("p2")
+        assert p1.skip() == 0
+        assert p2.skip() == 1
+        assert p1.skip() == 2
+        exe = b.build()
+        assert [e.eid for e in exe.events] == [0, 1, 2]
+
+    def test_indices_per_process(self):
+        b = ExecutionBuilder()
+        p = b.process("p")
+        p.skip(), p.skip(), p.skip()
+        exe = b.build()
+        assert [exe.event(i).index for i in exe.process_events("p")] == [0, 1, 2]
+
+
+class TestEventEmission:
+    def test_compute_accesses(self):
+        b = ExecutionBuilder()
+        eid = b.process("p").compute(reads=["x"], writes=["y"])
+        exe = b.build()
+        assert exe.event(eid).reads == {"x"}
+        assert exe.event(eid).writes == {"y"}
+
+    def test_read_write_shortcuts(self):
+        b = ExecutionBuilder()
+        p = b.process("p")
+        r, w = p.read("x"), p.write("x")
+        exe = b.build()
+        assert exe.event(r).reads == {"x"} and not exe.event(r).writes
+        assert exe.event(w).writes == {"x"} and not exe.event(w).reads
+
+    def test_semaphore_autodeclared_zero(self):
+        b = ExecutionBuilder()
+        b.process("p").sem_v("s")
+        exe = b.build()
+        assert exe.sem_initial("s") == 0
+
+    def test_semaphore_initial_count(self):
+        b = ExecutionBuilder()
+        b.semaphore("s", 3)
+        b.process("p").sem_p("s")
+        assert b.build().sem_initial("s") == 3
+
+    def test_negative_semaphore_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionBuilder().semaphore("s", -1)
+
+    def test_event_variable_initially_posted(self):
+        b = ExecutionBuilder()
+        b.event_variable("v", posted=True)
+        b.process("p").wait("v")
+        assert b.build().var_initially_posted("v")
+
+    def test_kinds(self):
+        b = ExecutionBuilder()
+        p = b.process("p")
+        eids = {
+            EventKind.COMPUTATION: p.skip(),
+            EventKind.SEM_P: p.sem_p("s"),
+            EventKind.SEM_V: p.sem_v("s"),
+            EventKind.POST: p.post("v"),
+            EventKind.WAIT: p.wait("v"),
+            EventKind.CLEAR: p.clear("v"),
+        }
+        exe = b.build()
+        for kind, eid in eids.items():
+            assert exe.event(eid).kind is kind
+
+
+class TestForkJoin:
+    def test_fork_join_structure(self):
+        b = ExecutionBuilder()
+        main = b.process("main")
+        f = main.fork()
+        b.process("c1", parent=f).skip()
+        b.process("c2", parent=f).skip()
+        j = main.join(f)
+        exe = b.build()
+        assert exe.fork_children[f.eid] == ("c1", "c2")
+        assert exe.join_targets[j] == ("c1", "c2")
+        assert exe.parent_fork["c1"] == f.eid
+        assert set(exe.root_processes) == {"main"}
+
+    def test_join_named_processes(self):
+        b = ExecutionBuilder()
+        main = b.process("main")
+        f = main.fork()
+        b.process("c", parent=f).skip()
+        j = main.join(["c"])
+        assert b.build().join_targets[j] == ("c",)
+
+    def test_unknown_fork_handle_rejected(self):
+        b1, b2 = ExecutionBuilder(), ExecutionBuilder()
+        f = b1.process("m").fork()
+        with pytest.raises(ValueError):
+            b2.process("c", parent=f)
+
+    def test_nested_forks(self):
+        b = ExecutionBuilder()
+        main = b.process("main")
+        f1 = main.fork()
+        child = b.process("child", parent=f1)
+        f2 = child.fork()
+        b.process("grandchild", parent=f2).skip()
+        child.join(f2)
+        main.join(f1)
+        exe = b.build()
+        assert exe.parent_fork["grandchild"] == f2.eid
+        assert exe.is_structurally_consistent()
+
+
+class TestBuildValidation:
+    def test_dependence_recorded(self):
+        b = ExecutionBuilder()
+        x = b.process("p").write("v")
+        y = b.process("q").read("v")
+        b.dependence(x, y)
+        assert (x, y) in b.build().dependences
+
+    def test_reflexive_dependence_rejected(self):
+        b = ExecutionBuilder()
+        x = b.process("p").write("v")
+        b.dependence(x, x)
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_observed_schedule_must_be_permutation(self):
+        b = ExecutionBuilder()
+        b.process("p").skip()
+        b.process("q").skip()
+        with pytest.raises(ValueError):
+            b.build(observed_schedule=[0, 0])
+
+    def test_sync_style(self):
+        b = ExecutionBuilder()
+        b.process("p").sem_v("s")
+        assert b.build().sync_style is SyncStyle.SEMAPHORE
+        b2 = ExecutionBuilder()
+        b2.process("p").post("v")
+        assert b2.build().sync_style is SyncStyle.EVENT
+        b3 = ExecutionBuilder()
+        b3.process("p").skip()
+        assert b3.build().sync_style is SyncStyle.NONE
+        b4 = ExecutionBuilder()
+        p = b4.process("p")
+        p.sem_v("s"), p.post("v")
+        assert b4.build().sync_style is SyncStyle.MIXED

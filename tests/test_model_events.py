@@ -1,0 +1,83 @@
+"""Unit tests for events and accesses."""
+
+import pytest
+
+from repro.model.events import Access, Event, EventKind
+
+
+class TestAccess:
+    def test_conflict_requires_same_variable(self):
+        assert not Access("x", True).conflicts_with(Access("y", True))
+
+    def test_conflict_requires_a_write(self):
+        assert not Access("x", False).conflicts_with(Access("x", False))
+        assert Access("x", True).conflicts_with(Access("x", False))
+        assert Access("x", False).conflicts_with(Access("x", True))
+        assert Access("x", True).conflicts_with(Access("x", True))
+
+    def test_repr_mode(self):
+        assert repr(Access("x", True)) == "W(x)"
+        assert repr(Access("x", False)) == "R(x)"
+
+
+class TestEventKind:
+    def test_synchronization_classification(self):
+        assert not EventKind.COMPUTATION.is_synchronization
+        for k in EventKind:
+            if k is not EventKind.COMPUTATION:
+                assert k.is_synchronization
+
+    def test_family_flags(self):
+        assert EventKind.SEM_P.is_semaphore_op and EventKind.SEM_V.is_semaphore_op
+        assert EventKind.POST.is_event_var_op and EventKind.CLEAR.is_event_var_op
+        assert EventKind.FORK.is_task_op and EventKind.JOIN.is_task_op
+        assert not EventKind.SEM_P.is_event_var_op
+
+    def test_blocking_operations(self):
+        assert EventKind.SEM_P.may_block
+        assert EventKind.WAIT.may_block
+        assert EventKind.JOIN.may_block
+        assert not EventKind.SEM_V.may_block
+        assert not EventKind.POST.may_block
+
+
+class TestEvent:
+    def test_sync_event_requires_object(self):
+        with pytest.raises(ValueError):
+            Event(0, "p", 0, EventKind.SEM_P)
+
+    def test_computation_rejects_object(self):
+        with pytest.raises(ValueError):
+            Event(0, "p", 0, EventKind.COMPUTATION, obj="s")
+
+    def test_only_computation_carries_accesses(self):
+        with pytest.raises(ValueError):
+            Event(0, "p", 0, EventKind.SEM_V, obj="s", accesses=(Access("x", True),))
+
+    def test_reads_writes_partition(self):
+        e = Event(
+            0, "p", 0, EventKind.COMPUTATION,
+            accesses=(Access("x", False), Access("y", True), Access("x", True)),
+        )
+        assert e.reads == {"x"}
+        assert e.writes == {"x", "y"}
+        assert e.variables == {"x", "y"}
+
+    def test_conflicts_with(self):
+        w = Event(0, "p", 0, EventKind.COMPUTATION, accesses=(Access("x", True),))
+        r = Event(1, "q", 0, EventKind.COMPUTATION, accesses=(Access("x", False),))
+        other = Event(2, "q", 1, EventKind.COMPUTATION, accesses=(Access("z", False),))
+        assert w.conflicts_with(r)
+        assert not r.conflicts_with(other)
+
+    def test_describe_prefers_label(self):
+        e = Event(0, "p", 0, EventKind.COMPUTATION, label="a")
+        assert e.describe() == "a"
+
+    def test_describe_sync(self):
+        e = Event(3, "p", 2, EventKind.SEM_P, obj="s")
+        assert "P(s)" in e.describe()
+
+    def test_describe_empty_computation(self):
+        e = Event(0, "p", 0, EventKind.COMPUTATION)
+        assert "skip" in e.describe()

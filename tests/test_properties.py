@@ -1,0 +1,132 @@
+"""Cross-cutting property-based tests: the Table 1 algebra.
+
+The dualities here are consequences of the *definitions* (Section 3.2),
+so they must hold for every execution regardless of synchronization
+style, dependence structure or feasibility:
+
+* per-execution trichotomy lifts to: ``MCW = not COW``, ``MOW = not CCW``,
+  ``MHB(a,b) = not CHB(b,a) and not CCW(a,b)``;
+* symmetry of the CW/OW relations;
+* MHB is a strict partial order (intersection of strict partial orders);
+* CHB contains MHB; CCW contains MCW; COW contains MOW (could-have
+  generalizes must-have whenever F is non-empty);
+* monotonicity in ``D``: ignoring dependences enlarges ``F``, so
+  must-relations shrink and could-relations grow.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.queries import OrderingQueries
+from repro.core.relations import OrderingAnalyzer, RelationName
+from repro.util.relations import is_strict_partial_order, is_symmetric
+
+from tests.strategies import (
+    medium_semaphore_executions,
+    overlay_executions,
+    small_event_executions,
+)
+
+
+class TestDualities:
+    @given(medium_semaphore_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_mcw_is_complement_of_cow(self, exe):
+        ana = OrderingAnalyzer(exe)
+        assert ana.relation(RelationName.MCW) == ana.relation(RelationName.COW).complement()
+
+    @given(medium_semaphore_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_mow_is_complement_of_ccw(self, exe):
+        ana = OrderingAnalyzer(exe)
+        assert ana.relation(RelationName.MOW) == ana.relation(RelationName.CCW).complement()
+
+    @given(small_event_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_mhb_decomposition(self, exe):
+        q = OrderingQueries(exe)
+        n = len(exe)
+        for a in range(n):
+            for b in range(n):
+                if a != b:
+                    assert q.mhb(a, b) == ((not q.chb(b, a)) and (not q.ccw(a, b)))
+
+    @given(medium_semaphore_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_cow_decomposition(self, exe):
+        q = OrderingQueries(exe)
+        n = len(exe)
+        for a in range(n):
+            for b in range(n):
+                if a != b:
+                    assert q.cow(a, b) == (q.chb(a, b) or q.chb(b, a))
+
+
+class TestShapeProperties:
+    @given(medium_semaphore_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_symmetric_relations(self, exe):
+        ana = OrderingAnalyzer(exe)
+        for name in (RelationName.MCW, RelationName.CCW, RelationName.MOW, RelationName.COW):
+            assert is_symmetric(ana.relation(name)), name
+
+    @given(medium_semaphore_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_mhb_strict_partial_order(self, exe):
+        assert is_strict_partial_order(OrderingAnalyzer(exe).relation(RelationName.MHB))
+
+    @given(small_event_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_could_contains_must(self, exe):
+        ana = OrderingAnalyzer(exe)
+        q = ana.queries
+        if not q.has_feasible_execution():
+            return
+        assert ana.relation(RelationName.MHB).issubset(ana.relation(RelationName.CHB))
+        assert ana.relation(RelationName.MCW).issubset(ana.relation(RelationName.CCW))
+        assert ana.relation(RelationName.MOW).issubset(ana.relation(RelationName.COW))
+
+    @given(medium_semaphore_executions())
+    @settings(max_examples=15, deadline=None)
+    def test_mhb_implies_mcb(self, exe):
+        q = OrderingQueries(exe)
+        n = len(exe)
+        for a in range(n):
+            for b in range(n):
+                if a != b and q.mhb(a, b):
+                    assert q.mcb(a, b)
+
+    @given(medium_semaphore_executions())
+    @settings(max_examples=15, deadline=None)
+    def test_static_order_implies_mhb(self, exe):
+        q = OrderingQueries(exe)
+        n = len(exe)
+        for a in range(n):
+            for b in range(n):
+                if a != b and q.statically_ordered(a, b):
+                    assert q.mhb(a, b)
+
+
+class TestDependenceMonotonicity:
+    @given(overlay_executions())
+    @settings(max_examples=15, deadline=None)
+    def test_ignoring_d_shrinks_must_grows_could(self, exe):
+        with_d = OrderingAnalyzer(exe, include_dependences=True)
+        without_d = OrderingAnalyzer(exe, include_dependences=False)
+        assert without_d.relation(RelationName.MHB).issubset(with_d.relation(RelationName.MHB))
+        assert with_d.relation(RelationName.CHB).issubset(without_d.relation(RelationName.CHB))
+        assert with_d.relation(RelationName.CCW).issubset(without_d.relation(RelationName.CCW))
+
+
+class TestObservedExecutionMembership:
+    @given(medium_semaphore_executions())
+    @settings(max_examples=15, deadline=None)
+    def test_observed_schedule_consistent_with_must_relations(self, exe):
+        """The observed execution is a member of F, so every must-have
+        ordering must hold in it."""
+        q = OrderingQueries(exe)
+        pos = {eid: i for i, eid in enumerate(exe.observed_schedule)}
+        n = len(exe)
+        for a in range(n):
+            for b in range(n):
+                if a != b and q.mcb(a, b):
+                    assert pos[a] < pos[b]

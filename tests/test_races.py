@@ -1,0 +1,125 @@
+"""Tests for apparent vs feasible race detection."""
+
+from repro.lang.ast import Assign, Const, Fork, Join, Post, ProcessDef, Program, SemP, SemV, Shared, Wait
+from repro.lang.interpreter import run_program
+from repro.lang.scheduler import FixedScheduler, PriorityScheduler
+from repro.races.detector import RaceDetector
+from repro.workloads.programs import figure1_execution
+
+
+def sync_free_conflict():
+    """Two unsynchronized writers of x: an undeniable race."""
+    prog = Program(
+        [ProcessDef("w1", [Assign("x", Const(1))]), ProcessDef("w2", [Assign("x", Const(2))])]
+    )
+    return run_program(prog, FixedScheduler(["w1", "w2"])).to_execution()
+
+
+def properly_locked_conflict():
+    """Two writers under a binary semaphore... but the *handoff* kind:
+    w2 can only write after w1's release, so the accesses are ordered
+    in every feasible execution."""
+    prog = Program(
+        [
+            ProcessDef("w1", [Assign("x", Const(1)), SemV("lock")]),
+            ProcessDef("w2", [SemP("lock"), Assign("x", Const(2))]),
+        ]
+    )
+    return run_program(prog, FixedScheduler(["w1", "w1", "w2", "w2"])).to_execution()
+
+
+def mutex_conflict():
+    """Mutual exclusion (semaphore starts at 1): the writes cannot
+    overlap, but can occur in either order."""
+    prog = Program(
+        [
+            ProcessDef("w1", [SemP("m"), Assign("x", Const(1)), SemV("m")]),
+            ProcessDef("w2", [SemP("m"), Assign("x", Const(2)), SemV("m")]),
+        ],
+        sem_initial={"m": 1},
+    )
+    return run_program(prog, PriorityScheduler(["w1", "w2"])).to_execution()
+
+
+class TestApparentRaces:
+    def test_unsynchronized_writes_race(self):
+        report = RaceDetector(sync_free_conflict()).apparent_races()
+        assert len(report.races) == 1
+        assert report.races[0].variables == {"x"}
+
+    def test_handoff_hides_race(self):
+        report = RaceDetector(properly_locked_conflict()).apparent_races()
+        assert report.races == []
+
+    def test_mutex_not_apparent_race(self):
+        """The observed pairing (V of w1 -> P of w2) orders the writes,
+        so vector clocks see no race -- even though the lock does not
+        fix the order.  (It is genuinely not a *concurrency* race.)"""
+        report = RaceDetector(mutex_conflict()).apparent_races()
+        assert report.races == []
+
+    def test_report_formatting(self):
+        report = RaceDetector(sync_free_conflict()).apparent_races()
+        assert "apparent" in report.summary()
+        assert "x" in report.pretty()
+
+
+class TestFeasibleRaces:
+    def test_unsynchronized_writes_feasible_race_with_witness(self):
+        report = RaceDetector(sync_free_conflict()).feasible_races()
+        assert len(report.races) == 1
+        w = report.races[0].witness
+        assert w is not None
+        assert w.concurrent(report.races[0].a, report.races[0].b)
+        w.validate()
+
+    def test_handoff_is_not_feasible_race(self):
+        """The V/P handoff orders the writes in every feasible
+        execution even with the tested pair's dependence dropped."""
+        report = RaceDetector(properly_locked_conflict()).feasible_races()
+        assert report.races == []
+
+    def test_mutex_is_not_feasible_race(self):
+        report = RaceDetector(mutex_conflict()).feasible_races()
+        assert report.races == []
+
+    def test_figure1_feasible_race_found(self):
+        """Dropping the tested pair's own dependence exposes the
+        write/read race that the F3-frozen view would hide."""
+        exe = figure1_execution()
+        detector = RaceDetector(exe)
+        feasible = detector.feasible_races()
+        assert len(feasible.races) == 1
+        strict = detector.feasible_races(drop_racing_dependences=False)
+        assert strict.races == []
+
+    def test_pairs_listing(self):
+        report = RaceDetector(sync_free_conflict()).feasible_races()
+        assert len(report.pairs()) == 1
+
+
+class TestApparentVsFeasibleGap:
+    def test_apparent_misses_feasible_race(self):
+        """The observed execution's accidental pairing masks a race
+        another feasible execution exhibits: P(s) paired with the first
+        V in this run, but the second V could have served it."""
+        prog = Program(
+            [
+                ProcessDef("w1", [Assign("x", Const(1)), SemV("s")]),
+                ProcessDef("w2", [SemV("s"), Assign("y", Const(0))]),
+                ProcessDef("r", [SemP("s"), Assign("z", Shared("x"))]),
+            ]
+        )
+        trace = run_program(
+            prog, FixedScheduler(["w1", "w1", "r", "w2", "w2", "r", "r"])
+        )
+        exe = trace.to_execution()
+        detector = RaceDetector(exe)
+        apparent = {frozenset(p) for p in detector.apparent_races().pairs()}
+        feasible = {frozenset(p) for p in detector.feasible_races().pairs()}
+        # the write of x and its read are apparent-ordered via the
+        # accidental V/P pairing, but feasibly racy
+        assert feasible - apparent, (apparent, feasible)
+        w = exe.process_events("w1")[0]
+        r = exe.process_events("r")[1]
+        assert frozenset((w, r)) in feasible

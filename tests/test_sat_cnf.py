@@ -1,0 +1,113 @@
+"""Tests for CNF formulas, DIMACS round-trip and 3-CNF normalization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.bruteforce import brute_force_satisfiable
+from repro.sat.cnf import CNF, Clause, parse_dimacs, to_dimacs
+
+
+class TestClause:
+    def test_literal_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Clause([0])
+
+    def test_variables(self):
+        assert Clause([1, -2, 3]).variables == {1, 2, 3}
+
+    def test_tautology(self):
+        assert Clause([1, -1, 2]).is_tautology()
+        assert not Clause([1, 2]).is_tautology()
+
+    def test_evaluate(self):
+        c = Clause([1, -2])
+        assert c.evaluate({1: True, 2: True})
+        assert c.evaluate({1: False, 2: False})
+        assert not c.evaluate({1: False, 2: True})
+
+    def test_missing_variable_defaults_false(self):
+        assert Clause([-1]).evaluate({})
+        assert not Clause([1]).evaluate({})
+
+    def test_repr(self):
+        assert repr(Clause([1, -2])) == "(x1 | ~x2)"
+
+
+class TestCNF:
+    def test_num_vars_inferred(self):
+        assert CNF([(1, 5)]).num_vars == 5
+
+    def test_num_vars_declared_too_small(self):
+        with pytest.raises(ValueError):
+            CNF([(1, 5)], num_vars=3)
+
+    def test_evaluate_conjunction(self):
+        f = CNF([(1,), (-2,)])
+        assert f.evaluate({1: True, 2: False})
+        assert not f.evaluate({1: True, 2: True})
+
+    def test_is_3cnf(self):
+        assert CNF([(1, 2, 3)]).is_3cnf()
+        assert not CNF([(1, 2)]).is_3cnf()
+
+    def test_literal_occurrences(self):
+        f = CNF([(1, 2, -1), (1, 3, 3)])
+        occ = f.literal_occurrences()
+        assert occ[1] == 2 and occ[-1] == 1 and occ[3] == 2
+
+
+class TestTo3CNF:
+    def test_pads_short_clauses(self):
+        f = CNF([(1,), (1, 2)]).to_3cnf()
+        assert f.is_3cnf()
+
+    def test_splits_long_clauses(self):
+        f = CNF([(1, 2, 3, 4, 5)]).to_3cnf()
+        assert f.is_3cnf()
+        assert len(f) > 1
+
+    def test_empty_clause_becomes_unsat_pair(self):
+        f = CNF([[]], num_vars=0).to_3cnf()
+        assert f.is_3cnf()
+        assert brute_force_satisfiable(f) is None
+
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(-4, 4).filter(lambda x: x != 0), min_size=1, max_size=6
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equisatisfiable(self, clauses):
+        f = CNF(clauses)
+        g = f.to_3cnf()
+        assert (brute_force_satisfiable(f) is not None) == (
+            brute_force_satisfiable(g) is not None
+        )
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        f = CNF([(1, -2, 3), (-1, 2, -3)])
+        g = parse_dimacs(to_dimacs(f, comment="example"))
+        assert g == f
+
+    def test_parse_without_header(self):
+        f = parse_dimacs("1 2 0\n-1 -2 0\n")
+        assert len(f) == 2 and f.num_vars == 2
+
+    def test_parse_trailing_clause_without_zero(self):
+        f = parse_dimacs("p cnf 2 1\n1 2")
+        assert len(f) == 1
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p sat 3\n")
+
+    def test_comment_lines_skipped(self):
+        f = parse_dimacs("c hello\np cnf 1 1\n1 0\n")
+        assert len(f) == 1

@@ -1,0 +1,117 @@
+"""DPLL solver vs exhaustive ground truth."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.bruteforce import all_models, brute_force_satisfiable, count_models
+from repro.sat.cnf import CNF
+from repro.sat.dpll import DPLLSolver, solve
+from repro.sat.generators import (
+    all_assignment_formula,
+    chain_formula,
+    pigeonhole,
+    random_ksat,
+)
+
+
+class TestKnownFormulas:
+    def test_trivially_sat(self):
+        model = solve(CNF([(1, 2, 3)]))
+        assert model is not None
+        assert CNF([(1, 2, 3)]).evaluate(model)
+
+    def test_contradiction(self):
+        assert solve(CNF([(1,), (-1,)])) is None
+
+    def test_empty_clause_unsat(self):
+        assert solve(CNF([[]], num_vars=1)) is None
+
+    def test_empty_formula_sat(self):
+        assert solve(CNF([], num_vars=3)) is not None
+
+    def test_model_totalized(self):
+        model = solve(CNF([(1,)], num_vars=5))
+        assert set(model) == {1, 2, 3, 4, 5}
+
+    def test_unit_propagation_chain(self):
+        f = chain_formula(8)
+        model = solve(f)
+        assert model is not None and all(model[v] for v in range(1, 9))
+
+    def test_unsat_chain(self):
+        assert solve(chain_formula(6, satisfiable=False)) is None
+
+    def test_pigeonhole_unsat(self):
+        assert solve(pigeonhole(2)) is None
+        assert solve(pigeonhole(3)) is None
+
+    def test_all_assignment_formula(self):
+        f = all_assignment_formula(3)
+        assert count_models(f) == 8
+
+    def test_stats_recorded(self):
+        s = DPLLSolver(pigeonhole(2))
+        s.solve()
+        assert s.stats.decisions + s.stats.propagations > 0
+
+
+class TestAgainstBruteForce:
+    @given(
+        st.integers(1, 4),
+        st.integers(1, 8),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_formulas(self, n, m, seed):
+        f = random_ksat(max(n, 3), m, seed=seed)
+        dpll = solve(f)
+        brute = brute_force_satisfiable(f)
+        assert (dpll is not None) == (brute is not None)
+        if dpll is not None:
+            assert f.evaluate(dpll)
+
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicate_variable_clauses(self, seed):
+        f = random_ksat(2, 5, seed=seed, allow_duplicate_vars=True)
+        assert (solve(f) is not None) == (brute_force_satisfiable(f) is not None)
+
+
+class TestBruteForce:
+    def test_all_models_are_models(self):
+        f = random_ksat(3, 4, seed=7)
+        models = list(all_models(f))
+        for m in models:
+            assert f.evaluate(m)
+
+    def test_model_count_matches_truth_table(self):
+        f = CNF([(1, 2)], num_vars=2)
+        assert count_models(f) == 3
+
+    def test_empty_clause_no_models(self):
+        assert list(all_models(CNF([[]], num_vars=2))) == []
+
+
+class TestGenerators:
+    def test_random_ksat_reproducible(self):
+        assert random_ksat(4, 6, seed=5) == random_ksat(4, 6, seed=5)
+
+    def test_random_ksat_distinct_vars(self):
+        f = random_ksat(5, 20, seed=1)
+        for c in f.clauses:
+            assert len(c.variables) == 3
+
+    def test_random_ksat_too_few_vars_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            random_ksat(2, 3)
+
+    def test_pigeonhole_structure(self):
+        f = pigeonhole(3)
+        assert f.num_vars == 12
+        assert len(f) == 4 + 3 * 6  # per-pigeon + per-hole pairs
+
+    def test_chain_sat_flag(self):
+        assert solve(chain_formula(4, satisfiable=True)) is not None
+        assert solve(chain_formula(4, satisfiable=False)) is None

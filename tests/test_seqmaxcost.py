@@ -1,0 +1,122 @@
+"""Tests for the SS7 problem (sequencing to minimize maximum cumulative cost)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reductions.seqmaxcost import (
+    SeqMaxCostInstance,
+    greedy_seqmaxcost,
+    random_instance,
+    solve_seqmaxcost,
+)
+
+import pytest
+
+
+class TestInstance:
+    def test_bad_precedence_rejected(self):
+        with pytest.raises(ValueError):
+            SeqMaxCostInstance([1, 2], [(0, 5)], 1)
+        with pytest.raises(ValueError):
+            SeqMaxCostInstance([1, 2], [(0, 0)], 1)
+
+    def test_is_forest(self):
+        assert SeqMaxCostInstance([1, 1, 1], [(0, 2), (1, 2)], 1).is_forest() is False
+        assert SeqMaxCostInstance([1, 1, 1], [(0, 1), (0, 2)], 1).is_forest() is True
+
+    def test_check_sequence(self):
+        inst = SeqMaxCostInstance([2, -1], [(1, 0)], 1)
+        assert inst.check_sequence([1, 0])
+        assert not inst.check_sequence([0, 1])  # precedence violated
+        assert not inst.check_sequence([0])  # not a permutation
+
+    def test_check_sequence_threshold(self):
+        inst = SeqMaxCostInstance([2, -2], [], 1)
+        assert inst.check_sequence([1, 0])
+        assert not inst.check_sequence([0, 1])
+
+
+class TestExactSolver:
+    def test_trivial_feasible(self):
+        inst = SeqMaxCostInstance([1, 1], [], 5)
+        order = solve_seqmaxcost(inst)
+        assert order is not None and inst.check_sequence(order)
+
+    def test_release_first_needed(self):
+        inst = SeqMaxCostInstance([3, -3], [], 0)
+        order = solve_seqmaxcost(inst)
+        assert order == [1, 0]
+
+    def test_infeasible_by_threshold(self):
+        assert solve_seqmaxcost(SeqMaxCostInstance([2], [], 1)) is None
+
+    def test_infeasible_by_precedence(self):
+        # the release job is forced after the consumer
+        inst = SeqMaxCostInstance([2, -2], [(0, 1)], 1)
+        assert solve_seqmaxcost(inst) is None
+
+    def test_interleaving_of_chains(self):
+        # two chains: +1,-1 and +1,-1 with K=1 require alternation
+        inst = SeqMaxCostInstance(
+            [1, -1, 1, -1], [(0, 1), (2, 3)], 1
+        )
+        order = solve_seqmaxcost(inst)
+        assert order is not None and inst.check_sequence(order)
+
+    def test_greedy_trap(self):
+        """Greedy takes cheap jobs first and can strand itself; the
+        exact solver must not."""
+        # jobs: 0:+2 releases nothing; 1:-2 but only after 0 (chain);
+        # 2:+1 free.  K=2.  Greedy picks 2 (+1) first, then 0 would
+        # exceed?  2 then 0: 1+2=3 > 2 -> greedy stuck; exact does 0,1,2.
+        inst = SeqMaxCostInstance([2, -2, 1], [(0, 1)], 2)
+        assert solve_seqmaxcost(inst) is not None
+        # (documenting greedy's possible failure; it may or may not fail
+        # depending on tie-breaks, so only the exact claim is asserted)
+
+
+class TestGreedy:
+    def test_greedy_result_always_valid(self):
+        for seed in range(30):
+            inst = random_instance(5, seed=seed)
+            order = greedy_seqmaxcost(inst)
+            if order is not None:
+                assert inst.check_sequence(order)
+
+    def test_greedy_sound_never_beats_exact(self):
+        for seed in range(30):
+            inst = random_instance(5, seed=seed)
+            if greedy_seqmaxcost(inst) is not None:
+                assert solve_seqmaxcost(inst) is not None
+
+    def test_greedy_incomplete_somewhere(self):
+        """There exists an instance the exact solver schedules but the
+        cheapest-first greedy cannot."""
+        found = False
+        for seed in range(300):
+            inst = random_instance(6, seed=seed, max_cost=3, threshold=2)
+            if solve_seqmaxcost(inst) is not None and greedy_seqmaxcost(inst) is None:
+                found = True
+                break
+        assert found
+
+
+class TestExactProperties:
+    @given(st.integers(0, 3_000), st.integers(2, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_witness_always_checks(self, seed, n):
+        inst = random_instance(n, seed=seed)
+        order = solve_seqmaxcost(inst)
+        if order is not None:
+            assert inst.check_sequence(order)
+
+    @given(st.integers(0, 1_000))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, seed):
+        from itertools import permutations
+
+        inst = random_instance(4, seed=seed, forest=False)
+        brute = any(
+            inst.check_sequence(list(p)) for p in permutations(range(inst.num_jobs))
+        )
+        assert (solve_seqmaxcost(inst) is not None) == brute

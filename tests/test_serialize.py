@@ -1,0 +1,87 @@
+"""Round-trip tests for execution JSON serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.relations import ALL_RELATIONS, OrderingAnalyzer
+from repro.model import serialize
+from repro.workloads.programs import figure1_execution
+from repro.reductions import semaphore_reduction
+from repro.sat.cnf import CNF
+
+from tests.strategies import medium_semaphore_executions, small_event_executions
+
+
+def same_execution(a, b) -> bool:
+    return (
+        [e.describe() for e in a.events] == [e.describe() for e in b.events]
+        and a.processes == b.processes
+        and a.fork_children == b.fork_children
+        and a.join_targets == b.join_targets
+        and a.parent_fork == b.parent_fork
+        and a.dependences == b.dependences
+        and a.observed_schedule == b.observed_schedule
+        and {s: a.sem_initial(s) for s in a.semaphores}
+        == {s: b.sem_initial(s) for s in b.semaphores}
+    )
+
+
+class TestRoundTrip:
+    def test_figure1(self):
+        exe = figure1_execution()
+        again = serialize.loads(serialize.dumps(exe))
+        assert same_execution(exe, again)
+
+    def test_reduction_execution(self):
+        red = semaphore_reduction(CNF([(1, 2, 3)]))
+        again = serialize.loads(serialize.dumps(red.execution))
+        assert same_execution(red.execution, again)
+        assert again.by_label("a").eid == red.a
+
+    @given(medium_semaphore_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_random_semaphore_executions(self, exe):
+        assert same_execution(exe, serialize.loads(serialize.dumps(exe)))
+
+    @given(small_event_executions())
+    @settings(max_examples=20, deadline=None)
+    def test_random_event_executions(self, exe):
+        assert same_execution(exe, serialize.loads(serialize.dumps(exe)))
+
+    def test_relations_survive_round_trip(self):
+        exe = figure1_execution()
+        again = serialize.loads(serialize.dumps(exe))
+        a = OrderingAnalyzer(exe)
+        b = OrderingAnalyzer(again)
+        for name in ALL_RELATIONS:
+            assert a.relation(name) == b.relation(name)
+
+    def test_file_round_trip(self, tmp_path):
+        exe = figure1_execution()
+        path = tmp_path / "exe.json"
+        serialize.save(exe, str(path))
+        assert same_execution(exe, serialize.load(str(path)))
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-execution"):
+            serialize.loads(json.dumps({"format": "something-else"}))
+
+    def test_wrong_version_rejected(self):
+        doc = serialize.execution_to_dict(figure1_execution())
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="unsupported format version"):
+            serialize.execution_from_dict(doc)
+
+    def test_corrupt_structure_rejected(self):
+        doc = serialize.execution_to_dict(figure1_execution())
+        doc["processes"]["main"] = [999]
+        with pytest.raises(ValueError):
+            serialize.execution_from_dict(doc)
+
+    def test_document_is_sorted_stable(self):
+        exe = figure1_execution()
+        assert serialize.dumps(exe) == serialize.dumps(exe)

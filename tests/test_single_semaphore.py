@@ -1,0 +1,72 @@
+"""The single-counting-semaphore remark: SS7 <-> one-semaphore executions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.queries import OrderingQueries
+from repro.reductions.seqmaxcost import SeqMaxCostInstance, random_instance, solve_seqmaxcost
+from repro.reductions.single_semaphore import single_semaphore_reduction
+
+
+class TestConstruction:
+    def test_uses_single_semaphore(self):
+        inst = SeqMaxCostInstance([1, -1, 2], [(0, 1)], 2)
+        exe, a, b = single_semaphore_reduction(inst)
+        assert len(exe.semaphores) == 1
+
+    def test_costs_become_op_counts(self):
+        inst = SeqMaxCostInstance([2, -3, 0], [], 5)
+        exe, a, b = single_semaphore_reduction(inst)
+        from repro.model.events import EventKind
+
+        kinds = [e.kind for e in exe.events]
+        assert kinds.count(EventKind.SEM_P) == 2
+        assert kinds.count(EventKind.SEM_V) == 3
+
+    def test_threshold_becomes_initial_count(self):
+        inst = SeqMaxCostInstance([1], [], 7)
+        exe, a, b = single_semaphore_reduction(inst)
+        assert exe.sem_initial("s") == 7
+
+    def test_precedence_becomes_fork_chain(self):
+        inst = SeqMaxCostInstance([1, -1], [(0, 1)], 2)
+        exe, a, b = single_semaphore_reduction(inst)
+        assert exe.parent_fork  # job1's process forked by job0's
+
+    def test_non_forest_rejected(self):
+        inst = SeqMaxCostInstance([1, 1, 1], [(0, 2), (1, 2)], 3)
+        with pytest.raises(ValueError, match="forest"):
+            single_semaphore_reduction(inst)
+
+
+class TestEquivalence:
+    def check(self, inst):
+        expect = solve_seqmaxcost(inst) is not None
+        exe, a, b = single_semaphore_reduction(inst)
+        q = OrderingQueries(exe)
+        assert q.has_feasible_execution() == expect
+        # instance feasible  <=>  a CHB b on the constructed execution
+        assert q.chb(a, b) == expect
+
+    def test_feasible_instance(self):
+        self.check(SeqMaxCostInstance([1, -1, 1], [(0, 1)], 1))
+
+    def test_infeasible_instance(self):
+        self.check(SeqMaxCostInstance([2, -2], [(0, 1)], 1))
+
+    def test_alternation_required(self):
+        self.check(SeqMaxCostInstance([1, -1, 1, -1], [(0, 1), (2, 3)], 1))
+
+    @given(st.integers(0, 3_000), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_random_instances(self, seed, n):
+        inst = random_instance(n, seed=seed, max_cost=2, threshold=2)
+        self.check(inst)
+
+    @given(st.integers(0, 1_500))
+    @settings(max_examples=25, deadline=None)
+    def test_tight_threshold_instances(self, seed):
+        inst = random_instance(4, seed=seed, max_cost=3, threshold=1)
+        self.check(inst)

@@ -1,0 +1,167 @@
+"""Unit tests for the synchronization state machines."""
+
+import pytest
+
+from repro.model.builder import ExecutionBuilder
+from repro.sync.eventvar import EventVariable
+from repro.sync.semaphore import BinarySemaphore, Semaphore, SemaphoreError
+from repro.sync.state import SyncState
+
+
+class TestSemaphore:
+    def test_initial_count(self):
+        s = Semaphore("s", 2)
+        assert s.count == 2 and s.can_p()
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore("s", -1)
+
+    def test_p_requires_token(self):
+        s = Semaphore("s")
+        assert not s.can_p()
+        with pytest.raises(SemaphoreError):
+            s.p()
+
+    def test_v_then_p(self):
+        s = Semaphore("s")
+        s.v()
+        assert s.can_p()
+        s.p()
+        assert s.count == 0
+
+    def test_counting_accumulates(self):
+        s = Semaphore("s")
+        for _ in range(5):
+            s.v()
+        assert s.count == 5
+
+    def test_reset(self):
+        s = Semaphore("s", 1)
+        s.p()
+        s.reset()
+        assert s.count == 1
+
+    def test_copy_independent(self):
+        s = Semaphore("s", 1)
+        t = s.copy()
+        t.p()
+        assert s.count == 1 and t.count == 0
+
+
+class TestBinarySemaphore:
+    def test_clamps_at_one(self):
+        s = BinarySemaphore("s")
+        s.v()
+        s.v()
+        assert s.count == 1
+
+    def test_initial_restricted(self):
+        with pytest.raises(ValueError):
+            BinarySemaphore("s", 2)
+
+    def test_copy_preserves_type(self):
+        s = BinarySemaphore("s", 1)
+        t = s.copy()
+        t.v()
+        assert t.count == 1  # still clamped => still binary
+
+
+class TestEventVariable:
+    def test_initially_cleared(self):
+        v = EventVariable("v")
+        assert not v.can_wait()
+
+    def test_post_wait_clear_cycle(self):
+        v = EventVariable("v")
+        v.post()
+        assert v.can_wait()
+        v.wait()  # non-consuming
+        assert v.can_wait()
+        v.clear()
+        assert not v.can_wait()
+
+    def test_wait_while_cleared_raises(self):
+        with pytest.raises(RuntimeError):
+            EventVariable("v").wait()
+
+    def test_initially_posted(self):
+        v = EventVariable("v", posted=True)
+        assert v.can_wait()
+        v.clear()
+        v.reset()
+        assert v.can_wait()
+
+
+def build_simple_execution():
+    b = ExecutionBuilder()
+    main = b.process("main")
+    f = main.fork()
+    child = b.process("child", parent=f)
+    v = child.sem_v("s")
+    j = main.join(f)
+    p = b.process("other").sem_p("s")
+    return b.build(), f.eid, v, j, p
+
+
+class TestSyncState:
+    def test_p_gated_by_count(self):
+        exe, f, v, j, p = build_simple_execution()
+        st = SyncState(exe)
+        assert not st.can_complete(exe.event(p))
+        st.complete(exe.event(f))
+        st.complete(exe.event(v))
+        assert st.can_complete(exe.event(p))
+
+    def test_join_gated_by_children(self):
+        exe, f, v, j, p = build_simple_execution()
+        st = SyncState(exe)
+        st.complete(exe.event(f))
+        assert not st.can_complete(exe.event(j))
+        st.complete(exe.event(v))
+        assert st.can_complete(exe.event(j))
+
+    def test_double_completion_rejected(self):
+        exe, f, v, j, p = build_simple_execution()
+        st = SyncState(exe)
+        st.complete(exe.event(f))
+        with pytest.raises(RuntimeError):
+            st.complete(exe.event(f))
+
+    def test_blocked_completion_rejected(self):
+        exe, f, v, j, p = build_simple_execution()
+        st = SyncState(exe)
+        with pytest.raises(RuntimeError):
+            st.complete(exe.event(p))
+
+    def test_event_variable_gating(self):
+        b = ExecutionBuilder()
+        p1 = b.process("p1")
+        post = p1.post("v")
+        clear = p1.clear("v")
+        w = b.process("p2").wait("v")
+        exe = b.build()
+        st = SyncState(exe)
+        assert not st.can_complete(exe.event(w))
+        st.complete(exe.event(post))
+        assert st.can_complete(exe.event(w))
+        st.complete(exe.event(clear))
+        assert not st.can_complete(exe.event(w))
+
+    def test_snapshot_hashable_and_changes(self):
+        exe, f, v, j, p = build_simple_execution()
+        st = SyncState(exe)
+        s0 = st.snapshot()
+        st.complete(exe.event(f))
+        assert st.snapshot() != s0
+        hash(st.snapshot())
+
+    def test_binary_mode(self):
+        b = ExecutionBuilder()
+        p1 = b.process("p1")
+        v1, v2 = p1.sem_v("s"), p1.sem_v("s")
+        exe = b.build()
+        st = SyncState(exe, binary_semaphores=True)
+        st.complete(exe.event(v1))
+        st.complete(exe.event(v2))
+        assert st.semaphores["s"].count == 1

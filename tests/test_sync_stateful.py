@@ -1,0 +1,121 @@
+"""Stateful property tests for the synchronization state machines.
+
+Hypothesis drives random operation sequences against simple Python
+models; the invariants are the ones the engine's correctness leans on
+(counts never negative, posted-state equals last-op polarity, binary
+clamp, completion gating).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.sync.eventvar import EventVariable
+from repro.sync.semaphore import BinarySemaphore, Semaphore, SemaphoreError
+
+
+class SemaphoreMachine(RuleBasedStateMachine):
+    """A counting semaphore against an integer model."""
+
+    def __init__(self):
+        super().__init__()
+        self.sem = Semaphore("s", 0)
+        self.model = 0
+
+    @rule()
+    def signal(self):
+        self.sem.v()
+        self.model += 1
+
+    @rule()
+    def consume_when_possible(self):
+        if self.model > 0:
+            self.sem.p()
+            self.model -= 1
+        else:
+            try:
+                self.sem.p()
+            except SemaphoreError:
+                pass
+            else:  # pragma: no cover - failure case
+                raise AssertionError("P succeeded on an empty semaphore")
+
+    @rule()
+    def reset(self):
+        self.sem.reset()
+        self.model = 0
+
+    @invariant()
+    def count_matches_model(self):
+        assert self.sem.count == self.model
+        assert self.sem.count >= 0
+        assert self.sem.can_p() == (self.model > 0)
+
+
+class BinarySemaphoreMachine(RuleBasedStateMachine):
+    """The clamped variant against a min(1, .) model."""
+
+    def __init__(self):
+        super().__init__()
+        self.sem = BinarySemaphore("s", 0)
+        self.model = 0
+
+    @rule()
+    def signal(self):
+        self.sem.v()
+        self.model = min(1, self.model + 1)
+
+    @rule()
+    def consume_when_possible(self):
+        if self.model > 0:
+            self.sem.p()
+            self.model -= 1
+
+    @invariant()
+    def clamped(self):
+        assert self.sem.count == self.model
+        assert 0 <= self.sem.count <= 1
+
+
+class EventVariableMachine(RuleBasedStateMachine):
+    """Post/Wait/Clear: posted iff the last state-changing op was Post."""
+
+    def __init__(self):
+        super().__init__()
+        self.var = EventVariable("v")
+        self.model_posted = False
+
+    @rule()
+    def post(self):
+        self.var.post()
+        self.model_posted = True
+
+    @rule()
+    def clear(self):
+        self.var.clear()
+        self.model_posted = False
+
+    @rule()
+    def wait_when_posted(self):
+        if self.model_posted:
+            self.var.wait()  # non-consuming
+        else:
+            try:
+                self.var.wait()
+            except RuntimeError:
+                pass
+            else:  # pragma: no cover
+                raise AssertionError("Wait succeeded while cleared")
+
+    @invariant()
+    def posted_matches_model(self):
+        assert self.var.posted == self.model_posted
+        assert self.var.can_wait() == self.model_posted
+
+
+TestSemaphoreMachine = SemaphoreMachine.TestCase
+TestBinarySemaphoreMachine = BinarySemaphoreMachine.TestCase
+TestEventVariableMachine = EventVariableMachine.TestCase
+
+for case in (TestSemaphoreMachine, TestBinarySemaphoreMachine, TestEventVariableMachine):
+    case.settings = settings(max_examples=40, stateful_step_count=30, deadline=None)

@@ -1,0 +1,185 @@
+"""Unit tests for the graph utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.graphs import (
+    CycleError,
+    Digraph,
+    ancestors_of,
+    closest_common_ancestors,
+    common_ancestors,
+    is_acyclic,
+    maximal_elements,
+    minimal_elements,
+    reachable_from,
+    topological_sort,
+    transitive_closure,
+    transitive_reduction,
+)
+
+
+def diamond():
+    return Digraph("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestDigraphBasics:
+    def test_add_node_idempotent(self):
+        g = Digraph()
+        g.add_node("x")
+        g.add_node("x")
+        assert g.nodes == ("x",)
+
+    def test_add_edge_creates_nodes(self):
+        g = Digraph()
+        assert g.add_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+
+    def test_duplicate_edge_rejected(self):
+        g = Digraph()
+        assert g.add_edge(1, 2)
+        assert not g.add_edge(1, 2)
+        assert g.out_degree(1) == 1
+
+    def test_successors_predecessors(self):
+        g = diamond()
+        assert set(g.successors("a")) == {"b", "c"}
+        assert set(g.predecessors("d")) == {"b", "c"}
+
+    def test_len_contains_iter(self):
+        g = diamond()
+        assert len(g) == 4
+        assert "a" in g
+        assert sorted(g) == ["a", "b", "c", "d"]
+
+    def test_copy_is_independent(self):
+        g = diamond()
+        h = g.copy()
+        h.add_edge("d", "e")
+        assert not g.has_node("e")
+        assert g.edges <= h.edges
+
+
+class TestTopologicalSort:
+    def test_respects_edges(self):
+        g = diamond()
+        order = topological_sort(g)
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v in g.edges:
+            assert pos[u] < pos[v]
+
+    def test_cycle_raises(self):
+        g = Digraph(edges=[(1, 2), (2, 3), (3, 1)])
+        with pytest.raises(CycleError):
+            topological_sort(g)
+
+    def test_is_acyclic(self):
+        assert is_acyclic(diamond())
+        assert not is_acyclic(Digraph(edges=[(1, 2), (2, 1)]))
+
+    def test_deterministic(self):
+        g = diamond()
+        assert topological_sort(g) == topological_sort(g)
+
+    def test_empty_graph(self):
+        assert topological_sort(Digraph()) == []
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        g = diamond()
+        assert reachable_from(g, "a") == {"b", "c", "d"}
+        assert reachable_from(g, "d") == set()
+
+    def test_ancestors_of(self):
+        g = diamond()
+        assert ancestors_of(g, "d") == {"a", "b", "c"}
+        assert ancestors_of(g, "a") == set()
+
+    def test_closure_matches_reachability(self):
+        g = diamond()
+        c = transitive_closure(g)
+        for u in g.nodes:
+            assert set(c.successors(u)) == reachable_from(g, u)
+
+    def test_reduction_preserves_reachability(self):
+        g = diamond()
+        g.add_edge("a", "d")  # redundant edge
+        r = transitive_reduction(g)
+        assert not r.has_edge("a", "d")
+        for u in g.nodes:
+            assert reachable_from(r, u) == reachable_from(g, u)
+
+
+class TestExtremalElements:
+    def test_maximal(self):
+        g = diamond()
+        assert maximal_elements(g, ["a", "b", "d"]) == ["d"]
+
+    def test_minimal(self):
+        g = diamond()
+        assert minimal_elements(g, ["a", "b", "d"]) == ["a"]
+
+    def test_incomparable_subset(self):
+        g = diamond()
+        assert set(maximal_elements(g, ["b", "c"])) == {"b", "c"}
+        assert set(minimal_elements(g, ["b", "c"])) == {"b", "c"}
+
+
+class TestCommonAncestors:
+    def test_diamond_joins(self):
+        g = diamond()
+        assert common_ancestors(g, ["b", "c"]) == {"a"}
+        assert closest_common_ancestors(g, ["b", "c"]) == ["a"]
+
+    def test_single_target_is_own_ancestor(self):
+        g = diamond()
+        assert "b" in common_ancestors(g, ["b"])
+        assert closest_common_ancestors(g, ["b"]) == ["b"]
+
+    def test_deep_chain(self):
+        g = Digraph(edges=[(0, 1), (1, 2), (1, 3)])
+        assert closest_common_ancestors(g, [2, 3]) == [1]
+
+    def test_no_common_ancestor(self):
+        g = Digraph([1, 2])
+        assert common_ancestors(g, [1, 2]) == set()
+
+    def test_empty_targets(self):
+        assert common_ancestors(diamond(), []) == set()
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(2, 7))
+    edges = []
+    for j in range(1, n):
+        for i in range(j):
+            if draw(st.booleans()):
+                edges.append((i, j))
+    return Digraph(range(n), edges)
+
+
+class TestGraphProperties:
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_closure_is_transitive(self, g):
+        c = transitive_closure(g)
+        for u, v in c.edges:
+            for w in c.successors(v):
+                assert c.has_edge(u, w)
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_minimal(self, g):
+        """Removing any reduction edge changes reachability."""
+        r = transitive_reduction(g)
+        for u, v in r.edges:
+            trimmed = Digraph(r.nodes, [e for e in r.edges if e != (u, v)])
+            assert v not in reachable_from(trimmed, u)
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_topo_sort_complete(self, g):
+        assert sorted(topological_sort(g)) == sorted(g.nodes)

@@ -1,0 +1,127 @@
+"""Unit tests for the binary-relation helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.relations import (
+    BinaryRelation,
+    is_antisymmetric,
+    is_irreflexive,
+    is_strict_partial_order,
+    is_symmetric,
+    is_transitive,
+)
+
+
+def rel(pairs, universe=range(4)):
+    return BinaryRelation(universe, pairs)
+
+
+class TestConstruction:
+    def test_pairs_outside_universe_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryRelation([1, 2], [(1, 3)])
+
+    def test_membership_and_call(self):
+        r = rel([(0, 1)])
+        assert (0, 1) in r
+        assert r(0, 1)
+        assert not r(1, 0)
+
+    def test_len_and_eq(self):
+        assert len(rel([(0, 1), (1, 2)])) == 2
+        assert rel([(0, 1)]) == rel([(0, 1)])
+        assert rel([(0, 1)]) != rel([(1, 0)])
+
+    def test_hashable(self):
+        assert len({rel([(0, 1)]), rel([(0, 1)])}) == 1
+
+
+class TestAlgebra:
+    def test_union_intersection_difference(self):
+        a, b = rel([(0, 1), (1, 2)]), rel([(1, 2), (2, 3)])
+        assert a.union(b).pairs == {(0, 1), (1, 2), (2, 3)}
+        assert a.intersection(b).pairs == {(1, 2)}
+        assert a.difference(b).pairs == {(0, 1)}
+
+    def test_mismatched_universe_rejected(self):
+        with pytest.raises(ValueError):
+            rel([(0, 1)]).union(BinaryRelation(range(3), [(0, 1)]))
+
+    def test_complement_excludes_diagonal(self):
+        r = rel([(0, 1)], universe=range(2))
+        assert r.complement().pairs == {(1, 0)}
+
+    def test_complement_reflexive_option(self):
+        r = rel([], universe=range(2))
+        assert (0, 0) in r.complement(reflexive=True)
+
+    def test_converse(self):
+        assert rel([(0, 1), (2, 3)]).converse().pairs == {(1, 0), (3, 2)}
+
+    def test_issubset(self):
+        assert rel([(0, 1)]).issubset(rel([(0, 1), (1, 2)]))
+        assert not rel([(2, 0)]).issubset(rel([(0, 1)]))
+
+    def test_restricted(self):
+        r = rel([(0, 1), (1, 2), (2, 3)]).restricted([1, 2])
+        assert r.pairs == {(1, 2)}
+        assert set(r.universe) == {1, 2}
+
+    def test_transitive_closure(self):
+        r = rel([(0, 1), (1, 2)]).transitive_closure()
+        assert (0, 2) in r
+        assert is_transitive(r)
+
+
+class TestPredicates:
+    def test_irreflexive(self):
+        assert is_irreflexive(rel([(0, 1)]))
+        assert not is_irreflexive(rel([(1, 1)]))
+
+    def test_symmetric(self):
+        assert is_symmetric(rel([(0, 1), (1, 0)]))
+        assert not is_symmetric(rel([(0, 1)]))
+
+    def test_antisymmetric(self):
+        assert is_antisymmetric(rel([(0, 1)]))
+        assert not is_antisymmetric(rel([(0, 1), (1, 0)]))
+
+    def test_transitive(self):
+        assert is_transitive(rel([(0, 1), (1, 2), (0, 2)]))
+        assert not is_transitive(rel([(0, 1), (1, 2)]))
+
+    def test_strict_partial_order(self):
+        assert is_strict_partial_order(rel([(0, 1), (1, 2), (0, 2)]))
+        assert not is_strict_partial_order(rel([(0, 1), (1, 0)]))
+
+
+@st.composite
+def random_relations(draw):
+    n = draw(st.integers(1, 5))
+    pairs = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=12
+        )
+    )
+    return BinaryRelation(range(n), pairs)
+
+
+class TestRelationProperties:
+    @given(random_relations())
+    @settings(max_examples=80, deadline=None)
+    def test_double_complement_identity(self, r):
+        diag_free = {(a, b) for a, b in r.pairs if a != b}
+        assert r.complement().complement().pairs == diag_free
+
+    @given(random_relations())
+    @settings(max_examples=80, deadline=None)
+    def test_double_converse_identity(self, r):
+        assert r.converse().converse() == r
+
+    @given(random_relations())
+    @settings(max_examples=80, deadline=None)
+    def test_closure_idempotent(self, r):
+        c = r.transitive_closure()
+        assert c.transitive_closure() == c

@@ -1,0 +1,87 @@
+"""Structural tests for DOT export."""
+
+from repro import viz
+from repro.approx.taskgraph import TaskGraph
+from repro.core.queries import OrderingQueries
+from repro.model.builder import ExecutionBuilder
+from repro.workloads.programs import figure1_execution
+
+
+class TestExecutionDot:
+    def test_contains_all_events(self):
+        exe = figure1_execution()
+        dot = viz.execution_dot(exe)
+        for e in exe.events:
+            assert f"n{e.eid}" in dot
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+
+    def test_dependences_rendered_dashed_red(self):
+        exe = figure1_execution()
+        dot = viz.execution_dot(exe)
+        (a, b), = exe.dependences
+        assert f"n{a} -> n{b} [style=dashed, color=red" in dot
+
+    def test_dependences_can_be_hidden(self):
+        exe = figure1_execution()
+        dot = viz.execution_dot(exe, include_dependences=False)
+        assert "color=red" not in dot
+
+    def test_process_clusters(self):
+        exe = figure1_execution()
+        dot = viz.execution_dot(exe)
+        for proc in exe.process_names:
+            assert f'label="{proc}"' in dot
+
+    def test_quoting(self):
+        b = ExecutionBuilder()
+        b.process("p").skip(label='we"ird')
+        dot = viz.execution_dot(b.build())
+        assert '\\"' in dot
+
+
+class TestTaskGraphDot:
+    def test_only_sync_nodes(self):
+        exe = figure1_execution()
+        tg = TaskGraph(exe)
+        dot = viz.task_graph_dot(tg)
+        for eid in tg.nodes:
+            assert f"n{eid}" in dot
+        for eid in exe.computation_events():
+            assert f"  n{eid} [" not in dot
+
+    def test_sync_edges_bold(self):
+        b = ExecutionBuilder()
+        post = b.process("A").post("v")
+        wait = b.process("B").wait("v")
+        dot = viz.task_graph_dot(TaskGraph(b.build()))
+        assert f"n{post} -> n{wait} [penwidth=2]" in dot
+
+
+class TestWitnessDot:
+    def test_overlap_edges_marked(self):
+        b = ExecutionBuilder()
+        v = b.process("p1").sem_v("s")
+        p = b.process("p2").sem_p("s")
+        q = OrderingQueries(b.build())
+        w = q.ccw_witness(v, p)
+        dot = viz.witness_dot(w)
+        assert "overlap" in dot
+
+    def test_highlight(self):
+        b = ExecutionBuilder()
+        x = b.process("p1").skip()
+        y = b.process("p2").skip()
+        q = OrderingQueries(b.build())
+        w = q.feasible_witness()
+        dot = viz.witness_dot(w, highlight=[x])
+        assert "color=red, penwidth=2" in dot
+
+    def test_timeline_follows_completion_order(self):
+        b = ExecutionBuilder()
+        v = b.process("p1").sem_v("s")
+        p = b.process("p2").sem_p("s")
+        q = OrderingQueries(b.build())
+        w = q.feasible_witness()
+        dot = viz.witness_dot(w)
+        order = w.serial_order()
+        assert f"n{order[0]} -> n{order[1]} [color=gray]" in dot

@@ -1,0 +1,110 @@
+"""Tests for witness schedules and the independent replay validator."""
+
+import pytest
+
+from repro.core.engine import FeasibilityEngine, Point
+from repro.core.witness import IllegalScheduleError, Witness, replay_schedule
+from repro.model.builder import ExecutionBuilder
+
+
+def vp_exe():
+    b = ExecutionBuilder()
+    v = b.process("p1").sem_v("s")
+    p = b.process("p2").sem_p("s")
+    return b.build(), v, p
+
+
+class TestWitness:
+    def test_positions_and_serial_order(self):
+        exe, v, p = vp_exe()
+        pts = FeasibilityEngine(exe).search()
+        w = Witness(exe, pts)
+        assert w.serial_order().index(v) < w.serial_order().index(p)
+        assert w.begin_position(v) < w.end_position(v)
+
+    def test_happened_before_and_concurrent(self):
+        exe, v, p = vp_exe()
+        # hand-build an overlapping schedule: both begin, then V ends, P ends
+        pts = [Point(v, False), Point(p, False), Point(v, True), Point(p, True)]
+        w = Witness(exe, pts)
+        assert w.concurrent(v, p)
+        assert not w.happened_before(v, p)
+        w.validate()
+
+    def test_temporal_relation_matches_positions(self):
+        exe, v, p = vp_exe()
+        pts = [Point(v, False), Point(v, True), Point(p, False), Point(p, True)]
+        w = Witness(exe, pts)
+        assert (v, p) in w.temporal_relation()
+        assert (p, v) not in w.temporal_relation()
+
+    def test_pretty_mentions_overlaps(self):
+        exe, v, p = vp_exe()
+        pts = [Point(v, False), Point(p, False), Point(v, True), Point(p, True)]
+        out = Witness(exe, pts).pretty()
+        assert "overlaps" in out
+
+
+class TestReplayValidator:
+    def test_rejects_end_before_begin(self):
+        exe, v, p = vp_exe()
+        with pytest.raises(IllegalScheduleError, match="before beginning"):
+            replay_schedule(exe, [Point(v, True)])
+
+    def test_rejects_double_begin(self):
+        exe, v, p = vp_exe()
+        with pytest.raises(IllegalScheduleError, match="begins twice"):
+            replay_schedule(exe, [Point(v, False), Point(v, False)])
+
+    def test_rejects_blocked_p(self):
+        exe, v, p = vp_exe()
+        with pytest.raises(IllegalScheduleError, match="blocked"):
+            replay_schedule(exe, [Point(p, False), Point(p, True)])
+
+    def test_rejects_incomplete(self):
+        exe, v, p = vp_exe()
+        with pytest.raises(IllegalScheduleError, match="incomplete"):
+            replay_schedule(exe, [Point(v, False), Point(v, True)])
+
+    def test_rejects_program_order_violation(self):
+        b = ExecutionBuilder()
+        proc = b.process("p")
+        x, y = proc.skip(), proc.skip()
+        exe = b.build()
+        with pytest.raises(IllegalScheduleError, match="program-order"):
+            replay_schedule(exe, [Point(y, False)])
+
+    def test_rejects_fork_violation(self):
+        b = ExecutionBuilder()
+        main = b.process("main")
+        f = main.fork()
+        c = b.process("c", parent=f).skip()
+        main.join(f)
+        exe = b.build()
+        with pytest.raises(IllegalScheduleError, match="creating fork"):
+            replay_schedule(exe, [Point(c, False)])
+
+    def test_rejects_dependence_violation(self):
+        b = ExecutionBuilder()
+        w = b.process("p1").write("x")
+        r = b.process("p2").read("x")
+        b.dependence(w, r)
+        exe = b.build()
+        bad = [Point(r, False), Point(r, True), Point(w, False), Point(w, True)]
+        with pytest.raises(IllegalScheduleError, match="dependence"):
+            replay_schedule(exe, bad)
+        # the same schedule is fine when D is not enforced (Section 5.3)
+        replay_schedule(exe, bad, include_dependences=False)
+
+    def test_accepts_legal_schedule_and_returns_state(self):
+        exe, v, p = vp_exe()
+        pts = [Point(v, False), Point(v, True), Point(p, False), Point(p, True)]
+        state = replay_schedule(exe, pts)
+        assert state.semaphores["s"].count == 0
+
+    def test_double_end_rejected(self):
+        exe, v, p = vp_exe()
+        with pytest.raises(IllegalScheduleError, match="ends twice"):
+            replay_schedule(
+                exe, [Point(v, False), Point(v, True), Point(v, True)]
+            )

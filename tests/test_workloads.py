@@ -1,0 +1,120 @@
+"""Tests for the canned programs and generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import FeasibilityEngine
+from repro.core.queries import OrderingQueries
+from repro.lang.interpreter import run_program
+from repro.model.axioms import validate_execution
+from repro.model.execution import SyncStyle
+from repro.workloads.generators import (
+    independent_processes_execution,
+    random_computation_overlay,
+    random_event_execution,
+    random_semaphore_execution,
+)
+from repro.workloads.programs import (
+    barrier_program,
+    data_dependent_branch_program,
+    dining_philosophers_program,
+    figure1_execution,
+    figure1_program,
+    pipeline_program,
+    producer_consumer_program,
+)
+
+
+class TestFigure1Workload:
+    def test_observed_execution_shape(self):
+        exe = figure1_execution()
+        assert exe.sync_style is SyncStyle.EVENT
+        labels = set(exe.labels)
+        assert {"post_left", "x_assign", "x_test", "post_right", "wait_t3"} <= labels
+        assert len(exe.dependences) == 1
+
+    def test_alternate_schedule_takes_else_branch(self):
+        # when t2 runs before t1's write, the event set differs (Wait
+        # instead of Post) -- the paper's point about F3
+        trace = run_program(figure1_program(), scheduler=None)
+        from repro.lang.scheduler import PriorityScheduler
+
+        trace2 = run_program(figure1_program(), PriorityScheduler(["main", "t2", "t3", "t1"]))
+        exe2 = trace2.to_execution()
+        assert "wait_else" in exe2.labels
+        assert "post_right" not in exe2.labels
+
+
+class TestCannedPrograms:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_producer_consumer_all_items_flow(self, seed):
+        trace = run_program(producer_consumer_program(3, buffer_size=2), seed)
+        assert trace.final_shared["buf_head"] == 3
+
+    def test_barrier_orders_outputs_after_go(self):
+        exe = run_program(barrier_program(2), 5).to_execution()
+        q = OrderingQueries(exe)
+        go = [e.eid for e in exe.events if e.kind.name == "POST" and e.obj == "go"][0]
+        outs = [e.eid for e in exe.events if "out" in (e.writes and next(iter(e.writes), "") or "")]
+        outs = [e.eid for e in exe.events if any(v.startswith("out") for v in e.writes)]
+        assert outs
+        for o in outs:
+            assert q.mhb(go, o)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dining_philosophers_deadlock_free(self, seed):
+        trace = run_program(dining_philosophers_program(3), seed)
+        assert all(trace.final_shared.get(f"meals{i}", 0) == 1 for i in range(3))
+
+    def test_pipeline_propagates(self):
+        trace = run_program(pipeline_program(4), 2)
+        assert trace.final_shared["data4"] == 4
+
+    def test_data_dependent_branch_feasible(self):
+        for seed in range(4):
+            exe = run_program(data_dependent_branch_program(), seed).to_execution()
+            assert OrderingQueries(exe).has_feasible_execution()
+
+
+class TestGenerators:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_semaphore_generator_feasible_and_valid(self, seed):
+        exe = random_semaphore_execution(seed=seed)
+        assert validate_execution(exe) == []
+        assert FeasibilityEngine(exe).search() is not None
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_event_generator_feasible_and_valid(self, seed):
+        exe = random_event_execution(seed=seed)
+        assert validate_execution(exe) == []
+        assert FeasibilityEngine(exe).search() is not None
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_overlay_generator_feasible_and_valid(self, seed):
+        exe = random_computation_overlay(seed=seed)
+        assert validate_execution(exe) == []
+        assert FeasibilityEngine(exe).search() is not None
+
+    def test_overlay_generator_produces_dependences(self):
+        found = any(
+            random_computation_overlay(seed=s).dependences for s in range(10)
+        )
+        assert found
+
+    def test_generators_reproducible(self):
+        a = random_semaphore_execution(seed=123)
+        b = random_semaphore_execution(seed=123)
+        assert [e.describe() for e in a.events] == [e.describe() for e in b.events]
+
+    def test_independent_execution_shape(self):
+        exe = independent_processes_execution(processes=3, events_per_process=2)
+        assert len(exe) == 6
+        assert exe.sync_style is SyncStyle.NONE
+
+    def test_initial_counts_respected(self):
+        exe = random_semaphore_execution(seed=0, initial_counts={"s0": 2})
+        assert exe.sem_initial("s0") == 2
