@@ -72,6 +72,7 @@ def sweep(
                 "agree": answer == expected,
                 "states": q.stats.states_visited,
                 "seconds": elapsed,
+                "termination": q.stats.termination,
             }
         )
     return rows
@@ -79,12 +80,14 @@ def sweep(
 
 def rows_to_table(rows):
     return (
-        ["n", "m", "seed", "|E|", "DPLL", "ordering answer", "agree", "states", "seconds"],
+        ["n", "m", "seed", "|E|", "DPLL", "ordering answer", "agree", "states",
+         "seconds", "termination"],
         [
             [
                 r["n"], r["m"], r["seed"], r["events"],
                 "SAT" if r["sat"] else "UNSAT",
                 r["answer"], r["agree"], r["states"], f"{r['seconds']:.3f}",
+                r["termination"],
             ]
             for r in rows
         ],

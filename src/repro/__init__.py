@@ -32,6 +32,7 @@ See ``examples/`` for full walk-throughs and ``benchmarks/`` for the
 per-table/per-figure reproduction harness.
 """
 
+from repro.budget import Budget, Truth, Verdict
 from repro.model import (
     Access,
     Event,
@@ -69,6 +70,10 @@ from repro.model.serialize import load as load_execution, save as save_execution
 __version__ = "1.0.0"
 
 __all__ = [
+    # budgets & three-valued verdicts
+    "Budget",
+    "Truth",
+    "Verdict",
     # model
     "Access",
     "Event",

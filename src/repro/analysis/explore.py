@@ -126,6 +126,8 @@ class ProgramAnalysis:
     def __init__(self, program: Program, *, max_runs: Optional[int] = None,
                  max_steps: int = 10_000):
         self.program = program
+        # unknown-pair tally of the most recent program_races() call
+        self.race_unknowns: Dict[Tuple[str, str], int] = {}
         self.result = explore_program(program, max_runs=max_runs, max_steps=max_steps)
         if self.result.truncated:
             raise RuntimeError(
@@ -178,7 +180,7 @@ class ProgramAnalysis:
                 break
         return candidates
 
-    def program_races(self, *, max_states: Optional[int] = None):
+    def program_races(self, *, max_states: Optional[int] = None, budget=None):
         """Feasible races aggregated over every distinct execution.
 
         Each complete run's trace converts to an execution whose
@@ -188,22 +190,36 @@ class ProgramAnalysis:
         execution of the program -- the strongest dynamic guarantee an
         exhaustive exploration can give, and necessarily exponential
         (the paper's corollary applies to each member).
+
+        ``budget`` (a :class:`repro.budget.Budget`) is shared across
+        every per-execution scan; pairs left undecided are tallied in
+        :attr:`race_unknowns` (same key format) rather than dropped
+        silently, so a truncated scan is distinguishable from a clean
+        one.
         """
         from repro.races.detector import RaceDetector
 
         seen_signatures = set()
         merged: Dict[Tuple[str, str], int] = {}
+        unknowns: Dict[Tuple[str, str], int] = {}
         for run in self.result.complete_runs:
             sig = tuple(sorted(f"{s.process}:{s.text}" for s in run.trace.steps))
             if sig in seen_signatures:
                 continue  # same events => same feasible races
             seen_signatures.add(sig)
             exe = run.trace.to_execution()
-            report = RaceDetector(exe, max_states=max_states).feasible_races()
+            report = RaceDetector(
+                exe, max_states=max_states, budget=budget
+            ).feasible_races()
             for race in report.races:
                 ea, eb = exe.event(race.a), exe.event(race.b)
                 key = tuple(sorted((ea.describe(), eb.describe())))
                 merged[key] = merged.get(key, 0) + 1
+            for cls in report.unknown_pairs:
+                ea, eb = exe.event(cls.a), exe.event(cls.b)
+                key = tuple(sorted((ea.describe(), eb.describe())))
+                unknowns[key] = unknowns.get(key, 0) + 1
+        self.race_unknowns = unknowns
         return merged
 
     def summary(self) -> Dict[str, object]:

@@ -7,16 +7,20 @@ escalating through
 
 1. **structural** reachability (program order, fork/join, dependences)
    -- linear, always sound;
-2. the **HMW counting phases** (semaphore executions only) --
+2. the **observed schedule** -- a known member of ``F``, so its
+   completion order soundly *refutes* must-claims it contradicts;
+3. the **HMW counting phases** (semaphore executions only) --
    polynomial, sound;
-3. the **exact engine**, bounded by ``max_states`` per query.
+4. the **exact engine**, bounded by ``max_states`` / a
+   :class:`~repro.budget.Budget` per query.
 
 Answers are three-valued: ``True``/``False`` when some layer decides
 soundly, ``None`` when every layer within budget is inconclusive
 (never a guess).  ``decided_by`` records which layer settled each
 query, so callers can report how much of the truth was cheap -- the
 empirical content of the paper's "polynomial algorithms compute only
-*some* of the orderings".
+*some* of the orderings".  :meth:`mcb_verdict` exposes the same answer
+as a :class:`~repro.budget.Verdict` with that provenance attached.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.approx.hmw import HMWAnalysis, InfeasibleTraceError
+from repro.budget import Budget, Verdict
 from repro.core.engine import SearchBudgetExceeded
 from repro.core.queries import OrderingQueries
 from repro.model.execution import ProgramExecution, SyncStyle
@@ -39,10 +44,20 @@ class BestEffortOrdering:
         *,
         max_states: Optional[int] = 50_000,
         use_hmw: bool = True,
+        budget: Optional[Budget] = None,
+        queries: Optional[OrderingQueries] = None,
     ) -> None:
         self.exe = exe
-        self.queries = OrderingQueries(exe, max_states=max_states)
+        self.queries = queries or OrderingQueries(
+            exe, max_states=max_states, budget=budget
+        )
         self.decided_by: Dict[Tuple[int, int], str] = {}
+        self.exhausted: Dict[Tuple[int, int], Optional[str]] = {}
+        self._observed_pos: Optional[Dict[int, int]] = None
+        if exe.observed_schedule is not None:
+            self._observed_pos = {
+                eid: i for i, eid in enumerate(exe.observed_schedule)
+            }
         self._hmw_relation: Optional[BinaryRelation] = None
         if use_hmw and exe.sync_style in (SyncStyle.SEMAPHORE, SyncStyle.NONE):
             try:
@@ -65,18 +80,37 @@ class BestEffortOrdering:
             # b always completes first, so a-before-b is impossible
             self.decided_by[key] = "structural"
             return False
-        # layer 2: HMW's sound counting orderings (positive only)
+        # layer 2: the observed member of F refutes must-claims it
+        # contradicts (it completes b before a)
+        pos = self._observed_pos
+        if pos is not None and pos[b] < pos[a]:
+            self.decided_by[key] = "observed"
+            return False
+        # layer 3: HMW's sound counting orderings (positive only)
         if self._hmw_relation is not None and (a, b) in self._hmw_relation:
             self.decided_by[key] = "hmw"
             return True
-        # layer 3: exact, within budget
+        # layer 4: exact, within budget
         try:
             answer = self.queries.mcb(a, b)
-        except SearchBudgetExceeded:
+        except SearchBudgetExceeded as exc:
             self.decided_by[key] = "unknown"
+            self.exhausted[key] = exc.resource
             return None
         self.decided_by[key] = "exact"
         return answer
+
+    def mcb_verdict(self, a: int, b: int) -> Verdict:
+        """:meth:`mcb` as a provenance-carrying verdict."""
+        answer = self.mcb(a, b)
+        key = (a, b)
+        if answer is None:
+            return Verdict.unknown(
+                resource=self.exhausted.get(key), stats=self.queries.stats
+            )
+        return Verdict.of_bool(
+            answer, self.decided_by[key], stats=self.queries.stats
+        )
 
     # ------------------------------------------------------------------
     def relation_with_provenance(self) -> Dict[str, object]:

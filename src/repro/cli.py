@@ -13,6 +13,14 @@ Subcommands (also available as ``python -m repro``):
   Theorem 1/3 reductions (and cross-check with DPLL);
 * ``repro explore PROGRAM.rp`` -- exhaustive schedule-tree summary:
   run counts, deadlocks, event signatures, guaranteed orderings.
+
+Budgets: ``analyze`` and ``races`` accept ``--max-states`` and
+``--timeout SECONDS`` (and ``races`` a ``--per-pair-states`` cap so one
+hard pair cannot starve the scan).  Budgeted runs never crash on
+exhaustion: undecided queries print as ``UNKNOWN`` and the process
+exits with status ``3`` ("completed with unknowns") so scripts can
+distinguish a partial answer from a definite one (``0``) and from
+errors (``1``/``2``).
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import ProgramAnalysis
+from repro.budget import Budget
+from repro.core.engine import SearchBudgetExceeded
 from repro.core.queries import OrderingQueries
 from repro.core.relations import ALL_RELATIONS, OrderingAnalyzer, RelationName
 from repro.lang.interpreter import DeadlockError, run_program
@@ -43,6 +53,20 @@ from repro import viz
 def _read(path: str) -> str:
     with open(path) as fh:
         return fh.read()
+
+
+# exit status for "ran to completion but some queries stayed UNKNOWN
+# under the budget" -- distinct from success (0) and hard errors (1/2)
+EXIT_UNKNOWN = 3
+
+
+def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
+    """Build a Budget from --max-states / --timeout when either is set."""
+    max_states = getattr(args, "max_states", None)
+    timeout = getattr(args, "timeout", None)
+    if max_states is None and timeout is None:
+        return None
+    return Budget.of(max_states=max_states, timeout=timeout)
 
 
 # ----------------------------------------------------------------------
@@ -72,13 +96,46 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _analyze_pair_budgeted(
+    q: OrderingQueries, args: argparse.Namespace, la: str, lb: str, a: int, b: int
+) -> int:
+    """Budgeted pair query: three-valued output, never a traceback."""
+    if args.relation == "all":
+        verdicts = q.relation_verdicts(a, b)
+    else:
+        verdicts = {
+            args.relation.upper(): getattr(q, f"{args.relation}_verdict")(a, b)
+        }
+    unknowns = 0
+    for name, v in verdicts.items():
+        if v.is_unknown:
+            unknowns += 1
+            print(f"  {name}({la}, {lb}) = UNKNOWN (exhausted {v.resource or 'budget'})")
+        else:
+            print(f"  {name}({la}, {lb}) = {v.truth}  [{v.provenance}]")
+            if v.witness is not None and args.relation in ("chb", "ccw"):
+                print(v.witness.pretty())
+    if unknowns:
+        print(
+            f"{unknowns} quer{'y' if unknowns == 1 else 'ies'} undecided under "
+            "the budget; rerun with a larger --max-states/--timeout"
+        )
+        return EXIT_UNKNOWN
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     exe = serialize.load(args.execution)
     print(f"loaded: {exe}")
+    budget = _budget_from_args(args)
     if args.pair:
         la, lb = args.pair
         a, b = exe.by_label(la).eid, exe.by_label(lb).eid
-        q = OrderingQueries(exe, include_dependences=not args.ignore_deps)
+        q = OrderingQueries(
+            exe, include_dependences=not args.ignore_deps, budget=budget
+        )
+        if budget is not None:
+            return _analyze_pair_budgeted(q, args, la, lb, a, b)
         if args.relation == "all":
             for name, value in q.relation_values(a, b).items():
                 print(f"  {name}({la}, {lb}) = {value}")
@@ -98,7 +155,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             if witness is not None:
                 print(witness.pretty())
         return 0
-    analyzer = OrderingAnalyzer(exe, include_dependences=not args.ignore_deps)
+    analyzer = OrderingAnalyzer(
+        exe, include_dependences=not args.ignore_deps, budget=budget
+    )
     print("pair counts per relation:")
     for name, count in analyzer.summary().items():
         print(f"  {name:>4}: {count}")
@@ -111,16 +170,26 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_races(args: argparse.Namespace) -> int:
     exe = serialize.load(args.execution)
-    detector = RaceDetector(exe, max_states=args.max_states)
+    budget = _budget_from_args(args)
+    detector = RaceDetector(exe, max_states=args.max_states, budget=budget)
     apparent = detector.apparent_races()
     print(apparent.pretty())
     if args.feasible:
-        feasible = detector.feasible_races()
+        feasible = detector.feasible_races(
+            per_pair_max_states=args.per_pair_states
+        )
         print(feasible.pretty())
         for race in feasible.races:
             if race.witness is not None and args.witnesses:
                 print(f"witness for {race.describe(exe)}:")
                 print(race.witness.pretty())
+        if not feasible.complete:
+            n = len(feasible.unknown_pairs)
+            print(
+                f"{n} pair{'' if n == 1 else 's'} undecided under the budget; "
+                "rerun with a larger --max-states/--timeout"
+            )
+            return EXIT_UNKNOWN
     return 0
 
 
@@ -161,10 +230,15 @@ def cmd_explore(args: argparse.Namespace) -> int:
         for a, b in orderings:
             print(f"  {a} -> {b}")
     if args.races:
-        races = analysis.program_races()
+        budget = _budget_from_args(args)
+        races = analysis.program_races(budget=budget)
         print(f"feasible races across all executions: {len(races)}")
         for (a, b), count in sorted(races.items()):
             print(f"  {a} <-> {b}  (in {count} signature(s))")
+        if analysis.race_unknowns:
+            n = len(analysis.race_unknowns)
+            print(f"pairs undecided under the budget: {n}")
+            return EXIT_UNKNOWN
     return 0
 
 
@@ -197,13 +271,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--matrix", help="print the named relation as a matrix")
     p.add_argument("--ignore-deps", action="store_true",
                    help="Section 5.3 mode: ignore shared-data dependences")
+    p.add_argument("--max-states", type=int, default=None,
+                   help="state budget per search; undecided queries print UNKNOWN")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="wall-clock budget in seconds shared by all searches")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("races", help="race detection on a saved execution")
     p.add_argument("execution")
     p.add_argument("--feasible", action="store_true", help="run the exact detector too")
     p.add_argument("--witnesses", action="store_true")
-    p.add_argument("--max-states", type=int, default=None)
+    p.add_argument("--max-states", type=int, default=None,
+                   help="state budget per pair; undecided pairs report as unknown")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="wall-clock budget in seconds shared by the whole scan")
+    p.add_argument("--per-pair-states", type=int, default=None,
+                   help="tighter per-pair state cap so one hard pair cannot "
+                   "starve the scan")
     p.set_defaults(func=cmd_races)
 
     p = sub.add_parser("sat", help="decide a DIMACS formula via the reductions")
@@ -217,6 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-runs", type=int, default=100_000)
     p.add_argument("--races", action="store_true",
                    help="also detect feasible races across all executions")
+    p.add_argument("--max-states", type=int, default=None,
+                   help="state budget per race search (with --races)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="wall-clock budget in seconds (with --races)")
     p.set_defaults(func=cmd_explore)
 
     return parser
@@ -224,7 +312,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SearchBudgetExceeded as exc:
+        # unbudgeted paths (e.g. analyze --max-states without --pair going
+        # through the boolean API) must still fail cleanly, not traceback
+        print(f"repro: search budget exceeded ({exc.resource}); "
+              "rerun with a larger --max-states/--timeout", file=sys.stderr)
+        return EXIT_UNKNOWN
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,7 +36,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.engine import FeasibilityEngine, SearchStats, end_point
+from repro.budget import Budget, Verdict
+from repro.core.engine import (
+    FeasibilityEngine,
+    SearchBudgetExceeded,
+    SearchStats,
+    end_point,
+)
 from repro.core.relations import RelationName
 from repro.core.enumerate import enumerate_serial_schedules
 from repro.model.execution import ProgramExecution
@@ -66,6 +72,7 @@ class EagerOrderingQueries:
         include_dependences: bool = True,
         binary_semaphores: bool = False,
         max_states: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.exe = exe
         self.engine = FeasibilityEngine(
@@ -74,6 +81,7 @@ class EagerOrderingQueries:
             binary_semaphores=binary_semaphores,
         )
         self.max_states = max_states
+        self.budget = budget
         self.stats = SearchStats()
         self._pre = _begin_prereqs(self.engine)
         self._ccb_cache: Dict[Tuple[int, int], bool] = {}
@@ -83,7 +91,9 @@ class EagerOrderingQueries:
     # ------------------------------------------------------------------
     def has_feasible_execution(self) -> bool:
         if self._feasible is None:
-            pts = self.engine.search(max_states=self.max_states, stats=self.stats)
+            pts = self.engine.search(
+                max_states=self.max_states, budget=self.budget, stats=self.stats
+            )
             self._feasible = pts is not None
         return self._feasible
 
@@ -94,6 +104,7 @@ class EagerOrderingQueries:
             pts = self.engine.search(
                 constraints=[(end_point(a), end_point(b))],
                 max_states=self.max_states,
+                budget=self.budget,
                 stats=self.stats,
             )
             self._ccb_cache[key] = pts is not None
@@ -130,6 +141,7 @@ class EagerOrderingQueries:
                 pts = self.engine.search(
                     constraints=constraints,
                     max_states=self.max_states,
+                    budget=self.budget,
                     stats=self.stats,
                 )
                 result = pts is not None
@@ -162,6 +174,52 @@ class EagerOrderingQueries:
             "CCW": self.ccw(a, b),
             "MOW": self.mow(a, b),
             "COW": self.cow(a, b),
+        }
+
+    # ------------------------------------------------------------------
+    # three-valued (budget-tolerant) verdicts
+    # ------------------------------------------------------------------
+    def _verdict(self, fn, a: int, b: int) -> Verdict:
+        try:
+            return Verdict.of_bool(fn(a, b), "eager-exact", stats=self.stats)
+        except SearchBudgetExceeded as exc:
+            return Verdict.unknown(resource=exc.resource, stats=self.stats)
+
+    def chb_verdict(self, a: int, b: int) -> Verdict:
+        if a != b and a in self._pre[b] and self._feasible:
+            return Verdict.true("structural", stats=self.stats)
+        return self._verdict(self.chb, a, b)
+
+    def ccw_verdict(self, a: int, b: int) -> Verdict:
+        if a != b and (a in self._pre[b] or b in self._pre[a]):
+            return Verdict.false("structural", stats=self.stats)
+        return self._verdict(self.ccw, a, b)
+
+    def mhb_verdict(self, a: int, b: int) -> Verdict:
+        if a != b:
+            # Kleene: either existential holding refutes MHB even when
+            # the other conjunct's search blew its budget
+            rev = self.chb_verdict(b, a)
+            if rev.is_true:
+                return Verdict.false(rev.provenance, stats=self.stats)
+            overlap = self.ccw_verdict(a, b)
+            if overlap.is_true:
+                return Verdict.false(overlap.provenance, stats=self.stats)
+            if rev.is_false and overlap.is_false:
+                return Verdict.true("eager-exact", stats=self.stats)
+            return Verdict.unknown(
+                resource=rev.resource or overlap.resource, stats=self.stats
+            )
+        return self._verdict(self.mhb, a, b)
+
+    def relation_verdicts(self, a: int, b: int) -> Dict[str, Verdict]:
+        return {
+            "MHB": self.mhb_verdict(a, b),
+            "CHB": self.chb_verdict(a, b),
+            "MCW": self._verdict(self.mcw, a, b),
+            "CCW": self.ccw_verdict(a, b),
+            "MOW": self.ccw_verdict(a, b).negate(),
+            "COW": self._verdict(self.cow, a, b),
         }
 
 

@@ -78,11 +78,19 @@ against the unreduced reference enumerator.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
 
+from repro.budget import Budget, DEADLINE, STATES
 from repro.model.events import EventKind
 from repro.model.execution import ProgramExecution
+
+try:  # int.bit_count is 3.10+; fall back for the 3.9 CI lane
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - exercised only on 3.9
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
 
 
 class Point(NamedTuple):
@@ -104,19 +112,42 @@ def end_point(eid: int) -> Point:
 
 
 class SearchBudgetExceeded(RuntimeError):
-    """The search visited more states than the caller allowed."""
+    """The search exhausted its budget (states or wall-clock deadline).
+
+    ``resource`` names what ran out: ``"states"`` or ``"deadline"``.
+    Callers must treat this as "unknown", never as a boolean answer.
+    """
+
+    def __init__(self, message: str = "search budget exceeded", *, resource: str = STATES):
+        super().__init__(message)
+        self.resource = resource
+
+
+# SearchStats.termination values
+TERMINATED_COMPLETE = "completed"
+TERMINATED_STATES = "states-exhausted"
+TERMINATED_DEADLINE = "deadline-exceeded"
 
 
 @dataclass
 class SearchStats:
-    """Counters describing one search (used by the benchmark harness)."""
+    """Counters describing one search (used by the benchmark harness).
+
+    ``termination`` records why the most recent search charged to this
+    object stopped: ``"completed"`` (ran to an answer),
+    ``"states-exhausted"``, or ``"deadline-exceeded"`` -- so budgeted
+    benchmark runs can distinguish timeouts from completions.
+    """
 
     states_visited: int = 0
     actions_tried: int = 0
     memo_hits: int = 0
     dead_ends: int = 0
     hoisted: int = 0
+    memo_suppressed: int = 0
     found: bool = False
+    termination: str = TERMINATED_COMPLETE
+    elapsed: float = 0.0
 
     def merge(self, other: "SearchStats") -> None:
         self.states_visited += other.states_visited
@@ -124,6 +155,10 @@ class SearchStats:
         self.memo_hits += other.memo_hits
         self.dead_ends += other.dead_ends
         self.hoisted += other.hoisted
+        self.memo_suppressed += other.memo_suppressed
+        self.elapsed += other.elapsed
+        if other.termination != TERMINATED_COMPLETE:
+            self.termination = other.termination
 
 
 # Internal action encoding: (eid, phase) with phase 0 = begin of an
@@ -283,6 +318,7 @@ class FeasibilityEngine:
         interval_events: Iterable[int] = (),
         constraints: Sequence[Tuple[Point, Point]] = (),
         max_states: Optional[int] = None,
+        budget: Optional[Budget] = None,
         stats: Optional[SearchStats] = None,
         memoize: bool = True,
     ) -> Optional[List[Point]]:
@@ -291,11 +327,35 @@ class FeasibilityEngine:
         Returns the schedule as a list of points (atomic events appear
         as their begin immediately followed by their end), or ``None``
         when no feasible execution satisfies the constraints.  Raises
-        :class:`SearchBudgetExceeded` when ``max_states`` is exhausted
-        -- callers must treat that as "unknown", never as "no".
+        :class:`SearchBudgetExceeded` when ``max_states`` or the
+        ``budget`` (states cap or wall-clock deadline, whichever hits
+        first) is exhausted -- callers must treat that as "unknown",
+        never as "no".  The deadline is read once per
+        ``budget.check_interval`` visited states so the inner loop
+        stays cheap; a ``budget.max_memo_entries`` cap never aborts,
+        it only stops memoizing once the table is full.
         """
         if stats is None:
             stats = SearchStats()
+        if budget is not None:
+            if budget.max_states is not None and (
+                max_states is None or budget.max_states < max_states
+            ):
+                max_states = budget.max_states
+            deadline = budget.deadline
+            check_interval = budget.check_interval
+            memo_cap = budget.max_memo_entries
+        else:
+            deadline = None
+            check_interval = 256
+            memo_cap = None
+        stats.termination = TERMINATED_COMPLETE
+        if deadline is not None and time.monotonic() >= deadline:
+            stats.termination = TERMINATED_DEADLINE
+            raise SearchBudgetExceeded(
+                "search deadline already expired before starting",
+                resource=DEADLINE,
+            )
         interval = 0
         for eid in interval_events:
             interval |= 1 << eid
@@ -328,7 +388,7 @@ class FeasibilityEngine:
             k = kind[eid]
             if k is EventKind.SEM_P:
                 si = sem_of[eid]
-                return counts[si] >= (p_mask[si] & ~ended).bit_count()
+                return counts[si] >= _popcount(p_mask[si] & ~ended)
             if k is EventKind.SEM_V:
                 # only reached in binary mode (counting V is statically
                 # free): once no P on s remains, the clamp cannot matter
@@ -359,9 +419,9 @@ class FeasibilityEngine:
                 # semaphores this quantity is invariant, so the check
                 # would never fire -- skip it.)
                 for si in range(nsem):
-                    if counts[si] + (v_mask[si] & ~ended).bit_count() < (
+                    if counts[si] + _popcount(v_mask[si] & ~ended) < _popcount(
                         p_mask[si] & ~ended
-                    ).bit_count():
+                    ):
                         return True
             return False
 
@@ -437,9 +497,21 @@ class FeasibilityEngine:
         def dfs(state) -> bool:
             stats.states_visited += 1
             if max_states is not None and stats.states_visited > max_states:
+                stats.termination = TERMINATED_STATES
                 raise SearchBudgetExceeded(
                     f"search exceeded {max_states} states "
-                    f"(visited={stats.states_visited})"
+                    f"(visited={stats.states_visited})",
+                    resource=STATES,
+                )
+            if (
+                deadline is not None
+                and stats.states_visited % check_interval == 0
+                and time.monotonic() >= deadline
+            ):
+                stats.termination = TERMINATED_DEADLINE
+                raise SearchBudgetExceeded(
+                    f"search deadline expired after {stats.states_visited} states",
+                    resource=DEADLINE,
                 )
             begun, ended, varmask, counts = state
             if ended == full:
@@ -471,17 +543,22 @@ class FeasibilityEngine:
                     path.pop()
                 path.pop()
                 if memoize:
-                    failed.add(nxt)
+                    if memo_cap is None or len(failed) < memo_cap:
+                        failed.add(nxt)
+                    else:
+                        stats.memo_suppressed += 1
             return False
 
         import sys
 
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, 4 * n + 100))
+        t0 = time.monotonic()
         try:
             found = dfs(start)
         finally:
             sys.setrecursionlimit(old_limit)
+            stats.elapsed += time.monotonic() - t0
         stats.found = found
         return list(path) if found else None
 

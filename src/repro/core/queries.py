@@ -30,9 +30,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.budget import Budget, Truth, Verdict
 from repro.core.engine import (
     FeasibilityEngine,
     Point,
+    SearchBudgetExceeded,
     SearchStats,
     begin_point,
     end_point,
@@ -51,7 +53,19 @@ class OrderingQueries:
 
     Parameters mirror :class:`~repro.core.engine.FeasibilityEngine`;
     ``max_states`` bounds every individual search (raising
-    :class:`~repro.core.engine.SearchBudgetExceeded` when exhausted).
+    :class:`~repro.core.engine.SearchBudgetExceeded` when exhausted),
+    and ``budget`` adds wall-clock/memo limits shared by every search
+    this object runs.
+
+    Two API flavors coexist:
+
+    * the boolean methods (``mhb``/``chb``/...) are exact and *raise*
+      on budget exhaustion -- nothing wrong is ever cached, so retrying
+      with a larger budget on the same object works;
+    * the ``*_verdict`` methods never raise: they return a three-valued
+      :class:`~repro.budget.Verdict`, degrading to the sound polynomial
+      bounds (structural reachability, the observed schedule as a known
+      member of ``F``) before conceding ``UNKNOWN``.
     """
 
     def __init__(
@@ -61,6 +75,7 @@ class OrderingQueries:
         include_dependences: bool = True,
         binary_semaphores: bool = False,
         max_states: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.exe = exe
         self.engine = FeasibilityEngine(
@@ -69,6 +84,7 @@ class OrderingQueries:
             binary_semaphores=binary_semaphores,
         )
         self.max_states = max_states
+        self.budget = budget
         self.stats = SearchStats()
         self._chb_cache: Dict[Tuple[int, int], Optional[Witness]] = {}
         self._ccw_cache: Dict[Tuple[int, int], Optional[Witness]] = {}
@@ -115,7 +131,9 @@ class OrderingQueries:
     def feasible_witness(self) -> Optional[Witness]:
         """Any member of ``F``, or None when the event set cannot complete."""
         if not self._base_computed:
-            pts = self.engine.search(max_states=self.max_states, stats=self.stats)
+            pts = self.engine.search(
+                max_states=self.max_states, budget=self.budget, stats=self.stats
+            )
             self._base = Witness(self.exe, pts) if pts is not None else None
             self._base_computed = True
         return self._base
@@ -144,6 +162,7 @@ class OrderingQueries:
                 pts = self.engine.search(
                     constraints=[(end_point(a), begin_point(b))],
                     max_states=self.max_states,
+                    budget=self.budget,
                     stats=self.stats,
                 )
                 result = Witness(self.exe, pts) if pts is not None else None
@@ -171,6 +190,7 @@ class OrderingQueries:
                         (begin_point(b), end_point(a)),
                     ],
                     max_states=self.max_states,
+                    budget=self.budget,
                     stats=self.stats,
                 )
                 result = Witness(self.exe, pts) if pts is not None else None
@@ -239,6 +259,7 @@ class OrderingQueries:
         pts = self.engine.search(
             constraints=[(end_point(a), end_point(b))],
             max_states=self.max_states,
+            budget=self.budget,
             stats=self.stats,
         )
         return pts is not None
@@ -273,4 +294,145 @@ class OrderingQueries:
             "CCW": self.ccw(a, b),
             "MOW": self.mow(a, b),
             "COW": self.cow(a, b),
+        }
+
+    # ------------------------------------------------------------------
+    # three-valued (budget-tolerant) verdicts
+    # ------------------------------------------------------------------
+    # On budget exhaustion these degrade to the sound polynomial bounds
+    # instead of raising: structural reachability refutes/confirms what
+    # it can, and the observed schedule -- a known member of F -- is a
+    # free existential witness (it serializes, so position order in it
+    # realizes both ``a ->T b`` and completion order).  UNKNOWN is the
+    # honest remainder, never a guess.
+
+    def _observed_pos(self) -> Optional[Dict[int, int]]:
+        sched = self.exe.observed_schedule
+        if sched is None:
+            return None
+        return {eid: i for i, eid in enumerate(sched)}
+
+    def _feasibility_truth(self) -> Truth:
+        """Is ``F`` non-empty, degrading to the observed schedule."""
+        try:
+            return Truth.of(self.has_feasible_execution())
+        except SearchBudgetExceeded:
+            if self.exe.observed_schedule is not None:
+                return Truth.TRUE  # the observed run is a member of F
+            return Truth.UNKNOWN
+
+    def chb_verdict(self, a: int, b: int) -> Verdict:
+        """Three-valued :meth:`chb` -- never raises."""
+        try:
+            w = self.chb_witness(a, b)
+            return Verdict.of_bool(w is not None, witness=w, stats=self.stats)
+        except SearchBudgetExceeded as exc:
+            pos = self._observed_pos()
+            if pos is not None and a != b and pos[a] < pos[b]:
+                # the observed member, serialized, runs a to completion
+                # before b begins: an existential witness for free
+                return Verdict.true("observed", stats=self.stats)
+            if self.statically_ordered(b, a):
+                # b completes before a in every schedule of any member,
+                # so end(a) < begin(b) can never hold (vacuous if F empty)
+                return Verdict.false("structural", stats=self.stats)
+            return Verdict.unknown(resource=exc.resource, stats=self.stats)
+
+    def ccw_verdict(self, a: int, b: int) -> Verdict:
+        """Three-valued :meth:`ccw` -- never raises."""
+        try:
+            w = self.ccw_witness(a, b)
+            return Verdict.of_bool(w is not None, witness=w, stats=self.stats)
+        except SearchBudgetExceeded as exc:
+            if a != b and (
+                self.statically_interval_ordered(a, b)
+                or self.statically_interval_ordered(b, a)
+            ):
+                return Verdict.false("structural", stats=self.stats)
+            if a == b and self.exe.observed_schedule is not None:
+                return Verdict.true("observed", stats=self.stats)
+            return Verdict.unknown(resource=exc.resource, stats=self.stats)
+
+    def ccb_verdict(self, a: int, b: int) -> Verdict:
+        """Three-valued :meth:`ccb` -- never raises."""
+        try:
+            return Verdict.of_bool(self.ccb(a, b), stats=self.stats)
+        except SearchBudgetExceeded as exc:
+            pos = self._observed_pos()
+            if a != b and pos is not None and pos[a] < pos[b]:
+                return Verdict.true("observed", stats=self.stats)
+            if self.statically_ordered(b, a):
+                return Verdict.false("structural", stats=self.stats)
+            return Verdict.unknown(resource=exc.resource, stats=self.stats)
+
+    def cow_verdict(self, a: int, b: int) -> Verdict:
+        if a == b:
+            return Verdict.false("trivial")
+        first = self.chb_verdict(a, b)
+        if first.is_true:
+            return first
+        second = self.chb_verdict(b, a)
+        if second.is_true:
+            return second
+        if first.is_false and second.is_false:
+            return Verdict.false(first.provenance, stats=self.stats)
+        resource = first.resource or second.resource
+        return Verdict.unknown(resource=resource, stats=self.stats)
+
+    def mhb_verdict(self, a: int, b: int) -> Verdict:
+        """Three-valued :meth:`mhb` -- never raises.
+
+        Kleene conjunction of ``not chb(b, a)`` and ``not ccw(a, b)``:
+        either conjunct failing refutes MHB even when the other blew
+        its budget.
+        """
+        if a == b:
+            feasible = self._feasibility_truth()
+            if feasible.is_known:
+                return Verdict.of_bool(feasible is Truth.FALSE, "trivial")
+            return Verdict.unknown(stats=self.stats)
+        rev = self.chb_verdict(b, a)
+        if rev.is_true:
+            return Verdict.false(rev.provenance, witness=rev.witness, stats=self.stats)
+        overlap = self.ccw_verdict(a, b)
+        if overlap.is_true:
+            return Verdict.false(
+                overlap.provenance, witness=overlap.witness, stats=self.stats
+            )
+        if rev.is_false and overlap.is_false:
+            provenance = (
+                "exact" if rev.provenance == overlap.provenance == "exact"
+                else "structural"
+            )
+            return Verdict.true(provenance, stats=self.stats)
+        resource = rev.resource or overlap.resource
+        return Verdict.unknown(resource=resource, stats=self.stats)
+
+    def mow_verdict(self, a: int, b: int) -> Verdict:
+        return self.ccw_verdict(a, b).negate()
+
+    def mcw_verdict(self, a: int, b: int) -> Verdict:
+        if a == b:
+            return Verdict.true("trivial")
+        return self.cow_verdict(a, b).negate()
+
+    def mcb_verdict(self, a: int, b: int) -> Verdict:
+        """Three-valued :meth:`mcb` -- never raises."""
+        if a == b:
+            feasible = self._feasibility_truth()
+            if feasible.is_known:
+                return Verdict.of_bool(feasible is Truth.FALSE, "trivial")
+            return Verdict.unknown(stats=self.stats)
+        return self.ccb_verdict(b, a).negate()
+
+    def relation_verdicts(self, a: int, b: int) -> Dict[str, Verdict]:
+        """All six relations as verdicts (budget-tolerant counterpart
+        of :meth:`relation_values`)."""
+        return {
+            "MHB": self.mhb_verdict(a, b),
+            "CHB": self.chb_verdict(a, b),
+            "MCW": self.mcw_verdict(a, b),
+            "CCW": self.ccw_verdict(a, b),
+            "MOW": self.mow_verdict(a, b),
+            "COW": self.cow_verdict(a, b),
         }

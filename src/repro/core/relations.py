@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.budget import Budget
 from repro.core.queries import OrderingQueries
 from repro.model.execution import ProgramExecution
 from repro.util.relations import BinaryRelation
@@ -64,6 +65,7 @@ class OrderingAnalyzer:
         include_dependences: bool = True,
         binary_semaphores: bool = False,
         max_states: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.exe = exe
         self.queries = OrderingQueries(
@@ -71,6 +73,7 @@ class OrderingAnalyzer:
             include_dependences=include_dependences,
             binary_semaphores=binary_semaphores,
             max_states=max_states,
+            budget=budget,
         )
         self._cache: Dict[RelationName, BinaryRelation] = {}
 

@@ -15,6 +15,11 @@ provides:
   overlap.
 """
 
-from repro.races.detector import Race, RaceDetector, RaceReport
+from repro.races.detector import (
+    PairClassification,
+    Race,
+    RaceDetector,
+    RaceReport,
+)
 
-__all__ = ["Race", "RaceDetector", "RaceReport"]
+__all__ = ["PairClassification", "Race", "RaceDetector", "RaceReport"]

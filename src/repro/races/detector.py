@@ -1,14 +1,28 @@
-"""Race detectors: apparent (vector clock) and feasible (exact CCW)."""
+"""Race detectors: apparent (vector clock) and feasible (exact CCW).
+
+The feasible detector is where the paper's hardness bites in practice:
+each conflicting pair is an NP-hard CCW query, so the scan degrades
+gracefully instead of crashing.  Every pair is classified
+``feasible`` / ``infeasible`` / ``unknown`` under a per-pair
+:class:`~repro.budget.Budget` (sharing one wall-clock deadline across
+the scan), and a single pathological pair can neither raise away the
+results already computed nor starve the remaining pairs.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.approx.vectorclock import VectorClockAnalysis
+from repro.budget import Budget, DEADLINE
 from repro.core.queries import OrderingQueries
 from repro.core.witness import Witness
 from repro.model.execution import ProgramExecution
+
+FEASIBLE = "feasible"
+INFEASIBLE = "infeasible"
+UNKNOWN = "unknown"
 
 
 @dataclass(frozen=True)
@@ -32,28 +46,66 @@ class Race:
         return f"[{self.kind}] {ea.describe()} <-> {eb.describe()} on {{{vs}}}"
 
 
+@dataclass(frozen=True)
+class PairClassification:
+    """One conflicting pair's outcome under a budgeted scan."""
+
+    a: int
+    b: int
+    status: str  # FEASIBLE / INFEASIBLE / UNKNOWN
+    variables: FrozenSet[str]
+    witness: Optional[Witness] = None
+    resource: Optional[str] = None  # exhausted resource when UNKNOWN
+
+    def describe(self, exe: ProgramExecution) -> str:
+        ea, eb = exe.event(self.a), exe.event(self.b)
+        note = f" (exhausted {self.resource})" if self.resource else ""
+        return f"[{self.status}] {ea.describe()} <-> {eb.describe()}{note}"
+
+
 @dataclass
 class RaceReport:
-    """The result of one detection run."""
+    """The result of one detection run.
+
+    ``classifications`` (feasible scans only) records every conflicting
+    pair's three-valued outcome; ``races`` keeps only the confirmed
+    ones, so pre-budget callers read the report unchanged.
+    """
 
     execution: ProgramExecution
     races: List[Race]
     kind: str
     conflicting_pairs_examined: int
+    classifications: List[PairClassification] = field(default_factory=list)
 
     def pairs(self) -> List[Tuple[int, int]]:
         return [(r.a, r.b) for r in self.races]
 
+    @property
+    def unknown_pairs(self) -> List[PairClassification]:
+        return [c for c in self.classifications if c.status == UNKNOWN]
+
+    @property
+    def complete(self) -> bool:
+        """True when no pair was left undecided by a budget."""
+        return not self.unknown_pairs
+
     def summary(self) -> str:
-        return (
+        base = (
             f"{self.kind} races: {len(self.races)} / "
             f"{self.conflicting_pairs_examined} conflicting pairs"
         )
+        unknown = len(self.unknown_pairs)
+        if unknown:
+            base += f" ({unknown} unknown: budget exhausted)"
+        return base
 
     def pretty(self) -> str:
         lines = [self.summary()]
         for r in self.races:
             lines.append("  " + r.describe(self.execution))
+        for c in self.unknown_pairs:
+            lines.append("  " + c.describe(self.execution))
         return "\n".join(lines)
 
 
@@ -68,16 +120,23 @@ def _conflict_variables(exe: ProgramExecution, a: int, b: int) -> FrozenSet[str]
 
 
 class RaceDetector:
-    """Detects apparent and feasible races of one execution."""
+    """Detects apparent and feasible races of one execution.
+
+    ``max_states`` / ``budget`` bound each pair's exact search; the
+    feasible scan never raises on exhaustion -- undecided pairs are
+    reported as ``unknown``.
+    """
 
     def __init__(
         self,
         exe: ProgramExecution,
         *,
         max_states: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> None:
         self.exe = exe
         self.max_states = max_states
+        self.budget = budget
 
     # ------------------------------------------------------------------
     def apparent_races(self, schedule: Optional[Sequence[int]] = None) -> RaceReport:
@@ -97,7 +156,23 @@ class RaceDetector:
         return RaceReport(self.exe, races, "apparent", len(pairs))
 
     # ------------------------------------------------------------------
-    def feasible_races(self, *, drop_racing_dependences: bool = True) -> RaceReport:
+    def _effective_budget(self, budget: Optional[Budget]) -> Optional[Budget]:
+        if budget is not None:
+            return budget
+        if self.budget is not None:
+            return self.budget
+        if self.max_states is not None:
+            return Budget(max_states=self.max_states)
+        return None
+
+    def feasible_races(
+        self,
+        *,
+        drop_racing_dependences: bool = True,
+        budget: Optional[Budget] = None,
+        per_pair_max_states: Optional[int] = None,
+        per_pair_timeout: Optional[float] = None,
+    ) -> RaceReport:
         """Conflicting pairs with ``a CCW b`` -- the paper's notion.
 
         ``drop_racing_dependences``: a conflicting pair is itself a
@@ -108,10 +183,27 @@ class RaceDetector:
         other dependences are kept, so the query asks "could these two
         have overlapped while the rest of the data flow stayed intact".
         Set it False to keep strict F3 semantics.
+
+        Budgeting: each pair runs under its own child budget derived
+        from ``budget`` (or the detector's), optionally tightened by
+        ``per_pair_max_states`` / ``per_pair_timeout`` so one hard pair
+        cannot starve the scan.  Exhaustion marks *that pair* unknown
+        and the scan continues; once the shared deadline expires, the
+        remaining pairs are classified unknown without searching.  The
+        returned report is therefore always complete over the pair set
+        -- partial only in the sense that some entries are ``unknown``.
         """
+        budget = self._effective_budget(budget)
         races: List[Race] = []
+        classifications: List[PairClassification] = []
         pairs = self.exe.conflicting_pairs()
         for a, b in pairs:
+            variables = _conflict_variables(self.exe, a, b)
+            if budget is not None and budget.expired():
+                classifications.append(
+                    PairClassification(a, b, UNKNOWN, variables, resource=DEADLINE)
+                )
+                continue
             if drop_racing_dependences:
                 deps = {
                     (x, y)
@@ -121,10 +213,27 @@ class RaceDetector:
                 exe = self.exe.with_dependences(deps)
             else:
                 exe = self.exe
-            queries = OrderingQueries(exe, max_states=self.max_states)
-            w = queries.ccw_witness(a, b)
-            if w is not None:
-                races.append(
-                    Race(a, b, _conflict_variables(self.exe, a, b), "feasible", witness=w)
+            pair_budget = None
+            if budget is not None:
+                pair_budget = budget.per_query(
+                    max_states=per_pair_max_states, timeout=per_pair_timeout
                 )
-        return RaceReport(self.exe, races, "feasible", len(pairs))
+            queries = OrderingQueries(exe, budget=pair_budget)
+            verdict = queries.ccw_verdict(a, b)
+            if verdict.is_true:
+                w = verdict.witness
+                races.append(Race(a, b, variables, "feasible", witness=w))
+                classifications.append(
+                    PairClassification(a, b, FEASIBLE, variables, witness=w)
+                )
+            elif verdict.is_false:
+                classifications.append(
+                    PairClassification(a, b, INFEASIBLE, variables)
+                )
+            else:
+                classifications.append(
+                    PairClassification(
+                        a, b, UNKNOWN, variables, resource=verdict.resource
+                    )
+                )
+        return RaceReport(self.exe, races, "feasible", len(pairs), classifications)

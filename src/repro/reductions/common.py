@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.budget import Budget
 from repro.core.queries import OrderingQueries
 from repro.model.execution import ProgramExecution, SyncStyle
 from repro.sat.cnf import CNF
@@ -40,12 +41,14 @@ class SatReduction:
         include_dependences: bool = True,
         binary_semaphores: bool = False,
         max_states: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> OrderingQueries:
         return OrderingQueries(
             self.execution,
             include_dependences=include_dependences,
             binary_semaphores=binary_semaphores,
             max_states=max_states,
+            budget=budget,
         )
 
     def size_summary(self) -> Dict[str, int]:

@@ -1,0 +1,147 @@
+"""Graceful degradation: budgeted answers are sound or honestly UNKNOWN.
+
+The contract under any budget, however hopeless: a verdict is either
+``UNKNOWN`` or it agrees with the unbudgeted exact answer.  Budgets may
+cost completeness, never correctness.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.budget import Budget
+from repro.core.queries import OrderingQueries
+from repro.races.detector import UNKNOWN, RaceDetector
+from repro.reductions import event_reduction, semaphore_reduction
+from repro.sat.cnf import CNF
+from repro.workloads.programs import figure1_execution
+
+from tests.strategies import overlay_executions
+
+SAT_FORMULA = CNF([(1, 2, 3), (-1, 2, 3), (1, -2, 3)])
+UNSAT_FORMULA = CNF([(1, 1, 1), (-1, -1, -1)])
+
+HOPELESS_BUDGETS = [
+    Budget(max_states=1),
+    Budget.of(timeout=0.0),
+    Budget.of(max_states=3, timeout=0.0),
+]
+
+
+def assert_verdicts_sound(exe, budget):
+    """Every budgeted verdict on every pair is UNKNOWN or exact-correct."""
+    exact = OrderingQueries(exe)
+    budgeted = OrderingQueries(exe, budget=budget)
+    eids = list(exe.eids)
+    for a in eids:
+        for b in eids:
+            truths = exact.relation_values(a, b)
+            verdicts = budgeted.relation_verdicts(a, b)
+            for name, v in verdicts.items():
+                if v.is_unknown:
+                    continue
+                assert v.to_bool() == truths[name], (
+                    f"{name}({a},{b}): budgeted {v.describe()} vs "
+                    f"exact {truths[name]}"
+                )
+
+
+class TestTheoremConstructionsUnderTinyBudgets:
+    """Satellite: tiny budgets on the Theorem 1 / Theorem 3 reductions
+    yield UNKNOWN (or a sound structural answer), never a wrong bool."""
+
+    @pytest.mark.parametrize("build", [semaphore_reduction, event_reduction])
+    @pytest.mark.parametrize("formula", [SAT_FORMULA, UNSAT_FORMULA])
+    @pytest.mark.parametrize("budget", HOPELESS_BUDGETS)
+    def test_marker_verdicts_never_wrong(self, build, formula, budget):
+        red = build(formula)
+        exact = red.queries()
+        budgeted = red.queries(budget=budget)
+        expected = exact.mhb(red.a, red.b)
+        v = budgeted.mhb_verdict(red.a, red.b)
+        assert v.is_unknown or v.to_bool() == expected
+        w = budgeted.chb_verdict(red.b, red.a)
+        assert w.is_unknown or w.to_bool() == exact.chb(red.b, red.a)
+
+    def test_verdicts_never_raise(self):
+        red = semaphore_reduction(UNSAT_FORMULA)
+        q = red.queries(budget=Budget(max_states=1))
+        for v in q.relation_verdicts(red.a, red.b).values():
+            assert v.is_unknown or v.truth.is_known  # no exception escaped
+
+    def test_retry_after_unknown_succeeds(self):
+        """Nothing wrong is cached by a budget-blown verdict query."""
+        red = semaphore_reduction(UNSAT_FORMULA)
+        q = red.queries(budget=Budget(max_states=5))
+        assert q.mhb_verdict(red.a, red.b).is_unknown
+        q.budget = None
+        assert q.mhb_verdict(red.a, red.b).to_bool() is True
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(exe=overlay_executions())
+def test_property_budgeted_verdicts_sound(exe):
+    """Property: on random overlay executions (semaphores + shared-data
+    dependences) no tiny-budget verdict ever contradicts the exact
+    answer."""
+    assert_verdicts_sound(exe, Budget(max_states=2))
+
+
+class TestRaceScanDegradation:
+    def test_acceptance_theorem1_partial_report_under_1ms(self):
+        """ISSUE acceptance: with a 1ms deadline, feasible_races on the
+        Theorem 1 workload returns a partial report -- no exception --
+        where every pair is unknown or carries a witness, and the same
+        query unbudgeted matches the exact answers."""
+        exe = semaphore_reduction(UNSAT_FORMULA).execution
+        report = RaceDetector(
+            exe, budget=Budget.of(timeout=0.001)
+        ).feasible_races()
+        for cls in report.classifications:
+            assert cls.status == UNKNOWN or cls.witness is not None
+        exact = RaceDetector(exe).feasible_races()
+        assert exact.complete
+        assert set(exact.pairs()) == set(
+            RaceDetector(exe).feasible_races().pairs()
+        )
+
+    def test_expired_deadline_marks_every_pair_unknown(self):
+        """A conflicting-pair workload: the figure 1 execution has a
+        real feasible race, so the degradation is observable."""
+        exe = figure1_execution()
+        exact = RaceDetector(exe).feasible_races()
+        assert len(exact.races) == 1 and exact.complete
+        report = RaceDetector(
+            exe, budget=Budget.of(timeout=0.0)
+        ).feasible_races()
+        assert not report.complete
+        assert report.races == []
+        assert len(report.classifications) == exact.conflicting_pairs_examined
+        assert all(c.status == UNKNOWN for c in report.classifications)
+        assert "unknown" in report.summary()
+
+    def test_one_hard_pair_cannot_lose_the_scan(self):
+        """Satellite 1: a per-pair states cap classifies undecidable
+        pairs as unknown instead of raising away all results."""
+        exe = figure1_execution()
+        report = RaceDetector(exe, max_states=1).feasible_races()
+        # no exception; every pair accounted for, three-valued
+        assert len(report.classifications) == report.conflicting_pairs_examined
+        for cls in report.classifications:
+            assert cls.status in ("feasible", "infeasible", "unknown")
+        # and nothing unsound: any definite answer matches the exact scan
+        exact = {
+            (c.a, c.b): c.status
+            for c in RaceDetector(exe).feasible_races().classifications
+        }
+        for cls in report.classifications:
+            if cls.status != UNKNOWN:
+                assert cls.status == exact[(cls.a, cls.b)]
+
+    def test_per_pair_budget_shares_scan_deadline(self):
+        exe = figure1_execution()
+        report = RaceDetector(exe).feasible_races(
+            budget=Budget.of(timeout=30.0), per_pair_max_states=200_000
+        )
+        assert report.complete
+        assert len(report.races) == 1

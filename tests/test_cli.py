@@ -108,6 +108,55 @@ class TestRaces:
         assert "feasible races: 1" in out and "witness for" in out
 
 
+class TestBudgetedCli:
+    """Budget flags degrade gracefully: three-valued output, a distinct
+    exit status for partial answers, and never a traceback."""
+
+    def test_races_expired_deadline_exits_unknown(self, execution_file, capsys):
+        rc = main(["races", execution_file, "--feasible", "--timeout", "0"])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "unknown" in out
+        assert "undecided under the budget" in out
+
+    def test_races_generous_budget_still_succeeds(self, execution_file, capsys):
+        rc = main(["races", execution_file, "--feasible", "--timeout", "60",
+                   "--per-pair-states", "200000"])
+        assert rc == 0
+        assert "feasible races: 1" in capsys.readouterr().out
+
+    def test_analyze_budgeted_pair_decided_structurally(self, execution_file, capsys):
+        # hopeless search budget, but structure alone decides the pair
+        rc = main(["analyze", execution_file, "--pair", "post_left",
+                   "post_right", "--relation", "mhb", "--max-states", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MHB(post_left, post_right) = TRUE" in out
+        assert "structural" in out
+
+    def test_analyze_budgeted_pair_unknown(self, execution_file, capsys):
+        rc = main(["analyze", execution_file, "--pair", "post_left", "w3",
+                   "--relation", "ccw", "--max-states", "1"])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "UNKNOWN" in out
+        assert "undecided under the budget" in out
+
+    def test_analyze_summary_budget_blown_is_clean(self, execution_file, capsys):
+        """The boolean summary path raises internally; main() must turn
+        that into a diagnostic plus exit status 3, not a traceback."""
+        rc = main(["analyze", execution_file, "--max-states", "1"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "search budget exceeded" in err
+        assert "Traceback" not in err
+
+    def test_explore_races_budget(self, program_file, capsys):
+        rc = main(["explore", program_file, "--races", "--timeout", "0"])
+        assert rc == 3
+        assert "undecided under the budget" in capsys.readouterr().out
+
+
 class TestSat:
     def test_sat_formula(self, tmp_path, capsys):
         path = tmp_path / "f.cnf"
