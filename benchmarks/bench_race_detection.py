@@ -13,7 +13,11 @@ detector (vector clocks on the observed pairing) and the exact
 * the exact detector backs every report with a validated overlap
   witness;
 * cost columns show the price of exactness growing with conflicting
-  pairs, while the apparent detector stays flat.
+  pairs, while the apparent detector stays flat;
+* a ``jobs=2`` column scans the same pairs through the crash-isolated
+  worker pool -- identical classifications, and the spawn overhead
+  shows exactly when parallelism starts paying (many/hard pairs, not
+  these toy widths).
 """
 
 import time
@@ -24,6 +28,7 @@ from repro.lang.ast import Assign, Const, ProcessDef, Program, SemP, SemV, Share
 from repro.lang.interpreter import run_program
 from repro.lang.scheduler import FixedScheduler
 from repro.races.detector import RaceDetector
+from repro.supervise import SupervisedScanner
 from repro.workloads.programs import figure1_execution
 
 
@@ -62,6 +67,11 @@ def run_study():
         t_feasible = time.perf_counter() - t0
         for race in feasible.races:
             race.witness.validate(include_dependences=False)
+        t0 = time.perf_counter()
+        supervised = RaceDetector(exe).feasible_races(
+            runner=SupervisedScanner(jobs=2)
+        )
+        t_jobs2 = time.perf_counter() - t0
         rows.append(
             dict(
                 name=name, exe=exe,
@@ -71,7 +81,11 @@ def run_study():
                     set(map(frozenset, feasible.pairs()))
                     - set(map(frozenset, apparent.pairs()))
                 ),
-                t_apparent=t_apparent, t_feasible=t_feasible,
+                supervised=supervised,
+                serial_status=[
+                    (c.a, c.b, c.status) for c in feasible.classifications
+                ],
+                t_apparent=t_apparent, t_feasible=t_feasible, t_jobs2=t_jobs2,
             )
         )
     return rows
@@ -87,18 +101,25 @@ def test_feasible_vs_apparent_races(benchmark):
             # the race on x0 is masked by the accidental pairing
             assert r["missed"] >= 1
             assert r["feasible"] == width  # every writer's data races with its read
+        # the crash-isolated pool is an execution strategy, not a
+        # different detector: classifications must match the serial scan
+        assert [
+            (c.a, c.b, c.status) for c in r["supervised"].classifications
+        ] == r["serial_status"]
 
     body = [
         [
             r["name"], len(r["exe"]), r["pairs"], r["apparent"], r["feasible"],
             r["missed"],
             f"{r['t_apparent'] * 1e3:.1f}ms", f"{r['t_feasible'] * 1e3:.1f}ms",
+            f"{r['t_jobs2'] * 1e3:.1f}ms",
         ]
         for r in rows
     ]
     lines = table(
         ["workload", "|E|", "conflicting pairs", "apparent", "feasible",
-         "missed by apparent", "apparent time", "feasible time"],
+         "missed by apparent", "apparent time", "feasible time",
+         "feasible jobs=2"],
         body,
     )
     lines.append("")

@@ -21,11 +21,25 @@ exhaustion: undecided queries print as ``UNKNOWN`` and the process
 exits with status ``3`` ("completed with unknowns") so scripts can
 distinguish a partial answer from a definite one (``0``) and from
 errors (``1``/``2``).
+
+Supervision: ``races --feasible`` scales out and survives crashes with
+``--jobs N`` (crash-isolated worker pool; each worker optionally under
+``--max-memory-mb`` kernel caps, dead pairs retried ``--retries``
+times), and survives *process* death with ``--checkpoint scan.jsonl``
+(every classified pair is journaled durably; ``--resume`` skips them on
+the next run).  Ctrl-C during a scan drains the in-flight results,
+flushes the journal, prints the partial report and exits ``130``.
+
+Exit status summary: ``0`` success / ``1`` runtime failure (deadlock,
+cross-check disagreement) / ``2`` bad input (parse error, unreadable
+file, journal mismatch) / ``3`` completed with unknowns / ``130``
+interrupted.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -35,7 +49,7 @@ from repro.core.engine import SearchBudgetExceeded
 from repro.core.queries import OrderingQueries
 from repro.core.relations import ALL_RELATIONS, OrderingAnalyzer, RelationName
 from repro.lang.interpreter import DeadlockError, run_program
-from repro.lang.parser import parse_program
+from repro.lang.parser import ParseError, parse_program
 from repro.lang.scheduler import PriorityScheduler, RandomScheduler
 from repro.model import serialize
 from repro.races.detector import RaceDetector
@@ -47,6 +61,14 @@ from repro.reductions import (
 )
 from repro.sat.cnf import parse_dimacs
 from repro.sat.dpll import solve
+from repro.supervise import (
+    CheckpointJournal,
+    JournalError,
+    ResourceLimits,
+    RetryPolicy,
+    SupervisedScanner,
+    scan_fingerprint,
+)
 from repro import viz
 
 
@@ -58,6 +80,10 @@ def _read(path: str) -> str:
 # exit status for "ran to completion but some queries stayed UNKNOWN
 # under the budget" -- distinct from success (0) and hard errors (1/2)
 EXIT_UNKNOWN = 3
+# bad input: parse error, unreadable file, journal/execution mismatch
+EXIT_USAGE = 2
+# interrupted by Ctrl-C (the conventional 128 + SIGINT)
+EXIT_INTERRUPTED = 130
 
 
 def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
@@ -168,28 +194,99 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _races_runner(args: argparse.Namespace) -> Optional[SupervisedScanner]:
+    """The crash-isolated pool, when any supervision flag asks for it."""
+    wants_pool = (
+        args.jobs > 1 or args.max_memory_mb is not None or args.fault_spec
+    )
+    if not wants_pool:
+        return None
+    limits = None
+    if args.max_memory_mb is not None:
+        limits = ResourceLimits(max_memory_mb=args.max_memory_mb)
+    faults = json.loads(args.fault_spec) if args.fault_spec else None
+    return SupervisedScanner(
+        jobs=max(1, args.jobs),
+        limits=limits,
+        retry=RetryPolicy(max_retries=args.retries),
+        faults=faults,
+    )
+
+
 def cmd_races(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        print("repro: --resume requires --checkpoint", file=sys.stderr)
+        return EXIT_USAGE
     exe = serialize.load(args.execution)
     budget = _budget_from_args(args)
     detector = RaceDetector(exe, max_states=args.max_states, budget=budget)
     apparent = detector.apparent_races()
     print(apparent.pretty())
-    if args.feasible:
-        feasible = detector.feasible_races(
-            per_pair_max_states=args.per_pair_states
+    # any supervision/persistence flag implies the feasible scan: those
+    # flags are meaningless for the polynomial apparent detector
+    feasible_wanted = (
+        args.feasible or args.checkpoint or args.jobs > 1 or args.save
+    )
+    if not feasible_wanted:
+        return 0
+    journal = None
+    precomputed = {}
+    if args.checkpoint:
+        fingerprint = scan_fingerprint(
+            exe,
+            max_states=args.max_states,
+            per_pair_max_states=args.per_pair_states,
         )
-        print(feasible.pretty())
+        journal = CheckpointJournal.open(
+            args.checkpoint, fingerprint, resume=args.resume
+        )
+        precomputed = journal.classifications(exe)
+        if precomputed:
+            print(
+                f"resume: reusing {len(precomputed)} journaled pair(s) "
+                f"from {args.checkpoint}"
+            )
+    try:
+        feasible = detector.feasible_races(
+            per_pair_max_states=args.per_pair_states,
+            runner=_races_runner(args),
+            precomputed=precomputed,
+            on_classified=journal.append if journal is not None else None,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    print(feasible.pretty())
+    if args.witnesses:
         for race in feasible.races:
-            if race.witness is not None and args.witnesses:
+            if race.witness is not None:
                 print(f"witness for {race.describe(exe)}:")
                 print(race.witness.pretty())
-        if not feasible.complete:
-            n = len(feasible.unknown_pairs)
-            print(
-                f"{n} pair{'' if n == 1 else 's'} undecided under the budget; "
-                "rerun with a larger --max-states/--timeout"
-            )
-            return EXIT_UNKNOWN
+    if args.save:
+        serialize.save_report(feasible, args.save)
+        print(f"saved race report to {args.save}")
+    if feasible.interrupted:
+        missing = feasible.conflicting_pairs_examined - len(
+            feasible.classifications
+        )
+        where = (
+            f"; {args.checkpoint} holds the classified pairs "
+            "(rerun with --resume to continue)"
+            if args.checkpoint
+            else ""
+        )
+        print(
+            f"repro: interrupted with {missing} pair(s) unexamined{where}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    if not feasible.complete:
+        n = len(feasible.unknown_pairs)
+        print(
+            f"{n} pair{'' if n == 1 else 's'} undecided under the budget; "
+            "rerun with a larger --max-states/--timeout"
+        )
+        return EXIT_UNKNOWN
     return 0
 
 
@@ -288,6 +385,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--per-pair-states", type=int, default=None,
                    help="tighter per-pair state cap so one hard pair cannot "
                    "starve the scan")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="classify pairs in N crash-isolated worker processes "
+                   "(implies --feasible; a worker death marks its pair "
+                   "unknown, never kills the scan)")
+    p.add_argument("--checkpoint", metavar="JOURNAL",
+                   help="journal every classified pair to this JSONL file "
+                   "(fsync'ed append per pair; implies --feasible)")
+    p.add_argument("--resume", action="store_true",
+                   help="with --checkpoint: reuse every pair already in the "
+                   "journal instead of recomputing it")
+    p.add_argument("--max-memory-mb", type=int, default=None,
+                   help="kernel memory cap per worker (setrlimit); a pair "
+                   "that blows it is reported unknown with resource "
+                   "'memory' instead of OOMing the host")
+    p.add_argument("--retries", type=int, default=1,
+                   help="attempts to re-run a pair whose worker died "
+                   "(default 1)")
+    p.add_argument("--save", metavar="REPORT",
+                   help="write the feasible-scan RaceReport as JSON "
+                   "(implies --feasible)")
+    p.add_argument("--fault-spec", help=argparse.SUPPRESS)  # test-only
     p.set_defaults(func=cmd_races)
 
     p = sub.add_parser("sat", help="decide a DIMACS formula via the reductions")
@@ -314,6 +432,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # a Ctrl-C anywhere outside the supervised scan (which converts
+        # it into a partial report itself) still exits in one line
+        print("repro: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except ParseError as exc:
+        print(f"repro: parse error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except JournalError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except json.JSONDecodeError as exc:
+        print(f"repro: invalid JSON input: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:
+        # e.g. a JSON file that is not a repro-execution document
+        print(f"repro: invalid input: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except OSError as exc:
+        print(f"repro: cannot access input: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     except SearchBudgetExceeded as exc:
         # unbudgeted paths (e.g. analyze --max-states without --pair going
         # through the boolean API) must still fail cleanly, not traceback

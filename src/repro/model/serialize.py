@@ -1,4 +1,4 @@
-"""JSON (de)serialization of program executions.
+"""JSON (de)serialization of program executions and race reports.
 
 Executions are plain data, so traces captured once (from the simulator
 or constructed by a reduction) can be saved, shared and re-analyzed --
@@ -6,17 +6,26 @@ the CLI's ``analyze`` command consumes this format.  The schema is
 versioned and deliberately explicit; loading validates through the
 normal :class:`~repro.model.execution.ProgramExecution` constructor, so
 a corrupt document fails loudly rather than producing a bad model.
+
+Race-scan results round-trip too: :class:`~repro.core.witness.Witness`
+schedules, per-pair classifications and whole
+:class:`~repro.races.detector.RaceReport` documents, each under its own
+versioned schema.  Witnesses and classifications serialize *relative to
+an execution* (they store event ids and schedule points, not events),
+so the checkpoint journal can record one line per pair and rebuild the
+objects against the journal's execution on resume.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.model.events import Access, Event, EventKind
 from repro.model.execution import ProgramExecution
 
 FORMAT_VERSION = 1
+REPORT_FORMAT_VERSION = 1
 
 
 def execution_to_dict(exe: ProgramExecution) -> Dict[str, Any]:
@@ -89,6 +98,139 @@ def execution_from_dict(data: Dict[str, Any]) -> ProgramExecution:
     )
 
 
+# ----------------------------------------------------------------------
+# witnesses, pair classifications and race reports
+#
+# These import from repro.core / repro.races lazily: both packages
+# import the model, so top-level imports here would be circular.
+# ----------------------------------------------------------------------
+def witness_to_dict(witness) -> Dict[str, Any]:
+    """A JSON-ready dict for a :class:`~repro.core.witness.Witness`.
+
+    Only the schedule points are stored; the execution is context the
+    caller must supply again on load.
+    """
+    return {"points": [[p.eid, int(p.is_end)] for p in witness.points]}
+
+
+def witness_from_dict(exe: ProgramExecution, data: Dict[str, Any]):
+    """Rebuild a witness against ``exe`` (inverse of
+    :func:`witness_to_dict`)."""
+    from repro.core.engine import Point
+    from repro.core.witness import Witness
+
+    points = [Point(int(eid), bool(end)) for eid, end in data["points"]]
+    return Witness(exe, points)
+
+
+def classification_to_dict(c) -> Dict[str, Any]:
+    """A JSON-ready dict for a
+    :class:`~repro.races.detector.PairClassification`."""
+    return {
+        "a": c.a,
+        "b": c.b,
+        "status": c.status,
+        "variables": sorted(c.variables),
+        "resource": c.resource,
+        "witness": witness_to_dict(c.witness) if c.witness is not None else None,
+    }
+
+
+def classification_from_dict(exe: ProgramExecution, data: Dict[str, Any]):
+    """Inverse of :func:`classification_to_dict`, rebuilt against ``exe``."""
+    from repro.races.detector import PairClassification
+
+    witness = data.get("witness")
+    return PairClassification(
+        a=int(data["a"]),
+        b=int(data["b"]),
+        status=data["status"],
+        variables=frozenset(data.get("variables", ())),
+        witness=witness_from_dict(exe, witness) if witness is not None else None,
+        resource=data.get("resource"),
+    )
+
+
+def report_to_dict(report) -> Dict[str, Any]:
+    """A JSON-ready dict for a :class:`~repro.races.detector.RaceReport`
+    (embeds the execution, so the document is self-contained)."""
+    return {
+        "format": "repro-race-report",
+        "version": REPORT_FORMAT_VERSION,
+        "kind": report.kind,
+        "conflicting_pairs_examined": report.conflicting_pairs_examined,
+        "interrupted": report.interrupted,
+        "execution": execution_to_dict(report.execution),
+        "races": [
+            {
+                "a": r.a,
+                "b": r.b,
+                "variables": sorted(r.variables),
+                "kind": r.kind,
+                "witness": witness_to_dict(r.witness)
+                if r.witness is not None
+                else None,
+            }
+            for r in report.races
+        ],
+        "classifications": [
+            classification_to_dict(c) for c in report.classifications
+        ],
+    }
+
+
+def report_from_dict(data: Dict[str, Any]):
+    """Inverse of :func:`report_to_dict` (validating)."""
+    from repro.races.detector import Race, RaceReport
+
+    if data.get("format") != "repro-race-report":
+        raise ValueError("not a repro-race-report document")
+    if data.get("version") != REPORT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported race-report version {data.get('version')!r} "
+            f"(this library reads version {REPORT_FORMAT_VERSION})"
+        )
+    exe = execution_from_dict(data["execution"])
+    races = []
+    for rec in data.get("races", ()):
+        witness = rec.get("witness")
+        races.append(
+            Race(
+                a=int(rec["a"]),
+                b=int(rec["b"]),
+                variables=frozenset(rec.get("variables", ())),
+                kind=rec["kind"],
+                witness=witness_from_dict(exe, witness)
+                if witness is not None
+                else None,
+            )
+        )
+    classifications = [
+        classification_from_dict(exe, rec)
+        for rec in data.get("classifications", ())
+    ]
+    return RaceReport(
+        execution=exe,
+        races=races,
+        kind=data["kind"],
+        conflicting_pairs_examined=int(data["conflicting_pairs_examined"]),
+        classifications=classifications,
+        interrupted=bool(data.get("interrupted", False)),
+    )
+
+
+def save_report(report, path: str, *, indent: Optional[int] = 2) -> None:
+    with open(path, "w") as fh:
+        fh.write(json.dumps(report_to_dict(report), indent=indent, sort_keys=True))
+        fh.write("\n")
+
+
+def load_report(path: str):
+    with open(path) as fh:
+        return report_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
 def dumps(exe: ProgramExecution, *, indent: int = 2) -> str:
     return json.dumps(execution_to_dict(exe), indent=indent, sort_keys=True)
 

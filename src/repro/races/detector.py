@@ -7,12 +7,21 @@ gracefully instead of crashing.  Every pair is classified
 :class:`~repro.budget.Budget` (sharing one wall-clock deadline across
 the scan), and a single pathological pair can neither raise away the
 results already computed nor starve the remaining pairs.
+
+The scan itself is *pluggable*: :meth:`RaceDetector.feasible_races`
+delegates each undecided pair either to the in-process serial loop or
+to a caller-supplied *pair runner* (see :data:`PairRunner`) such as the
+crash-isolated worker pool in :mod:`repro.supervise.pool`.  Pairs
+already classified by an earlier scan can be injected via
+``precomputed`` (the checkpoint/resume path), and every freshly
+computed classification is streamed to ``on_classified`` so a journal
+can record it the moment it exists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.approx.vectorclock import VectorClockAnalysis
 from repro.budget import Budget, DEADLINE
@@ -70,6 +79,8 @@ class RaceReport:
     ``classifications`` (feasible scans only) records every conflicting
     pair's three-valued outcome; ``races`` keeps only the confirmed
     ones, so pre-budget callers read the report unchanged.
+    ``interrupted`` marks a scan cut short (Ctrl-C): the classified
+    prefix is still valid, the missing pairs were never examined.
     """
 
     execution: ProgramExecution
@@ -77,6 +88,7 @@ class RaceReport:
     kind: str
     conflicting_pairs_examined: int
     classifications: List[PairClassification] = field(default_factory=list)
+    interrupted: bool = False
 
     def pairs(self) -> List[Tuple[int, int]]:
         return [(r.a, r.b) for r in self.races]
@@ -88,7 +100,7 @@ class RaceReport:
     @property
     def complete(self) -> bool:
         """True when no pair was left undecided by a budget."""
-        return not self.unknown_pairs
+        return not self.unknown_pairs and not self.interrupted
 
     def summary(self) -> str:
         base = (
@@ -98,6 +110,11 @@ class RaceReport:
         unknown = len(self.unknown_pairs)
         if unknown:
             base += f" ({unknown} unknown: budget exhausted)"
+        if self.interrupted:
+            base += (
+                f" (interrupted: {len(self.classifications)}/"
+                f"{self.conflicting_pairs_examined} pairs classified)"
+            )
         return base
 
     def pretty(self) -> str:
@@ -117,6 +134,70 @@ def _conflict_variables(exe: ProgramExecution, a: int, b: int) -> FrozenSet[str]
             if x.conflicts_with(y):
                 out.add(x.variable)
     return frozenset(out)
+
+
+# ----------------------------------------------------------------------
+# the pluggable pair-runner protocol
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PairScanOptions:
+    """Everything a pair runner needs to classify pairs on the
+    detector's behalf.
+
+    ``max_states`` and ``pair_timeout`` bound each individual pair;
+    ``deadline`` is the scan-wide absolute :func:`time.monotonic`
+    instant (pairs not started by then are classified ``unknown`` with
+    resource ``"deadline"`` without searching).
+    """
+
+    drop_racing_dependences: bool = True
+    max_states: Optional[int] = None
+    pair_timeout: Optional[float] = None
+    deadline: Optional[float] = None
+
+
+#: One unit of scan work: ``(a, b, conflict variables)``.
+PairTask = Tuple[int, int, FrozenSet[str]]
+
+#: A pair runner classifies a batch of tasks and returns
+#: ``(classifications, interrupted)``.  It must invoke the callback (when
+#: not ``None``) once per classification, as soon as it is known, and on
+#: interruption return whatever prefix it managed to classify.
+PairRunner = Callable[
+    [ProgramExecution, Sequence[PairTask], PairScanOptions,
+     Optional[Callable[[PairClassification], None]]],
+    Tuple[List[PairClassification], bool],
+]
+
+
+def classify_pair(
+    exe: ProgramExecution,
+    a: int,
+    b: int,
+    *,
+    drop_racing_dependences: bool = True,
+    budget: Optional[Budget] = None,
+    variables: Optional[FrozenSet[str]] = None,
+) -> PairClassification:
+    """Classify one conflicting pair (the unit of work of a scan).
+
+    Module-level (not a method) so worker processes can import it by
+    name and run it against their own deserialized copy of the
+    execution.
+    """
+    if variables is None:
+        variables = _conflict_variables(exe, a, b)
+    if drop_racing_dependences:
+        deps = {(x, y) for (x, y) in exe.dependences if {x, y} != {a, b}}
+        q_exe = exe.with_dependences(deps)
+    else:
+        q_exe = exe
+    verdict = OrderingQueries(q_exe, budget=budget).ccw_verdict(a, b)
+    if verdict.is_true:
+        return PairClassification(a, b, FEASIBLE, variables, witness=verdict.witness)
+    if verdict.is_false:
+        return PairClassification(a, b, INFEASIBLE, variables)
+    return PairClassification(a, b, UNKNOWN, variables, resource=verdict.resource)
 
 
 class RaceDetector:
@@ -172,6 +253,9 @@ class RaceDetector:
         budget: Optional[Budget] = None,
         per_pair_max_states: Optional[int] = None,
         per_pair_timeout: Optional[float] = None,
+        runner: Optional[PairRunner] = None,
+        precomputed: Optional[Dict[Tuple[int, int], PairClassification]] = None,
+        on_classified: Optional[Callable[[PairClassification], None]] = None,
     ) -> RaceReport:
         """Conflicting pairs with ``a CCW b`` -- the paper's notion.
 
@@ -192,48 +276,84 @@ class RaceDetector:
         remaining pairs are classified unknown without searching.  The
         returned report is therefore always complete over the pair set
         -- partial only in the sense that some entries are ``unknown``.
+
+        Supervision hooks: ``precomputed`` maps ``(a, b)`` to an
+        already-known classification (e.g. replayed from a checkpoint
+        journal) -- those pairs are not re-examined.  The remaining
+        pairs go to ``runner`` (a :data:`PairRunner`, e.g. the
+        crash-isolated pool in :mod:`repro.supervise.pool`) when given,
+        else to the in-process serial loop.  ``on_classified`` is
+        invoked once per *freshly computed* classification as soon as
+        it is known, so a journal stays current even if the scan is
+        later killed.  A Ctrl-C during the serial loop (or an
+        interrupted runner) yields a partial report flagged
+        ``interrupted`` instead of propagating ``KeyboardInterrupt``.
         """
         budget = self._effective_budget(budget)
-        races: List[Race] = []
-        classifications: List[PairClassification] = []
         pairs = self.exe.conflicting_pairs()
+        precomputed = dict(precomputed or {})
+        classifications: List[PairClassification] = []
+        todo: List[PairTask] = []
         for a, b in pairs:
-            variables = _conflict_variables(self.exe, a, b)
-            if budget is not None and budget.expired():
-                classifications.append(
-                    PairClassification(a, b, UNKNOWN, variables, resource=DEADLINE)
-                )
-                continue
-            if drop_racing_dependences:
-                deps = {
-                    (x, y)
-                    for (x, y) in self.exe.dependences
-                    if {x, y} != {a, b}
-                }
-                exe = self.exe.with_dependences(deps)
+            known = precomputed.get((a, b))
+            if known is not None:
+                classifications.append(known)
             else:
-                exe = self.exe
-            pair_budget = None
-            if budget is not None:
-                pair_budget = budget.per_query(
-                    max_states=per_pair_max_states, timeout=per_pair_timeout
-                )
-            queries = OrderingQueries(exe, budget=pair_budget)
-            verdict = queries.ccw_verdict(a, b)
-            if verdict.is_true:
-                w = verdict.witness
-                races.append(Race(a, b, variables, "feasible", witness=w))
-                classifications.append(
-                    PairClassification(a, b, FEASIBLE, variables, witness=w)
-                )
-            elif verdict.is_false:
-                classifications.append(
-                    PairClassification(a, b, INFEASIBLE, variables)
-                )
-            else:
-                classifications.append(
-                    PairClassification(
-                        a, b, UNKNOWN, variables, resource=verdict.resource
+                todo.append((a, b, _conflict_variables(self.exe, a, b)))
+        interrupted = False
+        if runner is not None and todo:
+            options = PairScanOptions(
+                drop_racing_dependences=drop_racing_dependences,
+                max_states=(
+                    per_pair_max_states
+                    if per_pair_max_states is not None
+                    else (budget.max_states if budget is not None else None)
+                ),
+                pair_timeout=per_pair_timeout,
+                deadline=budget.deadline if budget is not None else None,
+            )
+            fresh, interrupted = runner(self.exe, todo, options, on_classified)
+            classifications.extend(fresh)
+        else:
+            for a, b, variables in todo:
+                if budget is not None and budget.expired():
+                    c = PairClassification(
+                        a, b, UNKNOWN, variables, resource=DEADLINE
                     )
-                )
-        return RaceReport(self.exe, races, "feasible", len(pairs), classifications)
+                else:
+                    pair_budget = None
+                    if budget is not None:
+                        pair_budget = budget.per_query(
+                            max_states=per_pair_max_states,
+                            timeout=per_pair_timeout,
+                        )
+                    try:
+                        c = classify_pair(
+                            self.exe,
+                            a,
+                            b,
+                            drop_racing_dependences=drop_racing_dependences,
+                            budget=pair_budget,
+                            variables=variables,
+                        )
+                    except KeyboardInterrupt:
+                        interrupted = True
+                        break
+                classifications.append(c)
+                if on_classified is not None:
+                    on_classified(c)
+        order = {pair: i for i, pair in enumerate(pairs)}
+        classifications.sort(key=lambda c: order[(c.a, c.b)])
+        races = [
+            Race(c.a, c.b, c.variables, "feasible", witness=c.witness)
+            for c in classifications
+            if c.status == FEASIBLE
+        ]
+        return RaceReport(
+            self.exe,
+            races,
+            "feasible",
+            len(pairs),
+            classifications,
+            interrupted=interrupted,
+        )

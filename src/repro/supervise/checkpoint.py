@@ -1,0 +1,208 @@
+"""Append-only JSONL checkpoint journal for long race scans.
+
+A feasible-race scan is a batch of independent NP-hard queries; on real
+workloads it runs for hours, and losing the batch to a Ctrl-C, an OOM
+kill or a power cut is the single worst failure mode.  The journal
+makes every classified pair durable the moment it is known:
+
+* line 1 is a **header** carrying a fingerprint of the execution plus
+  the budget options that affect classification, so a journal can never
+  silently be replayed against a different scan;
+* every further line is one
+  :class:`~repro.races.detector.PairClassification` (witness included),
+  written as a single short ``write()`` call, flushed and fsync'ed --
+  a crash loses at most the line being written;
+* on ``--resume`` a truncated *final* line (the torn write of the
+  crash) is tolerated and dropped; corruption anywhere else fails
+  loudly, as does a fingerprint mismatch.
+
+The journal stores raw dicts and rebuilds objects against the caller's
+execution, so it needs no pickling and stays human-greppable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.model import serialize
+from repro.model.execution import ProgramExecution
+from repro.races.detector import PairClassification
+
+JOURNAL_FORMAT = "repro-scan-journal"
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """The journal file is unusable (corrupt, wrong format/version)."""
+
+
+class JournalMismatchError(JournalError):
+    """The journal belongs to a different execution or budget."""
+
+
+def scan_fingerprint(
+    exe: ProgramExecution,
+    *,
+    drop_racing_dependences: bool = True,
+    max_states: Optional[int] = None,
+    per_pair_max_states: Optional[int] = None,
+) -> str:
+    """Identity of one scan: the execution plus every option that can
+    change a pair's classification.
+
+    Wall-clock timeouts are deliberately excluded -- they are
+    nondeterministic across runs anyway, and a killed scan is normally
+    resumed with a *fresh* time budget.
+    """
+    doc = {
+        "execution": serialize.execution_to_dict(exe),
+        "options": {
+            "drop_racing_dependences": drop_racing_dependences,
+            "max_states": max_states,
+            "per_pair_max_states": per_pair_max_states,
+        },
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _parse_lines(
+    path: str, *, expect_fingerprint: Optional[str] = None
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]], int]:
+    """Parse the journal at ``path``.
+
+    Returns ``(header, pair records, valid_end)`` where ``valid_end``
+    is the byte offset of the durable prefix -- everything past it is
+    the torn final write of a killed scan (a record is only durable
+    once its newline is).  Corruption *inside* the prefix fails loudly.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    segments = raw.split(b"\n")
+    complete, tail = segments[:-1], segments[-1]
+    valid_end = len(raw) - len(tail)
+    if not complete:
+        raise JournalError(f"{path}: empty or headerless journal")
+    try:
+        header = json.loads(complete[0])
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        raise JournalError(f"{path}: corrupt journal header")
+    if not isinstance(header, dict) or header.get("format") != JOURNAL_FORMAT:
+        raise JournalError(f"{path}: not a {JOURNAL_FORMAT} file")
+    if header.get("version") != JOURNAL_VERSION:
+        raise JournalError(
+            f"{path}: unsupported journal version {header.get('version')!r} "
+            f"(this library reads version {JOURNAL_VERSION})"
+        )
+    if (
+        expect_fingerprint is not None
+        and header.get("fingerprint") != expect_fingerprint
+    ):
+        raise JournalMismatchError(
+            f"{path}: journal was written by a different scan "
+            "(execution or budget options changed); refusing to resume"
+        )
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(complete[1:], start=2):
+        try:
+            rec = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise JournalError(f"{path}: corrupt journal line {lineno}")
+        if isinstance(rec, dict) and rec.get("type") == "pair":
+            records.append(rec)
+    return header, records, valid_end
+
+
+class CheckpointJournal:
+    """Durable per-pair classification log; see the module docstring."""
+
+    def __init__(self, path: str, fingerprint: str, fh, resumed=None) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self._fh = fh
+        #: raw pair records replayed from an existing journal (resume only)
+        self.resumed_records: List[Dict[str, Any]] = list(resumed or [])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, path: str, fingerprint: str, *, resume: bool = False
+    ) -> "CheckpointJournal":
+        """Create a fresh journal at ``path``, or (``resume=True``, file
+        exists) verify it and reopen for appending."""
+        if resume and os.path.exists(path):
+            _, records, valid_end = _parse_lines(
+                path, expect_fingerprint=fingerprint
+            )
+            if valid_end < os.path.getsize(path):
+                # chop the torn final write so appends start on a fresh line
+                with open(path, "r+b") as fh:
+                    fh.truncate(valid_end)
+            fh = open(path, "a")
+            return cls(path, fingerprint, fh, resumed=records)
+        fh = open(path, "w")
+        journal = cls(path, fingerprint, fh)
+        journal._append_record(
+            {
+                "format": JOURNAL_FORMAT,
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+            }
+        )
+        return journal
+
+    # ------------------------------------------------------------------
+    def _append_record(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._fh.write(line + "\n")
+        self.flush()
+
+    def append(self, classification: PairClassification) -> None:
+        rec = serialize.classification_to_dict(classification)
+        rec["type"] = "pair"
+        self._append_record(rec)
+
+    def flush(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def classifications(
+        self, exe: ProgramExecution
+    ) -> Dict[Tuple[int, int], PairClassification]:
+        """The resumed records as real objects, keyed ``(a, b)`` (later
+        duplicates win, though a well-formed journal has none)."""
+        out: Dict[Tuple[int, int], PairClassification] = {}
+        for rec in self.resumed_records:
+            c = serialize.classification_from_dict(exe, rec)
+            out[(c.a, c.b)] = c
+        return out
+
+
+def pair_count(path: str) -> int:
+    """Number of pair records journaled at ``path`` (for tests/CI)."""
+    _, records, _ = _parse_lines(path)
+    return len(records)
+
+
+__all__ = [
+    "CheckpointJournal",
+    "JournalError",
+    "JournalMismatchError",
+    "pair_count",
+    "scan_fingerprint",
+]

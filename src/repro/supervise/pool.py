@@ -1,0 +1,496 @@
+"""Crash-isolated parallel pair classification (a :data:`PairRunner`).
+
+Why a hand-rolled pool instead of ``concurrent.futures``: a worker
+killed by the OS (segfault, OOM kill, CPU rlimit) permanently breaks a
+``ProcessPoolExecutor`` -- every pending future dies with
+``BrokenProcessPool``.  Here a dead worker is an *expected* event, not
+an error: the parent knows exactly which pair each worker holds (one
+in-flight task per worker, over a private queue), so when a worker dies
+the pair is retried under the :class:`~repro.supervise.retry.RetryPolicy`
+(backoff + optional budget escalation) or finalized ``unknown`` with
+the resource that killed it (``"crash"``, ``"memory"``, ``"cpu"``,
+``"deadline"``), a replacement worker is spawned, and the scan keeps
+draining.
+
+Workers are started with the **spawn** context (a fresh interpreter: no
+inherited locks, deterministic across platforms), ignore ``SIGINT``
+(the parent owns shutdown), install their ``setrlimit`` caps before
+touching the execution, and receive the execution as its JSON document
+-- the same bytes a checkpoint fingerprint covers.
+
+A ``KeyboardInterrupt`` in the parent drains already-completed results
+for a grace period, terminates the workers, and returns the classified
+prefix with ``interrupted=True``; the caller (the detector / CLI) turns
+that into a partial report and exit status 130.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import signal
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.budget import Budget, DEADLINE
+from repro.model import serialize
+from repro.races.detector import (
+    PairClassification,
+    PairScanOptions,
+    PairTask,
+    UNKNOWN,
+    classify_pair,
+)
+from repro.supervise.retry import RetryPolicy
+from repro.supervise.rlimits import CPU, MEMORY, ResourceLimits, apply_limits
+
+CRASH = "crash"
+
+# ----------------------------------------------------------------------
+# fault injection (test-only)
+#
+# ``faults`` maps "a,b" to {"action": ..., "attempts": k} and makes the
+# worker misbehave *before* classifying that pair, on attempts < k
+# (k omitted = every attempt).  Actions:
+#   "segv"          -- die by SIGSEGV (exitcode -11)
+#   "exit"          -- hard _exit with "code" (default 1)
+#   "hang"          -- sleep "seconds" (default 3600)
+#   "oom"           -- allocate until the rlimit raises MemoryError
+# This is how the tests and the CI smoke step create deterministic
+# crashes without shipping a genuinely pathological workload.
+# ----------------------------------------------------------------------
+
+
+def _fault_key(a: int, b: int) -> str:
+    return f"{a},{b}"
+
+
+def _allocate_past_limit(rlimited: bool) -> None:
+    if not rlimited:
+        # without a kernel cap a real allocation spree would endanger
+        # the host; simulate the exact failure the cap would produce
+        raise MemoryError("injected allocation failure (no rlimit active)")
+    hoard = []
+    try:
+        for _ in range(1 << 16):
+            hoard.append(bytearray(8 * 1024 * 1024))
+    except MemoryError:
+        # free the hoard *before* re-raising: the original exception's
+        # traceback pins this frame, and the worker needs headroom to
+        # report the failure
+        hoard.clear()
+        raise MemoryError("rlimit allocation cap hit") from None
+    raise MemoryError("allocation cap never hit")  # pragma: no cover
+
+
+def _inject_fault(
+    faults: Dict[str, Dict[str, Any]], a: int, b: int, attempt: int, rlimited: bool
+) -> None:
+    spec = faults.get(_fault_key(a, b))
+    if not spec:
+        return
+    attempts = spec.get("attempts")
+    if attempts is not None and attempt >= int(attempts):
+        return
+    action = spec.get("action")
+    if action == "segv":
+        os.kill(os.getpid(), signal.SIGSEGV)
+    elif action == "exit":
+        os._exit(int(spec.get("code", 1)))
+    elif action == "hang":
+        time.sleep(float(spec.get("seconds", 3600.0)))
+    elif action == "oom":
+        _allocate_past_limit(rlimited)
+    else:  # pragma: no cover - spec typo
+        raise ValueError(f"unknown fault action {action!r}")
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
+    """Worker loop: one pair per message, results by value, no shared
+    state.  Runs in a spawned interpreter; must stay importable."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns shutdown
+    limits = conf.get("rlimits")
+    rlimited = apply_limits(
+        ResourceLimits(**limits) if limits is not None else None
+    )
+    exe = serialize.execution_from_dict(exe_doc)
+    drop = bool(conf.get("drop_racing_dependences", True))
+    faults = conf.get("faults") or {}
+    # start the result queue's feeder thread NOW: its stack mmap counts
+    # against RLIMIT_AS, so it must exist before any memory pressure or
+    # an OOM could not even be reported
+    result_q.put((worker_id, None, "ready", None))
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            return
+        task_id, a, b, attempt, max_states, timeout = msg
+        try:
+            _inject_fault(faults, a, b, attempt, rlimited)
+            budget = None
+            if max_states is not None or timeout is not None:
+                budget = Budget.of(max_states=max_states, timeout=timeout)
+            c = classify_pair(
+                exe, a, b, drop_racing_dependences=drop, budget=budget
+            )
+            result_q.put(
+                (worker_id, task_id, "ok", serialize.classification_to_dict(c))
+            )
+        except MemoryError:
+            # the cap fired.  Drop whatever the search pinned (the
+            # handler deliberately does not bind the exception, whose
+            # traceback would keep those frames alive), report, then
+            # retire: this heap was driven to the limit and is not
+            # worth trusting.  Returning (not _exit) lets the queue
+            # feeder flush the report.
+            gc.collect()
+            result_q.put((worker_id, task_id, "memory", None))
+            return
+        except Exception as exc:  # unexpected bug: isolate, don't die
+            result_q.put((worker_id, task_id, "error", repr(exc)))
+
+
+def _death_resource(exitcode: Optional[int]) -> str:
+    """Map a dead worker's exitcode to the classification resource."""
+    if exitcode is not None and exitcode < 0 and -exitcode == signal.SIGXCPU:
+        return CPU
+    return CRASH
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+@dataclass
+class _TaskState:
+    a: int
+    b: int
+    variables: Any
+    attempt: int = 0
+    failures: int = 0
+    not_before: float = 0.0
+
+
+@dataclass
+class _Worker:
+    uid: int  # unique across the scan -- slots are reused, uids are not
+    proc: Any
+    task_q: Any
+    busy_task: Optional[int] = None
+    ready: bool = False  # sent its warm-up message (interpreter booted)
+    kill_at: Optional[float] = None
+    kill_after: Optional[float] = None  # wall budget armed once ready
+    died_at: Optional[float] = None
+    retiring: bool = False  # announced its own exit; never dispatch again
+
+
+class SupervisedScanner:
+    """Classify conflicting pairs in parallel, surviving worker death.
+
+    Usable directly as the ``runner`` argument of
+    :meth:`~repro.races.detector.RaceDetector.feasible_races`.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (>= 1).
+    limits:
+        Kernel caps installed in every worker.
+    retry:
+        Crash/retry policy (default: one retry, mild backoff).
+    pair_wall_timeout:
+        Hard wall-clock seconds per attempt, enforced by the *parent*
+        killing the worker -- the hang backstop.  Defaults to
+        ``2 * pair_timeout + 5`` when the scan has a per-pair timeout,
+        else off (an unbudgeted scan may legitimately run for days).
+    faults:
+        Test-only fault-injection spec (see module comment).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        *,
+        limits: Optional[ResourceLimits] = None,
+        retry: Optional[RetryPolicy] = None,
+        pair_wall_timeout: Optional[float] = None,
+        faults: Optional[Dict[str, Dict[str, Any]]] = None,
+        poll_interval: float = 0.02,
+        drain_grace: float = 1.0,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.limits = limits
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.pair_wall_timeout = pair_wall_timeout
+        self.faults = dict(faults or {})
+        self.poll_interval = poll_interval
+        self.drain_grace = drain_grace
+
+    # ------------------------------------------------------------------
+    def __call__(self, exe, tasks, options, on_classified=None):
+        return self.scan(exe, tasks, options, on_classified)
+
+    def scan(
+        self,
+        exe,
+        tasks: Sequence[PairTask],
+        options: PairScanOptions,
+        on_classified: Optional[Callable[[PairClassification], None]] = None,
+    ) -> Tuple[List[PairClassification], bool]:
+        if not tasks:
+            return [], False
+        ctx = mp.get_context("spawn")
+        exe_doc = serialize.execution_to_dict(exe)
+        conf = {
+            "drop_racing_dependences": options.drop_racing_dependences,
+            "rlimits": (
+                {
+                    "max_memory_mb": self.limits.max_memory_mb,
+                    "max_cpu_seconds": self.limits.max_cpu_seconds,
+                }
+                if self.limits is not None
+                else None
+            ),
+            "faults": self.faults,
+        }
+        result_q = ctx.Queue()
+        state: Dict[int, _TaskState] = {
+            tid: _TaskState(a, b, variables)
+            for tid, (a, b, variables) in enumerate(tasks)
+        }
+        pending = deque(range(len(tasks)))
+        done: Dict[int, PairClassification] = {}
+        workers: List[Optional[_Worker]] = [None] * self.jobs
+        by_uid: Dict[int, _Worker] = {}
+        next_uid = [0]
+        interrupted = False
+
+        def finalize(tid: int, c: PairClassification) -> None:
+            done[tid] = c
+            if on_classified is not None:
+                on_classified(c)
+
+        def fail(tid: int, resource: str) -> None:
+            st = state[tid]
+            st.failures += 1
+            past_deadline = (
+                options.deadline is not None
+                and time.monotonic() >= options.deadline
+            )
+            if self.retry.should_retry(st.failures) and not past_deadline:
+                st.attempt += 1
+                st.not_before = time.monotonic() + self.retry.delay(st.attempt)
+                pending.append(tid)
+            else:
+                finalize(
+                    tid,
+                    PairClassification(
+                        st.a, st.b, UNKNOWN, st.variables, resource=resource
+                    ),
+                )
+
+        def handle_result(msg) -> None:
+            uid, tid, kind, payload = msg
+            if kind == "ready":
+                # the worker's interpreter is booted; only now does any
+                # pending wall-clock budget start ticking (spawn +
+                # import time is machine load, not pair difficulty)
+                w = by_uid.get(uid)
+                if w is not None:
+                    w.ready = True
+                    if w.kill_after is not None:
+                        w.kill_at = time.monotonic() + w.kill_after
+                        w.kill_after = None
+                return
+            w = by_uid.get(uid)  # None once we've given up on that worker
+            if w is not None and w.busy_task == tid:
+                w.busy_task = None
+                w.kill_at = None
+                w.kill_after = None
+                w.died_at = None
+            if w is not None and kind == "memory":
+                # a memory report doubles as the worker's retirement
+                # notice -- it exits right after sending it
+                w.retiring = True
+            if tid in done or tid not in state:
+                return
+            if kind == "ok":
+                if tid in pending:
+                    # late answer from an incarnation we had given up on:
+                    # still a valid answer, so cancel the redo
+                    pending.remove(tid)
+                finalize(tid, serialize.classification_from_dict(exe, payload))
+            else:  # "memory" or "error"
+                if tid in pending:
+                    return  # this failure was already counted at death time
+                fail(tid, MEMORY if kind == "memory" else CRASH)
+
+        def spawn(slot: int) -> _Worker:
+            uid = next_uid[0]
+            next_uid[0] += 1
+            task_q = ctx.Queue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(uid, task_q, result_q, exe_doc, conf),
+                daemon=True,
+            )
+            proc.start()
+            w = _Worker(uid, proc, task_q)
+            by_uid[uid] = w
+            return w
+
+        def retire(slot: int) -> None:
+            w = workers[slot]
+            w.proc.join()
+            by_uid.pop(w.uid, None)
+            workers[slot] = None
+
+        def dispatchable(now: float) -> Optional[int]:
+            for _ in range(len(pending)):
+                tid = pending.popleft()
+                if state[tid].not_before <= now:
+                    return tid
+                pending.append(tid)
+            return None
+
+        try:
+            while len(done) < len(state):
+                now = time.monotonic()
+                # scan-wide deadline: never start pairs past it
+                if options.deadline is not None and now >= options.deadline:
+                    while pending:
+                        tid = pending.popleft()
+                        st = state[tid]
+                        finalize(
+                            tid,
+                            PairClassification(
+                                st.a,
+                                st.b,
+                                UNKNOWN,
+                                st.variables,
+                                resource=DEADLINE,
+                            ),
+                        )
+                # reap idle deaths (e.g. a worker that retired after an
+                # OOM report) and assign work to idle workers
+                for slot in range(self.jobs):
+                    w = workers[slot]
+                    if w is not None and w.busy_task is None and (
+                        w.retiring or not w.proc.is_alive()
+                    ):
+                        if w.proc.is_alive():
+                            continue  # retiring, not yet gone: stand by
+                        retire(slot)
+                        w = None
+                    if w is None:
+                        if len(pending) == 0:
+                            continue
+                        workers[slot] = w = spawn(slot)
+                    if w.busy_task is None and pending:
+                        tid = dispatchable(now)
+                        if tid is None:
+                            continue
+                        st = state[tid]
+                        max_states = self.retry.escalated_states(
+                            options.max_states, st.attempt
+                        )
+                        timeout = options.pair_timeout
+                        if options.deadline is not None:
+                            remaining = max(0.001, options.deadline - now)
+                            timeout = (
+                                remaining
+                                if timeout is None
+                                else min(timeout, remaining)
+                            )
+                        w.task_q.put(
+                            (tid, st.a, st.b, st.attempt, max_states, timeout)
+                        )
+                        w.busy_task = tid
+                        wall = self.pair_wall_timeout
+                        if wall is None and options.pair_timeout is not None:
+                            wall = 2.0 * options.pair_timeout + 5.0
+                        if w.ready:
+                            w.kill_at = (now + wall) if wall is not None else None
+                            w.kill_after = None
+                        else:  # cold worker: arm the clock on its ready message
+                            w.kill_at = None
+                            w.kill_after = wall
+                # collect one result (also our sleep)
+                try:
+                    handle_result(result_q.get(timeout=self.poll_interval))
+                except queue_mod.Empty:
+                    pass
+                # crash + hang supervision of busy workers
+                now = time.monotonic()
+                for slot in range(self.jobs):
+                    w = workers[slot]
+                    if w is None or w.busy_task is None:
+                        continue
+                    if not w.proc.is_alive():
+                        exitcode = w.proc.exitcode
+                        if w.died_at is None:
+                            w.died_at = now
+                        if exitcode == 0 and now - w.died_at < self.drain_grace:
+                            # a clean exit never abandons a task: its
+                            # final ("memory") report is still in flight
+                            continue
+                        tid = w.busy_task
+                        retire(slot)
+                        fail(tid, _death_resource(exitcode))
+                    elif w.kill_at is not None and now >= w.kill_at:
+                        tid = w.busy_task
+                        w.proc.kill()
+                        retire(slot)
+                        fail(tid, DEADLINE)
+        except KeyboardInterrupt:
+            interrupted = True
+            # drain results that already completed, briefly
+            stop_at = time.monotonic() + self.drain_grace
+            while time.monotonic() < stop_at:
+                try:
+                    handle_result(result_q.get(timeout=self.poll_interval))
+                except queue_mod.Empty:
+                    break
+        finally:
+            self._shutdown(workers, result_q)
+        results = [done[tid] for tid in sorted(done)]
+        return results, interrupted
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _shutdown(workers: List[Optional[_Worker]], result_q) -> None:
+        for w in workers:
+            if w is None:
+                continue
+            try:
+                w.task_q.put_nowait(None)
+            except Exception:  # full/closed: terminate below anyway
+                pass
+        deadline = time.monotonic() + 1.0
+        for w in workers:
+            if w is None:
+                continue
+            w.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if w.proc.is_alive():
+                w.proc.terminate()
+                w.proc.join(timeout=0.5)
+            if w.proc.is_alive():  # pragma: no cover - stubborn child
+                w.proc.kill()
+                w.proc.join(timeout=0.5)
+            # never let an unflushed feeder thread block interpreter exit
+            w.task_q.cancel_join_thread()
+            w.task_q.close()
+        result_q.cancel_join_thread()
+        result_q.close()
+
+
+__all__ = ["SupervisedScanner", "CRASH"]

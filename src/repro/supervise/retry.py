@@ -1,0 +1,59 @@
+"""Crash/retry policy for supervised pair classification.
+
+A worker death is not always the pair's fault -- the host may have been
+under memory pressure, the CPU cap may have been marginal -- so a
+failed pair gets a bounded number of fresh attempts, spaced by
+exponential backoff (so a systematically crashing pair cannot hot-loop
+worker churn) and optionally with an *escalated* state budget, on the
+theory that a pair which died near its cap may well be decidable just
+past it.  When the attempts are spent, the pair is classified
+``unknown`` with the resource that killed it, and the scan moves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a supervised scan reacts to a failed pair attempt.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts after the first failure (0 = fail immediately).
+    backoff_base / backoff_factor:
+        The ``k``-th retry is delayed ``base * factor**(k-1)`` seconds.
+    state_escalation:
+        Multiplier applied to the per-pair ``max_states`` cap on each
+        retry (1.0 = same budget every attempt).
+    """
+
+    max_retries: int = 1
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    state_escalation: float = 1.0
+
+    def should_retry(self, failures: int) -> bool:
+        """True when a pair that has failed ``failures`` times (>= 1)
+        deserves another attempt."""
+        return failures <= self.max_retries
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before dispatching retry ``attempt`` (1-based)."""
+        if attempt <= 0:
+            return 0.0
+        return self.backoff_base * (self.backoff_factor ** (attempt - 1))
+
+    def escalated_states(
+        self, max_states: Optional[int], attempt: int
+    ) -> Optional[int]:
+        """The per-pair state cap for ``attempt`` (0 = first try)."""
+        if max_states is None or attempt <= 0 or self.state_escalation == 1.0:
+            return max_states
+        return max(1, int(max_states * (self.state_escalation ** attempt)))
+
+
+__all__ = ["RetryPolicy"]

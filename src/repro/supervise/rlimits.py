@@ -1,0 +1,75 @@
+"""Hard OS resource caps for worker processes.
+
+The paper guarantees that some pairs are exponentially expensive; a
+cooperative :class:`~repro.budget.Budget` bounds the *search* but not
+the *process* -- a memo table can still balloon between budget checks,
+and a genuine bug in the search can spin forever.  Workers therefore
+run under kernel-enforced ``setrlimit`` caps: exceeding the address
+space limit makes allocations fail with :class:`MemoryError` (which the
+worker reports gracefully as an ``unknown`` pair with resource
+``"memory"``), and exceeding the CPU limit gets the process killed by
+the OS -- either way the *host* survives and the scan keeps draining.
+
+``resource`` is POSIX-only; on platforms without it the caps silently
+do not apply (the pool still isolates crashes -- a dead worker never
+takes the parent down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+try:  # POSIX only; Windows has no setrlimit
+    import resource as _resource
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    _resource = None
+
+# canonical resource names recorded in `unknown` classifications,
+# extending repro.budget's "states"/"deadline"
+MEMORY = "memory"
+CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Per-worker kernel caps (``None`` = uncapped)."""
+
+    max_memory_mb: Optional[int] = None
+    max_cpu_seconds: Optional[int] = None
+
+    def any(self) -> bool:
+        return self.max_memory_mb is not None or self.max_cpu_seconds is not None
+
+
+def _try_setrlimit(kind: int, soft: int, hard: int) -> bool:
+    cur_soft, cur_hard = _resource.getrlimit(kind)
+    if cur_hard != _resource.RLIM_INFINITY:
+        # never ask for more than the inherited hard limit
+        soft = min(soft, cur_hard)
+        hard = min(hard, cur_hard)
+    try:
+        _resource.setrlimit(kind, (soft, hard))
+        return True
+    except (ValueError, OSError):  # pragma: no cover - platform quirks
+        return False
+
+
+def apply_limits(limits: Optional[ResourceLimits]) -> bool:
+    """Apply ``limits`` to the *calling* process (run in the worker,
+    before any real work).  Returns True iff at least one cap took."""
+    if _resource is None or limits is None or not limits.any():
+        return False
+    applied = False
+    if limits.max_memory_mb is not None:
+        nbytes = int(limits.max_memory_mb) * 1024 * 1024
+        applied |= _try_setrlimit(_resource.RLIMIT_AS, nbytes, nbytes)
+    if limits.max_cpu_seconds is not None:
+        secs = int(limits.max_cpu_seconds)
+        # soft limit delivers SIGXCPU at `secs`; the hard limit leaves a
+        # few seconds of grace before the unconditional SIGKILL
+        applied |= _try_setrlimit(_resource.RLIMIT_CPU, secs, secs + 5)
+    return applied
+
+
+__all__ = ["ResourceLimits", "apply_limits", "MEMORY", "CPU"]

@@ -157,6 +157,78 @@ class TestBudgetedCli:
         assert "undecided under the budget" in capsys.readouterr().out
 
 
+class TestCliRobustness:
+    """Bad input never tracebacks: one-line diagnostic, exit status 2."""
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.rp"
+        path.write_text("proc { this is not a program")
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err and "Traceback" not in err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["analyze", missing]) == 2
+        assert "cannot access input" in capsys.readouterr().err
+
+    def test_corrupt_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text('{"format": "repro-ex')
+        assert main(["races", str(path)]) == 2
+        assert "invalid JSON input" in capsys.readouterr().err
+
+    def test_wrong_format_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else", "version": 1}')
+        assert main(["races", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid input" in err and "Traceback" not in err
+
+    def test_resume_without_checkpoint_exits_2(self, execution_file, capsys):
+        assert main(["races", execution_file, "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, execution_file, monkeypatch, capsys):
+        def boom(path):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr("repro.cli.serialize.load", boom)
+        assert main(["races", execution_file]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestSupervisedCli:
+    def test_races_save_round_trip(self, execution_file, tmp_path):
+        from repro.model.serialize import load_report
+
+        report_path = tmp_path / "report.json"
+        assert main(["races", execution_file, "--save", str(report_path)]) == 0
+        report = load_report(str(report_path))
+        assert report.complete
+        assert len(report.races) == 1
+
+    def test_checkpoint_then_resume(self, execution_file, tmp_path, capsys):
+        journal = str(tmp_path / "scan.jsonl")
+        assert main(["races", execution_file, "--checkpoint", journal]) == 0
+        first = capsys.readouterr().out
+        assert "feasible races: 1" in first
+        assert main(["races", execution_file, "--checkpoint", journal,
+                     "--resume"]) == 0
+        again = capsys.readouterr().out
+        assert "resume: reusing 1 journaled pair(s)" in again
+        assert "feasible races: 1" in again
+
+    def test_resume_refuses_other_scan(self, execution_file, tmp_path, capsys):
+        journal = str(tmp_path / "scan.jsonl")
+        assert main(["races", execution_file, "--checkpoint", journal]) == 0
+        capsys.readouterr()
+        rc = main(["races", execution_file, "--checkpoint", journal,
+                   "--resume", "--per-pair-states", "7"])
+        assert rc == 2
+        assert "different scan" in capsys.readouterr().err
+
+
 class TestSat:
     def test_sat_formula(self, tmp_path, capsys):
         path = tmp_path / "f.cnf"

@@ -65,6 +65,66 @@ class TestRoundTrip:
         assert same_execution(exe, serialize.load(str(path)))
 
 
+class TestReportRoundTrip:
+    @pytest.fixture
+    def report(self):
+        from repro.races.detector import RaceDetector
+
+        return RaceDetector(figure1_execution()).feasible_races()
+
+    def test_witness_round_trip(self, report):
+        exe = report.execution
+        for race in report.races:
+            doc = serialize.witness_to_dict(race.witness)
+            again = serialize.witness_from_dict(exe, doc)
+            assert serialize.witness_to_dict(again) == doc
+            again.validate(include_dependences=False)
+
+    def test_classification_round_trip(self, report):
+        exe = report.execution
+        for c in report.classifications:
+            doc = serialize.classification_to_dict(c)
+            again = serialize.classification_from_dict(exe, json.loads(json.dumps(doc)))
+            assert (again.a, again.b, again.status) == (c.a, c.b, c.status)
+            assert again.variables == c.variables
+            assert again.resource == c.resource
+
+    def test_unknown_classification_keeps_resource(self, report):
+        from repro.races.detector import PairClassification, UNKNOWN
+
+        exe = report.execution
+        c = PairClassification(
+            a=0, b=1, status=UNKNOWN, variables=frozenset({"x"}),
+            witness=None, resource="crash",
+        )
+        again = serialize.classification_from_dict(
+            exe, serialize.classification_to_dict(c)
+        )
+        assert again.status == UNKNOWN and again.resource == "crash"
+
+    def test_report_file_round_trip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        serialize.save_report(report, str(path))
+        again = serialize.load_report(str(path))
+        assert same_execution(report.execution, again.execution)
+        assert again.summary() == report.summary()
+        assert again.pairs() == report.pairs()
+        assert again.complete == report.complete
+        assert serialize.report_to_dict(again) == serialize.report_to_dict(report)
+
+    def test_wrong_report_format_rejected(self, report):
+        doc = serialize.report_to_dict(report)
+        doc["format"] = "something-else"
+        with pytest.raises(ValueError, match="not a repro-race-report"):
+            serialize.report_from_dict(doc)
+
+    def test_wrong_report_version_rejected(self, report):
+        doc = serialize.report_to_dict(report)
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="unsupported race-report version"):
+            serialize.report_from_dict(doc)
+
+
 class TestValidation:
     def test_wrong_format_rejected(self):
         with pytest.raises(ValueError, match="not a repro-execution"):
