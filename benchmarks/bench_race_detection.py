@@ -127,3 +127,97 @@ def test_feasible_vs_apparent_races(benchmark):
     lines.append("apparent detector misses the pairing-masked races, and the")
     lines.append("exact detector's cost is what the corollary says it must be")
     report("race_detection", lines)
+
+
+# ----------------------------------------------------------------------
+# the solver portfolio against the engine-only scan
+# ----------------------------------------------------------------------
+def brawl_family(width: int):
+    """``width`` unsynchronized single-write processes all hitting
+    ``x``: every pair conflicts, and the observed schedule's widenings
+    hand the portfolio most answers for free."""
+    prog = Program(
+        [ProcessDef(f"w{k}", [Assign("x", Const(k))]) for k in range(width)]
+    )
+    return run_program(
+        prog, FixedScheduler([f"w{k}" for k in range(width)])
+    ).to_execution()
+
+
+def scan_with_plan(exe, plan):
+    detector = RaceDetector(exe, plan=plan)
+    t0 = time.perf_counter()
+    feasible = detector.feasible_races()
+    elapsed = time.perf_counter() - t0
+    return feasible, elapsed
+
+
+def run_planner_study():
+    workloads = [
+        ("figure1", figure1_execution()),
+        ("masking x3", masking_family(3)),
+        ("brawl x4", brawl_family(4)),
+        ("brawl x5", brawl_family(5)),
+    ]
+    rows = []
+    for name, exe in workloads:
+        # the pre-refactor scan: structural shortcut, then the exact
+        # engine per pair -- no observed/witness/HMW tiers
+        baseline, t_base = scan_with_plan(exe, ("structural", "engine"))
+        portfolio, t_port = scan_with_plan(exe, None)  # DEFAULT_PLAN
+        rows.append(
+            dict(
+                name=name,
+                pairs=portfolio.conflicting_pairs_examined,
+                baseline=baseline, portfolio=portfolio,
+                t_base=t_base, t_port=t_port,
+            )
+        )
+    return rows
+
+
+def test_planner_portfolio_vs_engine_only(benchmark):
+    rows = benchmark(run_planner_study)
+
+    total_pairs = total_below = 0
+    for r in rows:
+        base, port = r["baseline"], r["portfolio"]
+        # the portfolio is an execution strategy, not a different
+        # detector: classifications must match the engine-only scan
+        assert [(c.a, c.b, c.status) for c in port.classifications] == [
+            (c.a, c.b, c.status) for c in base.classifications
+        ]
+        # cheaper tiers may only ever SAVE exact search
+        assert port.planner.engine_states() <= base.planner.engine_states()
+        total_pairs += r["pairs"]
+        total_below += port.planner.answered_below("engine")
+    # the headline: a healthy share of CCW answers never touch the
+    # exponential tier (each pair also costs feasibility queries, so
+    # compare against the pair count, the scan's unit of work)
+    assert total_below >= 0.3 * total_pairs
+
+    body = [
+        [
+            r["name"], r["pairs"],
+            r["baseline"].planner.engine_states(),
+            r["portfolio"].planner.engine_states(),
+            r["portfolio"].planner.answered_below("engine"),
+            f"{r['t_base'] * 1e3:.1f}ms", f"{r['t_port'] * 1e3:.1f}ms",
+        ]
+        for r in rows
+    ]
+    lines = table(
+        ["workload", "conflicting pairs", "engine states (engine-only)",
+         "engine states (portfolio)", "answered below exact",
+         "engine-only time", "portfolio time"],
+        body,
+    )
+    lines.append("")
+    lines.append(
+        f"portfolio answered {total_below} quer(ies) across "
+        f"{total_pairs} conflicting pairs without the exact engine "
+        f"(>= 30% required)"
+    )
+    lines.append("identical classifications on every workload; the ladder")
+    lines.append("only ever removes exact-search states, never adds them")
+    report("race_planner", lines)

@@ -56,6 +56,7 @@ from repro.lang import Program, ProcessDef, run_program
 from repro.lang.parser import ParseError, parse_program
 from repro.approx import BestEffortOrdering, HMWAnalysis, TaskGraph, VectorClockAnalysis
 from repro.races import RaceDetector
+from repro.solve import PlannerReport, QueryPlanner, SolveContext
 from repro.reductions import (
     decide_sat_via_ordering,
     decide_unsat_via_ordering,
@@ -104,6 +105,10 @@ __all__ = [
     "BestEffortOrdering",
     # races
     "RaceDetector",
+    # solver portfolio
+    "PlannerReport",
+    "QueryPlanner",
+    "SolveContext",
     # reductions
     "decide_sat_via_ordering",
     "decide_unsat_via_ordering",

@@ -3,20 +3,21 @@
 The paper's theorems mean an exact analyzer cannot promise polynomial
 time; a practical tool therefore needs graceful degradation.
 :class:`BestEffortOrdering` answers must-complete-before queries by
-escalating through
+delegating to the solver portfolio's
+:class:`~repro.solve.planner.QueryPlanner` on a best-effort plan:
 
 1. **structural** reachability (program order, fork/join, dependences)
    -- linear, always sound;
 2. the **observed schedule** -- a known member of ``F``, so its
-   completion order soundly *refutes* must-claims it contradicts;
+   completion order soundly decides could-complete-before queries;
 3. the **HMW counting phases** (semaphore executions only) --
    polynomial, sound;
 4. the **exact engine**, bounded by ``max_states`` / a
    :class:`~repro.budget.Budget` per query.
 
-Answers are three-valued: ``True``/``False`` when some layer decides
-soundly, ``None`` when every layer within budget is inconclusive
-(never a guess).  ``decided_by`` records which layer settled each
+Answers are three-valued: ``True``/``False`` when some tier decides
+soundly, ``None`` when every tier within budget is inconclusive
+(never a guess).  ``decided_by`` records which tier settled each
 query, so callers can report how much of the truth was cheap -- the
 empirical content of the paper's "polynomial algorithms compute only
 *some* of the orderings".  :meth:`mcb_verdict` exposes the same answer
@@ -27,11 +28,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.approx.hmw import HMWAnalysis, InfeasibleTraceError
 from repro.budget import Budget, Verdict
-from repro.core.engine import SearchBudgetExceeded
 from repro.core.queries import OrderingQueries
-from repro.model.execution import ProgramExecution, SyncStyle
+from repro.model.execution import ProgramExecution
+from repro.solve.backends import BEST_EFFORT_PLAN
+from repro.solve.planner import QueryPlanner
 from repro.util.relations import BinaryRelation
 
 
@@ -53,17 +54,17 @@ class BestEffortOrdering:
         )
         self.decided_by: Dict[Tuple[int, int], str] = {}
         self.exhausted: Dict[Tuple[int, int], Optional[str]] = {}
-        self._observed_pos: Optional[Dict[int, int]] = None
-        if exe.observed_schedule is not None:
-            self._observed_pos = {
-                eid: i for i, eid in enumerate(exe.observed_schedule)
-            }
-        self._hmw_relation: Optional[BinaryRelation] = None
-        if use_hmw and exe.sync_style in (SyncStyle.SEMAPHORE, SyncStyle.NONE):
-            try:
-                self._hmw_relation = HMWAnalysis(exe).phase3()
-            except InfeasibleTraceError:
-                self._hmw_relation = None
+        plan = BEST_EFFORT_PLAN
+        if not use_hmw:
+            plan = tuple(name for name in plan if name != "hmw")
+        # shares the queries object's SolveContext, so structural
+        # bitsets, the validated observed schedule and any witnesses the
+        # exact paths found are reused rather than recomputed
+        self.planner = QueryPlanner(self.queries.ctx, plan)
+        self._observed_pos: Optional[Dict[int, int]] = self.queries.ctx.observed_pos
+        self._hmw_relation: Optional[BinaryRelation] = (
+            self.queries.ctx.hmw_relation() if use_hmw else None
+        )
 
     # ------------------------------------------------------------------
     def mcb(self, a: int, b: int) -> Optional[bool]:
@@ -72,33 +73,15 @@ class BestEffortOrdering:
         if a == b:
             self.decided_by[key] = "trivial"
             return False
-        # layer 1: structure decides both polarities cheaply
-        if self.queries.statically_ordered(a, b):
-            self.decided_by[key] = "structural"
-            return True
-        if self.queries.statically_ordered(b, a):
-            # b always completes first, so a-before-b is impossible
-            self.decided_by[key] = "structural"
-            return False
-        # layer 2: the observed member of F refutes must-claims it
-        # contradicts (it completes b before a)
-        pos = self._observed_pos
-        if pos is not None and pos[b] < pos[a]:
-            self.decided_by[key] = "observed"
-            return False
-        # layer 3: HMW's sound counting orderings (positive only)
-        if self._hmw_relation is not None and (a, b) in self._hmw_relation:
-            self.decided_by[key] = "hmw"
-            return True
-        # layer 4: exact, within budget
-        try:
-            answer = self.queries.mcb(a, b)
-        except SearchBudgetExceeded as exc:
+        v = self.planner.mcb_verdict(
+            a, b, budget=self.queries.budget, max_states=self.queries.max_states
+        )
+        if v.is_unknown:
             self.decided_by[key] = "unknown"
-            self.exhausted[key] = exc.resource
+            self.exhausted[key] = v.resource
             return None
-        self.decided_by[key] = "exact"
-        return answer
+        self.decided_by[key] = v.provenance
+        return v.to_bool()
 
     def mcb_verdict(self, a: int, b: int) -> Verdict:
         """:meth:`mcb` as a provenance-carrying verdict."""

@@ -61,6 +61,7 @@ from repro.reductions import (
 )
 from repro.sat.cnf import parse_dimacs
 from repro.sat.dpll import solve
+from repro.solve import BEST_EFFORT_PLAN, DEFAULT_PLAN, resolve_plan
 from repro.supervise import (
     CheckpointJournal,
     JournalError,
@@ -93,6 +94,29 @@ def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
     if max_states is None and timeout is None:
         return None
     return Budget.of(max_states=max_states, timeout=timeout)
+
+
+_NAMED_PLANS = {"default": DEFAULT_PLAN, "best-effort": BEST_EFFORT_PLAN}
+
+
+def _plan_from_args(args: argparse.Namespace):
+    """The portfolio tier ladder from --plan / --backends (or None).
+
+    ``--backends`` (an explicit comma-separated ladder) wins over
+    ``--plan`` (a named preset).  Unknown backend names raise
+    ``ValueError``, which main() turns into exit status 2.
+    """
+    backends = getattr(args, "backends", None)
+    if backends:
+        names = tuple(n.strip() for n in backends.split(",") if n.strip())
+        if not names:
+            raise ValueError("--backends needs at least one backend name")
+        resolve_plan(names)  # validate eagerly for a one-line diagnostic
+        return names
+    plan = getattr(args, "plan", None)
+    if plan:
+        return _NAMED_PLANS[plan]
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -154,13 +178,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     exe = serialize.load(args.execution)
     print(f"loaded: {exe}")
     budget = _budget_from_args(args)
+    plan = _plan_from_args(args)
     if args.pair:
         la, lb = args.pair
         a, b = exe.by_label(la).eid, exe.by_label(lb).eid
         q = OrderingQueries(
-            exe, include_dependences=not args.ignore_deps, budget=budget
+            exe, include_dependences=not args.ignore_deps, budget=budget,
+            plan=plan,
         )
-        if budget is not None:
+        if budget is not None or plan is not None:
+            # a custom ladder only makes sense through the portfolio's
+            # three-valued verdict path
             return _analyze_pair_budgeted(q, args, la, lb, a, b)
         if args.relation == "all":
             for name, value in q.relation_values(a, b).items():
@@ -219,7 +247,10 @@ def cmd_races(args: argparse.Namespace) -> int:
         return EXIT_USAGE
     exe = serialize.load(args.execution)
     budget = _budget_from_args(args)
-    detector = RaceDetector(exe, max_states=args.max_states, budget=budget)
+    detector = RaceDetector(
+        exe, max_states=args.max_states, budget=budget,
+        plan=_plan_from_args(args),
+    )
     apparent = detector.apparent_races()
     print(apparent.pretty())
     # any supervision/persistence flag implies the feasible scan: those
@@ -257,6 +288,8 @@ def cmd_races(args: argparse.Namespace) -> int:
         if journal is not None:
             journal.close()
     print(feasible.pretty())
+    if feasible.planner is not None and feasible.planner.queries:
+        print(feasible.planner.describe())
     if args.witnesses:
         for race in feasible.races:
             if race.witness is not None:
@@ -372,6 +405,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="state budget per search; undecided queries print UNKNOWN")
     p.add_argument("--timeout", type=float, default=None,
                    help="wall-clock budget in seconds shared by all searches")
+    p.add_argument("--plan", choices=sorted(_NAMED_PLANS),
+                   help="named solver-portfolio tier ladder for --pair "
+                   "queries (implies the three-valued verdict path)")
+    p.add_argument("--backends", metavar="NAMES",
+                   help="explicit comma-separated tier ladder, e.g. "
+                   "'structural,observed,engine' (overrides --plan)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("races", help="race detection on a saved execution")
@@ -405,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save", metavar="REPORT",
                    help="write the feasible-scan RaceReport as JSON "
                    "(implies --feasible)")
+    p.add_argument("--plan", choices=sorted(_NAMED_PLANS),
+                   help="named solver-portfolio tier ladder for the "
+                   "feasible scan")
+    p.add_argument("--backends", metavar="NAMES",
+                   help="explicit comma-separated tier ladder, e.g. "
+                   "'structural,observed,witness,engine' (overrides --plan)")
     p.add_argument("--fault-spec", help=argparse.SUPPRESS)  # test-only
     p.set_defaults(func=cmd_races)
 

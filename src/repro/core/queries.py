@@ -30,18 +30,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.budget import Budget, Truth, Verdict
-from repro.core.engine import (
-    FeasibilityEngine,
-    Point,
-    SearchBudgetExceeded,
-    SearchStats,
-    begin_point,
-    end_point,
-)
+from repro.budget import Budget, Verdict
+from repro.core.engine import SearchStats, begin_point, end_point
 from repro.core.witness import Witness
 from repro.model.execution import ProgramExecution
-from repro.util.graphs import topological_sort
+from repro.solve.context import EMPTY_DROP, SolveContext
+from repro.solve.planner import QueryPlanner
 
 
 class OrderingQueries:
@@ -62,10 +56,16 @@ class OrderingQueries:
     * the boolean methods (``mhb``/``chb``/...) are exact and *raise*
       on budget exhaustion -- nothing wrong is ever cached, so retrying
       with a larger budget on the same object works;
-    * the ``*_verdict`` methods never raise: they return a three-valued
-      :class:`~repro.budget.Verdict`, degrading to the sound polynomial
-      bounds (structural reachability, the observed schedule as a known
-      member of ``F``) before conceding ``UNKNOWN``.
+    * the ``*_verdict`` methods never raise: they delegate to a
+      :class:`~repro.solve.planner.QueryPlanner` running the solver
+      portfolio's cheapest-first ladder (structural reachability, the
+      observed schedule, cached witnesses, HMW, the exact engine),
+      returning a three-valued :class:`~repro.budget.Verdict` before
+      conceding ``UNKNOWN``.
+
+    Both flavors share one :class:`~repro.solve.context.SolveContext`,
+    so witnesses found by the boolean searches seed the planner's cache
+    and vice versa.
     """
 
     def __init__(
@@ -76,40 +76,37 @@ class OrderingQueries:
         binary_semaphores: bool = False,
         max_states: Optional[int] = None,
         budget: Optional[Budget] = None,
+        plan: Optional[Tuple[str, ...]] = None,
     ) -> None:
         self.exe = exe
-        self.engine = FeasibilityEngine(
+        self.plan = tuple(plan) if plan is not None else None
+        self.stats = SearchStats()
+        self.ctx = SolveContext(
             exe,
             include_dependences=include_dependences,
             binary_semaphores=binary_semaphores,
+            stats=self.stats,
         )
+        self.engine = self.ctx.engine_for(EMPTY_DROP)
         self.max_states = max_states
         self.budget = budget
-        self.stats = SearchStats()
         self._chb_cache: Dict[Tuple[int, int], Optional[Witness]] = {}
         self._ccw_cache: Dict[Tuple[int, int], Optional[Witness]] = {}
-        # two strengths of structural reachability (see
-        # ProgramExecution.static_order_graph's edge-strength caveat):
-        # completion order (join edges in) powers the CHB/CCB shortcuts,
-        # interval order (join edges out) the overlap-impossible shortcut
-        self._static_reach = self._compute_reach(include_dependences, join_edges=True)
-        self._interval_reach = self._compute_reach(include_dependences, join_edges=False)
         self._base: Optional[Witness] = None
         self._base_computed = False
+        self._planner: Optional[QueryPlanner] = None
 
     # ------------------------------------------------------------------
-    def _compute_reach(self, include_dependences: bool, *, join_edges: bool):
-        g = self.exe.static_order_graph(
-            include_dependences=include_dependences, join_edges=join_edges
-        )
-        order = topological_sort(g)
-        reach = {}
-        for n in reversed(order):
-            mask = 0
-            for s in g.successors(n):
-                mask |= reach[s] | (1 << s)
-            reach[n] = mask
-        return reach
+    @property
+    def planner(self) -> QueryPlanner:
+        """The tiered planner behind the ``*_verdict`` methods (lazy:
+        the boolean exact paths never pay for it)."""
+        if self._planner is None:
+            if self.plan is not None:
+                self._planner = QueryPlanner(self.ctx, self.plan)
+            else:
+                self._planner = QueryPlanner(self.ctx)
+        return self._planner
 
     def statically_ordered(self, a: int, b: int) -> bool:
         """``a`` completes before ``b`` by structure alone (program
@@ -120,12 +117,12 @@ class OrderingQueries:
         the two cannot overlap (a join overlaps children it awaits);
         use :meth:`statically_interval_ordered` for overlap reasoning.
         """
-        return bool((self._static_reach[a] >> b) & 1)
+        return self.ctx.statically_ordered(a, b)
 
     def statically_interval_ordered(self, a: int, b: int) -> bool:
         """``end(a) < begin(b)`` in every schedule, by structure alone
         (program order, fork, dependences -- join edges excluded)."""
-        return bool((self._interval_reach[a] >> b) & 1)
+        return self.ctx.statically_interval_ordered(a, b)
 
     # ------------------------------------------------------------------
     def feasible_witness(self) -> Optional[Witness]:
@@ -136,6 +133,10 @@ class OrderingQueries:
             )
             self._base = Witness(self.exe, pts) if pts is not None else None
             self._base_computed = True
+            self.ctx.feasible = self._base is not None
+            self.ctx.feasible_provenance = "exact"
+            if pts is not None:
+                self.ctx.witnesses.add(pts)
         return self._base
 
     def has_feasible_execution(self) -> bool:
@@ -166,6 +167,8 @@ class OrderingQueries:
                     stats=self.stats,
                 )
                 result = Witness(self.exe, pts) if pts is not None else None
+                if pts is not None:
+                    self.ctx.witnesses.add(pts)
         self._chb_cache[key] = result
         return result
 
@@ -194,6 +197,8 @@ class OrderingQueries:
                     stats=self.stats,
                 )
                 result = Witness(self.exe, pts) if pts is not None else None
+                if pts is not None:
+                    self.ctx.witnesses.add(pts)
         self._ccw_cache[key] = result
         return result
 
@@ -262,6 +267,8 @@ class OrderingQueries:
             budget=self.budget,
             stats=self.stats,
         )
+        if pts is not None:
+            self.ctx.witnesses.add(pts)
         return pts is not None
 
     def mcb(self, a: int, b: int) -> bool:
@@ -299,85 +306,35 @@ class OrderingQueries:
     # ------------------------------------------------------------------
     # three-valued (budget-tolerant) verdicts
     # ------------------------------------------------------------------
-    # On budget exhaustion these degrade to the sound polynomial bounds
-    # instead of raising: structural reachability refutes/confirms what
-    # it can, and the observed schedule -- a known member of F -- is a
-    # free existential witness (it serializes, so position order in it
-    # realizes both ``a ->T b`` and completion order).  UNKNOWN is the
-    # honest remainder, never a guess.
-
-    def _observed_pos(self) -> Optional[Dict[int, int]]:
-        sched = self.exe.observed_schedule
-        if sched is None:
-            return None
-        return {eid: i for i, eid in enumerate(sched)}
-
-    def _feasibility_truth(self) -> Truth:
-        """Is ``F`` non-empty, degrading to the observed schedule."""
-        try:
-            return Truth.of(self.has_feasible_execution())
-        except SearchBudgetExceeded:
-            if self.exe.observed_schedule is not None:
-                return Truth.TRUE  # the observed run is a member of F
-            return Truth.UNKNOWN
+    # These delegate to the shared QueryPlanner: the portfolio ladder
+    # tries structural reachability, the observed schedule, cached
+    # witnesses and HMW before paying for an exact search, degrading to
+    # UNKNOWN -- never a guess -- when the budget runs dry.  The budget
+    # is read per call (``q.budget = None`` retries honestly: UNKNOWNs
+    # are never memoized).
 
     def chb_verdict(self, a: int, b: int) -> Verdict:
         """Three-valued :meth:`chb` -- never raises."""
-        try:
-            w = self.chb_witness(a, b)
-            return Verdict.of_bool(w is not None, witness=w, stats=self.stats)
-        except SearchBudgetExceeded as exc:
-            pos = self._observed_pos()
-            if pos is not None and a != b and pos[a] < pos[b]:
-                # the observed member, serialized, runs a to completion
-                # before b begins: an existential witness for free
-                return Verdict.true("observed", stats=self.stats)
-            if self.statically_ordered(b, a):
-                # b completes before a in every schedule of any member,
-                # so end(a) < begin(b) can never hold (vacuous if F empty)
-                return Verdict.false("structural", stats=self.stats)
-            return Verdict.unknown(resource=exc.resource, stats=self.stats)
+        return self.planner.chb_verdict(
+            a, b, budget=self.budget, max_states=self.max_states
+        )
 
     def ccw_verdict(self, a: int, b: int) -> Verdict:
         """Three-valued :meth:`ccw` -- never raises."""
-        try:
-            w = self.ccw_witness(a, b)
-            return Verdict.of_bool(w is not None, witness=w, stats=self.stats)
-        except SearchBudgetExceeded as exc:
-            if a != b and (
-                self.statically_interval_ordered(a, b)
-                or self.statically_interval_ordered(b, a)
-            ):
-                return Verdict.false("structural", stats=self.stats)
-            if a == b and self.exe.observed_schedule is not None:
-                return Verdict.true("observed", stats=self.stats)
-            return Verdict.unknown(resource=exc.resource, stats=self.stats)
+        return self.planner.ccw_verdict(
+            a, b, budget=self.budget, max_states=self.max_states
+        )
 
     def ccb_verdict(self, a: int, b: int) -> Verdict:
         """Three-valued :meth:`ccb` -- never raises."""
-        try:
-            return Verdict.of_bool(self.ccb(a, b), stats=self.stats)
-        except SearchBudgetExceeded as exc:
-            pos = self._observed_pos()
-            if a != b and pos is not None and pos[a] < pos[b]:
-                return Verdict.true("observed", stats=self.stats)
-            if self.statically_ordered(b, a):
-                return Verdict.false("structural", stats=self.stats)
-            return Verdict.unknown(resource=exc.resource, stats=self.stats)
+        return self.planner.ccb_verdict(
+            a, b, budget=self.budget, max_states=self.max_states
+        )
 
     def cow_verdict(self, a: int, b: int) -> Verdict:
-        if a == b:
-            return Verdict.false("trivial")
-        first = self.chb_verdict(a, b)
-        if first.is_true:
-            return first
-        second = self.chb_verdict(b, a)
-        if second.is_true:
-            return second
-        if first.is_false and second.is_false:
-            return Verdict.false(first.provenance, stats=self.stats)
-        resource = first.resource or second.resource
-        return Verdict.unknown(resource=resource, stats=self.stats)
+        return self.planner.cow_verdict(
+            a, b, budget=self.budget, max_states=self.max_states
+        )
 
     def mhb_verdict(self, a: int, b: int) -> Verdict:
         """Three-valued :meth:`mhb` -- never raises.
@@ -386,53 +343,29 @@ class OrderingQueries:
         either conjunct failing refutes MHB even when the other blew
         its budget.
         """
-        if a == b:
-            feasible = self._feasibility_truth()
-            if feasible.is_known:
-                return Verdict.of_bool(feasible is Truth.FALSE, "trivial")
-            return Verdict.unknown(stats=self.stats)
-        rev = self.chb_verdict(b, a)
-        if rev.is_true:
-            return Verdict.false(rev.provenance, witness=rev.witness, stats=self.stats)
-        overlap = self.ccw_verdict(a, b)
-        if overlap.is_true:
-            return Verdict.false(
-                overlap.provenance, witness=overlap.witness, stats=self.stats
-            )
-        if rev.is_false and overlap.is_false:
-            provenance = (
-                "exact" if rev.provenance == overlap.provenance == "exact"
-                else "structural"
-            )
-            return Verdict.true(provenance, stats=self.stats)
-        resource = rev.resource or overlap.resource
-        return Verdict.unknown(resource=resource, stats=self.stats)
+        return self.planner.mhb_verdict(
+            a, b, budget=self.budget, max_states=self.max_states
+        )
 
     def mow_verdict(self, a: int, b: int) -> Verdict:
-        return self.ccw_verdict(a, b).negate()
+        return self.planner.mow_verdict(
+            a, b, budget=self.budget, max_states=self.max_states
+        )
 
     def mcw_verdict(self, a: int, b: int) -> Verdict:
-        if a == b:
-            return Verdict.true("trivial")
-        return self.cow_verdict(a, b).negate()
+        return self.planner.mcw_verdict(
+            a, b, budget=self.budget, max_states=self.max_states
+        )
 
     def mcb_verdict(self, a: int, b: int) -> Verdict:
         """Three-valued :meth:`mcb` -- never raises."""
-        if a == b:
-            feasible = self._feasibility_truth()
-            if feasible.is_known:
-                return Verdict.of_bool(feasible is Truth.FALSE, "trivial")
-            return Verdict.unknown(stats=self.stats)
-        return self.ccb_verdict(b, a).negate()
+        return self.planner.mcb_verdict(
+            a, b, budget=self.budget, max_states=self.max_states
+        )
 
     def relation_verdicts(self, a: int, b: int) -> Dict[str, Verdict]:
         """All six relations as verdicts (budget-tolerant counterpart
         of :meth:`relation_values`)."""
-        return {
-            "MHB": self.mhb_verdict(a, b),
-            "CHB": self.chb_verdict(a, b),
-            "MCW": self.mcw_verdict(a, b),
-            "CCW": self.ccw_verdict(a, b),
-            "MOW": self.mow_verdict(a, b),
-            "COW": self.cow_verdict(a, b),
-        }
+        return self.planner.relation_verdicts(
+            a, b, budget=self.budget, max_states=self.max_states
+        )

@@ -36,18 +36,37 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.budget import Budget
 from repro.model.events import EventKind
 from repro.model.execution import ProgramExecution
 from repro.sat.cnf import CNF
-from repro.sat.dpll import DPLLSolver
+from repro.sat.dpll import DPLLSolver, SolveBudgetExceeded
 
 
 class OrderSatEncoder:
-    """Compiles one execution's serial-schedule existence to CNF."""
+    """Compiles one execution's serial-schedule existence to CNF.
 
-    def __init__(self, exe: ProgramExecution, *, include_dependences: bool = True):
+    ``budget`` makes the whole pipeline budget-aware so the encoder can
+    serve as a ladder tier rather than an unbounded dead end: the
+    state-count cap doubles as a clause cap during encoding (the
+    O(|E|^3) transitivity clauses are the size hazard) and as the
+    solver's decision cap, and the budget's absolute deadline is
+    checked inside the DPLL loop.  Exceeding any of them raises
+    :class:`~repro.sat.dpll.SolveBudgetExceeded` -- never a wrong
+    answer.
+    """
+
+    def __init__(
+        self,
+        exe: ProgramExecution,
+        *,
+        include_dependences: bool = True,
+        budget: Optional[Budget] = None,
+    ):
         self.exe = exe
         self.include_dependences = include_dependences
+        self.budget = budget
+        self._max_clauses = budget.max_states if budget is not None else None
         self._n = len(exe)
         self._next_var = 0
         self._order: Dict[Tuple[int, int], int] = {}
@@ -74,6 +93,11 @@ class OrderSatEncoder:
         return var
 
     def _add(self, *lits: int) -> None:
+        if self._max_clauses is not None and len(self._clauses) >= self._max_clauses:
+            raise SolveBudgetExceeded(
+                f"encoding clause cap {self._max_clauses} exceeded",
+                resource="clauses",
+            )
         self._clauses.append(tuple(lits))
 
     # ------------------------------------------------------------------
@@ -162,7 +186,12 @@ class OrderSatEncoder:
         """A legal serial schedule satisfying the extra order facts, or
         None.  Decoded from the satisfying assignment by sorting events
         by their number of predecessors."""
-        model = DPLLSolver(self.cnf(extra_order)).solve()
+        solver = DPLLSolver(
+            self.cnf(extra_order),
+            max_decisions=self.budget.max_states if self.budget is not None else None,
+            deadline=self.budget.deadline if self.budget is not None else None,
+        )
+        model = solver.solve()
         if model is None:
             return None
 

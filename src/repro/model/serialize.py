@@ -25,7 +25,14 @@ from repro.model.events import Access, Event, EventKind
 from repro.model.execution import ProgramExecution
 
 FORMAT_VERSION = 1
-REPORT_FORMAT_VERSION = 1
+# report schema history:
+#   1 -- races + three-valued classifications
+#   2 -- adds per-pair "decided_by" provenance and the "planner"
+#        per-tier tally block; version-1 documents still load (the new
+#        fields default to absent)
+REPORT_FORMAT_VERSION = 2
+_READABLE_REPORT_VERSIONS = (1, 2)
+PLANNER_REPORT_FORMAT_VERSION = 1
 
 
 def execution_to_dict(exe: ProgramExecution) -> Dict[str, Any]:
@@ -133,6 +140,7 @@ def classification_to_dict(c) -> Dict[str, Any]:
         "variables": sorted(c.variables),
         "resource": c.resource,
         "witness": witness_to_dict(c.witness) if c.witness is not None else None,
+        "decided_by": c.decided_by,
     }
 
 
@@ -148,7 +156,33 @@ def classification_from_dict(exe: ProgramExecution, data: Dict[str, Any]):
         variables=frozenset(data.get("variables", ())),
         witness=witness_from_dict(exe, witness) if witness is not None else None,
         resource=data.get("resource"),
+        decided_by=data.get("decided_by"),  # absent in version-1 journals
     )
+
+
+def planner_report_to_dict(report) -> Dict[str, Any]:
+    """A JSON-ready dict for a
+    :class:`~repro.solve.planner.PlannerReport`."""
+    doc = {
+        "format": "repro-planner-report",
+        "version": PLANNER_REPORT_FORMAT_VERSION,
+    }
+    doc.update(report.snapshot())
+    return doc
+
+
+def planner_report_from_dict(data: Dict[str, Any]):
+    """Inverse of :func:`planner_report_to_dict` (validating)."""
+    from repro.solve.planner import PlannerReport
+
+    if data.get("format") != "repro-planner-report":
+        raise ValueError("not a repro-planner-report document")
+    if data.get("version") != PLANNER_REPORT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported planner-report version {data.get('version')!r} "
+            f"(this library reads version {PLANNER_REPORT_FORMAT_VERSION})"
+        )
+    return PlannerReport.from_snapshot(data)
 
 
 def report_to_dict(report) -> Dict[str, Any]:
@@ -176,6 +210,9 @@ def report_to_dict(report) -> Dict[str, Any]:
         "classifications": [
             classification_to_dict(c) for c in report.classifications
         ],
+        "planner": planner_report_to_dict(report.planner)
+        if report.planner is not None
+        else None,
     }
 
 
@@ -185,10 +222,10 @@ def report_from_dict(data: Dict[str, Any]):
 
     if data.get("format") != "repro-race-report":
         raise ValueError("not a repro-race-report document")
-    if data.get("version") != REPORT_FORMAT_VERSION:
+    if data.get("version") not in _READABLE_REPORT_VERSIONS:
         raise ValueError(
             f"unsupported race-report version {data.get('version')!r} "
-            f"(this library reads version {REPORT_FORMAT_VERSION})"
+            f"(this library reads versions {list(_READABLE_REPORT_VERSIONS)})"
         )
     exe = execution_from_dict(data["execution"])
     races = []
@@ -209,6 +246,7 @@ def report_from_dict(data: Dict[str, Any]):
         classification_from_dict(exe, rec)
         for rec in data.get("classifications", ())
     ]
+    planner = data.get("planner")  # absent in version-1 documents
     return RaceReport(
         execution=exe,
         races=races,
@@ -216,6 +254,7 @@ def report_from_dict(data: Dict[str, Any]):
         conflicting_pairs_examined=int(data["conflicting_pairs_examined"]),
         classifications=classifications,
         interrupted=bool(data.get("interrupted", False)),
+        planner=planner_report_from_dict(planner) if planner is not None else None,
     )
 
 

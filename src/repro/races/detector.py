@@ -25,9 +25,10 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.approx.vectorclock import VectorClockAnalysis
 from repro.budget import Budget, DEADLINE
-from repro.core.queries import OrderingQueries
 from repro.core.witness import Witness
 from repro.model.execution import ProgramExecution
+from repro.solve.context import EMPTY_DROP, SolveContext
+from repro.solve.planner import PlannerReport, QueryPlanner
 
 FEASIBLE = "feasible"
 INFEASIBLE = "infeasible"
@@ -65,6 +66,7 @@ class PairClassification:
     variables: FrozenSet[str]
     witness: Optional[Witness] = None
     resource: Optional[str] = None  # exhausted resource when UNKNOWN
+    decided_by: Optional[str] = None  # planner tier that settled the pair
 
     def describe(self, exe: ProgramExecution) -> str:
         ea, eb = exe.event(self.a), exe.event(self.b)
@@ -89,6 +91,7 @@ class RaceReport:
     conflicting_pairs_examined: int
     classifications: List[PairClassification] = field(default_factory=list)
     interrupted: bool = False
+    planner: Optional[PlannerReport] = None  # per-tier tallies (feasible scans)
 
     def pairs(self) -> List[Tuple[int, int]]:
         return [(r.a, r.b) for r in self.races]
@@ -160,9 +163,12 @@ class PairScanOptions:
 PairTask = Tuple[int, int, FrozenSet[str]]
 
 #: A pair runner classifies a batch of tasks and returns
-#: ``(classifications, interrupted)``.  It must invoke the callback (when
-#: not ``None``) once per classification, as soon as it is known, and on
-#: interruption return whatever prefix it managed to classify.
+#: ``(classifications, interrupted)`` -- optionally with a third element,
+#: a :meth:`~repro.solve.planner.PlannerReport.snapshot` dict aggregating
+#: the tiers that answered (the supervised pool ships these home from its
+#: workers).  It must invoke the callback (when not ``None``) once per
+#: classification, as soon as it is known, and on interruption return
+#: whatever prefix it managed to classify.
 PairRunner = Callable[
     [ProgramExecution, Sequence[PairTask], PairScanOptions,
      Optional[Callable[[PairClassification], None]]],
@@ -178,25 +184,42 @@ def classify_pair(
     drop_racing_dependences: bool = True,
     budget: Optional[Budget] = None,
     variables: Optional[FrozenSet[str]] = None,
+    planner: Optional[QueryPlanner] = None,
 ) -> PairClassification:
     """Classify one conflicting pair (the unit of work of a scan).
 
     Module-level (not a method) so worker processes can import it by
     name and run it against their own deserialized copy of the
-    execution.
+    execution.  ``planner`` lets a scan share one
+    :class:`~repro.solve.planner.QueryPlanner` across pairs (structural
+    bitsets, the conflict index and every witness found so far carry
+    over); without one, an ephemeral planner is built for the pair.
+    The racing pair's own dependence edges are expressed as a ``drop``
+    on the query rather than a rebuilt execution, so the shared
+    precomputation stays valid.
     """
+    if planner is None:
+        planner = QueryPlanner(SolveContext(exe))
+    ctx = planner.ctx
     if variables is None:
-        variables = _conflict_variables(exe, a, b)
-    if drop_racing_dependences:
-        deps = {(x, y) for (x, y) in exe.dependences if {x, y} != {a, b}}
-        q_exe = exe.with_dependences(deps)
-    else:
-        q_exe = exe
-    verdict = OrderingQueries(q_exe, budget=budget).ccw_verdict(a, b)
+        variables = ctx.conflict_variables(a, b)
+    drop = ctx.racing_drop(a, b) if drop_racing_dependences else EMPTY_DROP
+    verdict = planner.ccw_verdict(a, b, drop=drop, budget=budget)
     if verdict.is_true:
-        return PairClassification(a, b, FEASIBLE, variables, witness=verdict.witness)
+        witness = verdict.witness
+        if witness is not None and drop:
+            # cached/engine witnesses are anchored to the base
+            # execution; a race witness must validate against the
+            # execution *without* the racing pair's own dependences
+            witness = Witness(ctx.execution_for(drop), witness.points)
+        return PairClassification(
+            a, b, FEASIBLE, variables,
+            witness=witness, decided_by=verdict.provenance,
+        )
     if verdict.is_false:
-        return PairClassification(a, b, INFEASIBLE, variables)
+        return PairClassification(
+            a, b, INFEASIBLE, variables, decided_by=verdict.provenance
+        )
     return PairClassification(a, b, UNKNOWN, variables, resource=verdict.resource)
 
 
@@ -214,10 +237,24 @@ class RaceDetector:
         *,
         max_states: Optional[int] = None,
         budget: Optional[Budget] = None,
+        plan: Optional[Tuple[str, ...]] = None,
     ) -> None:
         self.exe = exe
         self.max_states = max_states
         self.budget = budget
+        self.plan = tuple(plan) if plan is not None else None
+        self._planner: Optional[QueryPlanner] = None
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The scan-shared planner (lazy: apparent-only runs never pay
+        for the solve context)."""
+        if self._planner is None:
+            if self.plan is not None:
+                self._planner = QueryPlanner(SolveContext(self.exe), self.plan)
+            else:
+                self._planner = QueryPlanner(SolveContext(self.exe))
+        return self._planner
 
     # ------------------------------------------------------------------
     def apparent_races(self, schedule: Optional[Sequence[int]] = None) -> RaceReport:
@@ -294,6 +331,7 @@ class RaceDetector:
         precomputed = dict(precomputed or {})
         classifications: List[PairClassification] = []
         todo: List[PairTask] = []
+        planner_report = PlannerReport()
         for a, b in pairs:
             known = precomputed.get((a, b))
             if known is not None:
@@ -312,9 +350,17 @@ class RaceDetector:
                 pair_timeout=per_pair_timeout,
                 deadline=budget.deadline if budget is not None else None,
             )
-            fresh, interrupted = runner(self.exe, todo, options, on_classified)
+            result = runner(self.exe, todo, options, on_classified)
+            if len(result) == 3:
+                fresh, interrupted, tier_counts = result
+                if tier_counts:
+                    planner_report.merge(tier_counts)
+            else:
+                fresh, interrupted = result
             classifications.extend(fresh)
         else:
+            planner = self.planner
+            planner.report = planner_report  # tally this scan only
             for a, b, variables in todo:
                 if budget is not None and budget.expired():
                     c = PairClassification(
@@ -335,6 +381,7 @@ class RaceDetector:
                             drop_racing_dependences=drop_racing_dependences,
                             budget=pair_budget,
                             variables=variables,
+                            planner=planner,
                         )
                     except KeyboardInterrupt:
                         interrupted = True
@@ -356,4 +403,5 @@ class RaceDetector:
             len(pairs),
             classifications,
             interrupted=interrupted,
+            planner=planner_report,
         )

@@ -9,6 +9,7 @@ of variables at most.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -22,12 +23,40 @@ class SolveStats:
     conflicts: int = 0
 
 
-class DPLLSolver:
-    """Decides satisfiability and produces a model when one exists."""
+class SolveBudgetExceeded(RuntimeError):
+    """The solver ran out of decisions or wall-clock before deciding.
 
-    def __init__(self, cnf: CNF):
+    Mirrors :class:`~repro.core.engine.SearchBudgetExceeded` so budgeted
+    callers can treat both exact procedures uniformly; ``resource``
+    names what ran out (``"decisions"``, ``"deadline"`` or
+    ``"clauses"`` for an encoding-size cap).
+    """
+
+    def __init__(self, message: str = "solve budget exceeded", *, resource: str = "decisions"):
+        super().__init__(message)
+        self.resource = resource
+
+
+class DPLLSolver:
+    """Decides satisfiability and produces a model when one exists.
+
+    ``max_decisions`` caps branching decisions and ``deadline`` is an
+    absolute :func:`time.monotonic` instant (matching
+    :class:`~repro.budget.Budget` semantics); exceeding either raises
+    :class:`SolveBudgetExceeded` -- never a wrong answer.
+    """
+
+    def __init__(
+        self,
+        cnf: CNF,
+        *,
+        max_decisions: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ):
         self.cnf = cnf
         self.stats = SolveStats()
+        self.max_decisions = max_decisions
+        self.deadline = deadline
 
     # ------------------------------------------------------------------
     def solve(self) -> Optional[Assignment]:
@@ -69,6 +98,11 @@ class DPLLSolver:
     def _dpll(
         self, clauses: List[FrozenSet[int]], assignment: Assignment
     ) -> Optional[Assignment]:
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise SolveBudgetExceeded(
+                f"solve deadline expired after {self.stats.decisions} decisions",
+                resource="deadline",
+            )
         # unit propagation ------------------------------------------------
         while True:
             unit = next((c for c in clauses if len(c) == 1), None)
@@ -107,6 +141,10 @@ class DPLLSolver:
                 counts[lit] = counts.get(lit, 0) + 1
         branch = max(counts, key=lambda l: (counts[l], -abs(l), l > 0))
         self.stats.decisions += 1
+        if self.max_decisions is not None and self.stats.decisions > self.max_decisions:
+            raise SolveBudgetExceeded(
+                f"decision cap {self.max_decisions} exceeded", resource="decisions"
+            )
         for lit in (branch, -branch):
             simplified = self._simplify(clauses, lit)
             if simplified is None:

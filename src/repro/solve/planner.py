@@ -1,0 +1,322 @@
+"""The tiered query planner: one escalation ladder for every caller.
+
+:class:`QueryPlanner` answers the primitive queries of
+:mod:`repro.solve.query` by consulting its plan's backends cheapest
+first, under the caller's per-call :class:`~repro.budget.Budget`.  On
+top of the primitives it exposes the same three-valued relation
+facades as ``OrderingQueries`` (``chb_verdict`` ... ``mcb_verdict``,
+via the Table 1 dualities), so the query layer, the best-effort
+analyzer and the race detector all route through one place.
+
+Invariants the planner maintains:
+
+* **soundness**: a definite verdict agrees with brute-force
+  enumeration -- every backend is individually sound, so the first
+  definite answer wins;
+* **base feasibility first**: confirmation tiers need to know ``F`` is
+  non-empty; the planner resolves that one fact lazily *through the
+  ladder itself* (typically free via the observed schedule) and shares
+  it in the context;
+* **budget-independent memoization**: only definite verdicts are
+  memoized (facts about the execution, not about a budget), so a query
+  that came back ``UNKNOWN`` is genuinely retried when the caller
+  relaxes the budget;
+* **accounting**: every query is tallied per tier in a
+  :class:`PlannerReport` -- supervised workers ship these home so a
+  parallel scan still reports where its answers came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.budget import Budget, Verdict
+from repro.solve.backends import DEFAULT_PLAN, resolve_plan
+from repro.solve.context import EMPTY_DROP, SolveContext
+from repro.solve.query import CCB, CCW, CHB, FEASIBLE, RelationQuery
+
+
+def tier_of(provenance: str) -> str:
+    """Map a verdict's provenance tag back to its ladder tier name."""
+    return "engine" if provenance == "exact" else provenance
+
+
+@dataclass
+class TierTally:
+    """Per-tier accounting: queries settled and what they cost."""
+
+    answered: int = 0
+    states: int = 0
+    elapsed: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "answered": self.answered,
+            "states": self.states,
+            "elapsed": self.elapsed,
+        }
+
+
+class PlannerReport:
+    """Where a run's answers came from and what each tier cost.
+
+    ``queries`` counts every primitive query posed (including the
+    planner's internal feasibility resolution); ``unknown`` counts
+    ladder fall-throughs.  Reports merge associatively, so per-worker
+    and per-pair tallies aggregate into one scan-wide report.
+    """
+
+    def __init__(self) -> None:
+        self.tiers: Dict[str, TierTally] = {}
+        self.queries = 0
+        self.unknown = 0
+
+    # ------------------------------------------------------------------
+    def _tally(self, tier: str) -> TierTally:
+        tally = self.tiers.get(tier)
+        if tally is None:
+            tally = self.tiers[tier] = TierTally()
+        return tally
+
+    def record_answer(self, tier: str, *, states: int = 0, elapsed: float = 0.0) -> None:
+        tally = self._tally(tier)
+        tally.answered += 1
+        tally.states += states
+        tally.elapsed += elapsed
+
+    def record_cost(self, tier: str, *, states: int = 0, elapsed: float = 0.0) -> None:
+        """Charge a tier that tried and declined (or ran out)."""
+        tally = self._tally(tier)
+        tally.states += states
+        tally.elapsed += elapsed
+
+    # ------------------------------------------------------------------
+    @property
+    def answered(self) -> int:
+        return sum(t.answered for t in self.tiers.values())
+
+    def answered_below(self, tier: str = "engine") -> int:
+        """Queries settled without reaching ``tier`` (the perf headline:
+        how much of the truth was cheap)."""
+        return sum(t.answered for name, t in self.tiers.items() if name != tier)
+
+    def engine_states(self) -> int:
+        tally = self.tiers.get("engine")
+        return tally.states if tally is not None else 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "queries": self.queries,
+            "unknown": self.unknown,
+            "tiers": {name: t.to_dict() for name, t in sorted(self.tiers.items())},
+        }
+
+    def merge(self, other) -> None:
+        """Fold another report (or a snapshot dict) into this one."""
+        data = other.snapshot() if isinstance(other, PlannerReport) else other
+        self.queries += int(data.get("queries", 0))
+        self.unknown += int(data.get("unknown", 0))
+        for name, rec in data.get("tiers", {}).items():
+            tally = self._tally(name)
+            tally.answered += int(rec.get("answered", 0))
+            tally.states += int(rec.get("states", 0))
+            tally.elapsed += float(rec.get("elapsed", 0.0))
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "PlannerReport":
+        report = cls()
+        report.merge(data)
+        return report
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        lines = [
+            f"planner: {self.queries} queries, {self.answered} answered, "
+            f"{self.unknown} unknown"
+        ]
+        for name, tally in sorted(self.tiers.items()):
+            lines.append(
+                f"  {name:<11} answered={tally.answered:<5} "
+                f"states={tally.states:<8} elapsed={tally.elapsed * 1e3:.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+class QueryPlanner:
+    """Cheapest-first escalation over a plan of registered backends."""
+
+    def __init__(
+        self,
+        ctx: SolveContext,
+        plan: Tuple[str, ...] = DEFAULT_PLAN,
+    ) -> None:
+        self.ctx = ctx
+        self.plan = tuple(plan)
+        self.backends = resolve_plan(self.plan)
+        self.report = PlannerReport()
+        self._memo: Dict[RelationQuery, Verdict] = {}
+        self._resolving_feasibility = False
+
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        query: RelationQuery,
+        *,
+        budget: Optional[Budget] = None,
+        max_states: Optional[int] = None,
+    ) -> Verdict:
+        """Run the ladder for one primitive query (never raises)."""
+        self.report.queries += 1
+        memo = self._memo.get(query)
+        if memo is not None:
+            self.report.record_answer(tier_of(memo.provenance))
+            return memo
+        if query.relation != FEASIBLE:
+            self._ensure_base_feasibility(budget=budget, max_states=max_states)
+            if self.ctx.feasible is False and not query.drop:
+                # F is empty: every existential primitive is false.
+                # (Relaxed drops have a larger F; their ladder decides.)
+                verdict = Verdict.false(
+                    self.ctx.feasible_provenance or "exact", stats=self.ctx.stats
+                )
+                self._memo[query] = verdict
+                self.report.record_answer(tier_of(verdict.provenance))
+                return verdict
+        resource: Optional[str] = None
+        for backend in self.backends:
+            ans = backend.answer(query, self.ctx, budget=budget, max_states=max_states)
+            if ans is None:
+                continue
+            if ans.decided:
+                self._memo[query] = ans.verdict
+                self.report.record_answer(
+                    backend.name, states=ans.states, elapsed=ans.elapsed
+                )
+                if query.relation == FEASIBLE and not query.drop:
+                    self.ctx.feasible = ans.verdict.is_true
+                    self.ctx.feasible_provenance = ans.verdict.provenance
+                return ans.verdict
+            resource = ans.verdict.resource or resource
+            self.report.record_cost(backend.name, states=ans.states, elapsed=ans.elapsed)
+        self.report.unknown += 1
+        return Verdict.unknown(resource=resource, stats=self.ctx.stats)
+
+    def _ensure_base_feasibility(self, *, budget, max_states) -> None:
+        """Resolve "is F non-empty" once, through the ladder itself."""
+        if self.ctx.feasible is not None or self._resolving_feasibility:
+            return
+        self._resolving_feasibility = True
+        try:
+            self.answer(
+                RelationQuery(FEASIBLE), budget=budget, max_states=max_states
+            )
+        finally:
+            self._resolving_feasibility = False
+
+    # ------------------------------------------------------------------
+    # relation facades (the Table 1 dualities, in Kleene logic --
+    # mirroring the historical OrderingQueries verdict algebra)
+    # ------------------------------------------------------------------
+    def feasible_verdict(
+        self,
+        *,
+        drop: FrozenSet[Tuple[int, int]] = EMPTY_DROP,
+        budget: Optional[Budget] = None,
+        max_states: Optional[int] = None,
+    ) -> Verdict:
+        return self.answer(
+            RelationQuery(FEASIBLE, drop=drop), budget=budget, max_states=max_states
+        )
+
+    def chb_verdict(self, a: int, b: int, **kw) -> Verdict:
+        if a == b:
+            return Verdict.false("trivial")
+        drop = kw.pop("drop", EMPTY_DROP)
+        return self.answer(RelationQuery(CHB, a, b, drop), **kw)
+
+    def ccb_verdict(self, a: int, b: int, **kw) -> Verdict:
+        if a == b:
+            return Verdict.false("trivial")
+        drop = kw.pop("drop", EMPTY_DROP)
+        return self.answer(RelationQuery(CCB, a, b, drop), **kw)
+
+    def ccw_verdict(self, a: int, b: int, **kw) -> Verdict:
+        if a == b:
+            # an event overlaps itself in every member of F
+            drop = kw.pop("drop", EMPTY_DROP)
+            fv = self.feasible_verdict(drop=drop, **kw)
+            if fv.is_unknown:
+                return fv
+            return Verdict(
+                fv.truth, fv.provenance, witness=fv.witness, stats=self.ctx.stats
+            )
+        drop = kw.pop("drop", EMPTY_DROP)
+        return self.answer(RelationQuery(CCW, a, b, drop), **kw)
+
+    def cow_verdict(self, a: int, b: int, **kw) -> Verdict:
+        if a == b:
+            return Verdict.false("trivial")
+        first = self.chb_verdict(a, b, **kw)
+        if first.is_true:
+            return first
+        second = self.chb_verdict(b, a, **kw)
+        if second.is_true:
+            return second
+        if first.is_false and second.is_false:
+            return Verdict.false(first.provenance, stats=self.ctx.stats)
+        resource = first.resource or second.resource
+        return Verdict.unknown(resource=resource, stats=self.ctx.stats)
+
+    def mhb_verdict(self, a: int, b: int, **kw) -> Verdict:
+        if a == b:
+            fv = self.feasible_verdict(**kw)
+            if fv.is_unknown:
+                return Verdict.unknown(resource=fv.resource, stats=self.ctx.stats)
+            return Verdict.of_bool(fv.is_false, "trivial", stats=self.ctx.stats)
+        rev = self.chb_verdict(b, a, **kw)
+        if rev.is_true:
+            return Verdict.false(rev.provenance, witness=rev.witness, stats=self.ctx.stats)
+        overlap = self.ccw_verdict(a, b, **kw)
+        if overlap.is_true:
+            return Verdict.false(
+                overlap.provenance, witness=overlap.witness, stats=self.ctx.stats
+            )
+        if rev.is_false and overlap.is_false:
+            provenance = (
+                "exact" if rev.provenance == overlap.provenance == "exact"
+                else "structural"
+            )
+            return Verdict.true(provenance, stats=self.ctx.stats)
+        resource = rev.resource or overlap.resource
+        return Verdict.unknown(resource=resource, stats=self.ctx.stats)
+
+    def mow_verdict(self, a: int, b: int, **kw) -> Verdict:
+        return self.ccw_verdict(a, b, **kw).negate()
+
+    def mcw_verdict(self, a: int, b: int, **kw) -> Verdict:
+        if a == b:
+            return Verdict.true("trivial")
+        return self.cow_verdict(a, b, **kw).negate()
+
+    def mcb_verdict(self, a: int, b: int, **kw) -> Verdict:
+        if a == b:
+            fv = self.feasible_verdict(**kw)
+            if fv.is_unknown:
+                return Verdict.unknown(resource=fv.resource, stats=self.ctx.stats)
+            return Verdict.of_bool(fv.is_false, "trivial", stats=self.ctx.stats)
+        return self.ccb_verdict(b, a, **kw).negate()
+
+    def relation_verdicts(self, a: int, b: int, **kw) -> Dict[str, Verdict]:
+        return {
+            "MHB": self.mhb_verdict(a, b, **kw),
+            "CHB": self.chb_verdict(a, b, **kw),
+            "MCW": self.mcw_verdict(a, b, **kw),
+            "CCW": self.ccw_verdict(a, b, **kw),
+            "MOW": self.mow_verdict(a, b, **kw),
+            "COW": self.cow_verdict(a, b, **kw),
+        }
+
+
+__all__ = ["QueryPlanner", "PlannerReport", "TierTally", "tier_of"]

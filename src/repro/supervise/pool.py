@@ -46,6 +46,8 @@ from repro.races.detector import (
     UNKNOWN,
     classify_pair,
 )
+from repro.solve.context import SolveContext
+from repro.solve.planner import PlannerReport, QueryPlanner
 from repro.supervise.retry import RetryPolicy
 from repro.supervise.rlimits import CPU, MEMORY, ResourceLimits, apply_limits
 
@@ -124,6 +126,10 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
     exe = serialize.execution_from_dict(exe_doc)
     drop = bool(conf.get("drop_racing_dependences", True))
     faults = conf.get("faults") or {}
+    # one planner for the worker's whole task stream: the structural
+    # bitsets and conflict index amortize across pairs, and witnesses
+    # found for one pair answer later ones without a search
+    planner = QueryPlanner(SolveContext(exe))
     # start the result queue's feeder thread NOW: its stack mmap counts
     # against RLIMIT_AS, so it must exist before any memory pressure or
     # an OOM could not even be reported
@@ -138,12 +144,16 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
             budget = None
             if max_states is not None or timeout is not None:
                 budget = Budget.of(max_states=max_states, timeout=timeout)
+            planner.report = PlannerReport()  # per-pair tier tallies
             c = classify_pair(
-                exe, a, b, drop_racing_dependences=drop, budget=budget
+                exe, a, b, drop_racing_dependences=drop, budget=budget,
+                planner=planner,
             )
-            result_q.put(
-                (worker_id, task_id, "ok", serialize.classification_to_dict(c))
-            )
+            payload = {
+                "classification": serialize.classification_to_dict(c),
+                "planner": planner.report.snapshot(),
+            }
+            result_q.put((worker_id, task_id, "ok", payload))
         except MemoryError:
             # the cap fired.  Drop whatever the search pinned (the
             # handler deliberately does not bind the exception, whose
@@ -245,9 +255,13 @@ class SupervisedScanner:
         tasks: Sequence[PairTask],
         options: PairScanOptions,
         on_classified: Optional[Callable[[PairClassification], None]] = None,
-    ) -> Tuple[List[PairClassification], bool]:
+    ) -> Tuple[List[PairClassification], bool, Dict[str, Any]]:
+        """Returns ``(classifications, interrupted, tier_snapshot)`` --
+        the third element aggregates each worker's per-pair
+        :class:`~repro.solve.planner.PlannerReport` so the parent's race
+        report still says which tiers answered."""
         if not tasks:
-            return [], False
+            return [], False, PlannerReport().snapshot()
         ctx = mp.get_context("spawn")
         exe_doc = serialize.execution_to_dict(exe)
         conf = {
@@ -273,6 +287,7 @@ class SupervisedScanner:
         by_uid: Dict[int, _Worker] = {}
         next_uid = [0]
         interrupted = False
+        tier_report = PlannerReport()  # aggregated from worker payloads
 
         def finalize(tid: int, c: PairClassification) -> None:
             done[tid] = c
@@ -328,6 +343,9 @@ class SupervisedScanner:
                     # late answer from an incarnation we had given up on:
                     # still a valid answer, so cancel the redo
                     pending.remove(tid)
+                if isinstance(payload, dict) and "classification" in payload:
+                    tier_report.merge(payload.get("planner") or {})
+                    payload = payload["classification"]
                 finalize(tid, serialize.classification_from_dict(exe, payload))
             else:  # "memory" or "error"
                 if tid in pending:
@@ -463,7 +481,7 @@ class SupervisedScanner:
         finally:
             self._shutdown(workers, result_q)
         results = [done[tid] for tid in sorted(done)]
-        return results, interrupted
+        return results, interrupted, tier_report.snapshot()
 
     # ------------------------------------------------------------------
     @staticmethod

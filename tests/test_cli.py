@@ -135,12 +135,57 @@ class TestBudgetedCli:
         assert "structural" in out
 
     def test_analyze_budgeted_pair_unknown(self, execution_file, capsys):
-        rc = main(["analyze", execution_file, "--pair", "post_left", "w3",
-                   "--relation", "ccw", "--max-states", "1"])
+        # w3 can never complete before post_left begins (the wait needs
+        # a post), but refuting that needs the exact engine: structure
+        # says nothing, the observed order is the wrong way round, and
+        # HMW is inert on event-style executions.  One state is not
+        # enough, so the honest answer is UNKNOWN.
+        rc = main(["analyze", execution_file, "--pair", "w3", "post_left",
+                   "--relation", "chb", "--max-states", "1"])
         assert rc == 3
         out = capsys.readouterr().out
         assert "UNKNOWN" in out
         assert "undecided under the budget" in out
+
+    def test_analyze_budgeted_pair_decided_by_witness_reuse(
+        self, execution_file, capsys
+    ):
+        # the same hopeless budget, but the portfolio widens the
+        # observed schedule into an overlap witness: decided without
+        # any exact search
+        rc = main(["analyze", execution_file, "--pair", "post_left", "w3",
+                   "--relation", "ccw", "--max-states", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CCW(post_left, w3) = TRUE" in out
+        assert "witness" in out
+
+    def test_analyze_backends_restricts_the_ladder(self, execution_file, capsys):
+        # an explicit cheap-only ladder cannot refute CHB(w3, post_left)
+        rc = main(["analyze", execution_file, "--pair", "w3", "post_left",
+                   "--relation", "chb", "--backends", "structural,observed"])
+        assert rc == 3
+        assert "UNKNOWN" in capsys.readouterr().out
+
+    def test_analyze_plan_default_decides(self, execution_file, capsys):
+        rc = main(["analyze", execution_file, "--pair", "post_left",
+                   "post_right", "--relation", "mhb", "--plan", "default"])
+        assert rc == 0
+        assert "MHB(post_left, post_right) = TRUE" in capsys.readouterr().out
+
+    def test_analyze_unknown_backend_exits_2(self, execution_file, capsys):
+        rc = main(["analyze", execution_file, "--pair", "post_left", "w3",
+                   "--backends", "structural,nosuch"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err and "Traceback" not in err
+
+    def test_races_prints_planner_report(self, execution_file, capsys):
+        rc = main(["races", execution_file, "--feasible"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "planner:" in out
+        assert "answered" in out
 
     def test_analyze_summary_budget_blown_is_clean(self, execution_file, capsys):
         """The boolean summary path raises internally; main() must turn
