@@ -12,7 +12,15 @@ Subcommands (also available as ``python -m repro``):
 * ``repro sat FORMULA.cnf`` -- decide a DIMACS formula through the
   Theorem 1/3 reductions (and cross-check with DPLL);
 * ``repro explore PROGRAM.rp`` -- exhaustive schedule-tree summary:
-  run counts, deadlocks, event signatures, guaranteed orderings.
+  run counts, deadlocks, event signatures, guaranteed orderings;
+* ``repro trace summarize TRACE.jsonl`` -- re-aggregate a ``--trace``
+  file into the same per-tier table the live scan printed.
+
+Observability: ``analyze`` and ``races`` accept ``--trace FILE``
+(structured JSONL spans: query tier escalations, engine progress,
+worker lifecycle, checkpoint writes) and ``--metrics FILE``
+(a Prometheus-style text snapshot); long ``races`` scans also print a
+live one-line progress meter on a tty (force with ``REPRO_PROGRESS=1``).
 
 Budgets: ``analyze`` and ``races`` accept ``--max-states`` and
 ``--timeout SECONDS`` (and ``races`` a ``--per-pair-states`` cap so one
@@ -41,6 +49,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis import ProgramAnalysis
@@ -52,6 +61,14 @@ from repro.lang.interpreter import DeadlockError, run_program
 from repro.lang.parser import ParseError, parse_program
 from repro.lang.scheduler import PriorityScheduler, RandomScheduler
 from repro.model import serialize
+from repro.obs import (
+    JsonlTraceSink,
+    MetricsRegistry,
+    ScanProgress,
+    planner_metrics,
+    scan_metrics,
+    summarize_trace,
+)
 from repro.races.detector import RaceDetector
 from repro.reductions import (
     decide_sat_via_ordering,
@@ -186,10 +203,24 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             exe, include_dependences=not args.ignore_deps, budget=budget,
             plan=plan,
         )
-        if budget is not None or plan is not None:
-            # a custom ladder only makes sense through the portfolio's
+        observed = args.trace or args.metrics
+        if budget is not None or plan is not None or observed:
+            # a custom ladder (or observability, which instruments the
+            # planner) only makes sense through the portfolio's
             # three-valued verdict path
-            return _analyze_pair_budgeted(q, args, la, lb, a, b)
+            sink = JsonlTraceSink(args.trace) if args.trace else None
+            try:
+                if sink is not None:
+                    q.planner.attach_tracer(sink)
+                status = _analyze_pair_budgeted(q, args, la, lb, a, b)
+            finally:
+                if sink is not None:
+                    sink.close()
+            if args.metrics:
+                registry = MetricsRegistry()
+                planner_metrics(registry, q.planner.report)
+                registry.write(args.metrics)
+            return status
         if args.relation == "all":
             for name, value in q.relation_values(a, b).items():
                 print(f"  {name}({la}, {lb}) = {value}")
@@ -222,7 +253,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _races_runner(args: argparse.Namespace) -> Optional[SupervisedScanner]:
+def _races_runner(
+    args: argparse.Namespace, tracer=None
+) -> Optional[SupervisedScanner]:
     """The crash-isolated pool, when any supervision flag asks for it."""
     wants_pool = (
         args.jobs > 1 or args.max_memory_mb is not None or args.fault_spec
@@ -233,12 +266,15 @@ def _races_runner(args: argparse.Namespace) -> Optional[SupervisedScanner]:
     if args.max_memory_mb is not None:
         limits = ResourceLimits(max_memory_mb=args.max_memory_mb)
     faults = json.loads(args.fault_spec) if args.fault_spec else None
-    return SupervisedScanner(
+    scanner = SupervisedScanner(
         jobs=max(1, args.jobs),
         limits=limits,
         retry=RetryPolicy(max_retries=args.retries),
         faults=faults,
     )
+    if tracer is not None:
+        scanner.tracer = tracer
+    return scanner
 
 
 def cmd_races(args: argparse.Namespace) -> int:
@@ -247,9 +283,9 @@ def cmd_races(args: argparse.Namespace) -> int:
         return EXIT_USAGE
     exe = serialize.load(args.execution)
     budget = _budget_from_args(args)
+    plan = _plan_from_args(args)
     detector = RaceDetector(
-        exe, max_states=args.max_states, budget=budget,
-        plan=_plan_from_args(args),
+        exe, max_states=args.max_states, budget=budget, plan=plan,
     )
     apparent = detector.apparent_races()
     print(apparent.pretty())
@@ -257,36 +293,75 @@ def cmd_races(args: argparse.Namespace) -> int:
     # flags are meaningless for the polynomial apparent detector
     feasible_wanted = (
         args.feasible or args.checkpoint or args.jobs > 1 or args.save
+        or args.trace or args.metrics
     )
     if not feasible_wanted:
         return 0
     journal = None
     precomputed = {}
-    if args.checkpoint:
-        fingerprint = scan_fingerprint(
-            exe,
-            max_states=args.max_states,
-            per_pair_max_states=args.per_pair_states,
-        )
-        journal = CheckpointJournal.open(
-            args.checkpoint, fingerprint, resume=args.resume
-        )
-        precomputed = journal.classifications(exe)
-        if precomputed:
-            print(
-                f"resume: reusing {len(precomputed)} journaled pair(s) "
-                f"from {args.checkpoint}"
-            )
+    tracer = JsonlTraceSink(args.trace) if args.trace else None
+    traced = tracer is not None
+    t0 = time.monotonic()
     try:
-        feasible = detector.feasible_races(
-            per_pair_max_states=args.per_pair_states,
-            runner=_races_runner(args),
-            precomputed=precomputed,
-            on_classified=journal.append if journal is not None else None,
-        )
+        if args.checkpoint:
+            fingerprint = scan_fingerprint(
+                exe,
+                max_states=args.max_states,
+                per_pair_max_states=args.per_pair_states,
+                # the *resolved* ladder: --resume under a different
+                # --plan/--backends must be refused, not silently mix
+                # verdicts of different strength
+                plan=plan if plan is not None else DEFAULT_PLAN,
+            )
+            journal = CheckpointJournal.open(
+                args.checkpoint, fingerprint, resume=args.resume
+            )
+            precomputed = journal.classifications(exe)
+            if precomputed:
+                print(
+                    f"resume: reusing {len(precomputed)} journaled pair(s) "
+                    f"from {args.checkpoint}"
+                )
+        todo = len(exe.conflicting_pairs()) - len(precomputed)
+        progress = ScanProgress(todo, budget=budget)
+        checkpoint_writes = [0]
+
+        def on_classified(c):
+            if journal is not None:
+                journal.append(c)
+                checkpoint_writes[0] += 1
+                if traced:
+                    tracer.emit(
+                        {"kind": "checkpoint.write", "a": c.a, "b": c.b}
+                    )
+            progress.update(c)
+
+        runner = _races_runner(args, tracer)
+        try:
+            feasible = detector.feasible_races(
+                per_pair_max_states=args.per_pair_states,
+                runner=runner,
+                precomputed=precomputed,
+                on_classified=on_classified,
+                tracer=tracer,
+            )
+        finally:
+            progress.finish()
+            if journal is not None:
+                journal.close()
     finally:
-        if journal is not None:
-            journal.close()
+        if tracer is not None:
+            tracer.close()
+    if args.metrics:
+        registry = MetricsRegistry()
+        scan_metrics(
+            registry,
+            feasible,
+            elapsed=time.monotonic() - t0,
+            worker_restarts=runner.worker_restarts if runner is not None else 0,
+            checkpoint_writes=checkpoint_writes[0],
+        )
+        registry.write(args.metrics)
     print(feasible.pretty())
     if feasible.planner is not None and feasible.planner.queries:
         print(feasible.planner.describe())
@@ -296,7 +371,7 @@ def cmd_races(args: argparse.Namespace) -> int:
                 print(f"witness for {race.describe(exe)}:")
                 print(race.witness.pretty())
     if args.save:
-        serialize.save_report(feasible, args.save)
+        serialize.save_report(feasible, args.save, trace=args.trace or None)
         print(f"saved race report to {args.save}")
     if feasible.interrupted:
         missing = feasible.conflicting_pairs_examined - len(
@@ -320,6 +395,14 @@ def cmd_races(args: argparse.Namespace) -> int:
             "rerun with a larger --max-states/--timeout"
         )
         return EXIT_UNKNOWN
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Aggregate a ``--trace`` file back into the same per-tier table
+    the live scan printed (they agree exactly, worker spans included)."""
+    summary = summarize_trace(args.trace_file)
+    print(summary.describe())
     return 0
 
 
@@ -411,6 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backends", metavar="NAMES",
                    help="explicit comma-separated tier ladder, e.g. "
                    "'structural,observed,engine' (overrides --plan)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="with --pair: record the planner's query spans "
+                   "as JSONL (see 'repro trace summarize')")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="with --pair: write a Prometheus-style text "
+                   "snapshot of the planner tallies")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("races", help="race detection on a saved execution")
@@ -450,8 +539,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backends", metavar="NAMES",
                    help="explicit comma-separated tier ladder, e.g. "
                    "'structural,observed,witness,engine' (overrides --plan)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record the scan as structured JSONL spans "
+                   "(query tiers, worker lifecycle, checkpoint writes; "
+                   "implies --feasible; see 'repro trace summarize')")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write a Prometheus-style text snapshot of the "
+                   "finished scan (pairs by outcome, tier tallies, "
+                   "worker restarts; implies --feasible)")
     p.add_argument("--fault-spec", help=argparse.SUPPRESS)  # test-only
     p.set_defaults(func=cmd_races)
+
+    p = sub.add_parser("trace", help="inspect a structured scan trace")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ps = tsub.add_parser(
+        "summarize",
+        help="re-aggregate a --trace file into the per-tier planner table",
+    )
+    ps.add_argument("trace_file", help="JSONL trace written by --trace")
+    ps.set_defaults(func=cmd_trace_summarize)
 
     p = sub.add_parser("sat", help="decide a DIMACS formula via the reductions")
     p.add_argument("formula")

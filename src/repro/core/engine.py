@@ -321,6 +321,7 @@ class FeasibilityEngine:
         budget: Optional[Budget] = None,
         stats: Optional[SearchStats] = None,
         memoize: bool = True,
+        on_progress=None,
     ) -> Optional[List[Point]]:
         """Find one legal complete point schedule satisfying ``constraints``.
 
@@ -334,6 +335,11 @@ class FeasibilityEngine:
         ``budget.check_interval`` visited states so the inner loop
         stays cheap; a ``budget.max_memo_entries`` cap never aborts,
         it only stops memoizing once the table is full.
+
+        ``on_progress``, when given, is called with the live
+        :class:`SearchStats` at the same amortized cadence as the
+        deadline check (every ``check_interval`` visited states) --
+        the tracing hook for long searches.
         """
         if stats is None:
             stats = SearchStats()
@@ -504,15 +510,16 @@ class FeasibilityEngine:
                     resource=STATES,
                 )
             if (
-                deadline is not None
-                and stats.states_visited % check_interval == 0
-                and time.monotonic() >= deadline
-            ):
-                stats.termination = TERMINATED_DEADLINE
-                raise SearchBudgetExceeded(
-                    f"search deadline expired after {stats.states_visited} states",
-                    resource=DEADLINE,
-                )
+                deadline is not None or on_progress is not None
+            ) and stats.states_visited % check_interval == 0:
+                if on_progress is not None:
+                    on_progress(stats)
+                if deadline is not None and time.monotonic() >= deadline:
+                    stats.termination = TERMINATED_DEADLINE
+                    raise SearchBudgetExceeded(
+                        f"search deadline expired after {stats.states_visited} states",
+                        resource=DEADLINE,
+                    )
             begun, ended, varmask, counts = state
             if ended == full:
                 return True

@@ -185,10 +185,15 @@ def planner_report_from_dict(data: Dict[str, Any]):
     return PlannerReport.from_snapshot(data)
 
 
-def report_to_dict(report) -> Dict[str, Any]:
+def report_to_dict(report, *, trace: Optional[str] = None) -> Dict[str, Any]:
     """A JSON-ready dict for a :class:`~repro.races.detector.RaceReport`
-    (embeds the execution, so the document is self-contained)."""
-    return {
+    (embeds the execution, so the document is self-contained).
+
+    ``trace`` optionally references the structured trace file
+    (:mod:`repro.obs.trace`) recorded alongside the scan; readers of
+    older documents simply find the field absent.
+    """
+    doc = {
         "format": "repro-race-report",
         "version": REPORT_FORMAT_VERSION,
         "kind": report.kind,
@@ -214,6 +219,9 @@ def report_to_dict(report) -> Dict[str, Any]:
         if report.planner is not None
         else None,
     }
+    if trace is not None:
+        doc["trace"] = {"path": trace, "format": "repro-trace"}
+    return doc
 
 
 def report_from_dict(data: Dict[str, Any]):
@@ -258,9 +266,15 @@ def report_from_dict(data: Dict[str, Any]):
     )
 
 
-def save_report(report, path: str, *, indent: Optional[int] = 2) -> None:
+def save_report(
+    report, path: str, *, indent: Optional[int] = 2, trace: Optional[str] = None
+) -> None:
     with open(path, "w") as fh:
-        fh.write(json.dumps(report_to_dict(report), indent=indent, sort_keys=True))
+        fh.write(
+            json.dumps(
+                report_to_dict(report, trace=trace), indent=indent, sort_keys=True
+            )
+        )
         fh.write("\n")
 
 

@@ -1,0 +1,64 @@
+"""Observability for long scans: structured tracing + metrics.
+
+Every query this library answers is worst-case exponential, so real
+scans run for minutes to hours under budgets, worker pools and the
+tiered solver portfolio.  This package records *where* that time goes:
+
+* :mod:`repro.obs.trace` -- span/event records (query tier
+  escalations, engine progress ticks, pair classifications, worker
+  lifecycle, checkpoint writes) written to a bounded JSONL sink;
+  supervised workers record into an in-memory sink and ship their
+  spans home over the existing result channel.  A trace re-aggregates
+  (``repro trace summarize``) into exactly the per-tier table the live
+  :class:`~repro.solve.planner.PlannerReport` prints;
+* :mod:`repro.obs.metrics` -- a counter/gauge/histogram registry
+  rendered as a Prometheus-style text snapshot (``--metrics FILE``);
+* :mod:`repro.obs.progress` -- the live stderr progress line
+  (done/feasible/infeasible/unknown, rate, budget-aware ETA).
+
+Everything defaults to :data:`~repro.obs.trace.NULL_SINK`, a no-op
+whose ``enabled`` flag call sites check before building a record, so
+untraced runs pay nothing.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    planner_metrics,
+    scan_metrics,
+)
+from repro.obs.progress import ScanProgress
+from repro.obs.trace import (
+    NULL_SINK,
+    JsonlTraceSink,
+    NullSink,
+    RecordingSink,
+    TraceError,
+    TraceSink,
+    TraceSummary,
+    read_trace,
+    summarize_trace,
+    validate_record,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "planner_metrics",
+    "scan_metrics",
+    "ScanProgress",
+    "NULL_SINK",
+    "JsonlTraceSink",
+    "NullSink",
+    "RecordingSink",
+    "TraceError",
+    "TraceSink",
+    "TraceSummary",
+    "read_trace",
+    "summarize_trace",
+    "validate_record",
+]

@@ -1,0 +1,255 @@
+"""A small counter/gauge/histogram registry with a Prometheus text view.
+
+The scan-side metrics a long run wants on a dashboard -- pairs
+classified by outcome, per-tier answer rates, engine states per
+second, worker restarts, checkpoint writes -- rendered in the
+Prometheus text exposition format so ``--metrics FILE`` snapshots drop
+straight into existing tooling (``promtool check metrics`` parses
+them).  Pure stdlib, no client library dependency.
+
+Metrics are identified by ``(name, labels)``; asking for the same pair
+twice returns the same instrument, so instrumented code does not need
+to thread instrument handles around.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> _LabelKey:
+    return tuple(sorted((labels or {}).items()))
+
+
+def _render_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        value = int(value)
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go anywhere (rates, in-flight counts)."""
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+#: default histogram buckets: sub-millisecond to minutes (seconds)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 60.0, 300.0
+)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.bucket_counts: List[int] = [0] * len(self.buckets)
+        self.count = 0
+        self.sum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        # per-bucket tallies; render() produces the cumulative view
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+
+class MetricsRegistry:
+    """All of one run's instruments, rendered as one text snapshot."""
+
+    def __init__(self) -> None:
+        # name -> (type, help, {labelkey: instrument}); insertion-ordered
+        self._metrics: Dict[str, Tuple[str, str, Dict[_LabelKey, object]]] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, help_text: str, labels, factory):
+        entry = self._metrics.get(name)
+        if entry is None:
+            entry = (kind, help_text, {})
+            self._metrics[name] = entry
+        elif entry[0] != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {entry[0]}"
+            )
+        series = entry[2]
+        key = _label_key(labels)
+        instrument = series.get(key)
+        if instrument is None:
+            instrument = series[key] = factory()
+        return instrument
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
+        return self._get("counter", name, help_text, labels, Counter)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Optional[Dict[str, str]] = None
+    ) -> Gauge:
+        return self._get("gauge", name, help_text, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(
+            "histogram", name, help_text, labels, lambda: Histogram(buckets)
+        )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The Prometheus text exposition format snapshot."""
+        lines: List[str] = []
+        for name, (kind, help_text, series) in self._metrics.items():
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for key, instrument in series.items():
+                if kind == "histogram":
+                    h = instrument
+                    cumulative = 0
+                    for bound, n in zip(h.buckets, h.bucket_counts):
+                        cumulative += n
+                        bucket_key = key + (("le", _fmt(bound)),)
+                        lines.append(
+                            f"{name}_bucket{_render_labels(bucket_key)} {cumulative}"
+                        )
+                    inf_key = key + (("le", "+Inf"),)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(inf_key)} {h.count}"
+                    )
+                    lines.append(f"{name}_sum{_render_labels(key)} {_fmt(h.sum)}")
+                    lines.append(f"{name}_count{_render_labels(key)} {h.count}")
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(key)} {_fmt(instrument.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.render())
+
+
+# ----------------------------------------------------------------------
+def planner_metrics(registry: MetricsRegistry, planner) -> MetricsRegistry:
+    """Populate ``registry`` from a
+    :class:`~repro.solve.planner.PlannerReport` (shared by ``analyze``
+    and ``races`` snapshots)."""
+    registry.counter(
+        "repro_planner_queries_total", "Primitive planner queries posed"
+    ).inc(planner.queries)
+    registry.counter(
+        "repro_planner_unknown_total", "Planner ladder fall-throughs"
+    ).inc(planner.unknown)
+    for tier, tally in sorted(planner.tiers.items()):
+        labels = {"tier": tier}
+        registry.counter(
+            "repro_tier_answered_total",
+            "Queries settled, by planner tier",
+            labels=labels,
+        ).inc(tally.answered)
+        registry.counter(
+            "repro_tier_states_total",
+            "Search states charged, by planner tier",
+            labels=labels,
+        ).inc(tally.states)
+        registry.counter(
+            "repro_tier_elapsed_seconds_total",
+            "Time charged, by planner tier",
+            labels=labels,
+        ).inc(tally.elapsed)
+    engine = planner.tiers.get("engine")
+    if engine is not None and engine.elapsed > 0:
+        registry.gauge(
+            "repro_engine_states_per_second",
+            "Exact-search throughput over the whole scan",
+        ).set(engine.states / engine.elapsed)
+    return registry
+
+
+def scan_metrics(
+    registry: MetricsRegistry,
+    report,
+    *,
+    elapsed: Optional[float] = None,
+    worker_restarts: int = 0,
+    checkpoint_writes: int = 0,
+) -> MetricsRegistry:
+    """Populate ``registry`` from a finished
+    :class:`~repro.races.detector.RaceReport` (plus the scan-level
+    counts only the caller knows)."""
+    for c in report.classifications:
+        registry.counter(
+            "repro_pairs_classified_total",
+            "Conflicting pairs classified, by outcome",
+            labels={"status": c.status},
+        ).inc()
+    if report.planner is not None:
+        planner_metrics(registry, report.planner)
+    if elapsed is not None:
+        registry.gauge(
+            "repro_scan_elapsed_seconds", "Wall-clock duration of the scan"
+        ).set(elapsed)
+    registry.counter(
+        "repro_worker_restarts_total",
+        "Supervised workers replaced after dying mid-pair",
+    ).inc(worker_restarts)
+    registry.counter(
+        "repro_checkpoint_writes_total", "Pair records journaled durably"
+    ).inc(checkpoint_writes)
+    registry.gauge(
+        "repro_scan_interrupted", "1 when the scan was cut short by Ctrl-C"
+    ).set(1 if report.interrupted else 0)
+    return registry
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "planner_metrics",
+    "scan_metrics",
+]

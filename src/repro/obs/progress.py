@@ -1,0 +1,103 @@
+"""A live one-line stderr progress meter for long scans.
+
+Prints ``scan 12/40 feasible=5 infeasible=6 unknown=1 3.1 pairs/s eta
+9s`` on a carriage-returned line, throttled so even a fast scan pays a
+handful of writes per second.  Enabled only when stderr is a terminal
+(or ``REPRO_PROGRESS=1`` forces it -- how the tests observe it), so
+piped/captured runs stay machine-readable.  When the scan carries a
+wall-clock budget the ETA is clamped to the remaining budget: a scan
+that will be cut off says so.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Optional
+
+from repro.budget import Budget
+
+
+class ScanProgress:
+    """Incremental scan progress; feed it every classification."""
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        budget: Optional[Budget] = None,
+        stream=None,
+        enabled: Optional[bool] = None,
+        min_interval: float = 0.1,
+    ) -> None:
+        self.total = total
+        self.budget = budget
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            forced = os.environ.get("REPRO_PROGRESS", "") == "1"
+            enabled = forced or bool(
+                getattr(self.stream, "isatty", lambda: False)()
+            )
+        self.enabled = enabled and total > 0
+        self.min_interval = min_interval
+        self.done = 0
+        self.counts = {"feasible": 0, "infeasible": 0, "unknown": 0}
+        self._t0 = time.monotonic()
+        self._last_render = 0.0
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def update(self, classification) -> None:
+        self.done += 1
+        status = classification.status
+        self.counts[status] = self.counts.get(status, 0) + 1
+        self._dirty = True
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if self.done < self.total and now - self._last_render < self.min_interval:
+            return
+        self._render(now)
+
+    def finish(self) -> None:
+        if self.enabled and self._dirty:
+            self._render(time.monotonic())
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # ------------------------------------------------------------------
+    def line(self, now: Optional[float] = None) -> str:
+        now = time.monotonic() if now is None else now
+        elapsed = max(1e-9, now - self._t0)
+        rate = self.done / elapsed
+        parts = [
+            f"scan {self.done}/{self.total}",
+            " ".join(
+                f"{status}={self.counts.get(status, 0)}"
+                for status in ("feasible", "infeasible", "unknown")
+            ),
+            f"{rate:.1f} pairs/s",
+        ]
+        remaining = self.total - self.done
+        if remaining <= 0:
+            parts.append("done")
+        elif rate > 0:
+            eta = remaining / rate
+            budget_left = (
+                self.budget.remaining_seconds() if self.budget is not None else None
+            )
+            if budget_left is not None and budget_left < eta:
+                parts.append(f"eta {budget_left:.0f}s (budget caps {eta:.0f}s)")
+            else:
+                parts.append(f"eta {eta:.0f}s")
+        return " ".join(parts)
+
+    def _render(self, now: float) -> None:
+        self._last_render = now
+        self._dirty = False
+        self.stream.write("\r" + self.line(now).ljust(78))
+        self.stream.flush()
+
+
+__all__ = ["ScanProgress"]

@@ -1,0 +1,407 @@
+"""Structured trace records for long scans (spans and events).
+
+Every interesting query here is NP-hard, so a real scan runs for
+minutes to hours under budgets, worker pools and a tiered solver
+portfolio -- and "where did the exponential time go" is a question the
+final report alone cannot answer.  This module records it as it
+happens, as a flat stream of JSON records:
+
+* ``query`` spans -- one per primitive planner query, carrying the
+  relation, the pair, the drop-set size, the per-tier escalation
+  attempts (states/elapsed, answered or declined) and the final
+  verdict.  The per-tier numbers are **exactly** the increments the
+  :class:`~repro.solve.planner.PlannerReport` accumulates, so a trace
+  re-aggregates into the same per-tier table the report prints
+  (``repro trace summarize``);
+* ``engine.tick`` events -- amortized progress of the exact search
+  (states visited so far), so a stuck scan shows *which* search is
+  burning states;
+* ``pair`` spans -- one per classified conflicting pair;
+* ``scan.start`` / ``scan.end`` -- scan-level bounds and tallies;
+* ``worker.*`` events -- the supervised pool's lifecycle (spawn,
+  ready, retry, crash, retire); supervised workers record their own
+  ``query`` spans into a bounded in-memory sink and ship them home
+  over the existing result channel, so a parallel scan's trace is as
+  complete as a serial one's;
+* ``checkpoint.write`` events -- one per journaled pair;
+* ``trace.drops`` -- bounded sinks never block or grow without limit;
+  when they shed records they say how many.
+
+All timestamps are :func:`time.monotonic` (the same clock budgets,
+deadlines and tier tallies use), so spans, budget accounting and the
+planner report are directly comparable.
+
+The default sink is :data:`NULL_SINK`, a no-op whose ``enabled`` flag
+lets every call site skip building records entirely -- untraced runs
+pay nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.solve.planner import PlannerReport
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+class TraceError(ValueError):
+    """A trace file or record violates the span schema."""
+
+
+# ----------------------------------------------------------------------
+# span schema: kind -> ((required field, type-tuple), ...)
+# ----------------------------------------------------------------------
+_NUM = (int, float)
+SPAN_SCHEMA: Dict[str, Tuple[Tuple[str, tuple], ...]] = {
+    "trace.start": (("format", (str,)), ("version", (int,))),
+    "query": (
+        ("relation", (str,)),
+        ("decided", (bool,)),
+        ("tiers", (list,)),
+    ),
+    "engine.tick": (("states", (int,)),),
+    "pair": (("a", (int,)), ("b", (int,)), ("status", (str,))),
+    "scan.start": (("pairs", (int,)), ("todo", (int,))),
+    "scan.end": (
+        ("done", (int,)),
+        ("feasible", (int,)),
+        ("infeasible", (int,)),
+        ("unknown", (int,)),
+        ("interrupted", (bool,)),
+    ),
+    "worker.spawn": (("worker", (int,)),),
+    "worker.ready": (("worker", (int,)),),
+    "worker.retire": (("worker", (int,)),),
+    "worker.crash": (("worker", (int,)), ("resource", (str,))),
+    "worker.retry": (("a", (int,)), ("b", (int,)), ("attempt", (int,))),
+    "checkpoint.write": (("a", (int,)), ("b", (int,))),
+    "trace.drops": (("dropped", (int,)),),
+}
+
+_TIER_FIELDS = (
+    ("tier", (str,)),
+    ("states", (int,)),
+    ("elapsed", _NUM),
+    ("answered", (bool,)),
+)
+
+
+def validate_record(rec: Any) -> None:
+    """Check one record against the span schema; raise :class:`TraceError`.
+
+    Records may carry extra fields (``worker`` provenance, witnesses'
+    pair ids, ...); only the schema-required ones are enforced.
+    """
+    if not isinstance(rec, dict):
+        raise TraceError(f"trace record is not an object: {rec!r}")
+    kind = rec.get("kind")
+    if kind not in SPAN_SCHEMA:
+        raise TraceError(f"unknown trace record kind {kind!r}")
+    t = rec.get("t")
+    if not isinstance(t, _NUM) or isinstance(t, bool):
+        raise TraceError(f"{kind}: missing/non-numeric timestamp {t!r}")
+    for name, types in SPAN_SCHEMA[kind]:
+        value = rec.get(name)
+        if not isinstance(value, types) or (
+            bool not in types and isinstance(value, bool)
+        ):
+            raise TraceError(
+                f"{kind}: field {name!r} is {value!r}, expected "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
+    if kind == "query":
+        for entry in rec["tiers"]:
+            if not isinstance(entry, dict):
+                raise TraceError(f"query: tier entry is not an object: {entry!r}")
+            for name, types in _TIER_FIELDS:
+                value = entry.get(name)
+                if not isinstance(value, types) or (
+                    bool not in types and isinstance(value, bool)
+                ):
+                    raise TraceError(
+                        f"query: tier field {name!r} is {value!r}"
+                    )
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+class TraceSink:
+    """Destination for trace records.
+
+    ``enabled`` is the cheap guard call sites check before *building*
+    a record, so the untraced hot path never allocates.
+    """
+
+    enabled = True
+
+    def emit(self, record: Dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """The default: drops everything, reports itself disabled."""
+
+    enabled = False
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+
+#: the shared no-op sink -- untraced runs all point here
+NULL_SINK = NullSink()
+
+
+def _stamp(record: Dict[str, Any]) -> Dict[str, Any]:
+    if "t" not in record:
+        record["t"] = time.monotonic()
+    return record
+
+
+class RecordingSink(TraceSink):
+    """Bounded in-memory sink.
+
+    Used by supervised workers (records are shipped home over the
+    result channel, so the buffer must not grow with search time) and
+    by tests.  Past ``capacity`` records are *dropped, not blocked on*,
+    and the drop count is appended as a final ``trace.drops`` record by
+    :meth:`drain`.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self.records: List[Dict[str, Any]] = []
+        self.dropped = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(_stamp(record))
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """The buffered records (plus a ``trace.drops`` accounting
+        record when any were shed); resets the sink."""
+        out = self.records
+        if self.dropped:
+            out = out + [
+                _stamp({"kind": "trace.drops", "dropped": self.dropped})
+            ]
+        self.records = []
+        self.dropped = 0
+        return out
+
+
+class JsonlTraceSink(TraceSink):
+    """Records as JSON lines at ``path`` (the ``--trace FILE`` sink).
+
+    * the first line is a ``trace.start`` header (format + version);
+    * records are buffered and written every ``buffer_records`` emits,
+      so tracing adds one syscall per batch, not per span;
+    * ``max_records`` bounds the file: past it, records are dropped
+      (counted, reported as a final ``trace.drops`` record on close);
+    * ``fsync=True`` additionally fsyncs on every flush for traces
+      that must survive the same power cut the checkpoint journal does.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        buffer_records: int = 64,
+        max_records: Optional[int] = None,
+        fsync: bool = False,
+    ) -> None:
+        self.path = path
+        self.buffer_records = max(1, buffer_records)
+        self.max_records = max_records
+        self.fsync = fsync
+        self.emitted = 0
+        self.dropped = 0
+        self._buffer: List[str] = []
+        self._fh = open(path, "w")
+        self.emit(
+            {
+                "kind": "trace.start",
+                "format": TRACE_FORMAT,
+                "version": TRACE_VERSION,
+            }
+        )
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._fh.closed:
+            self.dropped += 1
+            return
+        if self.max_records is not None and self.emitted >= self.max_records:
+            self.dropped += 1
+            return
+        self.emitted += 1
+        self._buffer.append(
+            json.dumps(_stamp(record), sort_keys=True, separators=(",", ":"))
+        )
+        if len(self._buffer) >= self.buffer_records:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer = []
+        self._fh.flush()
+        if self.fsync:
+            import os
+
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh.closed:
+            return
+        if self.dropped:
+            # bypass the cap: the accounting record must always land
+            self._buffer.append(
+                json.dumps(
+                    _stamp({"kind": "trace.drops", "dropped": self.dropped}),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        self.flush()
+        self._fh.close()
+
+
+# ----------------------------------------------------------------------
+# reading traces back
+# ----------------------------------------------------------------------
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse and schema-validate every record of a trace file."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                raise TraceError(f"{path}: corrupt trace line {lineno}")
+            try:
+                validate_record(rec)
+            except TraceError as exc:
+                raise TraceError(f"{path}: line {lineno}: {exc}")
+            records.append(rec)
+    if not records:
+        raise TraceError(f"{path}: empty trace")
+    head = records[0]
+    if head.get("kind") != "trace.start" or head.get("format") != TRACE_FORMAT:
+        raise TraceError(f"{path}: not a {TRACE_FORMAT} file")
+    if head.get("version") != TRACE_VERSION:
+        raise TraceError(
+            f"{path}: unsupported trace version {head.get('version')!r} "
+            f"(this library reads version {TRACE_VERSION})"
+        )
+    return records
+
+
+class TraceSummary:
+    """Aggregate view of one trace (see :func:`summarize_trace`)."""
+
+    def __init__(self, records: Iterable[Dict[str, Any]]) -> None:
+        self.planner = PlannerReport()
+        self.pairs: Dict[str, int] = {}
+        self.engine_ticks = 0
+        self.worker_events: Dict[str, int] = {}
+        self.checkpoint_writes = 0
+        self.dropped = 0
+        self.interrupted = False
+        for rec in records:
+            kind = rec["kind"]
+            if kind == "query":
+                self.planner.queries += 1
+                if not rec["decided"]:
+                    self.planner.unknown += 1
+                for entry in rec["tiers"]:
+                    if entry["answered"]:
+                        self.planner.record_answer(
+                            entry["tier"],
+                            states=entry["states"],
+                            elapsed=entry["elapsed"],
+                        )
+                    else:
+                        self.planner.record_cost(
+                            entry["tier"],
+                            states=entry["states"],
+                            elapsed=entry["elapsed"],
+                        )
+            elif kind == "pair":
+                status = rec["status"]
+                self.pairs[status] = self.pairs.get(status, 0) + 1
+            elif kind == "engine.tick":
+                self.engine_ticks += 1
+            elif kind.startswith("worker."):
+                event = kind.split(".", 1)[1]
+                self.worker_events[event] = self.worker_events.get(event, 0) + 1
+            elif kind == "checkpoint.write":
+                self.checkpoint_writes += 1
+            elif kind == "trace.drops":
+                self.dropped += rec["dropped"]
+            elif kind == "scan.end":
+                self.interrupted = self.interrupted or rec["interrupted"]
+
+    def describe(self) -> str:
+        lines = []
+        if self.pairs:
+            tally = " ".join(
+                f"{status}={n}" for status, n in sorted(self.pairs.items())
+            )
+            lines.append(f"pairs: {tally}")
+        lines.append(self.planner.describe())
+        if self.worker_events:
+            tally = " ".join(
+                f"{event}={n}" for event, n in sorted(self.worker_events.items())
+            )
+            lines.append(f"workers: {tally}")
+        if self.checkpoint_writes:
+            lines.append(f"checkpoint writes: {self.checkpoint_writes}")
+        if self.engine_ticks:
+            lines.append(f"engine progress ticks: {self.engine_ticks}")
+        if self.dropped:
+            lines.append(f"trace records dropped (bounded sink): {self.dropped}")
+        if self.interrupted:
+            lines.append("scan was interrupted")
+        return "\n".join(lines)
+
+
+def summarize_trace(path: str) -> TraceSummary:
+    """Aggregate a trace file back into the per-tier table the live
+    :class:`~repro.solve.planner.PlannerReport` prints -- the two agree
+    exactly, including spans shipped home by supervised workers."""
+    return TraceSummary(read_trace(path))
+
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "SPAN_SCHEMA",
+    "TraceError",
+    "TraceSink",
+    "NullSink",
+    "NULL_SINK",
+    "RecordingSink",
+    "JsonlTraceSink",
+    "validate_record",
+    "read_trace",
+    "TraceSummary",
+    "summarize_trace",
+]

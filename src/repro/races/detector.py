@@ -293,6 +293,7 @@ class RaceDetector:
         runner: Optional[PairRunner] = None,
         precomputed: Optional[Dict[Tuple[int, int], PairClassification]] = None,
         on_classified: Optional[Callable[[PairClassification], None]] = None,
+        tracer=None,
     ) -> RaceReport:
         """Conflicting pairs with ``a CCW b`` -- the paper's notion.
 
@@ -325,8 +326,16 @@ class RaceDetector:
         later killed.  A Ctrl-C during the serial loop (or an
         interrupted runner) yields a partial report flagged
         ``interrupted`` instead of propagating ``KeyboardInterrupt``.
+
+        ``tracer`` (a :class:`~repro.obs.trace.TraceSink`) records the
+        scan as structured spans: ``scan.start``/``scan.end`` bounds,
+        one ``pair`` record per fresh classification, and -- on the
+        serial path -- the shared planner's per-query spans.  (A
+        parallel runner traces its own workers; give the
+        :class:`~repro.supervise.pool.SupervisedScanner` the same sink.)
         """
         budget = self._effective_budget(budget)
+        traced = tracer is not None and tracer.enabled
         pairs = self.exe.conflicting_pairs()
         precomputed = dict(precomputed or {})
         classifications: List[PairClassification] = []
@@ -339,6 +348,21 @@ class RaceDetector:
             else:
                 todo.append((a, b, _conflict_variables(self.exe, a, b)))
         interrupted = False
+        if traced:
+            tracer.emit(
+                {"kind": "scan.start", "pairs": len(pairs), "todo": len(todo)}
+            )
+
+        def notify(c: PairClassification) -> None:
+            if traced:
+                rec = {"kind": "pair", "a": c.a, "b": c.b, "status": c.status}
+                if c.resource is not None:
+                    rec["resource"] = c.resource
+                if c.decided_by is not None:
+                    rec["decided_by"] = c.decided_by
+                tracer.emit(rec)
+            if on_classified is not None:
+                on_classified(c)
         if runner is not None and todo:
             options = PairScanOptions(
                 drop_racing_dependences=drop_racing_dependences,
@@ -350,7 +374,7 @@ class RaceDetector:
                 pair_timeout=per_pair_timeout,
                 deadline=budget.deadline if budget is not None else None,
             )
-            result = runner(self.exe, todo, options, on_classified)
+            result = runner(self.exe, todo, options, notify)
             if len(result) == 3:
                 fresh, interrupted, tier_counts = result
                 if tier_counts:
@@ -361,6 +385,8 @@ class RaceDetector:
         else:
             planner = self.planner
             planner.report = planner_report  # tally this scan only
+            if traced:
+                planner.attach_tracer(tracer)
             for a, b, variables in todo:
                 if budget is not None and budget.expired():
                     c = PairClassification(
@@ -387,8 +413,7 @@ class RaceDetector:
                         interrupted = True
                         break
                 classifications.append(c)
-                if on_classified is not None:
-                    on_classified(c)
+                notify(c)
         order = {pair: i for i, pair in enumerate(pairs)}
         classifications.sort(key=lambda c: order[(c.a, c.b)])
         races = [
@@ -396,6 +421,20 @@ class RaceDetector:
             for c in classifications
             if c.status == FEASIBLE
         ]
+        if traced:
+            by_status: Dict[str, int] = {}
+            for c in classifications:
+                by_status[c.status] = by_status.get(c.status, 0) + 1
+            tracer.emit(
+                {
+                    "kind": "scan.end",
+                    "done": len(classifications),
+                    "feasible": by_status.get(FEASIBLE, 0),
+                    "infeasible": by_status.get(INFEASIBLE, 0),
+                    "unknown": by_status.get(UNKNOWN, 0),
+                    "interrupted": interrupted,
+                }
+            )
         return RaceReport(
             self.exe,
             races,

@@ -56,7 +56,7 @@ from repro.solve.query import (
 
 def _timed(backend: "Backend", verdict: Verdict, t0: float, states: int = 0) -> BackendAnswer:
     return BackendAnswer(
-        verdict, backend.name, states=states, elapsed=time.perf_counter() - t0
+        verdict, backend.name, states=states, elapsed=time.monotonic() - t0
     )
 
 
@@ -73,7 +73,7 @@ class StructuralBackend(Backend):
     name = "structural"
 
     def answer(self, query, ctx, *, budget=None, max_states=None):
-        t0 = time.perf_counter()
+        t0 = time.monotonic()
         a, b, drop = query.a, query.b, query.drop
         if query.relation in (CHB, CCB):
             if ctx.statically_ordered(b, a, drop):
@@ -123,7 +123,7 @@ class ObservedBackend(Backend):
     name = "observed"
 
     def answer(self, query, ctx, *, budget=None, max_states=None):
-        t0 = time.perf_counter()
+        t0 = time.monotonic()
         w = ctx.observed_witness()
         if w is None:
             return None
@@ -147,7 +147,7 @@ class WitnessBackend(Backend):
     name = "witness"
 
     def answer(self, query, ctx, *, budget=None, max_states=None):
-        t0 = time.perf_counter()
+        t0 = time.monotonic()
         cache = ctx.witnesses
         w: Optional[Witness] = None
         if query.relation == FEASIBLE:
@@ -175,7 +175,7 @@ class VectorClockBackend(Backend):
     name = "vc"
 
     def answer(self, query, ctx, *, budget=None, max_states=None):
-        t0 = time.perf_counter()
+        t0 = time.monotonic()
         vc = ctx.vector_clocks()
         if vc is None or ctx.observed_witness() is None:
             return None
@@ -203,7 +203,7 @@ class HMWBackend(Backend):
     name = "hmw"
 
     def answer(self, query, ctx, *, budget=None, max_states=None):
-        t0 = time.perf_counter()
+        t0 = time.monotonic()
         if ctx.hmw_infeasible():
             # no schedule completes, even ignoring D: every existential
             # primitive is false for every drop variant
@@ -235,7 +235,7 @@ class TaskGraphBackend(Backend):
     name = "taskgraph"
 
     def answer(self, query, ctx, *, budget=None, max_states=None):
-        t0 = time.perf_counter()
+        t0 = time.monotonic()
         if query.relation not in (CHB, CCB):
             return None
         tg = ctx.taskgraph()
@@ -292,7 +292,7 @@ class SatBackend(Backend):
     def answer(self, query, ctx, *, budget=None, max_states=None):
         from repro.sat.dpll import SolveBudgetExceeded
 
-        t0 = time.perf_counter()
+        t0 = time.monotonic()
         if ctx.binary_semaphores or query.relation == CCW:
             return None
         if budget is None and max_states is not None:
@@ -334,11 +334,16 @@ class EngineBackend(Backend):
     provenance = "exact"
 
     def answer(self, query, ctx, *, budget=None, max_states=None):
-        t0 = time.perf_counter()
+        t0 = time.monotonic()
         s0 = ctx.stats.states_visited
         engine = ctx.engine_for(query.drop)
         a, b = query.a, query.b
-        kwargs = dict(max_states=max_states, budget=budget, stats=ctx.stats)
+        kwargs = dict(
+            max_states=max_states,
+            budget=budget,
+            stats=ctx.stats,
+            on_progress=ctx.on_progress,
+        )
         try:
             if query.relation == FEASIBLE:
                 pts = engine.search(**kwargs)

@@ -58,6 +58,9 @@ class SolveContext:
         # with the full dependence relation"); None = not yet known
         self.feasible: Optional[bool] = None
         self.feasible_provenance: Optional[str] = None
+        # optional SearchStats callback the engine invokes at its
+        # amortized budget checks (set by QueryPlanner.attach_tracer)
+        self.on_progress = None
 
         # two strengths of structural reachability, as bitsets
         self._static_reach = self._compute_reach(join_edges=True)

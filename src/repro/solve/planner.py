@@ -23,13 +23,20 @@ Invariants the planner maintains:
   relaxes the budget;
 * **accounting**: every query is tallied per tier in a
   :class:`PlannerReport` -- supervised workers ship these home so a
-  parallel scan still reports where its answers came from.
+  parallel scan still reports where its answers came from;
+* **tracing**: with a :mod:`repro.obs.trace` sink attached
+  (:meth:`QueryPlanner.attach_tracer`), every query emits one ``query``
+  span whose per-tier entries are exactly the increments recorded into
+  the report -- a trace re-aggregates into the same table.  The sink is
+  duck-typed (``enabled`` + ``emit``) so this module never imports
+  :mod:`repro.obs`, which imports it.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.budget import Budget, Verdict
 from repro.solve.backends import DEFAULT_PLAN, resolve_plan
@@ -151,13 +158,54 @@ class QueryPlanner:
         self,
         ctx: SolveContext,
         plan: Tuple[str, ...] = DEFAULT_PLAN,
+        *,
+        tracer=None,
     ) -> None:
         self.ctx = ctx
         self.plan = tuple(plan)
         self.backends = resolve_plan(self.plan)
         self.report = PlannerReport()
+        self.tracer = tracer  # duck-typed TraceSink (enabled + emit)
         self._memo: Dict[RelationQuery, Verdict] = {}
         self._resolving_feasibility = False
+
+    # ------------------------------------------------------------------
+    def attach_tracer(self, sink, *, tick_min_interval: float = 0.25) -> None:
+        """Route query spans to ``sink`` and arm the engine's progress
+        ticks (throttled to one ``engine.tick`` per
+        ``tick_min_interval`` seconds so deep searches stay cheap)."""
+        self.tracer = sink
+        if sink is None or not sink.enabled:
+            self.ctx.on_progress = None
+            return
+        last = [0.0]
+
+        def tick(stats) -> None:
+            now = time.monotonic()
+            if now - last[0] >= tick_min_interval:
+                last[0] = now
+                sink.emit(
+                    {"kind": "engine.tick", "states": stats.states_visited}
+                )
+
+        self.ctx.on_progress = tick
+
+    def _trace_query(
+        self, query: RelationQuery, verdict: Verdict, attempts: List[Dict]
+    ) -> None:
+        self.tracer.emit(
+            {
+                "kind": "query",
+                "relation": query.relation,
+                "a": query.a,
+                "b": query.b,
+                "drop": len(query.drop),
+                "decided": not verdict.is_unknown,
+                "verdict": str(verdict.truth),
+                "decided_by": None if verdict.is_unknown else verdict.provenance,
+                "tiers": attempts,
+            }
+        )
 
     # ------------------------------------------------------------------
     def answer(
@@ -169,9 +217,33 @@ class QueryPlanner:
     ) -> Verdict:
         """Run the ladder for one primitive query (never raises)."""
         self.report.queries += 1
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        # per-tier attempts, mirroring the report increments one-for-one
+        # so summarize(trace) reproduces the report exactly
+        attempts: List[Dict] = []
+
+        def answered(tier: str, states: int = 0, elapsed: float = 0.0) -> None:
+            self.report.record_answer(tier, states=states, elapsed=elapsed)
+            if traced:
+                attempts.append(
+                    {"tier": tier, "states": states, "elapsed": elapsed,
+                     "answered": True}
+                )
+
+        def declined(tier: str, states: int = 0, elapsed: float = 0.0) -> None:
+            self.report.record_cost(tier, states=states, elapsed=elapsed)
+            if traced:
+                attempts.append(
+                    {"tier": tier, "states": states, "elapsed": elapsed,
+                     "answered": False}
+                )
+
         memo = self._memo.get(query)
         if memo is not None:
-            self.report.record_answer(tier_of(memo.provenance))
+            answered(tier_of(memo.provenance))
+            if traced:
+                self._trace_query(query, memo, attempts)
             return memo
         if query.relation != FEASIBLE:
             self._ensure_base_feasibility(budget=budget, max_states=max_states)
@@ -182,26 +254,41 @@ class QueryPlanner:
                     self.ctx.feasible_provenance or "exact", stats=self.ctx.stats
                 )
                 self._memo[query] = verdict
-                self.report.record_answer(tier_of(verdict.provenance))
+                answered(tier_of(verdict.provenance))
+                if traced:
+                    self._trace_query(query, verdict, attempts)
                 return verdict
         resource: Optional[str] = None
-        for backend in self.backends:
-            ans = backend.answer(query, self.ctx, budget=budget, max_states=max_states)
-            if ans is None:
-                continue
-            if ans.decided:
-                self._memo[query] = ans.verdict
-                self.report.record_answer(
-                    backend.name, states=ans.states, elapsed=ans.elapsed
+        try:
+            for backend in self.backends:
+                ans = backend.answer(
+                    query, self.ctx, budget=budget, max_states=max_states
                 )
-                if query.relation == FEASIBLE and not query.drop:
-                    self.ctx.feasible = ans.verdict.is_true
-                    self.ctx.feasible_provenance = ans.verdict.provenance
-                return ans.verdict
-            resource = ans.verdict.resource or resource
-            self.report.record_cost(backend.name, states=ans.states, elapsed=ans.elapsed)
+                if ans is None:
+                    continue
+                if ans.decided:
+                    self._memo[query] = ans.verdict
+                    answered(backend.name, states=ans.states, elapsed=ans.elapsed)
+                    if query.relation == FEASIBLE and not query.drop:
+                        self.ctx.feasible = ans.verdict.is_true
+                        self.ctx.feasible_provenance = ans.verdict.provenance
+                    if traced:
+                        self._trace_query(query, ans.verdict, attempts)
+                    return ans.verdict
+                resource = ans.verdict.resource or resource
+                declined(backend.name, states=ans.states, elapsed=ans.elapsed)
+        except BaseException:
+            # an interrupted ladder (Ctrl-C mid-search) still flushes the
+            # costs already charged, keeping the trace and the report in
+            # agreement even on partial scans
+            if traced:
+                self._trace_query(query, Verdict.unknown(), attempts)
+            raise
         self.report.unknown += 1
-        return Verdict.unknown(resource=resource, stats=self.ctx.stats)
+        verdict = Verdict.unknown(resource=resource, stats=self.ctx.stats)
+        if traced:
+            self._trace_query(query, verdict, attempts)
+        return verdict
 
     def _ensure_base_feasibility(self, *, budget, max_states) -> None:
         """Resolve "is F non-empty" once, through the ladder itself."""

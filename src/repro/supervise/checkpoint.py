@@ -11,7 +11,9 @@ makes every classified pair durable the moment it is known:
 * every further line is one
   :class:`~repro.races.detector.PairClassification` (witness included),
   written as a single short ``write()`` call, flushed and fsync'ed --
-  a crash loses at most the line being written;
+  a crash loses at most the line being written.  ``SIGINT`` is held
+  for the duration of each append (and re-raised immediately after),
+  so even an impatient double Ctrl-C can never tear the journal tail;
 * on ``--resume`` a truncated *final* line (the torn write of the
   crash) is tolerated and dropped; corruption anywhere else fails
   loudly, as does a fingerprint mismatch.
@@ -25,7 +27,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Any, Dict, List, Optional, Tuple
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.model import serialize
 from repro.model.execution import ProgramExecution
@@ -40,7 +45,36 @@ class JournalError(ValueError):
 
 
 class JournalMismatchError(JournalError):
-    """The journal belongs to a different execution or budget."""
+    """The journal belongs to a different execution, budget or plan."""
+
+
+@contextmanager
+def _defer_sigint():
+    """Hold ``SIGINT`` across one journal write.
+
+    A first Ctrl-C lands between records (the handler runs only after
+    the write+fsync completes, via the immediate re-raise below); a
+    second impatient Ctrl-C therefore can never interleave with a
+    record and tear the journal tail.  Off the main thread -- or when
+    the handler is not a Python callable -- signals cannot be swapped,
+    and the plain write is already as safe as it was.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGINT)
+    if not callable(previous):
+        # SIG_IGN/SIG_DFL/unknown: no Python handler would fire mid-write
+        yield
+        return
+    pending: List[tuple] = []
+    signal.signal(signal.SIGINT, lambda s, f: pending.append((s, f)))
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
+        if pending:
+            previous(*pending[0])  # normally raises KeyboardInterrupt
 
 
 def scan_fingerprint(
@@ -49,9 +83,13 @@ def scan_fingerprint(
     drop_racing_dependences: bool = True,
     max_states: Optional[int] = None,
     per_pair_max_states: Optional[int] = None,
+    plan: Optional[Sequence[str]] = None,
 ) -> str:
     """Identity of one scan: the execution plus every option that can
-    change a pair's classification.
+    change a pair's classification, including the resolved solver
+    ``plan`` (tier ladders differ in what they can decide, so replaying
+    a journal written under another plan would silently mix verdicts
+    of different strength).
 
     Wall-clock timeouts are deliberately excluded -- they are
     nondeterministic across runs anyway, and a killed scan is normally
@@ -63,6 +101,7 @@ def scan_fingerprint(
             "drop_racing_dependences": drop_racing_dependences,
             "max_states": max_states,
             "per_pair_max_states": per_pair_max_states,
+            "plan": list(plan) if plan is not None else None,
         },
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
@@ -102,8 +141,8 @@ def _parse_lines(
         and header.get("fingerprint") != expect_fingerprint
     ):
         raise JournalMismatchError(
-            f"{path}: journal was written by a different scan "
-            "(execution or budget options changed); refusing to resume"
+            f"{path}: journal was written by a different scan (execution, "
+            "budget options or solver plan changed); refusing to resume"
         )
     records: List[Dict[str, Any]] = []
     for lineno, line in enumerate(complete[1:], start=2):
@@ -157,8 +196,9 @@ class CheckpointJournal:
     # ------------------------------------------------------------------
     def _append_record(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        self._fh.write(line + "\n")
-        self.flush()
+        with _defer_sigint():
+            self._fh.write(line + "\n")
+            self.flush()
 
     def append(self, classification: PairClassification) -> None:
         rec = serialize.classification_to_dict(classification)
@@ -171,8 +211,9 @@ class CheckpointJournal:
 
     def close(self) -> None:
         if self._fh is not None and not self._fh.closed:
-            self.flush()
-            self._fh.close()
+            with _defer_sigint():
+                self.flush()
+                self._fh.close()
 
     def __enter__(self) -> "CheckpointJournal":
         return self

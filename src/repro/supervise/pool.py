@@ -21,7 +21,12 @@ touching the execution, and receive the execution as its JSON document
 A ``KeyboardInterrupt`` in the parent drains already-completed results
 for a grace period, terminates the workers, and returns the classified
 prefix with ``interrupted=True``; the caller (the detector / CLI) turns
-that into a partial report and exit status 130.
+that into a partial report and exit status 130.  A *second* interrupt
+during that drain means "now": the drain stops, workers are terminated,
+and the interrupt propagates -- no more results are folded in and no
+further checkpoint records are written, so the journal tail stays
+whole (appends themselves are SIGINT-deferred, see
+:mod:`repro.supervise.checkpoint`).
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.budget import Budget, DEADLINE
 from repro.model import serialize
+from repro.obs.trace import NULL_SINK, RecordingSink
 from repro.races.detector import (
     PairClassification,
     PairScanOptions,
@@ -130,6 +136,13 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
     # bitsets and conflict index amortize across pairs, and witnesses
     # found for one pair answer later ones without a search
     planner = QueryPlanner(SolveContext(exe))
+    # when the parent traces, record spans into a bounded buffer and
+    # ship them with each result; bounded because the whole batch rides
+    # one queue message (drops are accounted, never blocked on)
+    sink: Optional[RecordingSink] = None
+    if conf.get("trace"):
+        sink = RecordingSink(capacity=int(conf.get("trace_capacity", 4096)))
+        planner.attach_tracer(sink)
     # start the result queue's feeder thread NOW: its stack mmap counts
     # against RLIMIT_AS, so it must exist before any memory pressure or
     # an OOM could not even be reported
@@ -145,6 +158,8 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
             if max_states is not None or timeout is not None:
                 budget = Budget.of(max_states=max_states, timeout=timeout)
             planner.report = PlannerReport()  # per-pair tier tallies
+            if sink is not None:
+                sink.drain()  # discard spans of a failed prior attempt
             c = classify_pair(
                 exe, a, b, drop_racing_dependences=drop, budget=budget,
                 planner=planner,
@@ -153,6 +168,11 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
                 "classification": serialize.classification_to_dict(c),
                 "planner": planner.report.snapshot(),
             }
+            if sink is not None:
+                # spans travel with the snapshot they mirror: a crashed
+                # worker loses both together, so the trace aggregation
+                # always matches the merged report
+                payload["spans"] = sink.drain()
             result_q.put((worker_id, task_id, "ok", payload))
         except MemoryError:
             # the cap fired.  Drop whatever the search pinned (the
@@ -222,6 +242,14 @@ class SupervisedScanner:
         else off (an unbudgeted scan may legitimately run for days).
     faults:
         Test-only fault-injection spec (see module comment).
+    tracer:
+        A :class:`~repro.obs.trace.TraceSink`; when enabled, workers
+        record their query spans into a bounded in-memory sink and ship
+        them home with each result, and the parent adds worker
+        lifecycle events (spawn/ready/retry/crash/retire) -- so a
+        parallel scan's trace is as complete as a serial one's.
+        After :meth:`scan` returns, :attr:`worker_restarts` counts the
+        workers that were replaced after dying mid-pair.
     """
 
     def __init__(
@@ -234,6 +262,7 @@ class SupervisedScanner:
         faults: Optional[Dict[str, Dict[str, Any]]] = None,
         poll_interval: float = 0.02,
         drain_grace: float = 1.0,
+        tracer=NULL_SINK,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -244,6 +273,8 @@ class SupervisedScanner:
         self.faults = dict(faults or {})
         self.poll_interval = poll_interval
         self.drain_grace = drain_grace
+        self.tracer = tracer if tracer is not None else NULL_SINK
+        self.worker_restarts = 0  # of the most recent scan
 
     # ------------------------------------------------------------------
     def __call__(self, exe, tasks, options, on_classified=None):
@@ -260,8 +291,16 @@ class SupervisedScanner:
         the third element aggregates each worker's per-pair
         :class:`~repro.solve.planner.PlannerReport` so the parent's race
         report still says which tiers answered."""
+        self.worker_restarts = 0
         if not tasks:
             return [], False, PlannerReport().snapshot()
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+
+        def emit(record: Dict[str, Any]) -> None:
+            if traced:
+                tracer.emit(record)
+
         ctx = mp.get_context("spawn")
         exe_doc = serialize.execution_to_dict(exe)
         conf = {
@@ -275,6 +314,7 @@ class SupervisedScanner:
                 else None
             ),
             "faults": self.faults,
+            "trace": traced,
         }
         result_q = ctx.Queue()
         state: Dict[int, _TaskState] = {
@@ -287,6 +327,8 @@ class SupervisedScanner:
         by_uid: Dict[int, _Worker] = {}
         next_uid = [0]
         interrupted = False
+        hard_interrupt = False
+        slots_used: set = set()
         tier_report = PlannerReport()  # aggregated from worker payloads
 
         def finalize(tid: int, c: PairClassification) -> None:
@@ -305,6 +347,10 @@ class SupervisedScanner:
                 st.attempt += 1
                 st.not_before = time.monotonic() + self.retry.delay(st.attempt)
                 pending.append(tid)
+                emit(
+                    {"kind": "worker.retry", "a": st.a, "b": st.b,
+                     "attempt": st.attempt}
+                )
             else:
                 finalize(
                     tid,
@@ -325,6 +371,7 @@ class SupervisedScanner:
                     if w.kill_after is not None:
                         w.kill_at = time.monotonic() + w.kill_after
                         w.kill_after = None
+                emit({"kind": "worker.ready", "worker": uid})
                 return
             w = by_uid.get(uid)  # None once we've given up on that worker
             if w is not None and w.busy_task == tid:
@@ -336,6 +383,7 @@ class SupervisedScanner:
                 # a memory report doubles as the worker's retirement
                 # notice -- it exits right after sending it
                 w.retiring = True
+                emit({"kind": "worker.crash", "worker": uid, "resource": MEMORY})
             if tid in done or tid not in state:
                 return
             if kind == "ok":
@@ -345,6 +393,12 @@ class SupervisedScanner:
                     pending.remove(tid)
                 if isinstance(payload, dict) and "classification" in payload:
                     tier_report.merge(payload.get("planner") or {})
+                    if traced:
+                        # fold the worker's spans into the scan trace,
+                        # tagged with the uid that produced them
+                        for span in payload.get("spans") or ():
+                            span.setdefault("worker", uid)
+                            tracer.emit(span)
                     payload = payload["classification"]
                 finalize(tid, serialize.classification_from_dict(exe, payload))
             else:  # "memory" or "error"
@@ -364,6 +418,12 @@ class SupervisedScanner:
             proc.start()
             w = _Worker(uid, proc, task_q)
             by_uid[uid] = w
+            if slot in slots_used:
+                # this slot hosted a worker before: the spawn replaces
+                # one that died or retired mid-scan
+                self.worker_restarts += 1
+            slots_used.add(slot)
+            emit({"kind": "worker.spawn", "worker": uid})
             return w
 
         def retire(slot: int) -> None:
@@ -371,6 +431,7 @@ class SupervisedScanner:
             w.proc.join()
             by_uid.pop(w.uid, None)
             workers[slot] = None
+            emit({"kind": "worker.retire", "worker": w.uid})
 
         def dispatchable(now: float) -> Optional[int]:
             for _ in range(len(pending)):
@@ -462,24 +523,41 @@ class SupervisedScanner:
                             # final ("memory") report is still in flight
                             continue
                         tid = w.busy_task
+                        resource = _death_resource(exitcode)
+                        emit(
+                            {"kind": "worker.crash", "worker": w.uid,
+                             "resource": resource}
+                        )
                         retire(slot)
-                        fail(tid, _death_resource(exitcode))
+                        fail(tid, resource)
                     elif w.kill_at is not None and now >= w.kill_at:
                         tid = w.busy_task
                         w.proc.kill()
+                        emit(
+                            {"kind": "worker.crash", "worker": w.uid,
+                             "resource": DEADLINE}
+                        )
                         retire(slot)
                         fail(tid, DEADLINE)
         except KeyboardInterrupt:
             interrupted = True
-            # drain results that already completed, briefly
-            stop_at = time.monotonic() + self.drain_grace
-            while time.monotonic() < stop_at:
-                try:
-                    handle_result(result_q.get(timeout=self.poll_interval))
-                except queue_mod.Empty:
-                    break
+            # drain results that already completed, briefly; a SECOND
+            # interrupt during the drain means "now" -- stop draining,
+            # let the finally terminate the workers, then re-raise so
+            # the process exits 130 without writing another record
+            try:
+                stop_at = time.monotonic() + self.drain_grace
+                while time.monotonic() < stop_at:
+                    try:
+                        handle_result(result_q.get(timeout=self.poll_interval))
+                    except queue_mod.Empty:
+                        break
+            except KeyboardInterrupt:
+                hard_interrupt = True
         finally:
             self._shutdown(workers, result_q)
+        if hard_interrupt:
+            raise KeyboardInterrupt
         results = [done[tid] for tid in sorted(done)]
         return results, interrupted, tier_report.snapshot()
 

@@ -1,0 +1,469 @@
+"""Observability: trace sinks, metrics, progress, and the guarantee
+that a trace re-aggregates into exactly the live planner report.
+
+The load-bearing property is exactness: every ``query`` span carries
+the same per-tier increments the scan's
+:class:`~repro.solve.planner.PlannerReport` accumulated, so
+``repro trace summarize`` reproduces the report byte-for-byte --
+including spans shipped home by supervised pool workers.
+"""
+
+import json
+import signal
+import threading
+
+import pytest
+
+from repro.budget import Budget
+from repro.cli import main as cli_main
+from repro.model import serialize
+from repro.obs import (
+    JsonlTraceSink,
+    MetricsRegistry,
+    NullSink,
+    RecordingSink,
+    ScanProgress,
+    TraceError,
+    planner_metrics,
+    read_trace,
+    scan_metrics,
+    summarize_trace,
+    validate_record,
+)
+from repro.races.detector import RaceDetector
+from repro.solve.planner import PlannerReport, QueryPlanner
+from repro.solve.context import SolveContext
+from repro.supervise import SupervisedScanner
+from repro.supervise.checkpoint import _defer_sigint
+
+from tests.test_supervise import masking_execution
+
+
+# ----------------------------------------------------------------------
+class TestRecordValidation:
+    def test_accepts_extra_fields(self):
+        validate_record(
+            {"kind": "pair", "t": 1.0, "a": 0, "b": 1, "status": "feasible",
+             "worker": 3, "resource": "crash"}
+        )
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TraceError, match="unknown trace record kind"):
+            validate_record({"kind": "nope", "t": 0.0})
+
+    def test_rejects_missing_timestamp(self):
+        with pytest.raises(TraceError, match="timestamp"):
+            validate_record({"kind": "engine.tick", "states": 5})
+
+    def test_rejects_wrong_field_type(self):
+        with pytest.raises(TraceError, match="states"):
+            validate_record({"kind": "engine.tick", "t": 0.0, "states": "5"})
+
+    def test_checks_tier_entries(self):
+        rec = {
+            "kind": "query", "t": 0.0, "relation": "CCW", "decided": True,
+            "tiers": [{"tier": "engine", "states": 1, "elapsed": "fast",
+                       "answered": True}],
+        }
+        with pytest.raises(TraceError, match="elapsed"):
+            validate_record(rec)
+
+
+class TestRecordingSink:
+    def test_bounded_with_drop_accounting(self):
+        sink = RecordingSink(capacity=2)
+        for n in range(5):
+            sink.emit({"kind": "engine.tick", "states": n})
+        drained = sink.drain()
+        assert [r["states"] for r in drained[:-1]] == [0, 1]
+        assert drained[-1] == {
+            "kind": "trace.drops", "dropped": 3, "t": drained[-1]["t"]
+        }
+        # drain resets: the next batch starts clean
+        assert sink.drain() == []
+
+    def test_no_drops_record_when_nothing_dropped(self):
+        sink = RecordingSink()
+        sink.emit({"kind": "engine.tick", "states": 1})
+        drained = sink.drain()
+        assert len(drained) == 1 and drained[0]["kind"] == "engine.tick"
+
+    def test_null_sink_is_disabled(self):
+        assert not NullSink().enabled
+        NullSink().emit({"anything": True})  # never raises
+
+
+class TestJsonlTraceSink:
+    def test_header_then_records(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlTraceSink(path) as sink:
+            sink.emit({"kind": "engine.tick", "states": 7})
+        records = read_trace(path)
+        assert records[0]["kind"] == "trace.start"
+        assert records[1] == {"kind": "engine.tick", "states": 7,
+                              "t": records[1]["t"]}
+
+    def test_max_records_drops_and_accounts(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlTraceSink(path, max_records=3) as sink:
+            for n in range(10):
+                sink.emit({"kind": "engine.tick", "states": n})
+        records = read_trace(path)
+        # header + 2 ticks fit the cap; the accounting record bypasses it
+        assert [r["kind"] for r in records] == [
+            "trace.start", "engine.tick", "engine.tick", "trace.drops"
+        ]
+        assert records[-1]["dropped"] == 8
+
+    def test_read_trace_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text(json.dumps(
+            {"kind": "engine.tick", "t": 0.0, "states": 1}) + "\n")
+        with pytest.raises(TraceError, match="not a repro-trace"):
+            read_trace(str(path))
+
+    def test_read_trace_rejects_corruption(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlTraceSink(path) as sink:
+            sink.emit({"kind": "engine.tick", "states": 1})
+        with open(path, "a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(TraceError, match="corrupt"):
+            read_trace(path)
+
+
+# ----------------------------------------------------------------------
+class TestPlannerReportRoundTrips:
+    def _report(self, seed):
+        r = PlannerReport()
+        for k in range(seed):
+            r.queries += 1
+            r.record_answer("engine", states=10 * k, elapsed=0.25 * k)
+            r.record_cost("hmw", states=k, elapsed=0.125)
+        r.unknown = seed // 2
+        return r
+
+    def test_snapshot_round_trip_is_exact(self):
+        r = self._report(5)
+        assert PlannerReport.from_snapshot(r.snapshot()).snapshot() == r.snapshot()
+
+    def test_merge_is_associative_over_snapshots(self):
+        a, b, c = self._report(2), self._report(3), self._report(4)
+        left = PlannerReport()
+        left.merge(a.snapshot()); left.merge(b.snapshot()); left.merge(c.snapshot())
+        bc = PlannerReport()
+        bc.merge(b.snapshot()); bc.merge(c.snapshot())
+        right = PlannerReport()
+        right.merge(a.snapshot()); right.merge(bc.snapshot())
+        assert left.snapshot() == right.snapshot()
+
+    def test_snapshot_floats_survive_json(self):
+        r = self._report(7)
+        redone = json.loads(json.dumps(r.snapshot()))
+        assert PlannerReport.from_snapshot(redone).snapshot() == r.snapshot()
+
+
+# ----------------------------------------------------------------------
+class TestTraceMatchesReport:
+    """The acceptance criterion: summarize(trace) == live report, exactly."""
+
+    def test_serial_scan(self, tmp_path):
+        exe = masking_execution(3)
+        path = str(tmp_path / "t.jsonl")
+        with JsonlTraceSink(path) as sink:
+            report = RaceDetector(exe).feasible_races(tracer=sink)
+        summary = summarize_trace(path)
+        assert summary.planner.snapshot() == report.planner.snapshot()
+        assert summary.pairs == {"feasible": 3}
+        assert not summary.interrupted
+
+    def test_parallel_scan_folds_worker_spans(self, tmp_path):
+        exe = masking_execution(3)
+        path = str(tmp_path / "t.jsonl")
+        with JsonlTraceSink(path) as sink:
+            scanner = SupervisedScanner(jobs=2, tracer=sink)
+            report = RaceDetector(exe).feasible_races(
+                runner=scanner, tracer=sink
+            )
+        summary = summarize_trace(path)
+        assert summary.planner.snapshot() == report.planner.snapshot()
+        assert summary.worker_events.get("spawn", 0) >= 1
+        # every query span came from a worker and says which one
+        queries = [r for r in read_trace(path) if r["kind"] == "query"]
+        assert queries and all("worker" in r for r in queries)
+
+    def test_query_planner_traces_memo_hits_too(self):
+        exe = masking_execution(2)
+        sink = RecordingSink()
+        planner = QueryPlanner(SolveContext(exe), tracer=sink)
+        planner.feasible_verdict()
+        planner.feasible_verdict()  # memo hit: still one span per call
+        queries = [r for r in sink.drain() if r["kind"] == "query"]
+        assert len(queries) == 2
+        rebuilt = PlannerReport()
+        for rec in queries:
+            rebuilt.queries += 1
+            if not rec["decided"]:
+                rebuilt.unknown += 1
+            for entry in rec["tiers"]:
+                if entry["answered"]:
+                    rebuilt.record_answer(entry["tier"], states=entry["states"],
+                                          elapsed=entry["elapsed"])
+                else:
+                    rebuilt.record_cost(entry["tier"], states=entry["states"],
+                                        elapsed=entry["elapsed"])
+        assert rebuilt.snapshot() == planner.report.snapshot()
+
+    def test_engine_on_progress_fires_at_check_interval(self):
+        from repro.core.engine import FeasibilityEngine
+
+        exe = masking_execution(3)
+        seen = []
+        FeasibilityEngine(exe).search(
+            budget=Budget.of(check_interval=2),
+            on_progress=lambda stats: seen.append(stats.states_visited),
+        )
+        assert seen and all(n % 2 == 0 for n in seen)
+
+    def test_attach_tracer_throttles_engine_ticks(self):
+        exe = masking_execution(3)
+        sink = RecordingSink()
+        planner = QueryPlanner(SolveContext(exe), tracer=sink)
+        planner.attach_tracer(sink, tick_min_interval=3600.0)
+        assert planner.ctx.on_progress is not None
+
+        class _Stats:
+            states_visited = 512
+
+        planner.ctx.on_progress(_Stats())  # first tick always emits
+        planner.ctx.on_progress(_Stats())  # throttled away
+        ticks = [r for r in sink.drain() if r["kind"] == "engine.tick"]
+        assert len(ticks) == 1 and ticks[0]["states"] == 512
+
+    def test_untraced_planner_emits_nothing(self):
+        exe = masking_execution(2)
+        planner = QueryPlanner(SolveContext(exe))
+        planner.feasible_verdict()
+        assert planner.tracer is None
+        assert planner.ctx.on_progress is None
+
+
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_gauge_histogram_render(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "a counter", labels={"x": "1"}).inc(2)
+        reg.gauge("g", "a gauge").set(1.5)
+        h = reg.histogram("h_seconds", "a histogram", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        text = reg.render()
+        assert '# TYPE c_total counter' in text
+        assert 'c_total{x="1"} 2' in text
+        assert "g 1.5" in text
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 2' in text
+        assert "h_seconds_count 2" in text
+
+    def test_counters_only_go_up(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("m")
+
+    def test_scan_metrics_from_report(self):
+        exe = masking_execution(2)
+        report = RaceDetector(exe).feasible_races()
+        reg = scan_metrics(
+            MetricsRegistry(), report, elapsed=1.25,
+            worker_restarts=2, checkpoint_writes=3,
+        )
+        text = reg.render()
+        assert 'repro_pairs_classified_total{status="feasible"} 2' in text
+        assert f"repro_planner_queries_total {report.planner.queries}" in text
+        assert "repro_worker_restarts_total 2" in text
+        assert "repro_checkpoint_writes_total 3" in text
+        assert "repro_scan_elapsed_seconds 1.25" in text
+        assert "repro_scan_interrupted 0" in text
+
+    def test_planner_metrics_alone(self):
+        exe = masking_execution(2)
+        report = RaceDetector(exe).feasible_races()
+        text = planner_metrics(MetricsRegistry(), report.planner).render()
+        assert "repro_tier_answered_total" in text
+
+
+# ----------------------------------------------------------------------
+class _FakeStream:
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, s):
+        self.chunks.append(s)
+
+    def flush(self):
+        pass
+
+    def isatty(self):
+        return False
+
+
+class TestScanProgress:
+    class _C:
+        def __init__(self, status):
+            self.status = status
+
+    def test_line_counts_and_rate(self):
+        p = ScanProgress(10, stream=_FakeStream(), enabled=True,
+                         min_interval=0.0)
+        for status in ("feasible", "feasible", "infeasible", "unknown"):
+            p.update(self._C(status))
+        line = p.line()
+        assert "scan 4/10" in line
+        assert "feasible=2 infeasible=1 unknown=1" in line
+        assert "pairs/s" in line and "eta" in line
+
+    def test_eta_capped_by_budget(self):
+        budget = Budget.of(timeout=0.0)  # already expired
+        p = ScanProgress(100, budget=budget, stream=_FakeStream(),
+                         enabled=True, min_interval=0.0)
+        p.update(self._C("feasible"))
+        assert "budget caps" in p.line()
+
+    def test_disabled_without_tty(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        p = ScanProgress(5, stream=_FakeStream())
+        assert not p.enabled
+
+    def test_env_forces_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        stream = _FakeStream()
+        p = ScanProgress(2, stream=stream, min_interval=0.0)
+        assert p.enabled
+        p.update(self._C("feasible"))
+        p.finish()
+        assert any("scan 1/2" in c for c in stream.chunks)
+
+
+# ----------------------------------------------------------------------
+class TestDeferSigint:
+    def test_holds_handler_until_block_exits(self):
+        if threading.current_thread() is not threading.main_thread():
+            pytest.skip("needs the main thread")
+        calls = []
+        old = signal.signal(signal.SIGINT, lambda s, f: calls.append(s))
+        try:
+            with _defer_sigint():
+                signal.raise_signal(signal.SIGINT)
+                assert calls == []  # held across the critical section
+            assert calls == [signal.SIGINT]
+        finally:
+            signal.signal(signal.SIGINT, old)
+
+    def test_reraises_keyboard_interrupt_after_block(self):
+        if threading.current_thread() is not threading.main_thread():
+            pytest.skip("needs the main thread")
+        old = signal.signal(signal.SIGINT, signal.default_int_handler)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                with _defer_sigint():
+                    signal.raise_signal(signal.SIGINT)
+                    witnessed_inside = True  # the write completes first
+            assert witnessed_inside
+        finally:
+            signal.signal(signal.SIGINT, old)
+
+
+# ----------------------------------------------------------------------
+class TestCliObservability:
+    @pytest.fixture
+    def exe_file(self, tmp_path):
+        path = tmp_path / "exe.json"
+        serialize.save(masking_execution(3), str(path))
+        return str(path)
+
+    def test_races_trace_summarize_matches_report(
+        self, exe_file, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "t.jsonl")
+        metrics = str(tmp_path / "m.txt")
+        rc = cli_main([
+            "races", exe_file, "--jobs", "2",
+            "--trace", trace, "--metrics", metrics,
+        ])
+        assert rc == 0
+        scan_out = capsys.readouterr().out
+        assert cli_main(["trace", "summarize", trace]) == 0
+        summary_out = capsys.readouterr().out
+        # the per-tier planner block is reproduced verbatim
+        planner_block = scan_out[scan_out.index("planner:"):].strip()
+        assert planner_block in summary_out
+        for rec in read_trace(trace):
+            validate_record(rec)
+        text = open(metrics).read()
+        assert 'repro_pairs_classified_total{status="feasible"} 3' in text
+
+    def test_races_trace_references_saved_report(self, exe_file, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        saved = tmp_path / "report.json"
+        rc = cli_main([
+            "races", exe_file, "--trace", trace, "--save", str(saved),
+        ])
+        assert rc == 0
+        doc = json.loads(saved.read_text())
+        assert doc["trace"] == {"path": trace, "format": "repro-trace"}
+
+    def test_analyze_pair_trace_and_metrics(self, tmp_path, capsys):
+        src = tmp_path / "fig1.rp"
+        src.write_text(
+            "shared X = 0\n"
+            "proc main {\n"
+            "  fork {\n"
+            "    proc t1 { post ev @post_left; X := 1 }\n"
+            "    proc t2 { if X == 1 { post ev @post_right } else { wait ev } }\n"
+            "    proc t3 { wait ev @w3 }\n"
+            "  }\n"
+            "  join\n"
+            "}\n"
+        )
+        exe_file = str(tmp_path / "fig1.json")
+        assert cli_main(["run", str(src), "--priority", "main,t1,t2,t3",
+                         "--save", exe_file]) == 0
+        capsys.readouterr()
+        trace = str(tmp_path / "t.jsonl")
+        metrics = str(tmp_path / "m.txt")
+        rc = cli_main([
+            "analyze", exe_file, "--pair", "post_left", "w3",
+            "--relation", "ccw", "--trace", trace, "--metrics", metrics,
+        ])
+        assert rc == 0
+        assert any(r["kind"] == "query" for r in read_trace(trace))
+        assert "repro_planner_queries_total" in open(metrics).read()
+
+    def test_resume_with_changed_plan_is_refused(
+        self, exe_file, tmp_path, capsys
+    ):
+        journal = str(tmp_path / "scan.jsonl")
+        assert cli_main(["races", exe_file, "--checkpoint", journal]) == 0
+        capsys.readouterr()
+        rc = cli_main([
+            "races", exe_file, "--checkpoint", journal, "--resume",
+            "--plan", "best-effort",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "solver plan" in err and "refusing to resume" in err
+        assert err.strip().count("\n") == 0  # one loud line, not a traceback
+
+    def test_resume_with_same_plan_succeeds(self, exe_file, tmp_path, capsys):
+        journal = str(tmp_path / "scan.jsonl")
+        assert cli_main(["races", exe_file, "--checkpoint", journal]) == 0
+        rc = cli_main(["races", exe_file, "--checkpoint", journal, "--resume"])
+        assert rc == 0
+        assert "resume: reusing 3 journaled pair(s)" in capsys.readouterr().out

@@ -301,3 +301,38 @@ class TestKillAndResume:
         assert proc.returncode == 130
         assert b"interrupted" in err
         assert pair_count(str(journal)) == len(pairs) - 1
+
+
+# ----------------------------------------------------------------------
+class TestSecondInterruptDuringDrain:
+    """A second Ctrl-C while the pool drains means "now": the pool
+    stops draining and re-raises, so the CLI exits 130 -- with every
+    record appended before the hard exit still parseable."""
+
+    def test_hard_interrupt_reraises_without_torn_journal(self, tmp_path):
+        from repro.supervise.checkpoint import CheckpointJournal, scan_fingerprint
+
+        exe = masking_execution(3)
+        journal_path = str(tmp_path / "scan.jsonl")
+        journal = CheckpointJournal.open(journal_path, scan_fingerprint(exe))
+        hits = []
+
+        def interrupted_append(c):
+            # model Ctrl-C landing right after each durable append: the
+            # first raise starts the drain, the second one lands inside
+            # it and must hard-abort the scan
+            journal.append(c)
+            hits.append(c)
+            raise KeyboardInterrupt
+
+        # a generous drain window so the second in-flight pair's result
+        # deterministically arrives while the pool is still draining
+        scanner = SupervisedScanner(jobs=2, poll_interval=5.0, drain_grace=30.0)
+        with pytest.raises(KeyboardInterrupt):
+            RaceDetector(exe).feasible_races(
+                runner=scanner, on_classified=interrupted_append
+            )
+        journal.close()
+        # no torn tail: the journal parses, one record per append
+        assert pair_count(journal_path) == len(hits)
+        assert len(hits) >= 2  # the hard exit happened during the drain
