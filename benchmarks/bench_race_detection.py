@@ -289,3 +289,99 @@ def test_tracing_is_a_pure_observer(benchmark, tmp_path):
     lines.append("summarize(trace) reproduced each scan's planner table")
     lines.append("exactly; classifications are untouched by tracing")
     report("race_tracing", lines)
+
+
+# ----------------------------------------------------------------------
+# profiler overhead: attributing search cost must not change the search
+# ----------------------------------------------------------------------
+def ordered_pipeline(width: int):
+    """``width`` writers of one variable chained by semaphores: every
+    conflicting pair is infeasible and proving it takes an exhaustive
+    (pair-local) engine search -- the profiler has real work to
+    attribute, and serial/parallel scans must agree on all of it."""
+    procs = [ProcessDef("w0", [Assign("x", Const(0)), SemV("s0")])]
+    for k in range(1, width):
+        procs.append(
+            ProcessDef(
+                f"w{k}",
+                [SemP(f"s{k-1}"), Assign("x", Const(k)), SemV(f"s{k}")],
+            )
+        )
+    schedule = ["w0", "w0"]
+    for k in range(1, width):
+        schedule += [f"w{k}"] * 3
+    return run_program(
+        Program(procs), FixedScheduler(schedule)
+    ).to_execution()
+
+
+def run_profiled_study():
+    from repro.obs import SearchProfile
+
+    workloads = [
+        ("figure1", figure1_execution()),
+        ("brawl x4", brawl_family(4)),
+        ("pipeline x4", ordered_pipeline(4)),
+        ("pipeline x5", ordered_pipeline(5)),
+    ]
+    rows = []
+    for name, exe in workloads:
+        t0 = time.perf_counter()
+        plain = RaceDetector(exe).feasible_races()
+        t_plain = time.perf_counter() - t0
+        profile = SearchProfile()
+        t0 = time.perf_counter()
+        profiled = RaceDetector(exe).feasible_races(profile=profile)
+        t_profiled = time.perf_counter() - t0
+        par_profile = SearchProfile()
+        RaceDetector(exe).feasible_races(
+            runner=SupervisedScanner(jobs=2), profile=par_profile
+        )
+        rows.append(
+            dict(
+                name=name, plain=plain, profiled=profiled,
+                profile=profile, par_profile=par_profile,
+                t_plain=t_plain, t_profiled=t_profiled,
+            )
+        )
+    return rows
+
+
+def test_profiling_is_a_pure_observer(benchmark):
+    rows = benchmark(run_profiled_study)
+
+    for r in rows:
+        # profiling is observation only: identical classifications AND
+        # identical engine work, state for state
+        assert [
+            (c.a, c.b, c.status) for c in r["profiled"].classifications
+        ] == [(c.a, c.b, c.status) for c in r["plain"].classifications]
+        assert {
+            t: v.states for t, v in r["profiled"].planner.tiers.items()
+        } == {t: v.states for t, v in r["plain"].planner.tiers.items()}
+        # a 2-worker pool scan attributes the same states to the same
+        # frontier choices -- profiles merge back to the serial truth
+        assert r["par_profile"].snapshot() == r["profile"].snapshot()
+
+    body = [
+        [
+            r["name"],
+            sum(v.states for v in r["plain"].planner.tiers.values()),
+            r["profile"].total_states,
+            len(r["profile"].hot_events(top=1000)),
+            f"{r['t_plain'] * 1e3:.1f}ms",
+            f"{r['t_profiled'] * 1e3:.1f}ms",
+        ]
+        for r in rows
+    ]
+    lines = table(
+        ["workload", "tier states", "attributed states", "hot events",
+         "unprofiled time", "profiled time"],
+        body,
+    )
+    lines.append("")
+    lines.append("profiled scans classify identically and visit the same")
+    lines.append("states; 2-worker profiles equal the serial profile exactly")
+    for line in rows[-1]["profile"].describe(top=3):
+        lines.append(line)
+    report("race_profiling", lines)

@@ -14,13 +14,26 @@ Subcommands (also available as ``python -m repro``):
 * ``repro explore PROGRAM.rp`` -- exhaustive schedule-tree summary:
   run counts, deadlocks, event signatures, guaranteed orderings;
 * ``repro trace summarize TRACE.jsonl`` -- re-aggregate a ``--trace``
-  file into the same per-tier table the live scan printed.
+  file into the same per-tier table the live scan printed;
+* ``repro trace profile TRACE.jsonl`` -- merge the trace's search
+  profile records into the "hot events" table (which orderings the
+  exponential search spent its states on);
+* ``repro trace timeline TRACE.jsonl`` -- per-worker utilization
+  (busy/idle, pairs, crashes) reconstructed from the pool's
+  dispatch/result spans, flagging stragglers.
 
 Observability: ``analyze`` and ``races`` accept ``--trace FILE``
 (structured JSONL spans: query tier escalations, engine progress,
 worker lifecycle, checkpoint writes) and ``--metrics FILE``
 (a Prometheus-style text snapshot); long ``races`` scans also print a
 live one-line progress meter on a tty (force with ``REPRO_PROGRESS=1``).
+``--serve PORT`` additionally serves live ``/status`` (JSON),
+``/metrics`` (Prometheus) and ``/healthz`` endpoints on 127.0.0.1 from
+a daemon thread for the lifetime of the run -- a scan you can ask "how
+far along are you" without touching it.  ``--profile FILE`` turns on
+the search profiler (a pure observer: identical classifications and
+states either way), prints the hot-events table after the scan and
+saves the mergeable profile snapshot as JSON.
 
 Budgets: ``analyze`` and ``races`` accept ``--max-states`` and
 ``--timeout SECONDS`` (and ``races`` a ``--per-pair-states`` cap so one
@@ -64,7 +77,11 @@ from repro.model import serialize
 from repro.obs import (
     JsonlTraceSink,
     MetricsRegistry,
+    ObsServer,
     ScanProgress,
+    SearchProfile,
+    StatusBoard,
+    iter_trace,
     planner_metrics,
     scan_metrics,
     summarize_trace,
@@ -87,6 +104,7 @@ from repro.supervise import (
     SupervisedScanner,
     scan_fingerprint,
 )
+from repro.util.fileio import atomic_write_text
 from repro import viz
 
 
@@ -114,6 +132,40 @@ def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
 
 
 _NAMED_PLANS = {"default": DEFAULT_PLAN, "best-effort": BEST_EFFORT_PLAN}
+
+
+def _start_server(port: int):
+    """Bind the live ``--serve`` endpoint, loudly and eagerly.
+
+    Returns ``(board, server)`` on success and ``(None, None)`` after
+    printing one diagnostic line when the port cannot be bound -- the
+    caller turns that into exit status 2 *before* any scan work starts,
+    so a typo'd port never silently runs an unobservable hour-long scan.
+    """
+    board = StatusBoard()
+    try:
+        server = ObsServer(board, port).start()
+    except OSError as exc:
+        print(
+            f"repro: cannot serve on port {port}: {exc}", file=sys.stderr
+        )
+        return None, None
+    print(
+        f"repro: serving /status /metrics /healthz on "
+        f"http://{server.host}:{server.port}",
+        file=sys.stderr,
+    )
+    return board, server
+
+
+def _save_profile(profile: SearchProfile, path: str) -> None:
+    """Print the hot-events table and save the mergeable snapshot."""
+    print("\n".join(profile.describe()))
+    atomic_write_text(
+        path,
+        json.dumps(profile.snapshot(), indent=2, sort_keys=True) + "\n",
+    )
+    print(f"saved search profile to {path}")
 
 
 def _plan_from_args(args: argparse.Namespace):
@@ -203,19 +255,47 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             exe, include_dependences=not args.ignore_deps, budget=budget,
             plan=plan,
         )
-        observed = args.trace or args.metrics
+        observed = (
+            args.trace or args.metrics or args.profile
+            or args.serve is not None
+        )
         if budget is not None or plan is not None or observed:
             # a custom ladder (or observability, which instruments the
             # planner) only makes sense through the portfolio's
             # three-valued verdict path
+            profile = SearchProfile() if args.profile else None
+            board = server = None
+            if args.serve is not None:
+                board, server = _start_server(args.serve)
+                if server is None:
+                    return EXIT_USAGE
+                board.begin_scan(
+                    total=0,
+                    fingerprint=args.execution,
+                    budget=budget,
+                    planner_provider=lambda: q.planner.report.snapshot(),
+                    profile_provider=(
+                        (lambda: profile.snapshot())
+                        if profile is not None
+                        else None
+                    ),
+                )
+                q.planner.attach_board(board)
             sink = JsonlTraceSink(args.trace) if args.trace else None
             try:
                 if sink is not None:
                     q.planner.attach_tracer(sink)
+                if profile is not None:
+                    q.planner.attach_profiler(profile)
                 status = _analyze_pair_budgeted(q, args, la, lb, a, b)
             finally:
                 if sink is not None:
                     sink.close()
+                if server is not None:
+                    board.finish("done")
+                    server.close()
+            if profile is not None:
+                _save_profile(profile, args.profile)
             if args.metrics:
                 registry = MetricsRegistry()
                 planner_metrics(registry, q.planner.report)
@@ -289,16 +369,38 @@ def cmd_races(args: argparse.Namespace) -> int:
     )
     apparent = detector.apparent_races()
     print(apparent.pretty())
-    # any supervision/persistence flag implies the feasible scan: those
-    # flags are meaningless for the polynomial apparent detector
+    # any supervision/persistence/observability flag implies the
+    # feasible scan: those flags are meaningless for the polynomial
+    # apparent detector
     feasible_wanted = (
         args.feasible or args.checkpoint or args.jobs > 1 or args.save
-        or args.trace or args.metrics
+        or args.trace or args.metrics or args.profile
+        or args.serve is not None
     )
     if not feasible_wanted:
         return 0
+    board = server = None
+    if args.serve is not None:
+        board, server = _start_server(args.serve)
+        if server is None:
+            return EXIT_USAGE
+    try:
+        return _feasible_scan(args, exe, detector, budget, plan, board)
+    finally:
+        if server is not None:
+            server.close()
+
+
+def _feasible_scan(
+    args: argparse.Namespace, exe, detector, budget, plan, board
+) -> int:
+    """The supervised feasible scan behind ``repro races`` (everything
+    past the apparent report); ``board`` is the live ``--serve`` status
+    board or None."""
     journal = None
     precomputed = {}
+    fingerprint = None
+    profile = SearchProfile() if args.profile else None
     tracer = JsonlTraceSink(args.trace) if args.trace else None
     traced = tracer is not None
     t0 = time.monotonic()
@@ -330,13 +432,44 @@ def cmd_races(args: argparse.Namespace) -> int:
             if journal is not None:
                 journal.append(c)
                 checkpoint_writes[0] += 1
+                if board is not None:
+                    board.note_checkpoint_write()
                 if traced:
                     tracer.emit(
                         {"kind": "checkpoint.write", "a": c.a, "b": c.b}
                     )
+            if board is not None:
+                board.pair_done(c)
             progress.update(c)
 
         runner = _races_runner(args, tracer)
+        if board is not None:
+            serial = runner is None
+            board.begin_scan(
+                total=len(exe.conflicting_pairs()),
+                fingerprint=fingerprint,
+                budget=budget,
+                # serial scans read the shared planner/profile at
+                # publish time (same thread); parallel scans merge the
+                # workers' per-pair snapshots as results arrive
+                planner_provider=(
+                    (lambda: detector.planner.report.snapshot())
+                    if serial else None
+                ),
+                profile_provider=(
+                    (lambda: profile.snapshot())
+                    if serial and profile is not None else None
+                ),
+            )
+            # journaled pairs count immediately: /status totals always
+            # match the final report, resumed or not (fresh=False keeps
+            # them out of the observed pair rate and the ETA)
+            for c in precomputed.values():
+                board.pair_done(c, fresh=False)
+            if serial:
+                detector.planner.attach_board(board)
+            else:
+                runner.board = board
         try:
             feasible = detector.feasible_races(
                 per_pair_max_states=args.per_pair_states,
@@ -344,7 +477,12 @@ def cmd_races(args: argparse.Namespace) -> int:
                 precomputed=precomputed,
                 on_classified=on_classified,
                 tracer=tracer,
+                profile=profile,
             )
+            if board is not None:
+                board.finish(
+                    "interrupted" if feasible.interrupted else "done"
+                )
         finally:
             progress.finish()
             if journal is not None:
@@ -365,6 +503,8 @@ def cmd_races(args: argparse.Namespace) -> int:
     print(feasible.pretty())
     if feasible.planner is not None and feasible.planner.queries:
         print(feasible.planner.describe())
+    if profile is not None:
+        _save_profile(profile, args.profile)
     if args.witnesses:
         for race in feasible.races:
             if race.witness is not None:
@@ -403,6 +543,139 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     the live scan printed (they agree exactly, worker spans included)."""
     summary = summarize_trace(args.trace_file)
     print(summary.describe())
+    return 0
+
+
+def cmd_trace_profile(args: argparse.Namespace) -> int:
+    """Merge a trace's ``profile`` records into the hot-events table.
+
+    Profiles merge associatively, so the table from a checkpointed
+    scan's several ``profile`` records (one per run segment) or a
+    parallel scan's merged workers equals the table one serial
+    uninterrupted scan would print.  Streams the trace: journal size
+    does not matter.
+    """
+    profile = SearchProfile()
+    found = 0
+    for rec in iter_trace(args.trace_file):
+        if rec["kind"] == "profile":
+            profile.merge(rec["profile"])
+            found += 1
+    if not found:
+        print(
+            "repro: no profile records in trace; record one with "
+            "`repro races --trace FILE --profile FILE`",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if found > 1:
+        print(f"merged {found} profile records")
+    print("\n".join(profile.describe(top=args.top)))
+    return 0
+
+
+def cmd_trace_timeline(args: argparse.Namespace) -> int:
+    """Per-worker utilization from the pool's dispatch/result spans.
+
+    All the spans used here (``scan.*``, ``worker.*``) are stamped by
+    the parent's monotonic clock, so durations across workers are
+    directly comparable.  Streams the trace.
+    """
+    workers = {}
+    scan_start = scan_end = last_t = None
+    pair_times = []
+
+    def entry(uid):
+        e = workers.get(uid)
+        if e is None:
+            e = workers[uid] = {
+                "busy": 0.0, "pairs": 0, "crashes": 0,
+                "first": None, "last": None, "open": None,
+                "slowest": 0.0, "slowest_pair": None,
+            }
+        return e
+
+    for rec in iter_trace(args.trace_file):
+        kind, t = rec["kind"], rec["t"]
+        last_t = t if last_t is None else max(last_t, t)
+        if kind == "scan.start":
+            scan_start = t
+        elif kind == "scan.end":
+            scan_end = t
+        elif kind == "worker.spawn":
+            e = entry(rec["worker"])
+            e["first"] = t if e["first"] is None else e["first"]
+            e["last"] = t
+        elif kind == "worker.dispatch":
+            e = entry(rec["worker"])
+            e["open"] = (t, rec["a"], rec["b"])
+            e["first"] = t if e["first"] is None else e["first"]
+            e["last"] = t
+        elif kind in ("worker.result", "worker.crash", "worker.retire"):
+            e = entry(rec["worker"])
+            e["last"] = t
+            if kind == "worker.crash":
+                e["crashes"] += 1
+            if e["open"] is not None and kind != "worker.retire":
+                took = t - e["open"][0]
+                e["busy"] += took
+                if kind == "worker.result":
+                    e["pairs"] += 1
+                    pair_times.append(took)
+                if took > e["slowest"]:
+                    e["slowest"] = took
+                    e["slowest_pair"] = e["open"][1:]
+                e["open"] = None
+    if not workers:
+        if scan_start is not None:
+            end = scan_end if scan_end is not None else last_t
+            print(
+                f"serial scan (no worker spans): "
+                f"{end - scan_start:.3f}s wall"
+                + ("" if scan_end is not None else ", no scan.end (killed?)")
+            )
+            return 0
+        print("repro: no scan or worker spans in trace", file=sys.stderr)
+        return EXIT_USAGE
+    end = scan_end if scan_end is not None else last_t
+    wall = (end - scan_start) if scan_start is not None else None
+    median = sorted(pair_times)[len(pair_times) // 2] if pair_times else 0.0
+    header = f"worker timeline: {len(workers)} worker(s)"
+    if wall is not None:
+        header += f", scan wall {wall:.3f}s"
+    if scan_end is None:
+        header += " (no scan.end record -- scan killed mid-flight?)"
+    print(header)
+    stragglers = []
+    for uid in sorted(workers):
+        e = workers[uid]
+        lifetime = (e["last"] - e["first"]) if e["first"] is not None else 0.0
+        util = 100.0 * e["busy"] / lifetime if lifetime > 0 else 0.0
+        line = (
+            f"  worker {uid}: pairs={e['pairs']} busy={e['busy']:.3f}s "
+            f"util={util:.0f}%"
+        )
+        if e["crashes"]:
+            line += f" crashes={e['crashes']}"
+        flags = []
+        if e["crashes"]:
+            flags.append("crashed")
+        if (
+            e["slowest_pair"] is not None
+            and median > 0
+            and e["slowest"] >= 2 * median
+        ):
+            a, b = e["slowest_pair"]
+            flags.append(
+                f"straggler: pair ({a}, {b}) took {e['slowest']:.3f}s "
+                f"({e['slowest'] / median:.1f}x median)"
+            )
+        if flags:
+            line += "  <- " + "; ".join(flags)
+            stragglers.append(uid)
+        print(line)
+    if not stragglers:
+        print("  no stragglers (all pairs within 2x the median)")
     return 0
 
 
@@ -500,6 +773,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", metavar="FILE",
                    help="with --pair: write a Prometheus-style text "
                    "snapshot of the planner tallies")
+    p.add_argument("--profile", metavar="FILE",
+                   help="with --pair: profile the exact search (which "
+                   "branch choices burn states), print the hot-events "
+                   "table and save the snapshot JSON")
+    p.add_argument("--serve", type=int, metavar="PORT", default=None,
+                   help="with --pair: serve live /status, /metrics and "
+                   "/healthz on 127.0.0.1:PORT while the query runs")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("races", help="race detection on a saved execution")
@@ -547,6 +827,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a Prometheus-style text snapshot of the "
                    "finished scan (pairs by outcome, tier tallies, "
                    "worker restarts; implies --feasible)")
+    p.add_argument("--profile", metavar="FILE",
+                   help="profile the exact searches (attribute engine "
+                   "states to branch choice points), print the "
+                   "hot-events table after the scan and save the "
+                   "snapshot JSON (implies --feasible; pure observer: "
+                   "classifications and state counts are unchanged)")
+    p.add_argument("--serve", type=int, metavar="PORT", default=None,
+                   help="serve live /status (JSON), /metrics "
+                   "(Prometheus) and /healthz on 127.0.0.1:PORT for "
+                   "the lifetime of the scan (implies --feasible)")
     p.add_argument("--fault-spec", help=argparse.SUPPRESS)  # test-only
     p.set_defaults(func=cmd_races)
 
@@ -558,6 +848,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("trace_file", help="JSONL trace written by --trace")
     ps.set_defaults(func=cmd_trace_summarize)
+    ps = tsub.add_parser(
+        "profile",
+        help="merge the trace's search-profile records into the "
+        "hot-events table (scans recorded with --profile)",
+    )
+    ps.add_argument("trace_file", help="JSONL trace written by --trace")
+    ps.add_argument("--top", type=int, default=10,
+                    help="rows in the hot-events table (default 10)")
+    ps.set_defaults(func=cmd_trace_profile)
+    ps = tsub.add_parser(
+        "timeline",
+        help="per-worker utilization (busy/idle, crashes, stragglers) "
+        "from the pool's dispatch/result spans",
+    )
+    ps.add_argument("trace_file", help="JSONL trace written by --trace")
+    ps.set_defaults(func=cmd_trace_timeline)
 
     p = sub.add_parser("sat", help="decide a DIMACS formula via the reductions")
     p.add_argument("formula")

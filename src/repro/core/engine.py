@@ -165,6 +165,11 @@ class SearchStats:
 # interval event, 1 = end of an interval event, 2 = atomic execution.
 _BEGIN, _END, _ATOMIC = 0, 1, 2
 
+# Attribution key for search states visited before the first real
+# branch.  Must match ``repro.obs.profile.ROOT_KEY`` -- duplicated here
+# because core sits below obs in the import layering.
+_PROFILE_ROOT = (-1, "(root)", "")
+
 
 class FeasibilityEngine:
     """Decides completability of an execution under point constraints.
@@ -309,6 +314,20 @@ class FeasibilityEngine:
             return bool((ended >> p.eid) & 1)
         return bool((begun >> p.eid) & 1)
 
+    def _profile_keys(self) -> List[Tuple[int, str, str]]:
+        """Per-eid profiler attribution keys ``(eid, kind, obj)``.
+
+        Built lazily and cached: the engine is immutable after
+        construction, and un-profiled searches must never pay for it.
+        """
+        keys = getattr(self, "_profile_key_cache", None)
+        if keys is None:
+            keys = [
+                (e.eid, e.kind.value, e.obj or "") for e in self.exe.events
+            ]
+            self._profile_key_cache = keys
+        return keys
+
     # ------------------------------------------------------------------
     # the search
     # ------------------------------------------------------------------
@@ -322,6 +341,7 @@ class FeasibilityEngine:
         stats: Optional[SearchStats] = None,
         memoize: bool = True,
         on_progress=None,
+        profile=None,
     ) -> Optional[List[Point]]:
         """Find one legal complete point schedule satisfying ``constraints``.
 
@@ -340,6 +360,15 @@ class FeasibilityEngine:
         :class:`SearchStats` at the same amortized cadence as the
         deadline check (every ``check_interval`` visited states) --
         the tracing hook for long searches.
+
+        ``profile``, when given, must provide the ``charge_*`` methods
+        of :class:`repro.obs.profile.SearchProfile`; every visited
+        state, dead-end and backtrack is attributed to the frontier
+        action ``(eid, kind, obj)`` chosen at the innermost enclosing
+        branch (states before the first branch go to the root pseudo
+        key).  Profiling is a pure observer: it never changes which
+        states are visited, and with ``profile=None`` (the default)
+        every hook site is a single ``is not None`` test.
         """
         if stats is None:
             stats = SearchStats()
@@ -382,6 +411,16 @@ class FeasibilityEngine:
         start = (0, 0, self._var_initial_mask, self._sem_initial)
         failed: Set[Tuple[int, int, int, Tuple[int, ...]]] = set()
         path: List[Point] = []
+
+        if profile is not None:
+            profile.charge_search()
+            profile_keys = self._profile_keys()
+            # Stack of attribution keys: the chosen action at each
+            # enclosing *branch* (free/hoisted actions don't push).
+            profile_stack = [_PROFILE_ROOT]
+        else:
+            profile_keys = None
+            profile_stack = None
 
         free_end = self._free_end
         p_mask = self._p_mask
@@ -502,6 +541,8 @@ class FeasibilityEngine:
 
         def dfs(state) -> bool:
             stats.states_visited += 1
+            if profile is not None:
+                profile.charge_state(profile_stack[-1])
             if max_states is not None and stats.states_visited > max_states:
                 stats.termination = TERMINATED_STATES
                 raise SearchBudgetExceeded(
@@ -525,11 +566,16 @@ class FeasibilityEngine:
                 return True
             if dead_end(ended, varmask, counts):
                 stats.dead_ends += 1
+                if profile is not None:
+                    profile.charge_dead_end(profile_stack[-1])
                 return False
             acts = enabled_actions(state)
             if not acts:
                 stats.dead_ends += 1
+                if profile is not None:
+                    profile.charge_dead_end(profile_stack[-1])
                 return False
+            branching = profile is not None and len(acts) > 1
             for act in acts:
                 stats.actions_tried += 1
                 nxt = apply(state, act)
@@ -544,7 +590,16 @@ class FeasibilityEngine:
                 else:
                     path.append(Point(eid, False))
                     path.append(Point(eid, True))
-                if dfs(nxt):
+                if branching:
+                    choice_key = profile_keys[eid]
+                    profile.charge_choice(choice_key)
+                    profile_stack.append(choice_key)
+                subtree_found = dfs(nxt)
+                if branching:
+                    profile_stack.pop()
+                    if not subtree_found:
+                        profile.charge_backtrack(choice_key)
+                if subtree_found:
                     return True
                 if phase == _ATOMIC:
                     path.pop()

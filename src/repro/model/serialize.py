@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional
 
 from repro.model.events import Access, Event, EventKind
 from repro.model.execution import ProgramExecution
+from repro.util.fileio import atomic_write_text
 
 FORMAT_VERSION = 1
 # report schema history:
@@ -269,13 +270,15 @@ def report_from_dict(data: Dict[str, Any]):
 def save_report(
     report, path: str, *, indent: Optional[int] = 2, trace: Optional[str] = None
 ) -> None:
-    with open(path, "w") as fh:
-        fh.write(
-            json.dumps(
-                report_to_dict(report, trace=trace), indent=indent, sort_keys=True
-            )
+    # atomic: --save targets are read by dashboards/scripts while the
+    # next scan may be rewriting them
+    atomic_write_text(
+        path,
+        json.dumps(
+            report_to_dict(report, trace=trace), indent=indent, sort_keys=True
         )
-        fh.write("\n")
+        + "\n",
+    )
 
 
 def load_report(path: str):
@@ -293,8 +296,7 @@ def loads(text: str) -> ProgramExecution:
 
 
 def save(exe: ProgramExecution, path: str) -> None:
-    with open(path, "w") as fh:
-        fh.write(dumps(exe) + "\n")
+    atomic_write_text(path, dumps(exe) + "\n")
 
 
 def load(path: str) -> ProgramExecution:

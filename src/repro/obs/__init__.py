@@ -1,4 +1,4 @@
-"""Observability for long scans: structured tracing + metrics.
+"""Observability for long scans: tracing, metrics, profiling, serving.
 
 Every query this library answers is worst-case exponential, so real
 scans run for minutes to hours under budgets, worker pools and the
@@ -10,15 +10,25 @@ tiered solver portfolio.  This package records *where* that time goes:
   supervised workers record into an in-memory sink and ship their
   spans home over the existing result channel.  A trace re-aggregates
   (``repro trace summarize``) into exactly the per-tier table the live
-  :class:`~repro.solve.planner.PlannerReport` prints;
+  :class:`~repro.solve.planner.PlannerReport` prints, and streams
+  (:func:`~repro.obs.trace.iter_trace`) so multi-GB traces analyze in
+  constant memory;
+* :mod:`repro.obs.profile` -- the search profiler: attributes engine
+  states/dead-ends/backtracks to the frontier *choice* taken at each
+  branch, answering "which events' orderings cost the search" (``repro
+  trace profile``, ``--profile``).  A pure observer: identical
+  classifications and identical ``states_visited`` with it on or off;
 * :mod:`repro.obs.metrics` -- a counter/gauge/histogram registry
   rendered as a Prometheus-style text snapshot (``--metrics FILE``);
 * :mod:`repro.obs.progress` -- the live stderr progress line
-  (done/feasible/infeasible/unknown, rate, budget-aware ETA).
+  (done/feasible/infeasible/unknown, rate, budget-aware ETA);
+* :mod:`repro.obs.server` -- the live ``--serve PORT`` HTTP endpoint
+  (``/status``, ``/metrics``, ``/healthz``) publishing immutable scan
+  snapshots through a lock-free single-writer slot.
 
-Everything defaults to :data:`~repro.obs.trace.NULL_SINK`, a no-op
-whose ``enabled`` flag call sites check before building a record, so
-untraced runs pay nothing.
+Everything defaults off (:data:`~repro.obs.trace.NULL_SINK`, ``profile
+is None``, no board) behind guards call sites check before building a
+record, so unobserved runs pay nothing.
 """
 
 from repro.obs.metrics import (
@@ -29,15 +39,19 @@ from repro.obs.metrics import (
     planner_metrics,
     scan_metrics,
 )
+from repro.obs.profile import SearchProfile, merge_profiles
 from repro.obs.progress import ScanProgress
+from repro.obs.server import ObsServer, StatusBoard, render_status_metrics
 from repro.obs.trace import (
     NULL_SINK,
+    SUPPORTED_TRACE_VERSIONS,
     JsonlTraceSink,
     NullSink,
     RecordingSink,
     TraceError,
     TraceSink,
     TraceSummary,
+    iter_trace,
     read_trace,
     summarize_trace,
     validate_record,
@@ -50,14 +64,21 @@ __all__ = [
     "MetricsRegistry",
     "planner_metrics",
     "scan_metrics",
+    "SearchProfile",
+    "merge_profiles",
     "ScanProgress",
+    "ObsServer",
+    "StatusBoard",
+    "render_status_metrics",
     "NULL_SINK",
+    "SUPPORTED_TRACE_VERSIONS",
     "JsonlTraceSink",
     "NullSink",
     "RecordingSink",
     "TraceError",
     "TraceSink",
     "TraceSummary",
+    "iter_trace",
     "read_trace",
     "summarize_trace",
     "validate_record",

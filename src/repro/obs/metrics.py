@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.util.fileio import atomic_write_text
+
 _LabelKey = Tuple[Tuple[str, str], ...]
 
 
@@ -167,8 +169,12 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def write(self, path: str) -> None:
-        with open(path, "w") as fh:
-            fh.write(self.render())
+        """Atomically replace ``path`` with the rendered snapshot.
+
+        Metrics files are scraped and ``tail``\\ ed while the scan still
+        runs, so a torn half-written snapshot must never be observable.
+        """
+        atomic_write_text(path, self.render())
 
 
 # ----------------------------------------------------------------------

@@ -46,6 +46,7 @@ class ScanProgress:
         self._t0 = time.monotonic()
         self._last_render = 0.0
         self._dirty = False
+        self._rendered = False  # anything on the line that needs a "\n"
 
     # ------------------------------------------------------------------
     def update(self, classification) -> None:
@@ -61,8 +62,18 @@ class ScanProgress:
         self._render(now)
 
     def finish(self) -> None:
-        if self.enabled and self._dirty:
+        """Render any pending state and terminate the line.
+
+        The newline is owed whenever anything was ever rendered -- the
+        final ``update`` usually renders immediately (clearing
+        ``_dirty``), and skipping the newline then would glue the shell
+        prompt to the last progress line.
+        """
+        if not self.enabled:
+            return
+        if self._dirty:
             self._render(time.monotonic())
+        if self._rendered:
             self.stream.write("\n")
             self.stream.flush()
 
@@ -82,12 +93,19 @@ class ScanProgress:
         remaining = self.total - self.done
         if remaining <= 0:
             parts.append("done")
-        elif rate > 0:
-            eta = remaining / rate
+        else:
+            # the ETA always comes from the observed pair rate; a budget
+            # deadline only *caps* it.  Before the first classification
+            # there is no rate yet -- say so rather than print nothing.
+            eta = remaining / rate if rate > 0 else None
             budget_left = (
                 self.budget.remaining_seconds() if self.budget is not None else None
             )
-            if budget_left is not None and budget_left < eta:
+            if eta is None:
+                parts.append(
+                    "eta ?" if budget_left is None else f"eta <={budget_left:.0f}s"
+                )
+            elif budget_left is not None and budget_left < eta:
                 parts.append(f"eta {budget_left:.0f}s (budget caps {eta:.0f}s)")
             else:
                 parts.append(f"eta {eta:.0f}s")
@@ -96,6 +114,7 @@ class ScanProgress:
     def _render(self, now: float) -> None:
         self._last_render = now
         self._dirty = False
+        self._rendered = True
         self.stream.write("\r" + self.line(now).ljust(78))
         self.stream.flush()
 

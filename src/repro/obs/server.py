@@ -1,0 +1,408 @@
+"""Live HTTP introspection for a running scan (``--serve PORT``).
+
+A scan that runs for hours must answer "how far along are you, is
+anything stuck, and where is the states budget going" *while it runs*.
+This module serves that over plain HTTP from a daemon thread:
+
+* ``GET /healthz`` -- liveness, always ``200 ok``;
+* ``GET /status``  -- one JSON document: scan fingerprint, pair counts
+  by outcome, the per-tier planner table, per-worker liveness (current
+  pair, results, crashes), budget remaining, observed pair rate + ETA,
+  and the merged search profile when profiling is on;
+* ``GET /metrics`` -- the same snapshot rendered live through the
+  existing :class:`~repro.obs.metrics.MetricsRegistry` Prometheus text
+  format (scrapeable in place of the ``--metrics`` file snapshots).
+
+Concurrency model -- a lock-free single-writer slot: every mutator of
+:class:`StatusBoard` runs on the scan thread, which periodically
+builds a fresh *immutable* snapshot dict and publishes it with one
+attribute assignment (atomic under the GIL).  Handler threads only
+ever read the latest published reference and serialize it; serving
+never takes a lock the classification loop could contend on, and a
+torn snapshot is impossible by construction.  Unserved runs pay
+nothing: with no board, every instrumentation site is a single ``is
+not None`` test, matching the :data:`~repro.obs.trace.NULL_SINK`
+convention.
+
+The server owns no policy: the CLI starts it before the scan, points
+it at the board the scan publishes through, and closes it on drain,
+SIGINT and ``--timeout`` expiry alike (the surrounding ``finally``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry, planner_metrics
+from repro.obs.profile import SearchProfile
+from repro.solve.planner import PlannerReport
+
+#: /status schema version (bumped when keys change meaning).
+STATUS_VERSION = 1
+
+
+class StatusBoard:
+    """Scan-side state with a lock-free published snapshot.
+
+    Single-writer: every mutator (``begin_scan``, ``pair_done``,
+    ``observe``, ``merge_*``, ``finish``) must be called from the scan
+    thread.  Readers (HTTP handlers) call only :meth:`latest`, which
+    returns the last published immutable snapshot -- possibly ``None``
+    before the first publish, and always a complete document after.
+    """
+
+    def __init__(self) -> None:
+        self._snapshot: Optional[Dict[str, Any]] = None
+        self._state = "starting"
+        self._fingerprint: Optional[str] = None
+        self._total = 0
+        self._counts: Dict[str, int] = {}
+        self._fresh_done = 0
+        self._budget = None
+        self._t0 = time.monotonic()
+        self._workers: Dict[int, Dict[str, Any]] = {}
+        self._worker_spawns = 0
+        self._worker_crashes = 0
+        self._checkpoint_writes = 0
+        self._engine_states: Optional[int] = None
+        self._last_engine_publish = 0.0
+        self._merged_planner = PlannerReport()
+        self._merged_profile: Optional[SearchProfile] = None
+        # live read-at-publish providers (the serial scan path: the
+        # planner report / profile objects mutate in place on the same
+        # thread that publishes, so reading them here is race-free)
+        self._planner_provider: Optional[Callable[[], Dict[str, Any]]] = None
+        self._profile_provider: Optional[Callable[[], Dict[str, Any]]] = None
+        self.publish()
+
+    # -- wiring (scan thread, before/while scanning) ---------------------
+    def begin_scan(
+        self,
+        *,
+        total: int,
+        fingerprint: Optional[str] = None,
+        budget=None,
+        planner_provider: Optional[Callable[[], Dict[str, Any]]] = None,
+        profile_provider: Optional[Callable[[], Dict[str, Any]]] = None,
+    ) -> None:
+        """Arm the board for a scan of ``total`` conflicting pairs."""
+        self._state = "scanning"
+        self._total = total
+        self._fingerprint = fingerprint
+        self._budget = budget
+        self._planner_provider = planner_provider
+        self._profile_provider = profile_provider
+        self._t0 = time.monotonic()
+        self.publish()
+
+    def set_state(self, state: str) -> None:
+        self._state = state
+        self.publish()
+
+    # -- scan progress ---------------------------------------------------
+    def pair_done(self, classification, *, fresh: bool = True) -> None:
+        """Count one classified pair (``fresh=False`` for checkpoint
+        replays, which should not distort the observed pair rate)."""
+        status = classification.status
+        self._counts[status] = self._counts.get(status, 0) + 1
+        if fresh:
+            self._fresh_done += 1
+        self.publish()
+
+    def note_checkpoint_write(self) -> None:
+        self._checkpoint_writes += 1
+        # no publish: always paired with a pair_done that publishes
+
+    def engine_tick(self, stats) -> None:
+        """Amortized engine progress (chained off ``ctx.on_progress``);
+        throttled so deep searches don't spend their time publishing."""
+        self._engine_states = stats.states_visited
+        now = time.monotonic()
+        if now - self._last_engine_publish >= 0.25:
+            self._last_engine_publish = now
+            self.publish()
+
+    def observe(self, record: Dict[str, Any]) -> None:
+        """Fold one worker lifecycle record (trace-shaped, from the
+        supervised pool) into the per-worker table."""
+        kind = record.get("kind", "")
+        if not kind.startswith("worker."):
+            return
+        event = kind.split(".", 1)[1]
+        if event == "retry":  # pair-level, carries no worker id
+            self.publish()
+            return
+        uid = record.get("worker")
+        w = self._workers.get(uid)
+        if w is None:
+            w = self._workers[uid] = {
+                "alive": True, "state": "spawned", "pair": None,
+                "results": 0, "crashes": 0,
+            }
+        if event == "spawn":
+            self._worker_spawns += 1
+        elif event == "ready":
+            w["state"] = "ready"
+        elif event == "dispatch":
+            w["state"] = "busy"
+            w["pair"] = [record.get("a"), record.get("b")]
+        elif event == "result":
+            w["state"] = "idle"
+            w["pair"] = None
+            w["results"] += 1
+        elif event == "crash":
+            w["alive"] = False
+            w["state"] = f"crashed ({record.get('resource', 'crash')})"
+            w["pair"] = None
+            w["crashes"] += 1
+            self._worker_crashes += 1
+        elif event == "retire":
+            w["alive"] = False
+            if not w["state"].startswith("crashed"):
+                w["state"] = "retired"
+            w["pair"] = None
+        self.publish()
+
+    def merge_planner(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a worker's per-pair planner snapshot into the live
+        per-tier table (parallel scans; serial scans use a provider)."""
+        if snapshot:
+            self._merged_planner.merge(snapshot)
+
+    def merge_profile(self, snapshot: Dict[str, Any]) -> None:
+        if snapshot:
+            if self._merged_profile is None:
+                self._merged_profile = SearchProfile()
+            self._merged_profile.merge(snapshot)
+
+    def finish(self, state: str = "done") -> None:
+        self._state = state
+        self.publish()
+
+    # -- the slot --------------------------------------------------------
+    def publish(self) -> None:
+        """Build a fresh snapshot and swing the slot to it (one atomic
+        reference assignment; readers see old-complete or new-complete,
+        never a mix)."""
+        self._snapshot = self._build()
+
+    def latest(self) -> Optional[Dict[str, Any]]:
+        return self._snapshot
+
+    # -- snapshot construction (scan thread only) ------------------------
+    def _build(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        elapsed = max(0.0, now - self._t0)
+        done = sum(self._counts.values())
+        remaining = max(0, self._total - done)
+        rate = self._fresh_done / elapsed if elapsed > 0 else None
+        eta = None
+        if remaining == 0:
+            eta = 0.0
+        elif rate:
+            eta = remaining / rate
+        budget_doc = None
+        if self._budget is not None:
+            left = self._budget.remaining_seconds()
+            budget_doc = {
+                "remaining_seconds": left,
+                "max_states": self._budget.max_states,
+            }
+            if left is not None and eta is not None and left < eta:
+                eta = left  # the deadline will cut the scan short
+        if self._planner_provider is not None:
+            planner = self._planner_provider()
+        else:
+            planner = self._merged_planner.snapshot()
+        if self._profile_provider is not None:
+            profile = self._profile_provider()
+        elif self._merged_profile is not None:
+            profile = self._merged_profile.snapshot()
+        else:
+            profile = None
+        return {
+            "service": "repro",
+            "status_version": STATUS_VERSION,
+            "state": self._state,
+            "fingerprint": self._fingerprint,
+            "pairs": {
+                "total": self._total,
+                "done": done,
+                "feasible": self._counts.get("feasible", 0),
+                "infeasible": self._counts.get("infeasible", 0),
+                "unknown": self._counts.get("unknown", 0),
+            },
+            "planner": planner,
+            "profile": profile,
+            "workers": {
+                str(uid): dict(w) for uid, w in self._workers.items()
+            },
+            "worker_spawns": self._worker_spawns,
+            "worker_crashes": self._worker_crashes,
+            "checkpoint_writes": self._checkpoint_writes,
+            "engine_states": self._engine_states,
+            "elapsed_seconds": elapsed,
+            "rate_pairs_per_second": rate,
+            "eta_seconds": eta,
+            "budget": budget_doc,
+            "updated_at": time.time(),
+        }
+
+
+# ----------------------------------------------------------------------
+def render_status_metrics(snapshot: Optional[Dict[str, Any]]) -> str:
+    """Render a /status snapshot as Prometheus text (the /metrics body).
+
+    A pure function of the snapshot, so handler threads never touch
+    mutable scan state.  Shares instrument names with the ``--metrics``
+    file snapshots wherever the quantity is the same.
+    """
+    registry = MetricsRegistry()
+    registry.gauge("repro_scan_up", "1 while the scan process serves").set(1)
+    if snapshot is None:
+        return registry.render()
+    pairs = snapshot.get("pairs") or {}
+    registry.gauge(
+        "repro_scan_pairs_total", "Conflicting pairs in the scan"
+    ).set(pairs.get("total", 0))
+    registry.gauge(
+        "repro_scan_pairs_done", "Pairs classified so far"
+    ).set(pairs.get("done", 0))
+    for status in ("feasible", "infeasible", "unknown"):
+        registry.counter(
+            "repro_pairs_classified_total",
+            "Conflicting pairs classified, by outcome",
+            labels={"status": status},
+        ).inc(pairs.get(status, 0))
+    planner = snapshot.get("planner")
+    if planner:
+        planner_metrics(registry, PlannerReport.from_snapshot(planner))
+    registry.gauge(
+        "repro_scan_elapsed_seconds", "Wall-clock duration of the scan"
+    ).set(snapshot.get("elapsed_seconds") or 0.0)
+    rate = snapshot.get("rate_pairs_per_second")
+    if rate is not None:
+        registry.gauge(
+            "repro_scan_pairs_per_second", "Observed classification rate"
+        ).set(rate)
+    eta = snapshot.get("eta_seconds")
+    if eta is not None:
+        registry.gauge(
+            "repro_scan_eta_seconds", "Projected seconds to drain the scan"
+        ).set(eta)
+    registry.counter(
+        "repro_worker_spawns_total", "Supervised workers started"
+    ).inc(snapshot.get("worker_spawns", 0))
+    registry.counter(
+        "repro_worker_crashes_total", "Supervised workers that died"
+    ).inc(snapshot.get("worker_crashes", 0))
+    registry.counter(
+        "repro_checkpoint_writes_total", "Pair records journaled durably"
+    ).inc(snapshot.get("checkpoint_writes", 0))
+    profile = snapshot.get("profile")
+    if profile:
+        prof = SearchProfile.from_snapshot(profile)
+        registry.counter(
+            "repro_profile_states_total",
+            "Engine states attributed by the search profiler",
+        ).inc(prof.total_states)
+    return registry.render()
+
+
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._reply(200, "ok\n", "text/plain; charset=utf-8")
+        elif path == "/status":
+            snapshot = self.server.board.latest()
+            body = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+            self._reply(200, body, "application/json")
+        elif path == "/metrics":
+            body = render_status_metrics(self.server.board.latest())
+            self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        else:
+            self._reply(
+                404, "not found (try /status, /metrics, /healthz)\n",
+                "text/plain; charset=utf-8",
+            )
+
+    def _reply(self, code: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        try:
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # impatient scraper; the scan must not care
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # scrapes are routine; stderr belongs to the progress line
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True  # handler threads never block interpreter exit
+    board: StatusBoard
+
+
+class ObsServer:
+    """The ``--serve`` endpoint: a daemon-threaded stdlib HTTP server.
+
+    Binds eagerly -- construction raises :class:`OSError` immediately
+    when the port is taken, so the CLI can fail loudly *before* the
+    scan starts.  ``port=0`` binds an ephemeral port (tests); the bound
+    port is in :attr:`port`.  :meth:`close` is idempotent and safe from
+    ``finally`` blocks: it stops the accept loop, closes the socket and
+    joins the thread.
+    """
+
+    def __init__(
+        self, board: StatusBoard, port: int, *, host: str = "127.0.0.1"
+    ) -> None:
+        self.board = board
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.board = board
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ObsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def url(self, path: str = "/status") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+__all__ = [
+    "STATUS_VERSION",
+    "StatusBoard",
+    "ObsServer",
+    "render_status_metrics",
+]

@@ -19,11 +19,17 @@ happens, as a flat stream of JSON records:
 * ``pair`` spans -- one per classified conflicting pair;
 * ``scan.start`` / ``scan.end`` -- scan-level bounds and tallies;
 * ``worker.*`` events -- the supervised pool's lifecycle (spawn,
-  ready, retry, crash, retire); supervised workers record their own
-  ``query`` spans into a bounded in-memory sink and ship them home
-  over the existing result channel, so a parallel scan's trace is as
-  complete as a serial one's;
+  ready, retry, crash, retire, plus ``dispatch``/``result`` bounds
+  around every attempt -- the raw material of ``repro trace
+  timeline``); supervised workers record their own ``query`` spans
+  into a bounded in-memory sink and ship them home over the existing
+  result channel, so a parallel scan's trace is as complete as a
+  serial one's;
 * ``checkpoint.write`` events -- one per journaled pair;
+* ``profile`` -- the scan's merged
+  :class:`~repro.obs.profile.SearchProfile` snapshot (choice-point
+  attribution of engine states), emitted once before ``scan.end`` when
+  the scan ran with profiling (``repro trace profile`` reads these);
 * ``trace.drops`` -- bounded sinks never block or grow without limit;
   when they shed records they say how many.
 
@@ -42,10 +48,14 @@ import json
 import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.profile import SearchProfile
 from repro.solve.planner import PlannerReport
 
 TRACE_FORMAT = "repro-trace"
-TRACE_VERSION = 1
+# version 2 added the profile / worker.dispatch / worker.result kinds;
+# version-1 traces (which simply lack them) are still readable
+TRACE_VERSION = 2
+SUPPORTED_TRACE_VERSIONS = (1, 2)
 
 
 class TraceError(ValueError):
@@ -78,7 +88,10 @@ SPAN_SCHEMA: Dict[str, Tuple[Tuple[str, tuple], ...]] = {
     "worker.retire": (("worker", (int,)),),
     "worker.crash": (("worker", (int,)), ("resource", (str,))),
     "worker.retry": (("a", (int,)), ("b", (int,)), ("attempt", (int,))),
+    "worker.dispatch": (("worker", (int,)), ("a", (int,)), ("b", (int,))),
+    "worker.result": (("worker", (int,)), ("a", (int,)), ("b", (int,))),
     "checkpoint.write": (("a", (int,)), ("b", (int,))),
+    "profile": (("profile", (dict,)),),
     "trace.drops": (("dropped", (int,)),),
 }
 
@@ -284,10 +297,18 @@ class JsonlTraceSink(TraceSink):
 # ----------------------------------------------------------------------
 # reading traces back
 # ----------------------------------------------------------------------
-def read_trace(path: str) -> List[Dict[str, Any]]:
-    """Parse and schema-validate every record of a trace file."""
-    records: List[Dict[str, Any]] = []
+def iter_trace(path: str) -> Iterable[Dict[str, Any]]:
+    """Parse and schema-validate a trace file one record at a time.
+
+    A generator: the file is read line by line and each record is
+    validated (and the header checked) before it is yielded, so
+    multi-GB journals are analyzed in constant memory.  The header
+    record is yielded too, like :func:`read_trace` returns it.
+    Raises :class:`TraceError` on the first malformed line, a missing
+    or foreign header, an unsupported version, or an empty file.
+    """
     with open(path) as fh:
+        first = True
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
@@ -300,18 +321,31 @@ def read_trace(path: str) -> List[Dict[str, Any]]:
                 validate_record(rec)
             except TraceError as exc:
                 raise TraceError(f"{path}: line {lineno}: {exc}")
-            records.append(rec)
-    if not records:
-        raise TraceError(f"{path}: empty trace")
-    head = records[0]
-    if head.get("kind") != "trace.start" or head.get("format") != TRACE_FORMAT:
-        raise TraceError(f"{path}: not a {TRACE_FORMAT} file")
-    if head.get("version") != TRACE_VERSION:
-        raise TraceError(
-            f"{path}: unsupported trace version {head.get('version')!r} "
-            f"(this library reads version {TRACE_VERSION})"
-        )
-    return records
+            if first:
+                first = False
+                if (
+                    rec.get("kind") != "trace.start"
+                    or rec.get("format") != TRACE_FORMAT
+                ):
+                    raise TraceError(f"{path}: not a {TRACE_FORMAT} file")
+                if rec.get("version") not in SUPPORTED_TRACE_VERSIONS:
+                    raise TraceError(
+                        f"{path}: unsupported trace version "
+                        f"{rec.get('version')!r} (this library reads "
+                        f"versions {SUPPORTED_TRACE_VERSIONS})"
+                    )
+            yield rec
+        if first:
+            raise TraceError(f"{path}: empty trace")
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Every record of a trace file, validated, as one list.
+
+    Convenience for tests and small traces; anything that may face a
+    long scan's journal should stream :func:`iter_trace` instead.
+    """
+    return list(iter_trace(path))
 
 
 class TraceSummary:
@@ -325,6 +359,7 @@ class TraceSummary:
         self.checkpoint_writes = 0
         self.dropped = 0
         self.interrupted = False
+        self.profile = SearchProfile()  # merged from any profile records
         for rec in records:
             kind = rec["kind"]
             if kind == "query":
@@ -354,6 +389,8 @@ class TraceSummary:
                 self.worker_events[event] = self.worker_events.get(event, 0) + 1
             elif kind == "checkpoint.write":
                 self.checkpoint_writes += 1
+            elif kind == "profile":
+                self.profile.merge(rec["profile"])
             elif kind == "trace.drops":
                 self.dropped += rec["dropped"]
             elif kind == "scan.end":
@@ -378,6 +415,12 @@ class TraceSummary:
             lines.append(f"engine progress ticks: {self.engine_ticks}")
         if self.dropped:
             lines.append(f"trace records dropped (bounded sink): {self.dropped}")
+        if self.profile.searches:
+            lines.append(
+                f"profile: {self.profile.searches} search(es), "
+                f"{self.profile.total_states} attributed state(s) "
+                f"(see `repro trace profile`)"
+            )
         if self.interrupted:
             lines.append("scan was interrupted")
         return "\n".join(lines)
@@ -386,13 +429,15 @@ class TraceSummary:
 def summarize_trace(path: str) -> TraceSummary:
     """Aggregate a trace file back into the per-tier table the live
     :class:`~repro.solve.planner.PlannerReport` prints -- the two agree
-    exactly, including spans shipped home by supervised workers."""
-    return TraceSummary(read_trace(path))
+    exactly, including spans shipped home by supervised workers.
+    Streams :func:`iter_trace`, so journal size doesn't matter."""
+    return TraceSummary(iter_trace(path))
 
 
 __all__ = [
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "SUPPORTED_TRACE_VERSIONS",
     "SPAN_SCHEMA",
     "TraceError",
     "TraceSink",
@@ -401,6 +446,7 @@ __all__ = [
     "RecordingSink",
     "JsonlTraceSink",
     "validate_record",
+    "iter_trace",
     "read_trace",
     "TraceSummary",
     "summarize_trace",

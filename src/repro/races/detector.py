@@ -92,6 +92,10 @@ class RaceReport:
     classifications: List[PairClassification] = field(default_factory=list)
     interrupted: bool = False
     planner: Optional[PlannerReport] = None  # per-tier tallies (feasible scans)
+    # choice-point attribution when the scan ran with profiling (a
+    # repro.obs.profile.SearchProfile, duck-typed to keep races below
+    # obs in the import layering); None otherwise
+    profile: Optional[object] = None
 
     def pairs(self) -> List[Tuple[int, int]]:
         return [(r.a, r.b) for r in self.races]
@@ -150,13 +154,17 @@ class PairScanOptions:
     ``max_states`` and ``pair_timeout`` bound each individual pair;
     ``deadline`` is the scan-wide absolute :func:`time.monotonic`
     instant (pairs not started by then are classified ``unknown`` with
-    resource ``"deadline"`` without searching).
+    resource ``"deadline"`` without searching).  ``profile`` asks the
+    runner to attribute engine search cost to branch choice points (a
+    :class:`~repro.obs.profile.SearchProfile` per worker, merged and
+    shipped home in the runner's tier snapshot under ``"profile"``).
     """
 
     drop_racing_dependences: bool = True
     max_states: Optional[int] = None
     pair_timeout: Optional[float] = None
     deadline: Optional[float] = None
+    profile: bool = False
 
 
 #: One unit of scan work: ``(a, b, conflict variables)``.
@@ -294,6 +302,7 @@ class RaceDetector:
         precomputed: Optional[Dict[Tuple[int, int], PairClassification]] = None,
         on_classified: Optional[Callable[[PairClassification], None]] = None,
         tracer=None,
+        profile=None,
     ) -> RaceReport:
         """Conflicting pairs with ``a CCW b`` -- the paper's notion.
 
@@ -333,6 +342,16 @@ class RaceDetector:
         serial path -- the shared planner's per-query spans.  (A
         parallel runner traces its own workers; give the
         :class:`~repro.supervise.pool.SupervisedScanner` the same sink.)
+
+        ``profile`` (a :class:`~repro.obs.profile.SearchProfile`)
+        accumulates choice-point attribution across the whole scan: the
+        serial loop attaches it to the shared planner, a parallel
+        runner ships per-worker profiles home in its tier snapshot and
+        they are merged here.  One ``profile`` trace record carrying
+        the merged snapshot is emitted before ``scan.end``, and the
+        profile rides on the returned report.  Profiling is a pure
+        observer -- classifications and ``states_visited`` are
+        identical with it on or off.
         """
         budget = self._effective_budget(budget)
         traced = tracer is not None and tracer.enabled
@@ -373,11 +392,15 @@ class RaceDetector:
                 ),
                 pair_timeout=per_pair_timeout,
                 deadline=budget.deadline if budget is not None else None,
+                profile=profile is not None,
             )
             result = runner(self.exe, todo, options, notify)
             if len(result) == 3:
                 fresh, interrupted, tier_counts = result
                 if tier_counts:
+                    profile_snap = tier_counts.pop("profile", None)
+                    if profile is not None and profile_snap:
+                        profile.merge(profile_snap)
                     planner_report.merge(tier_counts)
             else:
                 fresh, interrupted = result
@@ -387,6 +410,8 @@ class RaceDetector:
             planner.report = planner_report  # tally this scan only
             if traced:
                 planner.attach_tracer(tracer)
+            if profile is not None:
+                planner.attach_profiler(profile)
             for a, b, variables in todo:
                 if budget is not None and budget.expired():
                     c = PairClassification(
@@ -414,6 +439,8 @@ class RaceDetector:
                         break
                 classifications.append(c)
                 notify(c)
+            if profile is not None:
+                planner.attach_profiler(None)
         order = {pair: i for i, pair in enumerate(pairs)}
         classifications.sort(key=lambda c: order[(c.a, c.b)])
         races = [
@@ -422,6 +449,8 @@ class RaceDetector:
             if c.status == FEASIBLE
         ]
         if traced:
+            if profile is not None:
+                tracer.emit({"kind": "profile", "profile": profile.snapshot()})
             by_status: Dict[str, int] = {}
             for c in classifications:
                 by_status[c.status] = by_status.get(c.status, 0) + 1
@@ -443,4 +472,5 @@ class RaceDetector:
             classifications,
             interrupted=interrupted,
             planner=planner_report,
+            profile=profile,
         )

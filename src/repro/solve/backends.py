@@ -343,6 +343,7 @@ class EngineBackend(Backend):
             budget=budget,
             stats=ctx.stats,
             on_progress=ctx.on_progress,
+            profile=ctx.profile,
         )
         try:
             if query.relation == FEASIBLE:

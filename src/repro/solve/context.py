@@ -61,6 +61,10 @@ class SolveContext:
         # optional SearchStats callback the engine invokes at its
         # amortized budget checks (set by QueryPlanner.attach_tracer)
         self.on_progress = None
+        # optional SearchProfile-shaped observer handed to every engine
+        # search (set by QueryPlanner.attach_profiler); duck-typed so
+        # this module never imports repro.obs
+        self.profile = None
 
         # two strengths of structural reachability, as bitsets
         self._static_reach = self._compute_reach(join_edges=True)

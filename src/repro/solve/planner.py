@@ -166,6 +166,8 @@ class QueryPlanner:
         self.backends = resolve_plan(self.plan)
         self.report = PlannerReport()
         self.tracer = tracer  # duck-typed TraceSink (enabled + emit)
+        self.board = None  # duck-typed StatusBoard (engine_tick)
+        self._tick_min_interval = 0.25
         self._memo: Dict[RelationQuery, Verdict] = {}
         self._resolving_feasibility = False
 
@@ -175,20 +177,50 @@ class QueryPlanner:
         ticks (throttled to one ``engine.tick`` per
         ``tick_min_interval`` seconds so deep searches stay cheap)."""
         self.tracer = sink
-        if sink is None or not sink.enabled:
+        self._tick_min_interval = tick_min_interval
+        self._rearm_progress()
+
+    def attach_board(self, board) -> None:
+        """Publish engine progress to a live
+        :class:`~repro.obs.server.StatusBoard` (duck-typed:
+        ``engine_tick``) alongside any tracer; ``None`` detaches.  Both
+        consumers share one ``on_progress`` callback so attaching one
+        never silently disarms the other."""
+        self.board = board
+        self._rearm_progress()
+
+    def _rearm_progress(self) -> None:
+        hooks = []
+        sink = self.tracer
+        if sink is not None and sink.enabled:
+            last = [0.0]
+            interval = self._tick_min_interval
+
+            def trace_tick(stats) -> None:
+                now = time.monotonic()
+                if now - last[0] >= interval:
+                    last[0] = now
+                    sink.emit(
+                        {"kind": "engine.tick", "states": stats.states_visited}
+                    )
+
+            hooks.append(trace_tick)
+        if self.board is not None:
+            hooks.append(self.board.engine_tick)  # throttles internally
+        if not hooks:
             self.ctx.on_progress = None
-            return
-        last = [0.0]
+        elif len(hooks) == 1:
+            self.ctx.on_progress = hooks[0]
+        else:
+            self.ctx.on_progress = lambda stats: [h(stats) for h in hooks]
 
-        def tick(stats) -> None:
-            now = time.monotonic()
-            if now - last[0] >= tick_min_interval:
-                last[0] = now
-                sink.emit(
-                    {"kind": "engine.tick", "states": stats.states_visited}
-                )
-
-        self.ctx.on_progress = tick
+    def attach_profiler(self, profile) -> None:
+        """Hand ``profile`` (a :class:`repro.obs.profile.SearchProfile`,
+        duck-typed here) to every subsequent engine search so visited
+        states are attributed to branch choice points.  ``None``
+        detaches.  Profiling is a pure observer -- verdicts and
+        ``states_visited`` are identical with it on or off."""
+        self.ctx.profile = profile
 
     def _trace_query(
         self, query: RelationQuery, verdict: Verdict, attempts: List[Dict]

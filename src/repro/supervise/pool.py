@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.budget import Budget, DEADLINE
 from repro.model import serialize
+from repro.obs.profile import SearchProfile
 from repro.obs.trace import NULL_SINK, RecordingSink
 from repro.races.detector import (
     PairClassification,
@@ -143,6 +144,13 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
     if conf.get("trace"):
         sink = RecordingSink(capacity=int(conf.get("trace_capacity", 4096)))
         planner.attach_tracer(sink)
+    # when the parent profiles, attribute this worker's search states to
+    # branch choice points; the per-pair snapshot rides each result so a
+    # crashed worker loses a pair's profile together with its answer
+    profile: Optional[SearchProfile] = None
+    if conf.get("profile"):
+        profile = SearchProfile()
+        planner.attach_profiler(profile)
     # start the result queue's feeder thread NOW: its stack mmap counts
     # against RLIMIT_AS, so it must exist before any memory pressure or
     # an OOM could not even be reported
@@ -160,6 +168,8 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
             planner.report = PlannerReport()  # per-pair tier tallies
             if sink is not None:
                 sink.drain()  # discard spans of a failed prior attempt
+            if profile is not None:
+                profile.reset()  # per-pair attribution
             c = classify_pair(
                 exe, a, b, drop_racing_dependences=drop, budget=budget,
                 planner=planner,
@@ -168,6 +178,8 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
                 "classification": serialize.classification_to_dict(c),
                 "planner": planner.report.snapshot(),
             }
+            if profile is not None:
+                payload["profile"] = profile.snapshot()
             if sink is not None:
                 # spans travel with the snapshot they mirror: a crashed
                 # worker loses both together, so the trace aggregation
@@ -246,10 +258,19 @@ class SupervisedScanner:
         A :class:`~repro.obs.trace.TraceSink`; when enabled, workers
         record their query spans into a bounded in-memory sink and ship
         them home with each result, and the parent adds worker
-        lifecycle events (spawn/ready/retry/crash/retire) -- so a
-        parallel scan's trace is as complete as a serial one's.
+        lifecycle events (spawn/ready/retry/crash/retire plus
+        dispatch/result bounds around every attempt) -- so a parallel
+        scan's trace is as complete as a serial one's.
         After :meth:`scan` returns, :attr:`worker_restarts` counts the
         workers that were replaced after dying mid-pair.
+    board:
+        A :class:`~repro.obs.server.StatusBoard` (duck-typed:
+        ``observe``/``merge_planner``/``merge_profile``).  Every worker
+        lifecycle record is mirrored to it and each result's planner /
+        profile snapshot is merged as it lands, so a ``--serve``
+        endpoint shows per-worker liveness, the current pair and
+        restart counts while the scan is still running.  Also settable
+        after construction via the :attr:`board` attribute.
     """
 
     def __init__(
@@ -263,6 +284,7 @@ class SupervisedScanner:
         poll_interval: float = 0.02,
         drain_grace: float = 1.0,
         tracer=NULL_SINK,
+        board=None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -274,6 +296,7 @@ class SupervisedScanner:
         self.poll_interval = poll_interval
         self.drain_grace = drain_grace
         self.tracer = tracer if tracer is not None else NULL_SINK
+        self.board = board
         self.worker_restarts = 0  # of the most recent scan
 
     # ------------------------------------------------------------------
@@ -296,10 +319,13 @@ class SupervisedScanner:
             return [], False, PlannerReport().snapshot()
         tracer = self.tracer
         traced = tracer is not None and tracer.enabled
+        board = self.board
 
         def emit(record: Dict[str, Any]) -> None:
             if traced:
                 tracer.emit(record)
+            if board is not None:
+                board.observe(record)
 
         ctx = mp.get_context("spawn")
         exe_doc = serialize.execution_to_dict(exe)
@@ -315,6 +341,7 @@ class SupervisedScanner:
             ),
             "faults": self.faults,
             "trace": traced,
+            "profile": options.profile,
         }
         result_q = ctx.Queue()
         state: Dict[int, _TaskState] = {
@@ -330,6 +357,7 @@ class SupervisedScanner:
         hard_interrupt = False
         slots_used: set = set()
         tier_report = PlannerReport()  # aggregated from worker payloads
+        scan_profile = SearchProfile() if options.profile else None
 
         def finalize(tid: int, c: PairClassification) -> None:
             done[tid] = c
@@ -392,7 +420,15 @@ class SupervisedScanner:
                     # still a valid answer, so cancel the redo
                     pending.remove(tid)
                 if isinstance(payload, dict) and "classification" in payload:
-                    tier_report.merge(payload.get("planner") or {})
+                    planner_snap = payload.get("planner") or {}
+                    tier_report.merge(planner_snap)
+                    profile_snap = payload.get("profile")
+                    if scan_profile is not None and profile_snap:
+                        scan_profile.merge(profile_snap)
+                    if board is not None:
+                        board.merge_planner(planner_snap)
+                        if profile_snap:
+                            board.merge_profile(profile_snap)
                     if traced:
                         # fold the worker's spans into the scan trace,
                         # tagged with the uid that produced them
@@ -400,6 +436,11 @@ class SupervisedScanner:
                             span.setdefault("worker", uid)
                             tracer.emit(span)
                     payload = payload["classification"]
+                st = state[tid]
+                emit(
+                    {"kind": "worker.result", "worker": uid,
+                     "a": st.a, "b": st.b}
+                )
                 finalize(tid, serialize.classification_from_dict(exe, payload))
             else:  # "memory" or "error"
                 if tid in pending:
@@ -494,6 +535,10 @@ class SupervisedScanner:
                             (tid, st.a, st.b, st.attempt, max_states, timeout)
                         )
                         w.busy_task = tid
+                        emit(
+                            {"kind": "worker.dispatch", "worker": w.uid,
+                             "a": st.a, "b": st.b}
+                        )
                         wall = self.pair_wall_timeout
                         if wall is None and options.pair_timeout is not None:
                             wall = 2.0 * options.pair_timeout + 5.0
@@ -559,7 +604,12 @@ class SupervisedScanner:
         if hard_interrupt:
             raise KeyboardInterrupt
         results = [done[tid] for tid in sorted(done)]
-        return results, interrupted, tier_report.snapshot()
+        snap = tier_report.snapshot()
+        if scan_profile is not None:
+            # piggyback on the tier snapshot (the detector pops it back
+            # out): the runner protocol stays a 3-tuple
+            snap["profile"] = scan_profile.snapshot()
+        return results, interrupted, snap
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,38 @@
+"""Atomic file writes shared by every snapshot-shaped output.
+
+Metrics snapshots and saved reports are scraped and tailed while the
+scan that writes them is still running, so a plain ``open(path, "w")``
+exposes readers to torn files.  :func:`atomic_write_text` writes to
+``path + ".tmp"``, fsyncs, and :func:`os.replace`\\ s into place --
+readers see either the old complete snapshot or the new one, never a
+prefix.  Dependency-free on purpose: both :mod:`repro.obs.metrics` and
+:mod:`repro.model.serialize` use it, and those sit on opposite sides
+of the package's import layering.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def atomic_write_text(path: str, text: str, *, fsync: bool = True) -> None:
+    """Replace ``path``'s content with ``text`` atomically.
+
+    The temporary sibling ``path + ".tmp"`` lives in the same directory
+    so the final :func:`os.replace` stays on one filesystem (rename is
+    only atomic within a filesystem).  ``fsync=False`` skips the
+    durability barrier for callers that only need tear-freedom.
+    """
+    tmp = path + ".tmp"
+    fh = open(tmp, "w")
+    try:
+        fh.write(text)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    finally:
+        fh.close()
+    os.replace(tmp, path)
+
+
+__all__ = ["atomic_write_text"]

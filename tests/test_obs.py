@@ -16,6 +16,9 @@ import pytest
 
 from repro.budget import Budget
 from repro.cli import main as cli_main
+from repro.lang.ast import Assign, Const, ProcessDef, Program, SemP, SemV
+from repro.lang.interpreter import run_program
+from repro.lang.scheduler import FixedScheduler
 from repro.model import serialize
 from repro.obs import (
     JsonlTraceSink,
@@ -23,20 +26,47 @@ from repro.obs import (
     NullSink,
     RecordingSink,
     ScanProgress,
+    SearchProfile,
     TraceError,
+    iter_trace,
+    merge_profiles,
     planner_metrics,
     read_trace,
     scan_metrics,
     summarize_trace,
     validate_record,
 )
+from repro.obs.profile import ROOT_KEY
 from repro.races.detector import RaceDetector
 from repro.solve.planner import PlannerReport, QueryPlanner
 from repro.solve.context import SolveContext
 from repro.supervise import SupervisedScanner
 from repro.supervise.checkpoint import _defer_sigint
+from repro.util.fileio import atomic_write_text
 
 from tests.test_supervise import masking_execution
+
+
+def ordered_pipeline(width: int = 4):
+    """``width`` writers of one variable chained by semaphores -- every
+    conflicting pair is *infeasible*, and proving each one costs the
+    engine an exhaustive (pair-local) search.  Engine-heavy, with no
+    cross-pair state, so serial and parallel scans must produce
+    byte-identical search profiles."""
+    procs = [ProcessDef("w0", [Assign("x", Const(0)), SemV("s0")])]
+    for k in range(1, width):
+        procs.append(
+            ProcessDef(
+                f"w{k}",
+                [SemP(f"s{k-1}"), Assign("x", Const(k)), SemV(f"s{k}")],
+            )
+        )
+    schedule = ["w0", "w0"]
+    for k in range(1, width):
+        schedule += [f"w{k}"] * 3
+    return run_program(
+        Program(procs), FixedScheduler(schedule)
+    ).to_execution()
 
 
 # ----------------------------------------------------------------------
@@ -467,3 +497,266 @@ class TestCliObservability:
         rc = cli_main(["races", exe_file, "--checkpoint", journal, "--resume"])
         assert rc == 0
         assert "resume: reusing 3 journaled pair(s)" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+class TestSearchProfile:
+    def test_charge_snapshot_roundtrip_and_merge(self):
+        p = SearchProfile()
+        p.charge_search()
+        key = (4, "P", "sem")
+        p.charge_choice(key)
+        p.charge_state(key)
+        p.charge_state(key)
+        p.charge_dead_end(key)
+        p.charge_backtrack(key)
+        p.charge_state(ROOT_KEY)
+        snap = p.snapshot()
+        assert snap["searches"] == 1
+        assert snap["choices"]["4|P|sem"] == {
+            "chosen": 1, "states": 2, "dead_ends": 1, "backtracks": 1,
+        }
+        assert SearchProfile.from_snapshot(snap).snapshot() == snap
+        # merging a snapshot dict and a profile object both work
+        q = SearchProfile()
+        q.merge(snap)
+        q.merge(p)
+        assert q.searches == 2
+        assert q.tally(key).states == 4
+        assert merge_profiles([snap, None, snap]).total_states == 6
+
+    def test_hot_events_excludes_forced_prefix(self):
+        p = SearchProfile()
+        p.charge_state(ROOT_KEY)
+        p.charge_state((1, "V", "s"))
+        hot = p.hot_events()
+        assert [key for key, _ in hot] == [(1, "V", "s")]
+        text = "\n".join(p.describe())
+        assert "e1:V(s)" in text and "(forced prefix)" in text
+
+    def test_describe_orders_by_states_then_eid(self):
+        p = SearchProfile()
+        for _ in range(3):
+            p.charge_state((7, "P", "a"))
+        p.charge_state((2, "P", "b"))
+        p.charge_state((5, "P", "b"))
+        hot = p.hot_events(top=2)
+        assert [key for key, _ in hot] == [(7, "P", "a"), (2, "P", "b")]
+
+
+class TestProfilerIsAPureObserver:
+    def test_serial_scan_unchanged_by_profiling(self):
+        exe = ordered_pipeline(4)
+        plain = RaceDetector(exe).feasible_races()
+        profile = SearchProfile()
+        profiled = RaceDetector(exe).feasible_races(profile=profile)
+        assert [(c.a, c.b, c.status) for c in profiled.classifications] == [
+            (c.a, c.b, c.status) for c in plain.classifications
+        ]
+        # identical work, state for state -- not merely the same verdicts
+        assert (
+            profiled.planner.tiers["engine"].states
+            == plain.planner.tiers["engine"].states
+        )
+        # and the profiler accounted for every one of those states
+        assert profile.total_states == plain.planner.tiers["engine"].states
+        assert profile.searches > 0
+        assert profiled.profile is profile
+
+    def test_parallel_profile_equals_serial_profile(self):
+        exe = ordered_pipeline(4)
+        serial = SearchProfile()
+        RaceDetector(exe).feasible_races(profile=serial)
+        parallel = SearchProfile()
+        RaceDetector(exe).feasible_races(
+            runner=SupervisedScanner(jobs=2), profile=parallel
+        )
+        assert serial.total_states > 0
+        assert parallel.snapshot() == serial.snapshot()
+
+    def test_profile_record_lands_in_trace(self, tmp_path):
+        exe = ordered_pipeline(3)
+        trace = str(tmp_path / "t.jsonl")
+        profile = SearchProfile()
+        with JsonlTraceSink(trace) as sink:
+            RaceDetector(exe).feasible_races(tracer=sink, profile=profile)
+        records = [r for r in read_trace(trace) if r["kind"] == "profile"]
+        assert len(records) == 1
+        assert records[0]["profile"] == profile.snapshot()
+
+
+# ----------------------------------------------------------------------
+class TestIterTrace:
+    def test_streams_the_same_records_read_trace_returns(self, tmp_path):
+        exe = masking_execution(2)
+        trace = str(tmp_path / "t.jsonl")
+        with JsonlTraceSink(trace) as sink:
+            RaceDetector(exe).feasible_races(tracer=sink)
+        streamed = list(iter_trace(trace))
+        assert streamed == read_trace(trace)
+        assert streamed[0]["kind"] == "trace.start"
+
+    def test_is_lazy(self, tmp_path):
+        # a deliberately corrupt tail must not stop the reader from
+        # yielding the good prefix -- proof the file is not slurped
+        path = tmp_path / "t.jsonl"
+        good = json.dumps(
+            {"kind": "trace.start", "format": "repro-trace",
+             "version": 2, "t": 0.0}
+        )
+        path.write_text(good + "\n" + "{corrupt\n")
+        it = iter_trace(str(path))
+        assert next(it)["kind"] == "trace.start"
+        with pytest.raises(TraceError, match="line 2"):
+            next(it)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty trace"):
+            list(iter_trace(str(path)))
+
+    def test_foreign_header_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"kind": "pair", "t": 0.0, "a": 0, "b": 1,
+                        "status": "feasible"}) + "\n"
+        )
+        with pytest.raises(TraceError, match="not a repro-trace file"):
+            list(iter_trace(str(path)))
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"kind": "trace.start", "format": "repro-trace",
+                        "version": 99, "t": 0.0}) + "\n"
+        )
+        with pytest.raises(TraceError, match="unsupported trace version"):
+            list(iter_trace(str(path)))
+
+
+# ----------------------------------------------------------------------
+class TestAtomicWrites:
+    def test_replaces_whole_file_and_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old content that is much longer than the new one")
+        atomic_write_text(str(path), "new")
+        assert path.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_metrics_write_is_atomic(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1)
+        path = tmp_path / "m.txt"
+        reg.write(str(path))
+        assert "g 1" in path.read_text()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_report_save_is_atomic(self, tmp_path):
+        exe = masking_execution(2)
+        report = RaceDetector(exe).feasible_races()
+        path = tmp_path / "report.json"
+        serialize.save_report(report, str(path))
+        assert serialize.load_report(str(path)).pairs() == report.pairs()
+        assert list(tmp_path.iterdir()) == [path]
+
+
+# ----------------------------------------------------------------------
+class TestProgressEtaAndNewline:
+    class _C:
+        def __init__(self, status):
+            self.status = status
+
+    def test_eta_from_rate_without_budget(self):
+        p = ScanProgress(10, stream=_FakeStream(), enabled=True,
+                         min_interval=0.0)
+        p.update(self._C("feasible"))
+        line = p.line()
+        assert "eta " in line and "eta ?" not in line
+
+    def test_eta_unknown_before_first_pair(self):
+        p = ScanProgress(10, stream=_FakeStream(), enabled=True,
+                         min_interval=0.0)
+        p.done = 0
+        assert "eta ?" in p.line(p._t0)  # zero elapsed, zero rate
+
+    def test_finish_always_terminates_the_line(self):
+        stream = _FakeStream()
+        p = ScanProgress(2, stream=stream, enabled=True, min_interval=0.0)
+        p.update(self._C("feasible"))
+        p.update(self._C("feasible"))  # renders immediately (done==total)
+        p.finish()
+        assert stream.chunks[-1] == "\n"
+        assert "".join(stream.chunks).count("\n") == 1
+
+    def test_finish_writes_nothing_when_never_rendered(self):
+        stream = _FakeStream()
+        p = ScanProgress(5, stream=stream, enabled=True, min_interval=0.0)
+        p.finish()
+        assert stream.chunks == []
+
+
+# ----------------------------------------------------------------------
+class TestCliProfile:
+    @pytest.fixture
+    def exe_file(self, tmp_path):
+        path = tmp_path / "exe.json"
+        serialize.save(ordered_pipeline(4), str(path))
+        return str(path)
+
+    def _hot_table(self, out):
+        return out[out.index("profile:"):].strip()
+
+    def test_parallel_cli_profile_matches_serial(
+        self, exe_file, tmp_path, capsys
+    ):
+        """The acceptance criterion: `repro trace profile` on a
+        2-worker scan's trace prints the same hot-events table as the
+        serial scan's."""
+        outputs = {}
+        for label, jobs in (("serial", []), ("parallel", ["--jobs", "2"])):
+            trace = str(tmp_path / f"{label}.jsonl")
+            prof = str(tmp_path / f"{label}.json")
+            rc = cli_main(
+                ["races", exe_file, "--trace", trace, "--profile", prof]
+                + jobs
+            )
+            assert rc == 0
+            scan_out = capsys.readouterr().out
+            assert cli_main(["trace", "profile", trace]) == 0
+            outputs[label] = self._hot_table(capsys.readouterr().out)
+            # the table printed at scan end is the one in the trace
+            assert outputs[label] in scan_out
+            assert json.load(open(prof))["searches"] > 0
+        assert outputs["parallel"] == outputs["serial"]
+
+    def test_trace_without_profile_records_fails_loudly(
+        self, exe_file, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "t.jsonl")
+        assert cli_main(["races", exe_file, "--trace", trace]) == 0
+        capsys.readouterr()
+        assert cli_main(["trace", "profile", trace]) == 2
+        assert "no profile records" in capsys.readouterr().err
+
+    def test_trace_timeline_reports_workers(
+        self, exe_file, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "t.jsonl")
+        assert cli_main(
+            ["races", exe_file, "--jobs", "2", "--trace", trace]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(["trace", "timeline", trace]) == 0
+        out = capsys.readouterr().out
+        assert "worker timeline: 2 worker(s)" in out
+        assert "worker 0:" in out and "worker 1:" in out
+
+    def test_trace_timeline_serial_fallback(
+        self, exe_file, tmp_path, capsys
+    ):
+        trace = str(tmp_path / "t.jsonl")
+        assert cli_main(["races", exe_file, "--trace", trace]) == 0
+        capsys.readouterr()
+        assert cli_main(["trace", "timeline", trace]) == 0
+        assert "serial scan" in capsys.readouterr().out
