@@ -146,6 +146,54 @@ class Budget:
         return ", ".join(parts) if parts else "unlimited"
 
 
+def clamp_request(
+    max_states: Optional[int],
+    timeout: Optional[float],
+    *,
+    states_cap: Optional[int] = None,
+    timeout_cap: Optional[float] = None,
+    default_timeout: Optional[float] = None,
+) -> "tuple[Optional[int], Optional[float]]":
+    """Admission control for a *requested* budget: clamp a client's
+    ``(max_states, timeout)`` to the server's caps.
+
+    A long-lived query daemon cannot let one request name an arbitrary
+    budget -- an unbounded query wedges a worker for good (the queries
+    are NP-hard, Theorems 1 and 3).  The rules:
+
+    * a missing timeout gets ``default_timeout`` (every admitted
+      request must carry a deadline);
+    * a requested timeout above ``timeout_cap`` is silently lowered to
+      it, never rejected -- the request still runs, it just may come
+      back ``UNKNOWN`` sooner;
+    * ``max_states`` is lowered to ``states_cap`` the same way;
+    * non-positive requests are treated as absent (a ``timeout`` of 0
+      would otherwise admit a request only to kill it instantly).
+
+    >>> clamp_request(None, None, timeout_cap=30.0, default_timeout=5.0)
+    (None, 5.0)
+    >>> clamp_request(10**9, 3600.0, states_cap=50_000, timeout_cap=30.0)
+    (50000, 30.0)
+    >>> clamp_request(100, 2.0, states_cap=50_000, timeout_cap=30.0)
+    (100, 2.0)
+    >>> clamp_request(-5, 0.0, timeout_cap=30.0, default_timeout=5.0)
+    (None, 5.0)
+    """
+    if max_states is not None and max_states <= 0:
+        max_states = None
+    if timeout is not None and timeout <= 0:
+        timeout = None
+    if max_states is None:
+        max_states = states_cap
+    elif states_cap is not None:
+        max_states = min(max_states, states_cap)
+    if timeout is None:
+        timeout = default_timeout if default_timeout is not None else timeout_cap
+    if timeout is not None and timeout_cap is not None:
+        timeout = min(timeout, timeout_cap)
+    return max_states, timeout
+
+
 @dataclass(frozen=True)
 class Verdict:
     """A three-valued query answer with provenance.
@@ -219,4 +267,4 @@ class Verdict:
         return f"{self.truth} (by {self.provenance})"
 
 
-__all__ = ["Budget", "Truth", "Verdict", "STATES", "DEADLINE"]
+__all__ = ["Budget", "Truth", "Verdict", "STATES", "DEADLINE", "clamp_request"]

@@ -20,7 +20,10 @@ Subcommands (also available as ``python -m repro``):
   exponential search spent its states on);
 * ``repro trace timeline TRACE.jsonl`` -- per-worker utilization
   (busy/idle, pairs, crashes) reconstructed from the pool's
-  dispatch/result spans, flagging stragglers.
+  dispatch/result spans, flagging stragglers;
+* ``repro serve --store DIR`` -- long-lived query daemon: POST
+  executions, query MHB/CHB/CCW/races over HTTP, witnesses persisted
+  across queries and restarts (see :mod:`repro.serve`).
 
 Observability: ``analyze`` and ``races`` accept ``--trace FILE``
 (structured JSONL spans: query tier escalations, engine progress,
@@ -54,14 +57,17 @@ flushes the journal, prints the partial report and exits ``130``.
 Exit status summary: ``0`` success / ``1`` runtime failure (deadlock,
 cross-check disagreement) / ``2`` bad input (parse error, unreadable
 file, journal mismatch) / ``3`` completed with unknowns / ``130``
-interrupted.
+interrupted (Ctrl-C) / ``143`` terminated (SIGTERM); both stop signals
+take the same graceful path -- drain, flush, partial report.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 import time
 from typing import List, Optional
 
@@ -95,6 +101,7 @@ from repro.reductions import (
 )
 from repro.sat.cnf import parse_dimacs
 from repro.sat.dpll import solve
+from repro.serve import QueryDaemon, WitnessStore
 from repro.solve import BEST_EFFORT_PLAN, DEFAULT_PLAN, resolve_plan
 from repro.supervise import (
     CheckpointJournal,
@@ -120,6 +127,34 @@ EXIT_UNKNOWN = 3
 EXIT_USAGE = 2
 # interrupted by Ctrl-C (the conventional 128 + SIGINT)
 EXIT_INTERRUPTED = 130
+# terminated by a supervisor's SIGTERM (the conventional 128 + SIGTERM);
+# same graceful-stop path as Ctrl-C, distinguishable by scripts
+EXIT_TERMINATED = 143
+
+#: set by the SIGTERM relay so exit-code mapping can tell a
+#: supervisor's stop (143) from a Ctrl-C (130)
+_SIGTERM_SEEN = [False]
+
+
+def _install_sigterm_relay() -> None:
+    """Treat SIGTERM exactly like Ctrl-C, everywhere.
+
+    Every graceful-stop path in this CLI -- the supervised pool's
+    drain, the journal's deferred appends, the partial-report printer
+    -- is built on ``KeyboardInterrupt``.  Relaying SIGTERM into the
+    same exception gives a systemd/CI ``kill`` the identical clean
+    drain a Ctrl-C gets (journal tail whole, partial report written),
+    instead of the interpreter's default die-on-the-spot.
+    """
+
+    def relay(signum, frame):
+        _SIGTERM_SEEN[0] = True
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, relay)
+    except ValueError:  # embedded off the main thread: leave it be
+        pass
 
 
 def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
@@ -349,7 +384,10 @@ def _races_runner(
     scanner = SupervisedScanner(
         jobs=max(1, args.jobs),
         limits=limits,
-        retry=RetryPolicy(max_retries=args.retries),
+        # jittered backoff: when one host-wide cause kills several
+        # workers at once, their retries spread out instead of
+        # stampeding back in lockstep (deterministic, seeded by pair)
+        retry=RetryPolicy(max_retries=args.retries, jitter=0.5),
         faults=faults,
     )
     if tracer is not None:
@@ -728,6 +766,72 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The long-lived query daemon (see :mod:`repro.serve`)."""
+    plan = _plan_from_args(args)
+    faults = json.loads(args.fault_spec) if args.fault_spec else None
+    limits = None
+    if args.max_memory_mb is not None:
+        limits = ResourceLimits(max_memory_mb=args.max_memory_mb)
+    store = WitnessStore(args.store)
+    try:
+        daemon = QueryDaemon(
+            store,
+            port=args.port,
+            host=args.host,
+            workers=max(1, args.workers),
+            queue_limit=args.queue_limit,
+            default_timeout=args.default_timeout,
+            max_timeout=args.max_timeout,
+            max_states=args.max_states,
+            limits=limits,
+            retry=RetryPolicy(max_retries=args.retries, jitter=0.5),
+            plan=plan,
+            faults=faults,
+            drain_grace=args.drain_grace,
+        )
+    except OSError as exc:
+        print(
+            f"repro: cannot serve on port {args.port}: {exc}", file=sys.stderr
+        )
+        return EXIT_USAGE
+
+    stop = threading.Event()
+
+    def on_signal(signum, frame):
+        if signum == signal.SIGTERM:
+            _SIGTERM_SEEN[0] = True
+        if stop.is_set():
+            raise KeyboardInterrupt  # second signal: stop draining, go
+        stop.set()
+
+    # both signals get the same clean drain; a second of either forces
+    signal.signal(signal.SIGINT, on_signal)
+    signal.signal(signal.SIGTERM, on_signal)
+    daemon.start()
+    st = store.stats()
+    print(
+        f"repro: serving queries on {daemon.url('/')} "
+        f"(store: {args.store}, {st['executions']} execution(s), "
+        f"{st['witnesses']} witness(es)); SIGTERM or Ctrl-C drains",
+        file=sys.stderr,
+    )
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+        print(
+            "repro: drain requested; finishing in-flight requests",
+            file=sys.stderr,
+        )
+        daemon.close(drain=True)
+    except KeyboardInterrupt:
+        print("repro: forced shutdown", file=sys.stderr)
+        daemon.close(drain=False)
+        return EXIT_TERMINATED if _SIGTERM_SEEN[0] else EXIT_INTERRUPTED
+    print("repro: drained cleanly", file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -865,6 +969,44 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("trace_file", help="JSONL trace written by --trace")
     ps.set_defaults(func=cmd_trace_timeline)
 
+    p = sub.add_parser(
+        "serve",
+        help="long-lived query daemon over a persistent witness store",
+    )
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 = ephemeral, printed on startup)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="witness store directory (created if missing; "
+                   "corrupt entries are quarantined and rebuilt)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="crash-isolated query worker processes (default 2)")
+    p.add_argument("--queue-limit", type=int, default=8,
+                   help="admitted requests (queued + executing) before "
+                   "clients get 429 + Retry-After (default 8)")
+    p.add_argument("--default-timeout", type=float, default=30.0,
+                   help="per-query deadline when the request names none "
+                   "(default 30s); hard pairs come back UNKNOWN with "
+                   "the cheapest-tier answer")
+    p.add_argument("--max-timeout", type=float, default=120.0,
+                   help="cap on client-requested timeouts (default 120s)")
+    p.add_argument("--max-states", type=int, default=None,
+                   help="cap on client-requested per-query state budgets")
+    p.add_argument("--max-memory-mb", type=int, default=None,
+                   help="kernel memory cap per worker (setrlimit)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="attempts to re-run a query whose worker died")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   help="seconds to let in-flight requests finish on "
+                   "SIGTERM/Ctrl-C (default 10)")
+    p.add_argument("--plan", choices=sorted(_NAMED_PLANS),
+                   help="named solver-portfolio tier ladder for workers")
+    p.add_argument("--backends", metavar="NAMES",
+                   help="explicit comma-separated tier ladder "
+                   "(overrides --plan)")
+    p.add_argument("--fault-spec", help=argparse.SUPPRESS)  # test-only
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("sat", help="decide a DIMACS formula via the reductions")
     p.add_argument("formula")
     p.add_argument("--style", choices=["sem", "evt"], default="sem")
@@ -887,11 +1029,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _SIGTERM_SEEN[0] = False
+    _install_sigterm_relay()
     try:
-        return args.func(args)
+        code = args.func(args)
+        # a SIGTERM that surfaced as a graceful interruption deep in a
+        # scan still reports as "terminated", not "Ctrl-C"
+        if code == EXIT_INTERRUPTED and _SIGTERM_SEEN[0]:
+            code = EXIT_TERMINATED
+        return code
     except KeyboardInterrupt:
-        # a Ctrl-C anywhere outside the supervised scan (which converts
-        # it into a partial report itself) still exits in one line
+        # a Ctrl-C/SIGTERM anywhere outside the supervised scan (which
+        # converts it into a partial report itself) still exits in one line
+        if _SIGTERM_SEEN[0]:
+            print("repro: terminated", file=sys.stderr)
+            return EXIT_TERMINATED
         print("repro: interrupted", file=sys.stderr)
         return EXIT_INTERRUPTED
     except ParseError as exc:

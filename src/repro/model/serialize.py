@@ -18,6 +18,7 @@ objects against the journal's execution on resume.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, Optional
 
@@ -104,6 +105,24 @@ def execution_from_dict(data: Dict[str, Any]) -> ProgramExecution:
         dependences=[tuple(pair) for pair in data.get("dependences", ())],
         observed_schedule=data.get("observed_schedule"),
     )
+
+
+def execution_fingerprint(exe: ProgramExecution) -> str:
+    """Content identity of one execution: the sha256 of its canonical
+    JSON document.
+
+    This is the key of the daemon's persistent witness store and of the
+    ``repro serve`` API: two clients POSTing byte-different but
+    semantically identical documents get the same fingerprint, so their
+    queries share one witness pool.  Unlike
+    :func:`~repro.supervise.checkpoint.scan_fingerprint` it covers the
+    execution *only* -- witnesses are facts about ``F``, valid under
+    any budget or solver plan.
+    """
+    blob = json.dumps(
+        execution_to_dict(exe), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

@@ -4,7 +4,13 @@ A scan that runs for hours must answer "how far along are you, is
 anything stuck, and where is the states budget going" *while it runs*.
 This module serves that over plain HTTP from a daemon thread:
 
-* ``GET /healthz`` -- liveness, always ``200 ok``;
+* ``GET /healthz`` -- **liveness**, always ``200 ok`` while the process
+  serves at all (a supervisor should restart on failure to answer, not
+  on the answer's content);
+* ``GET /readyz``  -- **readiness**, ``200 ready`` only while the scan
+  is actually able to do useful work; ``503`` while starting up and
+  while draining, so a load balancer or orchestrator stops routing to
+  an instance that is shutting down *before* its socket closes;
 * ``GET /status``  -- one JSON document: scan fingerprint, pair counts
   by outcome, the per-tier planner table, per-worker liveness (current
   pair, results, crashes), budget remaining, observed pair rate + ETA,
@@ -43,6 +49,11 @@ from repro.solve.planner import PlannerReport
 
 #: /status schema version (bumped when keys change meaning).
 STATUS_VERSION = 1
+
+#: board states in which /readyz answers 200.  "starting" (the board
+#: exists but the scan has not begun) and any drain/stop state are not
+#: ready; a finished scan still serving its final /status is.
+READY_STATES = frozenset({"scanning", "serving", "done"})
 
 
 class StatusBoard:
@@ -314,44 +325,80 @@ def render_status_metrics(snapshot: Optional[Dict[str, Any]]) -> str:
 
 
 # ----------------------------------------------------------------------
-class _Handler(BaseHTTPRequestHandler):
+class QuietHandler(BaseHTTPRequestHandler):
+    """Shared handler plumbing for the observability endpoints (and the
+    ``repro serve`` daemon): sized replies that tolerate impatient
+    clients, optional extra headers (``Retry-After``), silent access
+    logging."""
+
     server_version = "repro-obs"
 
+    def _reply(
+        self,
+        code: int,
+        body: str,
+        content_type: str = "text/plain; charset=utf-8",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        data = body.encode("utf-8")
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # impatient client; the scan/daemon must not care
+
+    def _reply_json(
+        self,
+        code: int,
+        doc: Any,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        self._reply(code, body, "application/json", headers)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # requests are routine; stderr belongs to the progress line
+
+
+class _Handler(QuietHandler):
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
-            self._reply(200, "ok\n", "text/plain; charset=utf-8")
+            # liveness only: the process is up and serving.  Readiness
+            # lives at /readyz -- conflating them makes an orchestrator
+            # kill an instance that is merely draining.
+            self._reply(200, "ok\n")
+        elif path == "/readyz":
+            if self.server.ready_fn():
+                self._reply(200, "ready\n")
+            else:
+                self._reply(503, "not ready (starting or draining)\n")
         elif path == "/status":
-            snapshot = self.server.board.latest()
-            body = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
-            self._reply(200, body, "application/json")
+            self._reply_json(200, self.server.board.latest())
         elif path == "/metrics":
             body = render_status_metrics(self.server.board.latest())
             self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
         else:
             self._reply(
-                404, "not found (try /status, /metrics, /healthz)\n",
-                "text/plain; charset=utf-8",
+                404, "not found (try /status, /metrics, /healthz, /readyz)\n"
             )
 
-    def _reply(self, code: int, body: str, content_type: str) -> None:
-        data = body.encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        try:
-            self.wfile.write(data)
-        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
-            pass  # impatient scraper; the scan must not care
 
-    def log_message(self, fmt: str, *args: Any) -> None:
-        pass  # scrapes are routine; stderr belongs to the progress line
+def _board_ready(board: StatusBoard) -> bool:
+    """Default readiness: the board's current state is a serving one."""
+    snapshot = board.latest()
+    return snapshot is not None and snapshot.get("state") in READY_STATES
 
 
 class _Server(ThreadingHTTPServer):
     daemon_threads = True  # handler threads never block interpreter exit
     board: StatusBoard
+    ready_fn: Callable[[], bool]
 
 
 class ObsServer:
@@ -366,11 +413,21 @@ class ObsServer:
     """
 
     def __init__(
-        self, board: StatusBoard, port: int, *, host: str = "127.0.0.1"
+        self,
+        board: StatusBoard,
+        port: int,
+        *,
+        host: str = "127.0.0.1",
+        ready: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.board = board
         self._httpd = _Server((host, port), _Handler)
         self._httpd.board = board
+        # /readyz policy: the caller's callable when given (the daemon
+        # knows its own lifecycle), else the board's state
+        self._httpd.ready_fn = (
+            ready if ready is not None else (lambda: _board_ready(board))
+        )
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
 
@@ -402,7 +459,9 @@ class ObsServer:
 
 __all__ = [
     "STATUS_VERSION",
+    "READY_STATES",
     "StatusBoard",
     "ObsServer",
+    "QuietHandler",
     "render_status_metrics",
 ]

@@ -1,0 +1,117 @@
+"""Bounded admission with backpressure for the query daemon.
+
+Every query is NP-hard (Theorems 1 and 3), so "queue everything and
+hope" is not a strategy: an unbounded queue converts overload into
+unbounded latency and an eventual OOM.  The daemon instead admits a
+bounded number of requests (queued + executing); past the bound the
+client gets a structured ``429`` with a ``Retry-After`` estimate
+derived from the observed service rate -- backpressure the client can
+act on, instead of silence it times out on.
+
+During drain, admission closes entirely (:class:`Draining`, served as
+``503``) while in-flight requests finish -- new work is the one thing
+a stopping daemon must refuse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict
+
+
+class Overloaded(Exception):
+    """Admission refused: at capacity.  ``retry_after`` is the seconds a
+    client should wait before retrying (the 429's ``Retry-After``)."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(f"at capacity; retry after {retry_after:.1f}s")
+        self.retry_after = retry_after
+
+
+class Draining(Exception):
+    """Admission refused: the daemon is shutting down (served as 503)."""
+
+
+class AdmissionQueue:
+    """Counting gate over the daemon's in-flight requests.
+
+    ``try_enter`` never blocks -- an HTTP handler thread either gets a
+    slot or an exception to serialize; holding threads release with the
+    observed service time, which feeds the EWMA behind ``Retry-After``.
+    """
+
+    def __init__(self, limit: int, *, workers: int = 1) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = limit
+        self.workers = max(1, workers)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._active = 0
+        self._draining = False
+        self._ewma_seconds = 1.0  # prior until real service times land
+        self.admitted = 0
+        self.rejected_busy = 0
+        self.rejected_draining = 0
+
+    # ------------------------------------------------------------------
+    def try_enter(self) -> None:
+        """Claim a slot or raise :class:`Overloaded` / :class:`Draining`."""
+        with self._lock:
+            if self._draining:
+                self.rejected_draining += 1
+                raise Draining("shutting down; not admitting new requests")
+            if self._active >= self.limit:
+                self.rejected_busy += 1
+                # everyone ahead shares `workers` lanes; first-order
+                # estimate of when a slot frees up
+                depth = self._active - self.workers + 1
+                retry_after = max(
+                    1.0, self._ewma_seconds * max(1, depth) / self.workers
+                )
+                raise Overloaded(retry_after)
+            self._active += 1
+            self.admitted += 1
+
+    def release(self, elapsed: float) -> None:
+        """Return a slot, folding the request's service time into the
+        EWMA that prices ``Retry-After`` for rejected clients."""
+        with self._lock:
+            self._active = max(0, self._active - 1)
+            if elapsed >= 0.0:
+                self._ewma_seconds += 0.2 * (elapsed - self._ewma_seconds)
+            self._idle.notify_all()
+
+    # -- drain ----------------------------------------------------------
+    def begin_drain(self) -> None:
+        with self._lock:
+            self._draining = True
+            self._idle.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until every admitted request released (or timeout);
+        True when idle."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._active > 0:
+                left = deadline - time.monotonic()
+                if left <= 0.0:
+                    return False
+                self._idle.wait(left)
+            return True
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "active": self._active,
+                "draining": self._draining,
+                "admitted": self.admitted,
+                "rejected_busy": self.rejected_busy,
+                "rejected_draining": self.rejected_draining,
+                "ewma_service_seconds": self._ewma_seconds,
+            }
+
+
+__all__ = ["AdmissionQueue", "Overloaded", "Draining"]

@@ -1,0 +1,466 @@
+"""The ``repro serve`` HTTP daemon (lifecycle + request handling).
+
+Wiring: HTTP handler threads (stdlib ``ThreadingHTTPServer``) pass
+through the :class:`~repro.serve.admission.AdmissionQueue`, resolve the
+execution against the persistent
+:class:`~repro.serve.store.WitnessStore`, clamp the requested budget
+(:func:`repro.budget.clamp_request`), and evaluate on the
+crash-isolated :class:`~repro.supervise.pool.QueryWorkerPool` -- so a
+segfaulting, OOM-killed or hanging evaluation costs one worker process
+and one retried request, never the daemon.  Newly found witnesses are
+persisted back to the store, which is how a repeat query on a stored
+execution is answered by the cheap ``witness`` tier without the engine
+running at all.
+
+Endpoints::
+
+    GET  /healthz     liveness: 200 while the process serves at all
+    GET  /readyz      readiness: 200 only in the "serving" state;
+                      503 while starting and while draining
+    GET  /status      JSON: state, uptime, admission/pool/store stats
+    GET  /metrics     the same, as Prometheus text
+    GET  /executions  stored execution fingerprints
+    POST /executions  store an execution document -> fingerprint
+    POST /query       evaluate one relation query (see QueryDaemon)
+
+Degradation contract: every degraded answer is an explicit ``UNKNOWN``
+with the resource that ran out (``deadline``, ``states``, ``crash``,
+``memory``, ``cpu``, ``shutdown``) and the planner's per-tier tallies
+-- the daemon may decline to answer, it never guesses.
+
+Shutdown (SIGTERM and SIGINT alike, wired by the CLI): flip readiness
+to 503, stop admitting (new queries get 503), let in-flight requests
+finish, drain the worker pool, flush the store, then stop the
+listener.  A second signal skips the grace and tears down immediately.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+from repro.budget import clamp_request
+from repro.model import serialize
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import QuietHandler
+from repro.serve.admission import AdmissionQueue, Draining, Overloaded
+from repro.serve.store import WitnessStore
+from repro.supervise.pool import QUERY_RELATIONS, QueryWorkerPool
+from repro.supervise.retry import RetryPolicy
+from repro.supervise.rlimits import ResourceLimits
+
+#: relations that need both event ids (everything except feasibility)
+_PAIR_RELATIONS = QUERY_RELATIONS - {"feasible"}
+
+#: largest accepted request body (a trace document), in bytes
+MAX_BODY_BYTES = 64 << 20
+
+
+class _BadRequest(Exception):
+    """Client error; message is served verbatim in the 400 body."""
+
+
+class _Handler(QuietHandler):
+    server_version = "repro-serve"
+    #: socket timeout: a client that trickles its request (or stops
+    #: reading the response) stalls one handler thread for at most this
+    #: long, never a worker or the accept loop
+    timeout = 10.0
+
+    # -- GET -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        daemon: "QueryDaemon" = self.server.app
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._reply(200, "ok\n")
+        elif path == "/readyz":
+            if daemon.state == "serving":
+                self._reply(200, "ready\n")
+            else:
+                self._reply(503, f"not ready ({daemon.state})\n")
+        elif path == "/status":
+            self._reply_json(200, daemon.status())
+        elif path == "/metrics":
+            self._reply(
+                200,
+                daemon.render_metrics(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/executions":
+            self._reply_json(
+                200,
+                {
+                    "executions": daemon.store.fingerprints(),
+                    "store": daemon.store.stats(),
+                },
+            )
+        else:
+            self._reply(404, "not found\n")
+
+    # -- POST ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+        daemon: "QueryDaemon" = self.server.app
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/executions":
+                doc = self._read_json()
+                self._reply_json(200, daemon.handle_put_execution(doc))
+            elif path == "/query":
+                doc = self._read_json()
+                code, body, headers = daemon.handle_query(doc)
+                self._reply_json(code, body, headers)
+            else:
+                self._reply(404, "not found\n")
+        except _BadRequest as exc:
+            self._reply_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - the daemon must survive
+            daemon.count_error()
+            self._reply_json(500, {"error": f"internal error: {exc!r}"})
+
+    def _read_json(self) -> Dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise _BadRequest("bad Content-Length")
+        if length <= 0:
+            raise _BadRequest("missing request body")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(f"request body over {MAX_BODY_BYTES} bytes")
+        try:
+            data = self.rfile.read(length)
+        except OSError:  # slow client hit the socket timeout
+            raise _BadRequest("request body not received in time")
+        if len(data) < length:
+            raise _BadRequest("client disconnected mid-request")
+        try:
+            doc = json.loads(data)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _BadRequest(f"request body is not JSON: {exc}")
+        if not isinstance(doc, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return doc
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    app: "QueryDaemon"
+
+
+class QueryDaemon:
+    """A long-lived query-answering service over one witness store.
+
+    A ``POST /query`` body names an execution (``"fingerprint"`` of a
+    stored one, or an inline ``"execution"`` document, which is stored
+    first) plus ``"relation"`` (one of mhb/chb/mcb/ccb/mow/cow/mcw/ccw/
+    feasible/race), event ids ``"a"``/``"b"`` for pair relations, and
+    an optional requested budget (``"max_states"``, ``"timeout"``)
+    which is clamped to the server's caps.
+    """
+
+    def __init__(
+        self,
+        store: WitnessStore,
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        workers: int = 2,
+        queue_limit: int = 8,
+        default_timeout: Optional[float] = 30.0,
+        max_timeout: Optional[float] = 120.0,
+        max_states: Optional[int] = None,
+        limits: Optional[ResourceLimits] = None,
+        retry: Optional[RetryPolicy] = None,
+        plan: Optional[Any] = None,
+        faults: Optional[Dict[str, Dict[str, Any]]] = None,
+        drain_grace: float = 10.0,
+    ) -> None:
+        self.store = store
+        self.default_timeout = default_timeout
+        self.max_timeout = max_timeout
+        self.max_states = max_states
+        self.drain_grace = drain_grace
+        self.state = "starting"
+        self._t0 = time.monotonic()
+        self._state_lock = threading.Lock()
+        self._requests = {"queries": 0, "unknown": 0, "errors": 0}
+        self.admission = AdmissionQueue(queue_limit, workers=workers)
+        self.pool = QueryWorkerPool(
+            workers,
+            limits=limits,
+            retry=retry,
+            plan=plan,
+            faults=faults,
+        )
+        # bind eagerly: a taken port must fail *now*, before the CLI
+        # reports the daemon as up
+        try:
+            self._httpd = _Server((host, port), _Handler)
+        except OSError:
+            self.pool.close(drain=False)
+            raise
+        self._httpd.app = self
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "QueryDaemon":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self.state = "serving"
+        return self
+
+    def url(self, path: str = "/status") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def drain(self, *, grace: Optional[float] = None) -> None:
+        """Finish in-flight work, refuse new, make everything durable."""
+        grace = self.drain_grace if grace is None else grace
+        with self._state_lock:
+            if self.state in ("draining", "stopped"):
+                return
+            self.state = "draining"  # /readyz flips to 503 immediately
+        self.admission.begin_drain()  # new queries now get 503
+        self.admission.wait_idle(grace)  # in-flight handlers finish
+        self.pool.close(drain=True, timeout=grace)
+        self.store.flush()
+
+    def close(self, *, drain: bool = True) -> None:
+        if drain:
+            self.drain()
+        else:  # second signal: now
+            with self._state_lock:
+                self.state = "draining"
+            self.admission.begin_drain()
+            self.pool.close(drain=False, timeout=1.0)
+            self.store.flush()
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.state = "stopped"
+
+    def __enter__(self) -> "QueryDaemon":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- request handling (handler threads) ------------------------------
+    def count_error(self) -> None:
+        with self._state_lock:
+            self._requests["errors"] += 1
+
+    def handle_put_execution(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        exe_doc = doc.get("execution", doc)  # bare documents welcome
+        try:
+            exe = serialize.execution_from_dict(exe_doc)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise _BadRequest(f"bad execution document: {exc}")
+        fp = self.store.put_execution(exe)
+        self.store.flush()
+        return {"fingerprint": fp, "witnesses": len(self.store.points_for(fp))}
+
+    def handle_query(self, doc: Dict[str, Any]):
+        """Returns ``(http_code, json_body, extra_headers)``."""
+        if self.state != "serving":
+            return 503, {"error": f"daemon is {self.state}"}, None
+        try:
+            self.admission.try_enter()
+        except Overloaded as exc:
+            retry_after = max(1, int(round(exc.retry_after)))
+            return (
+                429,
+                {
+                    "error": "at capacity",
+                    "retry_after_seconds": retry_after,
+                    "admission": self.admission.stats(),
+                },
+                {"Retry-After": str(retry_after)},
+            )
+        except Draining:
+            return 503, {"error": "daemon is draining"}, None
+        entered_at = time.monotonic()
+        try:
+            return self._run_query(doc)
+        finally:
+            self.admission.release(time.monotonic() - entered_at)
+
+    def _run_query(self, doc: Dict[str, Any]):
+        # -- resolve the execution ------------------------------------
+        fp = doc.get("fingerprint")
+        if fp is None:
+            exe_doc = doc.get("execution")
+            if exe_doc is None:
+                raise _BadRequest(
+                    "name an execution: 'fingerprint' of a stored one, or "
+                    "an inline 'execution' document"
+                )
+            try:
+                exe = serialize.execution_from_dict(exe_doc)
+            except (ValueError, KeyError, TypeError) as exc:
+                raise _BadRequest(f"bad execution document: {exc}")
+            fp = self.store.put_execution(exe)
+        elif fp not in self.store:
+            return 404, {"error": f"no stored execution {fp}"}, None
+        exe = self.store.execution(fp)
+        # -- validate the relation ------------------------------------
+        relation = str(doc.get("relation", "race")).lower()
+        if relation not in QUERY_RELATIONS:
+            raise _BadRequest(
+                f"unknown relation {relation!r} "
+                f"(one of {', '.join(sorted(QUERY_RELATIONS))})"
+            )
+        a = b = None
+        if relation in _PAIR_RELATIONS:
+            try:
+                a, b = int(doc["a"]), int(doc["b"])
+            except (KeyError, TypeError, ValueError):
+                raise _BadRequest(
+                    f"relation {relation!r} needs integer event ids 'a' and 'b'"
+                )
+            known = set(exe.eids)
+            if a not in known or b not in known:
+                raise _BadRequest(
+                    f"event ids must be within this execution's "
+                    f"0..{len(exe.events) - 1}"
+                )
+        # -- clamp the requested budget to the server's caps ----------
+        req_states = doc.get("max_states")
+        req_timeout = doc.get("timeout")
+        try:
+            req_states = None if req_states is None else int(req_states)
+            req_timeout = None if req_timeout is None else float(req_timeout)
+        except (TypeError, ValueError):
+            raise _BadRequest("'max_states'/'timeout' must be numbers")
+        max_states, timeout = clamp_request(
+            req_states,
+            req_timeout,
+            states_cap=self.max_states,
+            timeout_cap=self.max_timeout,
+            default_timeout=self.default_timeout,
+        )
+        # -- evaluate on the crash-isolated pool ----------------------
+        request = {
+            "fingerprint": fp,
+            "execution": self.store.execution_doc(fp),
+            "relation": relation,
+            "a": a,
+            "b": b,
+            "drop_racing": bool(doc.get("drop_racing", True)),
+            "max_states": max_states,
+            "timeout": timeout,
+            "witnesses": self.store.points_for(fp),
+        }
+        tid = self.pool.submit(request)
+        wait = None
+        if timeout is not None:
+            # budget + crash retries + wall grace, with margin: the pool
+            # always finalizes (UNKNOWN at worst) well inside this
+            retries = self.pool.retry.max_retries
+            wait = (timeout + self.pool.wall_grace) * (1 + retries) + 15.0
+        outcome = self.pool.result(tid, timeout=wait)
+        # -- persist what the query discovered ------------------------
+        persisted = self.store.add_points(fp, outcome.get("witnesses_found"))
+        if persisted:
+            self.store.flush()
+        with self._state_lock:
+            self._requests["queries"] += 1
+            if outcome.get("verdict") in ("UNKNOWN", "unknown"):
+                self._requests["unknown"] += 1
+        body = {
+            "fingerprint": fp,
+            "relation": relation,
+            "a": a,
+            "b": b,
+            "verdict": outcome.get("verdict"),
+            "decided_by": outcome.get("decided_by"),
+            "resource": outcome.get("resource"),
+            "witness": outcome.get("witness"),
+            "classification": outcome.get("classification"),
+            "planner": outcome.get("planner"),
+            "budget": {"max_states": max_states, "timeout": timeout},
+            "witnesses_persisted": persisted,
+        }
+        return 200, body, None
+
+    # -- introspection ---------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        with self._state_lock:
+            requests = dict(self._requests)
+        return {
+            "service": "repro-serve",
+            "state": self.state,
+            "uptime_seconds": time.monotonic() - self._t0,
+            "requests": requests,
+            "admission": self.admission.stats(),
+            "pool": self.pool.stats(),
+            "store": self.store.stats(),
+        }
+
+    def render_metrics(self) -> str:
+        doc = self.status()
+        registry = MetricsRegistry()
+        registry.gauge("repro_serve_up", "1 while the daemon serves").set(1)
+        registry.gauge(
+            "repro_serve_ready", "1 while accepting new queries"
+        ).set(1 if doc["state"] == "serving" else 0)
+        registry.gauge(
+            "repro_serve_uptime_seconds", "Daemon uptime"
+        ).set(doc["uptime_seconds"])
+        req = doc["requests"]
+        registry.counter(
+            "repro_serve_queries_total", "Queries answered"
+        ).inc(req["queries"])
+        registry.counter(
+            "repro_serve_unknown_total", "Queries answered UNKNOWN"
+        ).inc(req["unknown"])
+        registry.counter(
+            "repro_serve_errors_total", "Requests that failed internally"
+        ).inc(req["errors"])
+        adm = doc["admission"]
+        registry.gauge(
+            "repro_serve_active_requests", "Admitted, not yet released"
+        ).set(adm["active"])
+        registry.counter(
+            "repro_serve_rejected_total",
+            "Requests refused at admission, by reason",
+            labels={"reason": "busy"},
+        ).inc(adm["rejected_busy"])
+        registry.counter(
+            "repro_serve_rejected_total",
+            "Requests refused at admission, by reason",
+            labels={"reason": "draining"},
+        ).inc(adm["rejected_draining"])
+        pool = doc["pool"]
+        registry.counter(
+            "repro_worker_spawns_total", "Query workers started"
+        ).inc(pool["spawns"])
+        registry.counter(
+            "repro_worker_crashes_total", "Query workers that died"
+        ).inc(pool["crashes"])
+        registry.counter(
+            "repro_serve_retries_total", "Query attempts retried"
+        ).inc(pool["retries"])
+        store = doc["store"]
+        registry.gauge(
+            "repro_store_executions", "Executions in the witness store"
+        ).set(store["executions"])
+        registry.gauge(
+            "repro_store_witnesses", "Validated schedules resident"
+        ).set(store["witnesses"])
+        registry.counter(
+            "repro_store_quarantined_total", "Corrupt files quarantined"
+        ).inc(store["quarantined"])
+        registry.counter(
+            "repro_store_flush_failures_total", "Durable flushes that failed"
+        ).inc(store["flush_failures"])
+        return registry.render()
+
+
+__all__ = ["QueryDaemon", "MAX_BODY_BYTES"]

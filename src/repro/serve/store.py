@@ -1,0 +1,299 @@
+"""Persistent on-disk witness store, keyed by execution fingerprint.
+
+The cross-query :class:`~repro.solve.witnesses.WitnessCache` makes a
+*scan* cheap; the daemon makes it *durable*: witnesses found for one
+client's query answer the next client's, across daemon restarts.  The
+layout is one directory per stored execution::
+
+    <root>/<fingerprint>/execution.json   -- the source trace
+    <root>/<fingerprint>/witnesses.json   -- validated schedules
+
+Robustness rules, in order of importance:
+
+* **Never trust the disk.**  Every loaded schedule replays through the
+  reference semantics before it is served (the in-memory cache is the
+  single soundness gate); a schedule that does not replay is dropped
+  and the file marked for rewrite.
+* **Never serve a corrupt entry, never delete evidence.**  A directory
+  whose ``execution.json`` is unreadable -- or whose content hashes to
+  a different fingerprint than its name -- is *quarantined* (renamed
+  ``<name>.corrupt-N``) and skipped with a logged warning.  A corrupt
+  ``witnesses.json`` is quarantined the same way and then **rebuilt
+  from the source trace**: the execution's own observed schedule is
+  re-validated into a fresh witness file, so the entry keeps answering
+  (degraded to one witness) instead of disappearing.
+* **Atomic, durable writes.**  Files are written via
+  :func:`~repro.util.fileio.atomic_write_text` with ``durable=True``
+  (tmp + fsync + rename + directory fsync), so a crash or a full disk
+  mid-flush leaves the previous complete version in place, never a
+  torn one.  A failed flush logs, counts, and leaves the entry dirty
+  for the next flush -- the daemon keeps serving from memory.
+
+Capacity: each entry's cache holds the most recent ``capacity``
+schedules (FIFO, like the scan cache); the store persists what is
+resident at flush time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import os
+import re
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.core.engine import Point
+from repro.model import serialize
+from repro.model.execution import ProgramExecution
+from repro.solve.witnesses import WitnessCache
+from repro.util.fileio import atomic_write_text
+
+log = logging.getLogger("repro.serve")
+
+STORE_FORMAT = "repro-witness-store"
+STORE_VERSION = 1
+
+_FINGERPRINT_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def _quarantine(path: str) -> str:
+    """Move a corrupt file or directory aside (never delete evidence)."""
+    for n in itertools.count(1):
+        target = f"{path}.corrupt-{n}"
+        if not os.path.exists(target):
+            os.replace(path, target)
+            return target
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class _StoreEntry:
+    """One stored execution: its model plus the validating cache."""
+
+    def __init__(self, exe: ProgramExecution, *, capacity: int) -> None:
+        self.exe = exe
+        self.cache = WitnessCache(exe, capacity=capacity)
+        self.dirty = False
+
+    def add_observed(self) -> None:
+        """Re-derive the base witness from the source trace itself (the
+        observed schedule is a member of ``F`` whenever it replays)."""
+        sched = self.exe.observed_schedule
+        if sched is None:
+            return
+        points = []
+        for eid in sched:
+            points.append(Point(eid, False))
+            points.append(Point(eid, True))
+        self.cache.add(points)
+
+    def schedules(self) -> List[List[List[int]]]:
+        return self.cache.points_since(0)  # every resident entry
+
+
+class WitnessStore:
+    """Fingerprint-keyed persistent executions + validated witnesses.
+
+    Thread-safe (one re-entrant lock): HTTP handler threads store
+    executions and fetch/persist witnesses while the drain path
+    flushes.  All mutations are in-memory first; :meth:`flush` makes
+    them durable (and is called after every mutation by the daemon,
+    plus once more on drain).
+    """
+
+    def __init__(self, root: str, *, capacity: int = 256) -> None:
+        self.root = root
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: Dict[str, _StoreEntry] = {}
+        self.quarantined = 0
+        self.flush_failures = 0
+        os.makedirs(root, exist_ok=True)
+        self._load_all()
+
+    # -- loading (constructor only) ------------------------------------
+    def _load_all(self) -> None:
+        for name in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, name)
+            if not os.path.isdir(path) or not _FINGERPRINT_RE.match(name):
+                continue  # quarantined remnants, tmp files, strangers
+            self._load_entry(name, path)
+
+    def _load_entry(self, fp: str, path: str) -> None:
+        exe_path = os.path.join(path, "execution.json")
+        try:
+            with open(exe_path) as fh:
+                exe = serialize.execution_from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            where = _quarantine(path)
+            self.quarantined += 1
+            log.warning(
+                "witness store: unreadable execution %s (%s); quarantined "
+                "to %s", fp, exc, where,
+            )
+            return
+        if serialize.execution_fingerprint(exe) != fp:
+            where = _quarantine(path)
+            self.quarantined += 1
+            log.warning(
+                "witness store: execution under %s hashes differently "
+                "(renamed or tampered directory); quarantined to %s",
+                fp, where,
+            )
+            return
+        entry = _StoreEntry(exe, capacity=self.capacity)
+        wit_path = os.path.join(path, "witnesses.json")
+        schedules: List[Any] = []
+        if os.path.exists(wit_path):
+            try:
+                with open(wit_path) as fh:
+                    doc = json.load(fh)
+                if (
+                    not isinstance(doc, dict)
+                    or doc.get("format") != STORE_FORMAT
+                    or doc.get("version") != STORE_VERSION
+                    or doc.get("fingerprint") != fp
+                ):
+                    raise ValueError("wrong format/version/fingerprint")
+                schedules = [w["points"] for w in doc["witnesses"]]
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                where = _quarantine(wit_path)
+                self.quarantined += 1
+                entry.dirty = True  # rebuild from the source trace
+                log.warning(
+                    "witness store: corrupt witnesses for %s (%s); "
+                    "quarantined to %s, rebuilding from source trace",
+                    fp, exc, where,
+                )
+        else:
+            # e.g. a crash between storing the execution and the first
+            # flush: not corruption, just rebuild
+            entry.dirty = True
+            log.info(
+                "witness store: no witness file for %s; rebuilding from "
+                "source trace", fp,
+            )
+        rejected_before = entry.cache.rejected
+        entry.cache.seed(schedules)
+        if entry.cache.rejected > rejected_before:
+            bad = entry.cache.rejected - rejected_before
+            entry.dirty = True  # rewrite without the invalid schedules
+            log.warning(
+                "witness store: %d invalid schedule(s) for %s dropped on "
+                "load (failed replay validation)", bad, fp,
+            )
+        entry.add_observed()
+        self._entries[fp] = entry
+
+    # -- client surface -------------------------------------------------
+    def put_execution(self, exe: ProgramExecution) -> str:
+        """Store an execution (idempotent); returns its fingerprint."""
+        fp = serialize.execution_fingerprint(exe)
+        with self._lock:
+            if fp not in self._entries:
+                entry = _StoreEntry(exe, capacity=self.capacity)
+                entry.add_observed()
+                entry.dirty = True
+                path = os.path.join(self.root, fp)
+                os.makedirs(path, exist_ok=True)
+                atomic_write_text(
+                    os.path.join(path, "execution.json"),
+                    serialize.dumps(exe) + "\n",
+                    durable=True,
+                )
+                self._entries[fp] = entry
+        return fp
+
+    def __contains__(self, fp: str) -> bool:
+        with self._lock:
+            return fp in self._entries
+
+    def execution(self, fp: str) -> ProgramExecution:
+        with self._lock:
+            return self._entries[fp].exe
+
+    def execution_doc(self, fp: str) -> Dict[str, Any]:
+        with self._lock:
+            return serialize.execution_to_dict(self._entries[fp].exe)
+
+    def fingerprints(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def points_for(self, fp: str) -> List[List[List[int]]]:
+        """Every stored schedule for ``fp`` (JSON-ready points), for
+        seeding a query worker's cache."""
+        with self._lock:
+            entry = self._entries.get(fp)
+            return entry.schedules() if entry is not None else []
+
+    def add_points(self, fp: str, schedules) -> int:
+        """Fold newly discovered schedules in (each re-validated by the
+        entry's cache); returns how many were genuinely new."""
+        if not schedules:
+            return 0
+        with self._lock:
+            entry = self._entries.get(fp)
+            if entry is None:
+                return 0
+            before = len(entry.cache)
+            entry.cache.seed(schedules)
+            added = len(entry.cache) - before
+            if added:
+                entry.dirty = True
+            return added
+
+    # -- durability ------------------------------------------------------
+    def flush(self) -> int:
+        """Write every dirty entry durably; returns entries written.
+
+        A failed write (disk full, permissions) logs a warning, counts
+        in :attr:`flush_failures` and leaves the entry dirty -- the
+        in-memory copy keeps serving and the next flush retries.
+        """
+        written = 0
+        with self._lock:
+            for fp, entry in self._entries.items():
+                if not entry.dirty:
+                    continue
+                doc = {
+                    "format": STORE_FORMAT,
+                    "version": STORE_VERSION,
+                    "fingerprint": fp,
+                    "witnesses": [
+                        {"points": sched} for sched in entry.schedules()
+                    ],
+                }
+                path = os.path.join(self.root, fp, "witnesses.json")
+                try:
+                    atomic_write_text(
+                        path,
+                        json.dumps(doc, sort_keys=True) + "\n",
+                        durable=True,
+                    )
+                except OSError as exc:
+                    self.flush_failures += 1
+                    log.warning(
+                        "witness store: flush of %s failed (%s); keeping "
+                        "entry dirty, serving from memory", fp, exc,
+                    )
+                else:
+                    entry.dirty = False
+                    written += 1
+        return written
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "executions": len(self._entries),
+                "witnesses": sum(
+                    len(e.cache) for e in self._entries.values()
+                ),
+                "dirty": sum(1 for e in self._entries.values() if e.dirty),
+                "quarantined": self.quarantined,
+                "flush_failures": self.flush_failures,
+            }
+
+
+__all__ = ["WitnessStore", "STORE_FORMAT", "STORE_VERSION"]

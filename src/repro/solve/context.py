@@ -44,6 +44,7 @@ class SolveContext:
         include_dependences: bool = True,
         binary_semaphores: bool = False,
         stats: Optional[SearchStats] = None,
+        witness_capacity: int = 256,
     ) -> None:
         self.exe = exe
         self.include_dependences = include_dependences
@@ -53,6 +54,7 @@ class SolveContext:
             exe,
             include_dependences=include_dependences,
             binary_semaphores=binary_semaphores,
+            capacity=witness_capacity,
         )
         # base feasibility, once some tier resolves it ("is F non-empty
         # with the full dependence relation"); None = not yet known
@@ -184,6 +186,21 @@ class SolveContext:
         return frozenset(
             (x, y) for (x, y) in self.exe.dependences if {x, y} == {a, b}
         )
+
+    # ------------------------------------------------------------------
+    # persistent witness reuse (the ``repro serve`` store)
+    # ------------------------------------------------------------------
+    def seed_witnesses(self, schedules) -> int:
+        """Warm the witness cache from externally persisted schedules
+        (each fully re-validated; see
+        :meth:`~repro.solve.witnesses.WitnessCache.seed`).  Returns the
+        cache mark *after* seeding, so
+        :meth:`~repro.solve.witnesses.WitnessCache.points_since` yields
+        only schedules this context discovered itself -- the daemon
+        persists exactly those, and a repeat query on a stored
+        execution is then answered by the ``witness`` tier without the
+        engine running at all."""
+        return self.witnesses.seed(schedules)
 
     # ------------------------------------------------------------------
     # lazy shared analyses

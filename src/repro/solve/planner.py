@@ -193,7 +193,10 @@ class QueryPlanner:
         hooks = []
         sink = self.tracer
         if sink is not None and sink.enabled:
-            last = [0.0]
+            # -inf, not 0.0: monotonic clocks can start near zero (a
+            # freshly booted host), and 0.0 would then swallow the
+            # first tick for up to a full interval
+            last = [float("-inf")]
             interval = self._tick_min_interval
 
             def trace_tick(stats) -> None:

@@ -16,6 +16,17 @@ is recorded.  The schedule is then a member of ``F(drop)`` for every
 adds them.  A schedule found under one pair's drop set typically
 violates nothing (``violated = ∅``) and so serves *every* pair.
 
+Persistence hooks: every successful :meth:`~WitnessCache.add` bumps a
+monotonic :attr:`~WitnessCache.version`; :meth:`~WitnessCache.mark`
+plus :meth:`~WitnessCache.entries_since` let a caller (a supervised
+query worker) extract exactly the schedules discovered by one query,
+and :meth:`~WitnessCache.seed` replays externally stored schedules
+(the daemon's on-disk witness store) back in.  Seeding goes through
+:meth:`~WitnessCache.add`'s full validation, so a corrupted or stale
+store entry is silently rejected rather than trusted -- the cache
+remains the single soundness gate no matter where a schedule claims
+to come from.
+
 The cache also implements the one sound schedule *transformation* the
 planner uses: :func:`widen_overlap` takes a schedule ordering ``c``
 before ``d`` and moves ``begin(d)`` to just before ``end(c)``.  Begin
@@ -69,9 +80,13 @@ class WitnessCache:
         self.binary_semaphores = binary_semaphores
         self.capacity = capacity
         self._entries: List[CacheEntry] = []
+        self._versions: List[int] = []  # parallel to _entries
         self._seen: set = set()
         self.hits = 0
         self.rejected = 0
+        #: monotonic count of successful adds (never decremented by
+        #: eviction) -- the basis of :meth:`mark`/:meth:`entries_since`
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -110,15 +125,57 @@ class WitnessCache:
         else:
             violated = frozenset()
         entry = CacheEntry(w, violated)
+        self.version += 1
         self._entries.append(entry)
+        self._versions.append(self.version)
         self._seen.add(key)
         if len(self._entries) > self.capacity:
             evicted = self._entries.pop(0)
+            self._versions.pop(0)
             self._seen.discard(evicted.witness.points)
         return entry
 
     def add_witness(self, witness: Witness) -> Optional[CacheEntry]:
         return self.add(witness.points)
+
+    # ------------------------------------------------------------------
+    # persistence hooks (the daemon's on-disk witness store)
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        """An opaque watermark; pass to :meth:`entries_since` to get
+        only the schedules discovered after this point."""
+        return self.version
+
+    def entries_since(self, mark: int) -> List[CacheEntry]:
+        """Entries added after ``mark`` that are still resident
+        (eviction can only shrink the answer, never corrupt it)."""
+        return [
+            e for e, v in zip(self._entries, self._versions) if v > mark
+        ]
+
+    def points_since(self, mark: int) -> List[List[Tuple[int, int]]]:
+        """JSON-ready ``[[eid, is_end], ...]`` schedules added after
+        ``mark`` -- what a query worker ships home for the store."""
+        return [
+            [[p.eid, int(p.is_end)] for p in e.witness.points]
+            for e in self.entries_since(mark)
+        ]
+
+    def seed(self, schedules: Sequence[Sequence[Sequence[int]]]) -> int:
+        """Replay externally stored schedules into the cache, each
+        through :meth:`add`'s full validation (an invalid schedule is
+        rejected and counted, never trusted).  Returns a :meth:`mark`
+        taken *after* seeding, so ``points_since`` excludes the seeds
+        themselves and reports only genuinely new discoveries."""
+        for sched in schedules:
+            try:
+                self.add([Point(int(eid), bool(end)) for eid, end in sched])
+            except (TypeError, ValueError, KeyError, IndexError):
+                # malformed points document: reject like an illegal
+                # schedule instead of letting a bad store entry crash
+                # the query that tried to reuse it
+                self.rejected += 1
+        return self.mark()
 
     # ------------------------------------------------------------------
     def entries_for(self, drop: FrozenSet[Tuple[int, int]]) -> Iterator[CacheEntry]:

@@ -48,33 +48,52 @@ class JournalMismatchError(JournalError):
     """The journal belongs to a different execution, budget or plan."""
 
 
+#: signals held across a journal write.  SIGTERM rides along with
+#: SIGINT: a supervisor (systemd, CI, the daemon's own drain) asking a
+#: scan to stop must not tear the journal tail any more than a Ctrl-C.
+_DEFERRED_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
 @contextmanager
 def _defer_sigint():
-    """Hold ``SIGINT`` across one journal write.
+    """Hold ``SIGINT`` *and* ``SIGTERM`` across one journal write.
 
-    A first Ctrl-C lands between records (the handler runs only after
-    the write+fsync completes, via the immediate re-raise below); a
-    second impatient Ctrl-C therefore can never interleave with a
-    record and tear the journal tail.  Off the main thread -- or when
-    the handler is not a Python callable -- signals cannot be swapped,
-    and the plain write is already as safe as it was.
+    A first Ctrl-C (or a supervisor's SIGTERM) lands between records
+    (the handler runs only after the write+fsync completes, via the
+    immediate re-delivery below); a second impatient signal therefore
+    can never interleave with a record and tear the journal tail.  Off
+    the main thread -- or for a signal whose handler is not a Python
+    callable -- signals cannot be swapped, and the plain write is
+    already as safe as it was.  (Kept under its historical name; it
+    now defers every signal in ``_DEFERRED_SIGNALS``.)
     """
     if threading.current_thread() is not threading.main_thread():
         yield
         return
-    previous = signal.getsignal(signal.SIGINT)
-    if not callable(previous):
-        # SIG_IGN/SIG_DFL/unknown: no Python handler would fire mid-write
-        yield
-        return
+    swapped: List[tuple] = []  # (signum, previous handler)
     pending: List[tuple] = []
-    signal.signal(signal.SIGINT, lambda s, f: pending.append((s, f)))
+    for signum in _DEFERRED_SIGNALS:
+        previous = signal.getsignal(signum)
+        if not callable(previous):
+            # SIG_IGN/SIG_DFL/unknown: no Python handler would fire
+            # mid-write for this signal, nothing to defer
+            continue
+        signal.signal(signum, lambda s, f: pending.append((s, f)))
+        swapped.append((signum, previous))
     try:
         yield
     finally:
-        signal.signal(signal.SIGINT, previous)
+        handlers = {}
+        for signum, previous in swapped:
+            signal.signal(signum, previous)
+            handlers[signum] = previous
         if pending:
-            previous(*pending[0])  # normally raises KeyboardInterrupt
+            # deliver the first pending signal through its own previous
+            # handler (normally raises KeyboardInterrupt / the daemon's
+            # drain exception); later duplicates are dropped, matching
+            # kernel coalescing of standard signals
+            s, f = pending[0]
+            handlers[s](s, f)
 
 
 def scan_fingerprint(

@@ -32,11 +32,13 @@ whole (appends themselves are SIGINT-deferred, see
 from __future__ import annotations
 
 import gc
+import itertools
 import multiprocessing as mp
 import os
 import queue as queue_mod
 import signal
 import sys
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -54,7 +56,7 @@ from repro.races.detector import (
     classify_pair,
 )
 from repro.solve.context import SolveContext
-from repro.solve.planner import PlannerReport, QueryPlanner
+from repro.solve.planner import PlannerReport, QueryPlanner, tier_of
 from repro.supervise.retry import RetryPolicy
 from repro.supervise.rlimits import CPU, MEMORY, ResourceLimits, apply_limits
 
@@ -373,7 +375,9 @@ class SupervisedScanner:
             )
             if self.retry.should_retry(st.failures) and not past_deadline:
                 st.attempt += 1
-                st.not_before = time.monotonic() + self.retry.delay(st.attempt)
+                st.not_before = time.monotonic() + self.retry.delay(
+                    st.attempt, key=(st.a, st.b)
+                )
                 pending.append(tid)
                 emit(
                     {"kind": "worker.retry", "a": st.a, "b": st.b,
@@ -548,9 +552,16 @@ class SupervisedScanner:
                         else:  # cold worker: arm the clock on its ready message
                             w.kill_at = None
                             w.kill_after = wall
-                # collect one result (also our sleep)
+                # collect results (the blocking get is also our sleep);
+                # drain everything already queued so a burst of answers
+                # -- e.g. an OOM worker's final "memory" report landing
+                # behind several "ok"s -- is folded in before the
+                # drain_grace clock below can misread the clean exit as
+                # an abandoned task
                 try:
                     handle_result(result_q.get(timeout=self.poll_interval))
+                    while True:
+                        handle_result(result_q.get_nowait())
                 except queue_mod.Empty:
                     pass
                 # crash + hang supervision of busy workers
@@ -586,6 +597,9 @@ class SupervisedScanner:
                         fail(tid, DEADLINE)
         except KeyboardInterrupt:
             interrupted = True
+            if board is not None:
+                # flips /readyz to 503 while the prefix is folded in
+                board.set_state("draining")
             # drain results that already completed, briefly; a SECOND
             # interrupt during the drain means "now" -- stop draining,
             # let the finally terminate the workers, then re-raise so
@@ -639,4 +653,513 @@ class SupervisedScanner:
         result_q.close()
 
 
-__all__ = ["SupervisedScanner", "CRASH"]
+# ----------------------------------------------------------------------
+# long-lived query evaluation (the ``repro serve`` daemon's pool)
+# ----------------------------------------------------------------------
+#: relations a query request may name; each maps to a planner facade
+#: (``<name>_verdict``), plus the two composite forms
+QUERY_RELATIONS = frozenset(
+    {"mhb", "chb", "mcb", "ccb", "mow", "cow", "mcw", "ccw",
+     "feasible", "race"}
+)
+
+#: outcome resource when the pool is torn down with the job unfinished
+SHUTDOWN = "shutdown"
+
+
+def _unknown_outcome(resource: str) -> Dict[str, Any]:
+    """The degraded answer shape: explicitly UNKNOWN, never a guess."""
+    return {
+        "verdict": "UNKNOWN",
+        "decided_by": None,
+        "resource": resource,
+        "planner": {},
+        "witnesses_found": [],
+    }
+
+
+def _verdict_payload(verdict) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {
+        "verdict": str(verdict.truth),
+        "decided_by": (
+            None if verdict.is_unknown else tier_of(verdict.provenance)
+        ),
+        "resource": verdict.resource,
+    }
+    if verdict.witness is not None:
+        doc["witness"] = serialize.witness_to_dict(verdict.witness)
+    return doc
+
+
+def _query_worker_main(worker_id: int, task_q, result_q, conf) -> None:
+    """Daemon-side worker loop: one *query* per message, executions by
+    fingerprint.  Runs in a spawned interpreter; must stay importable.
+
+    Unlike :func:`_worker_main` (one execution for a whole scan), a
+    query worker serves many executions over its lifetime: it keeps a
+    small FIFO of warm :class:`~repro.solve.planner.QueryPlanner`
+    contexts keyed by fingerprint, so consecutive queries against the
+    same stored execution reuse the structural bitsets and every
+    witness already found.  Each request ships the execution document
+    anyway -- a worker fresh from a crash replacement must be able to
+    answer without any shared state.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns shutdown
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)  # ... and drain
+    limits = conf.get("rlimits")
+    rlimited = apply_limits(
+        ResourceLimits(**limits) if limits is not None else None
+    )
+    faults = conf.get("faults") or {}
+    plan = conf.get("plan")
+    capacity = max(1, int(conf.get("context_capacity", 8)))
+    planners: Dict[str, QueryPlanner] = {}  # fp -> planner, FIFO-bounded
+    # feeder thread first: its stack counts against RLIMIT_AS (see
+    # _worker_main)
+    result_q.put((worker_id, None, "ready", None))
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            return
+        task_id, req, attempt = msg
+        try:
+            a, b = req.get("a"), req.get("b")
+            if a is not None and b is not None:
+                _inject_fault(faults, int(a), int(b), attempt, rlimited)
+            fp = req["fingerprint"]
+            planner = planners.get(fp)
+            if planner is None:
+                exe = serialize.execution_from_dict(req["execution"])
+                ctx = SolveContext(exe)
+                planner = (
+                    QueryPlanner(ctx, tuple(plan)) if plan else QueryPlanner(ctx)
+                )
+                planners[fp] = planner
+                while len(planners) > capacity:
+                    planners.pop(next(iter(planners)))
+            # seed the persistent store's schedules (each re-validated
+            # by the cache) and remember the watermark: only witnesses
+            # *this* query discovers ship home for persisting
+            mark = planner.ctx.seed_witnesses(req.get("witnesses") or ())
+            planner.report = PlannerReport()  # per-query tier tallies
+            budget = None
+            max_states, timeout = req.get("max_states"), req.get("timeout")
+            if max_states is not None or timeout is not None:
+                budget = Budget.of(max_states=max_states, timeout=timeout)
+            relation = req.get("relation", "race")
+            if relation == "race":
+                c = classify_pair(
+                    planner.ctx.exe,
+                    int(a),
+                    int(b),
+                    drop_racing_dependences=bool(req.get("drop_racing", True)),
+                    budget=budget,
+                    planner=planner,
+                )
+                payload: Dict[str, Any] = {
+                    "verdict": c.status.upper()
+                    if c.status == UNKNOWN
+                    else c.status,
+                    "decided_by": c.decided_by,
+                    "resource": c.resource,
+                    "classification": serialize.classification_to_dict(c),
+                }
+                if c.witness is not None:
+                    payload["witness"] = serialize.witness_to_dict(c.witness)
+            elif relation == "feasible":
+                payload = _verdict_payload(planner.feasible_verdict(budget=budget))
+            else:
+                method = getattr(planner, f"{relation}_verdict")
+                payload = _verdict_payload(method(int(a), int(b), budget=budget))
+            payload["planner"] = planner.report.snapshot()
+            payload["witnesses_found"] = planner.ctx.witnesses.points_since(mark)
+            result_q.put((worker_id, task_id, "ok", payload))
+        except MemoryError:
+            # see _worker_main: report without binding the exception,
+            # then retire this driven-to-the-limit heap
+            planners.clear()
+            gc.collect()
+            result_q.put((worker_id, task_id, "memory", None))
+            return
+        except Exception as exc:  # unexpected bug: isolate, don't die
+            result_q.put((worker_id, task_id, "error", repr(exc)))
+
+
+@dataclass
+class _QueryJob:
+    request: Dict[str, Any]
+    done: threading.Event = field(default_factory=threading.Event)
+    outcome: Optional[Dict[str, Any]] = None
+    attempt: int = 0
+    failures: int = 0
+    not_before: float = 0.0
+    #: monotonic retry cutoff (mirrors the request timeout): past it a
+    #: failure finalizes UNKNOWN instead of re-queueing
+    deadline: Optional[float] = None
+
+
+class QueryWorkerPool:
+    """Crash-isolated evaluation for the ``repro serve`` daemon.
+
+    The scan pool answers one batch and exits; this pool lives as long
+    as the daemon, evaluating independent query requests against many
+    executions.  It inherits the scan pool's robustness invariants --
+    spawn-context workers under kernel rlimits, dead workers replaced
+    and their job retried under the :class:`RetryPolicy` (jittered
+    backoff keyed by job), hangs killed at a wall deadline, degraded
+    answers explicitly ``UNKNOWN`` with the resource that ran out --
+    and adds a thread-safe ``submit``/``result`` surface driven by one
+    supervisor thread.
+
+    A request is a dict: ``fingerprint`` + ``execution`` (its JSON
+    document), ``relation`` (one of :data:`QUERY_RELATIONS`), event ids
+    ``a``/``b`` for pair relations, optional ``drop_racing``,
+    ``max_states``/``timeout`` (the per-query budget -- the *caller*
+    clamps, see :func:`repro.budget.clamp_request`), and optional
+    ``witnesses`` (stored schedules to seed the worker's cache).  The
+    outcome is a dict: ``verdict`` / ``decided_by`` / ``resource``,
+    optional ``witness`` and ``classification``, the per-query
+    ``planner`` tier snapshot, and ``witnesses_found`` -- newly
+    discovered schedules the caller should persist.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        limits: Optional[ResourceLimits] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[Dict[str, Dict[str, Any]]] = None,
+        plan: Optional[Sequence[str]] = None,
+        poll_interval: float = 0.02,
+        drain_grace: float = 1.0,
+        wall_grace: float = 5.0,
+        context_capacity: int = 8,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.limits = limits
+        self.retry = retry if retry is not None else RetryPolicy(jitter=0.5)
+        self.faults = dict(faults or {})
+        self.plan = list(plan) if plan is not None else None
+        self.poll_interval = poll_interval
+        self.drain_grace = drain_grace
+        self.wall_grace = wall_grace
+        self.context_capacity = context_capacity
+
+        self._ctx = mp.get_context("spawn")
+        self._result_q = self._ctx.Queue()
+        self._conf = {
+            "rlimits": (
+                {
+                    "max_memory_mb": limits.max_memory_mb,
+                    "max_cpu_seconds": limits.max_cpu_seconds,
+                }
+                if limits is not None
+                else None
+            ),
+            "faults": self.faults,
+            "plan": self.plan,
+            "context_capacity": context_capacity,
+        }
+        self._lock = threading.Lock()
+        self._jobs: Dict[int, _QueryJob] = {}
+        self._pending: deque = deque()
+        self._task_ids = itertools.count()
+        self._slots: List[Optional[_Worker]] = [None] * workers
+        self._by_uid: Dict[int, _Worker] = {}
+        self._next_uid = itertools.count()
+        self._slots_used: set = set()
+        self._stop = threading.Event()
+        self._drain_deadline: Optional[float] = None
+        self._closed = threading.Event()
+        # counters (read under _lock by stats())
+        self._submitted = 0
+        self._answered = 0
+        self._retries = 0
+        self._spawns = 0
+        self._restarts = 0
+        self._crashes = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-query-pool", daemon=True
+        )
+        self._thread.start()
+
+    # -- client surface (any thread) -----------------------------------
+    def submit(self, request: Dict[str, Any]) -> int:
+        """Enqueue one query request; returns its task id."""
+        with self._lock:
+            if self._stop.is_set():
+                raise RuntimeError("pool is shutting down")
+            tid = next(self._task_ids)
+            job = _QueryJob(request=dict(request))
+            timeout = request.get("timeout")
+            if timeout is not None:
+                job.deadline = time.monotonic() + float(timeout)
+            self._jobs[tid] = job
+            self._pending.append(tid)
+            self._submitted += 1
+        return tid
+
+    def result(self, task_id: int, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block for one outcome (and forget the job)."""
+        with self._lock:
+            job = self._jobs.get(task_id)
+        if job is None:
+            raise KeyError(f"unknown task {task_id}")
+        if not job.done.wait(timeout):
+            raise TimeoutError(f"task {task_id} not done within {timeout}s")
+        with self._lock:
+            self._jobs.pop(task_id, None)
+        assert job.outcome is not None
+        return job.outcome
+
+    def close(self, *, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop the pool.  ``drain=True`` lets in-flight and queued jobs
+        finish (bounded by ``timeout``); either way, every unfinished
+        job is finalized ``UNKNOWN (shutdown)`` so no waiter hangs."""
+        with self._lock:
+            if self._stop.is_set():
+                drain = False  # already closing; just wait below
+            else:
+                self._drain_deadline = (
+                    time.monotonic() + timeout if drain else time.monotonic()
+                )
+                self._stop.set()
+        self._closed.wait(timeout + 10.0)
+        self._thread.join(timeout=5.0)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            busy = sum(
+                1 for w in self._slots if w is not None and w.busy_task is not None
+            )
+            return {
+                "workers": self.workers,
+                "busy": busy,
+                "queued": len(self._pending),
+                "submitted": self._submitted,
+                "answered": self._answered,
+                "retries": self._retries,
+                "spawns": self._spawns,
+                "restarts": self._restarts,
+                "crashes": self._crashes,
+            }
+
+    def __enter__(self) -> "QueryWorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- supervisor thread ---------------------------------------------
+    def _finalize(self, tid: int, outcome: Dict[str, Any]) -> None:
+        with self._lock:
+            job = self._jobs.get(tid)
+            if job is None or job.outcome is not None:
+                return
+            job.outcome = outcome
+            self._answered += 1
+        job.done.set()
+
+    def _fail(self, tid: int, resource: str) -> None:
+        with self._lock:
+            job = self._jobs.get(tid)
+            if job is None or job.outcome is not None:
+                return
+            job.failures += 1
+            now = time.monotonic()
+            past = job.deadline is not None and now >= job.deadline
+            retry = (
+                self.retry.should_retry(job.failures)
+                and not past
+                and not self._stop.is_set()
+            )
+            if retry:
+                job.attempt += 1
+                self._retries += 1
+                key = (job.request.get("a"), job.request.get("b"), tid)
+                job.not_before = now + self.retry.delay(job.attempt, key=key)
+                self._pending.append(tid)
+        if not retry:
+            self._finalize(tid, _unknown_outcome(resource))
+
+    def _spawn(self, slot: int) -> _Worker:
+        uid = next(self._next_uid)
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_query_worker_main,
+            args=(uid, task_q, self._result_q, self._conf),
+            daemon=True,
+        )
+        proc.start()
+        w = _Worker(uid, proc, task_q)
+        self._by_uid[uid] = w
+        with self._lock:
+            self._spawns += 1
+            if slot in self._slots_used:
+                self._restarts += 1
+            self._slots_used.add(slot)
+        return w
+
+    def _retire(self, slot: int) -> None:
+        w = self._slots[slot]
+        w.proc.join()
+        self._by_uid.pop(w.uid, None)
+        self._slots[slot] = None
+
+    def _next_dispatchable(self, now: float) -> Optional[int]:
+        with self._lock:
+            for _ in range(len(self._pending)):
+                tid = self._pending.popleft()
+                job = self._jobs.get(tid)
+                if job is None or job.outcome is not None:
+                    continue  # cancelled or already finalized
+                if job.deadline is not None and now >= job.deadline:
+                    # expired while queued: answer without dispatching
+                    expired = tid
+                    break
+                if job.not_before <= now:
+                    return tid
+                self._pending.append(tid)
+            else:
+                return None
+        self._fail(expired, DEADLINE)
+        return self._next_dispatchable(now)
+
+    def _handle_result(self, msg) -> None:
+        uid, tid, kind, payload = msg
+        if kind == "ready":
+            w = self._by_uid.get(uid)
+            if w is not None:
+                w.ready = True
+                if w.kill_after is not None:
+                    w.kill_at = time.monotonic() + w.kill_after
+                    w.kill_after = None
+            return
+        w = self._by_uid.get(uid)
+        if w is not None and w.busy_task == tid:
+            w.busy_task = None
+            w.kill_at = None
+            w.kill_after = None
+            w.died_at = None
+        if w is not None and kind == "memory":
+            w.retiring = True
+            with self._lock:
+                self._crashes += 1
+        with self._lock:
+            job = self._jobs.get(tid)
+            settled = job is None or job.outcome is not None
+            requeued = tid in self._pending
+        if settled:
+            return
+        if kind == "ok":
+            if requeued:
+                # late answer from an incarnation we had given up on
+                with self._lock:
+                    try:
+                        self._pending.remove(tid)
+                    except ValueError:
+                        pass
+            self._finalize(tid, payload)
+        elif not requeued:  # "memory"/"error" not already counted at death
+            self._fail(tid, MEMORY if kind == "memory" else CRASH)
+
+    def _run(self) -> None:
+        slots = self._slots
+        try:
+            while True:
+                now = time.monotonic()
+                with self._lock:
+                    unfinished = any(
+                        j.outcome is None for j in self._jobs.values()
+                    )
+                    stopping = self._stop.is_set()
+                    drain_deadline = self._drain_deadline
+                if stopping and (
+                    not unfinished
+                    or (drain_deadline is not None and now >= drain_deadline)
+                ):
+                    return
+                for slot in range(self.workers):
+                    w = slots[slot]
+                    if w is not None and w.busy_task is None and (
+                        w.retiring or not w.proc.is_alive()
+                    ):
+                        if w.proc.is_alive():
+                            continue  # retiring, not yet gone: stand by
+                        self._retire(slot)
+                        w = None
+                    if w is None:
+                        # keep the bench warm: a daemon's first query
+                        # should not pay interpreter spawn time, and a
+                        # replacement must exist before the next crash
+                        slots[slot] = w = self._spawn(slot)
+                    if w.busy_task is None:
+                        tid = self._next_dispatchable(now)
+                        if tid is None:
+                            continue
+                        job = self._jobs[tid]
+                        w.task_q.put((tid, job.request, job.attempt))
+                        w.busy_task = tid
+                        wall = None
+                        if job.deadline is not None:
+                            wall = max(0.1, job.deadline - now) + self.wall_grace
+                        if w.ready:
+                            w.kill_at = (now + wall) if wall is not None else None
+                            w.kill_after = None
+                        else:  # cold worker: arm on its ready message
+                            w.kill_at = None
+                            w.kill_after = wall
+                try:
+                    self._handle_result(
+                        self._result_q.get(timeout=self.poll_interval)
+                    )
+                    while True:
+                        self._handle_result(self._result_q.get_nowait())
+                except queue_mod.Empty:
+                    pass
+                now = time.monotonic()
+                for slot in range(self.workers):
+                    w = slots[slot]
+                    if w is None or w.busy_task is None:
+                        continue
+                    if not w.proc.is_alive():
+                        exitcode = w.proc.exitcode
+                        if w.died_at is None:
+                            w.died_at = now
+                        if exitcode == 0 and now - w.died_at < self.drain_grace:
+                            continue  # clean exit: final report in flight
+                        tid = w.busy_task
+                        resource = _death_resource(exitcode)
+                        with self._lock:
+                            self._crashes += 1
+                        self._retire(slot)
+                        self._fail(tid, resource)
+                    elif w.kill_at is not None and now >= w.kill_at:
+                        tid = w.busy_task
+                        w.proc.kill()
+                        with self._lock:
+                            self._crashes += 1
+                        self._retire(slot)
+                        self._fail(tid, DEADLINE)
+        finally:
+            # answer every waiter, then tear the workers down
+            with self._lock:
+                leftovers = [
+                    tid for tid, j in self._jobs.items() if j.outcome is None
+                ]
+            for tid in leftovers:
+                self._finalize(tid, _unknown_outcome(SHUTDOWN))
+            SupervisedScanner._shutdown(slots, self._result_q)
+            self._closed.set()
+
+
+__all__ = [
+    "SupervisedScanner",
+    "QueryWorkerPool",
+    "QUERY_RELATIONS",
+    "CRASH",
+    "SHUTDOWN",
+]

@@ -1,13 +1,23 @@
 """Atomic file writes shared by every snapshot-shaped output.
 
-Metrics snapshots and saved reports are scraped and tailed while the
-scan that writes them is still running, so a plain ``open(path, "w")``
-exposes readers to torn files.  :func:`atomic_write_text` writes to
-``path + ".tmp"``, fsyncs, and :func:`os.replace`\\ s into place --
-readers see either the old complete snapshot or the new one, never a
-prefix.  Dependency-free on purpose: both :mod:`repro.obs.metrics` and
-:mod:`repro.model.serialize` use it, and those sit on opposite sides
+Metrics snapshots, saved reports and the daemon's witness store are
+scraped and tailed while the process that writes them is still
+running, so a plain ``open(path, "w")`` exposes readers to torn files.
+:func:`atomic_write_text` writes to a temporary sibling, fsyncs, and
+:func:`os.replace`\\ s into place -- readers see either the old
+complete snapshot or the new one, never a prefix.  Dependency-free on
+purpose: :mod:`repro.obs.metrics`, :mod:`repro.model.serialize` and
+:mod:`repro.serve.store` all use it, and those sit on opposite sides
 of the package's import layering.
+
+Failure behavior is part of the contract: a write that dies midway
+(disk full, quota, kill) removes its temporary file before the error
+propagates, so a crashed flush never litters the directory with
+half-written ``.tmp`` debris that a later scan of the directory could
+mistake for data.  ``durable=True`` additionally fsyncs the parent
+directory after the rename, making the *replacement itself* survive a
+power cut -- the witness store uses it so a record acknowledged to a
+client is really on disk.
 """
 
 from __future__ import annotations
@@ -15,24 +25,55 @@ from __future__ import annotations
 import os
 
 
-def atomic_write_text(path: str, text: str, *, fsync: bool = True) -> None:
+def fsync_dir(path: str) -> None:
+    """fsync the directory at ``path`` (so a rename inside it is
+    durable).  Best-effort: some filesystems refuse ``O_RDONLY`` opens
+    of directories; those callers still get the rename's atomicity,
+    just not its durability across power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystem
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - exotic filesystem
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: str, text: str, *, fsync: bool = True, durable: bool = False
+) -> None:
     """Replace ``path``'s content with ``text`` atomically.
 
     The temporary sibling ``path + ".tmp"`` lives in the same directory
     so the final :func:`os.replace` stays on one filesystem (rename is
     only atomic within a filesystem).  ``fsync=False`` skips the
-    durability barrier for callers that only need tear-freedom.
+    durability barrier for callers that only need tear-freedom;
+    ``durable=True`` also fsyncs the containing directory after the
+    rename.  On *any* failure the temporary file is removed and the
+    original ``path`` is left exactly as it was.
     """
     tmp = path + ".tmp"
-    fh = open(tmp, "w")
     try:
-        fh.write(text)
-        fh.flush()
-        if fsync:
-            os.fsync(fh.fileno())
-    finally:
-        fh.close()
-    os.replace(tmp, path)
+        fh = open(tmp, "w")
+        try:
+            fh.write(text)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        finally:
+            fh.close()
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(os.path.dirname(os.path.abspath(path)))
 
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_text", "fsync_dir"]

@@ -225,6 +225,36 @@ class TestObsServer:
             assert status == 200
             assert _parse_prometheus(body)["repro_scan_pairs_done"] == 1
 
+    def test_readyz_splits_readiness_from_liveness(self):
+        board = StatusBoard()
+        with ObsServer(board, 0) as srv:
+            # alive but not ready: still starting up
+            assert _get(srv.url("/healthz"))[0] == 200
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(srv.url("/readyz"))
+            assert excinfo.value.code == 503
+            assert "not ready" in excinfo.value.read().decode()
+            board.begin_scan(total=1)
+            status, body = _get(srv.url("/readyz"))
+            assert status == 200 and body == "ready\n"
+            # draining flips readiness back off while liveness holds
+            board.set_state("draining")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(srv.url("/readyz"))
+            assert excinfo.value.code == 503
+            assert _get(srv.url("/healthz"))[0] == 200
+            board.finish("done")
+            assert _get(srv.url("/readyz"))[0] == 200
+
+    def test_readyz_honors_a_custom_ready_callable(self):
+        ready = [False]
+        with ObsServer(StatusBoard(), 0, ready=lambda: ready[0]) as srv:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(srv.url("/readyz"))
+            assert excinfo.value.code == 503
+            ready[0] = True
+            assert _get(srv.url("/readyz"))[0] == 200
+
     def test_unknown_path_is_404(self):
         with ObsServer(StatusBoard(), 0) as srv:
             with pytest.raises(urllib.error.HTTPError) as excinfo:

@@ -1,0 +1,779 @@
+"""The ``repro serve`` daemon: store, admission, pool, HTTP, faults.
+
+The fault-injection matrix from the issue is tested end-to-end: under
+worker segv/oom/hang, a corrupt store file, a disk-full flush, a
+disconnecting client and SIGTERM mid-request, the daemon never goes
+down and never serves a wrong verdict -- degraded answers are an
+explicit UNKNOWN carrying the resource that ran out.  The acceptance
+criterion for the persistent witness store is asserted via planner
+tier counts: a repeat query against a *restarted* daemon (fresh
+workers, no warm in-process cache) must be answered by the ``witness``
+tier with zero engine states.
+"""
+
+import json
+import logging
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.model import serialize
+from repro.races.detector import RaceDetector
+from repro.serve import (
+    AdmissionQueue,
+    Draining,
+    Overloaded,
+    QueryDaemon,
+    WitnessStore,
+)
+from repro.serve.store import STORE_FORMAT, STORE_VERSION
+from repro.supervise import ResourceLimits, RetryPolicy
+from repro.supervise.checkpoint import CheckpointJournal, scan_fingerprint
+from repro.supervise.pool import QueryWorkerPool
+
+from tests.test_supervise import SRC_DIR, fault_key, masking_execution
+
+
+def _get(url, timeout=10.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.read().decode()
+
+
+def _post(url, body, timeout=120.0):
+    req = urllib.request.Request(
+        url, data=json.dumps(body).encode("utf-8"), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def _query_request(exe, relation="ccw", pair=None, **extra):
+    """A QueryWorkerPool request dict, the daemon's wire shape."""
+    if pair is None:
+        pair = exe.conflicting_pairs()[0]
+    if relation == "feasible":
+        pair = (None, None)  # no event pair: fault injection can't key it
+    req = {
+        "fingerprint": serialize.execution_fingerprint(exe),
+        "execution": serialize.execution_to_dict(exe),
+        "relation": relation,
+        "a": pair[0],
+        "b": pair[1],
+        "witnesses": [],
+    }
+    req.update(extra)
+    return req
+
+
+def _ccw_true_pair(exe):
+    """An event pair whose CCW verdict is TRUE but which a *fresh*
+    planner must hand to the exact engine -- so the first daemon query
+    discovers a witness worth persisting, and a repeat answered by the
+    ``witness`` tier proves the store (not the cheap tiers) served it."""
+    import itertools
+
+    from repro.solve.context import SolveContext
+    from repro.solve.planner import QueryPlanner, tier_of
+
+    fallback = None
+    for a, b in itertools.combinations(sorted(exe.eids), 2):
+        planner = QueryPlanner(SolveContext(exe))  # fresh: no warm cache
+        v = planner.ccw_verdict(a, b)
+        if str(v.truth) != "TRUE":
+            continue
+        if tier_of(v.provenance) == "engine":
+            return a, b
+        fallback = (a, b)
+    if fallback is not None:
+        return fallback
+    raise AssertionError("no CCW-true pair in this execution")
+
+
+def engine_states(planner_snapshot):
+    tiers = (planner_snapshot or {}).get("tiers", {})
+    return tiers.get("engine", {}).get("states", 0)
+
+
+# ----------------------------------------------------------------------
+class TestWitnessStore:
+    def test_roundtrip_survives_restart(self, tmp_path):
+        exe = masking_execution(2)
+        store = WitnessStore(str(tmp_path))
+        fp = store.put_execution(exe)
+        assert fp in store
+        assert store.points_for(fp)  # the observed schedule, validated
+        assert store.flush() == 1
+        reloaded = WitnessStore(str(tmp_path))
+        assert reloaded.fingerprints() == [fp]
+        assert reloaded.points_for(fp) == store.points_for(fp)
+        assert reloaded.quarantined == 0
+
+    def test_put_execution_is_idempotent(self, tmp_path):
+        exe = masking_execution(2)
+        store = WitnessStore(str(tmp_path))
+        assert store.put_execution(exe) == store.put_execution(exe)
+        assert store.stats()["executions"] == 1
+
+    def test_corrupt_witness_file_quarantined_and_rebuilt(
+        self, tmp_path, caplog
+    ):
+        exe = masking_execution(2)
+        store = WitnessStore(str(tmp_path))
+        fp = store.put_execution(exe)
+        store.flush()
+        wit_path = tmp_path / fp / "witnesses.json"
+        wit_path.write_text("{ not json")
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            reloaded = WitnessStore(str(tmp_path))
+        assert "quarantined" in caplog.text and "rebuilding" in caplog.text
+        assert reloaded.quarantined == 1
+        # evidence preserved, entry rebuilt from the source trace
+        assert (tmp_path / fp / "witnesses.json.corrupt-1").exists()
+        assert reloaded.points_for(fp)
+        assert reloaded.stats()["dirty"] == 1
+        assert reloaded.flush() == 1
+        assert WitnessStore(str(tmp_path)).points_for(fp)
+
+    def test_wrong_version_is_corruption_too(self, tmp_path, caplog):
+        exe = masking_execution(2)
+        store = WitnessStore(str(tmp_path))
+        fp = store.put_execution(exe)
+        store.flush()
+        wit_path = tmp_path / fp / "witnesses.json"
+        doc = json.loads(wit_path.read_text())
+        doc["version"] = STORE_VERSION + 1
+        wit_path.write_text(json.dumps(doc))
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            reloaded = WitnessStore(str(tmp_path))
+        assert reloaded.quarantined == 1
+        assert reloaded.points_for(fp)
+
+    def test_unreadable_execution_quarantines_the_directory(
+        self, tmp_path, caplog
+    ):
+        exe = masking_execution(2)
+        store = WitnessStore(str(tmp_path))
+        fp = store.put_execution(exe)
+        store.flush()
+        (tmp_path / fp / "execution.json").write_text("garbage")
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            reloaded = WitnessStore(str(tmp_path))
+        assert "unreadable execution" in caplog.text
+        assert reloaded.quarantined == 1
+        assert fp not in reloaded
+        assert (tmp_path / f"{fp}.corrupt-1").is_dir()
+
+    def test_renamed_directory_fails_the_fingerprint_check(
+        self, tmp_path, caplog
+    ):
+        exe = masking_execution(2)
+        store = WitnessStore(str(tmp_path))
+        fp = store.put_execution(exe)
+        store.flush()
+        fake = "0" * 64
+        os.rename(tmp_path / fp, tmp_path / fake)
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            reloaded = WitnessStore(str(tmp_path))
+        assert "hashes differently" in caplog.text
+        assert reloaded.quarantined == 1
+        assert fake not in reloaded
+
+    def test_invalid_schedules_dropped_on_load(self, tmp_path, caplog):
+        exe = masking_execution(2)
+        store = WitnessStore(str(tmp_path))
+        fp = store.put_execution(exe)
+        store.flush()
+        wit_path = tmp_path / fp / "witnesses.json"
+        doc = json.loads(wit_path.read_text())
+        # well-formed file, impossible schedule: must fail replay
+        doc["witnesses"].append({"points": [[99, 0], [99, 1]]})
+        wit_path.write_text(json.dumps(doc))
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            reloaded = WitnessStore(str(tmp_path))
+        assert "failed replay validation" in caplog.text
+        assert reloaded.quarantined == 0  # the file itself was honest
+        assert reloaded.points_for(fp) == store.points_for(fp)
+        assert reloaded.stats()["dirty"] == 1  # rewritten without the junk
+
+    def test_add_points_revalidates(self, tmp_path):
+        exe = masking_execution(2)
+        store = WitnessStore(str(tmp_path))
+        fp = store.put_execution(exe)
+        before = len(store.points_for(fp))
+        assert store.add_points(fp, [[[99, 0], [99, 1]]]) == 0
+        assert len(store.points_for(fp)) == before
+        assert store.add_points("f" * 64, store.points_for(fp)) == 0
+
+    def test_failed_flush_keeps_serving_from_memory(
+        self, tmp_path, caplog, monkeypatch
+    ):
+        from repro.serve import store as store_mod
+
+        exe = masking_execution(2)
+        store = WitnessStore(str(tmp_path))
+        fp = store.put_execution(exe)
+
+        def full_disk(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(store_mod, "atomic_write_text", full_disk)
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            assert store.flush() == 0
+        assert "flush" in caplog.text and "serving from memory" in caplog.text
+        assert store.flush_failures == 1
+        assert store.stats()["dirty"] == 1
+        assert store.points_for(fp)  # still answering
+        monkeypatch.undo()
+        assert store.flush() == 1  # the next flush retries and succeeds
+        assert store.stats()["dirty"] == 0
+
+
+# ----------------------------------------------------------------------
+class TestAdmissionQueue:
+    def test_overload_prices_a_retry_after(self):
+        q = AdmissionQueue(2, workers=1)
+        q.try_enter()
+        q.try_enter()
+        with pytest.raises(Overloaded) as excinfo:
+            q.try_enter()
+        assert excinfo.value.retry_after >= 1.0
+        q.release(0.5)
+        q.try_enter()  # a freed slot admits again
+        q.release(0.5)
+        q.release(0.5)
+        stats = q.stats()
+        assert stats["admitted"] == 3 and stats["rejected_busy"] == 1
+
+    def test_drain_refuses_and_waits_idle(self):
+        q = AdmissionQueue(2)
+        q.try_enter()
+        q.begin_drain()
+        with pytest.raises(Draining):
+            q.try_enter()
+        assert not q.wait_idle(0.05)  # one request still in flight
+        q.release(0.1)
+        assert q.wait_idle(1.0)
+        assert q.stats()["rejected_draining"] == 1
+
+    def test_service_time_feeds_the_estimate(self):
+        q = AdmissionQueue(1, workers=1)
+        for _ in range(8):
+            q.try_enter()
+            q.release(10.0)
+        q.try_enter()
+        with pytest.raises(Overloaded) as excinfo:
+            q.try_enter()
+        # the EWMA converged toward 10s, so the estimate reflects it
+        assert excinfo.value.retry_after > 5.0
+
+
+# ----------------------------------------------------------------------
+class TestQueryWorkerPool:
+    def test_transient_crash_answered_by_replacement_worker(self):
+        exe = masking_execution(2)
+        pair = exe.conflicting_pairs()[0]
+        with QueryWorkerPool(
+            workers=1,
+            retry=RetryPolicy(max_retries=1, backoff_base=0.01, jitter=0.5),
+            faults={fault_key(pair): {"action": "segv", "attempts": 1}},
+        ) as pool:
+            tid = pool.submit(_query_request(exe, "ccw", pair, timeout=60.0))
+            outcome = pool.result(tid, timeout=120.0)
+            assert outcome["verdict"] in ("TRUE", "FALSE")  # a real answer
+            stats = pool.stats()
+            assert stats["crashes"] >= 1
+            assert stats["retries"] >= 1
+            assert stats["restarts"] >= 1
+
+    def test_persistent_crash_is_explicit_unknown(self):
+        exe = masking_execution(2)
+        pair = exe.conflicting_pairs()[0]
+        with QueryWorkerPool(
+            workers=1,
+            retry=RetryPolicy(max_retries=1, backoff_base=0.01, jitter=0.5),
+            faults={fault_key(pair): {"action": "segv"}},
+        ) as pool:
+            tid = pool.submit(_query_request(exe, "ccw", pair, timeout=60.0))
+            outcome = pool.result(tid, timeout=120.0)
+        assert outcome["verdict"] == "UNKNOWN"
+        assert outcome["resource"] == "crash"
+        assert outcome["decided_by"] is None  # never a guessed tier
+
+    def test_oom_retires_the_worker_and_degrades(self):
+        exe = masking_execution(2)
+        pair = exe.conflicting_pairs()[0]
+        with QueryWorkerPool(
+            workers=1,
+            retry=RetryPolicy(max_retries=0),
+            faults={fault_key(pair): {"action": "oom"}},
+        ) as pool:
+            tid = pool.submit(_query_request(exe, "ccw", pair, timeout=60.0))
+            outcome = pool.result(tid, timeout=120.0)
+            assert outcome["verdict"] == "UNKNOWN"
+            assert outcome["resource"] == "memory"
+            # the poisoned heap was retired, yet the pool still answers
+            # (feasibility carries no event pair, so no fault fires)
+            tid = pool.submit(_query_request(exe, "feasible", timeout=60.0))
+            assert pool.result(tid, timeout=120.0)["verdict"] == "TRUE"
+
+    def test_hung_worker_is_killed_at_the_wall(self):
+        exe = masking_execution(2)
+        pair = exe.conflicting_pairs()[0]
+        with QueryWorkerPool(
+            workers=1,
+            retry=RetryPolicy(max_retries=0),
+            wall_grace=0.5,
+            faults={fault_key(pair): {"action": "hang", "seconds": 600}},
+        ) as pool:
+            tid = pool.submit(_query_request(exe, "ccw", pair, timeout=0.5))
+            outcome = pool.result(tid, timeout=120.0)
+        assert outcome["verdict"] == "UNKNOWN"
+        assert outcome["resource"] == "deadline"
+
+    def test_expired_while_queued_answers_without_dispatch(self):
+        exe = masking_execution(2)
+        with QueryWorkerPool(workers=1) as pool:
+            # a deadline already in the past when the supervisor looks:
+            # the job must be answered from the queue, never dispatched
+            tid = pool.submit(_query_request(exe, "ccw", timeout=-1.0))
+            outcome = pool.result(tid, timeout=60.0)
+        assert outcome["verdict"] == "UNKNOWN"
+        assert outcome["resource"] == "deadline"
+
+    def test_close_finalizes_waiters_as_shutdown(self):
+        exe = masking_execution(2)
+        pair = exe.conflicting_pairs()[0]
+        pool = QueryWorkerPool(
+            workers=1,
+            retry=RetryPolicy(max_retries=0),
+            faults={fault_key(pair): {"action": "hang", "seconds": 600}},
+        )
+        tid = pool.submit(_query_request(exe, "ccw", pair, timeout=300.0))
+        time.sleep(0.2)  # give the supervisor a chance to dispatch
+        pool.close(drain=False)
+        outcome = pool.result(tid, timeout=10.0)
+        assert outcome["verdict"] == "UNKNOWN"
+        assert outcome["resource"] in ("shutdown", "crash")
+        with pytest.raises(RuntimeError):
+            pool.submit(_query_request(exe, "ccw", pair))
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def daemon_factory(tmp_path):
+    """Build daemons over one shared store root; close them all."""
+    daemons = []
+
+    def build(**kwargs):
+        store = WitnessStore(str(tmp_path / "store"))
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("workers", 1)
+        kwargs.setdefault("default_timeout", 30.0)
+        d = QueryDaemon(store, **kwargs).start()
+        daemons.append(d)
+        return d
+
+    yield build
+    for d in daemons:
+        if d.state != "stopped":
+            d.close(drain=False)
+
+
+class TestQueryDaemon:
+    def test_repeat_query_served_from_persistent_store(self, daemon_factory):
+        """The acceptance criterion: the second daemon (fresh workers,
+        nothing warm) answers from the on-disk witness store -- the
+        witness tier, zero engine states."""
+        exe = masking_execution(2)
+        a, b = _ccw_true_pair(exe)
+        d = daemon_factory()
+        code, out, _ = _post(
+            d.url("/executions"), serialize.execution_to_dict(exe)
+        )
+        assert code == 200 and out["witnesses"] >= 1
+        fp = out["fingerprint"]
+        code, q1, _ = _post(
+            d.url("/query"),
+            {"fingerprint": fp, "relation": "ccw", "a": a, "b": b},
+        )
+        assert code == 200 and q1["verdict"] == "TRUE"
+        d.close()
+        assert d.state == "stopped"
+        # a RESTARTED daemon over the same --store directory
+        d2 = daemon_factory()
+        assert fp in d2.store
+        code, q2, _ = _post(
+            d2.url("/query"),
+            {"fingerprint": fp, "relation": "ccw", "a": a, "b": b},
+        )
+        assert code == 200 and q2["verdict"] == "TRUE"
+        assert q2["decided_by"] == "witness"
+        assert engine_states(q2["planner"]) == 0
+        assert "engine" not in q2["planner"]["tiers"]
+
+    def test_inline_execution_is_stored_and_query_variants(
+        self, daemon_factory
+    ):
+        exe = masking_execution(2)
+        a, b = exe.conflicting_pairs()[0]
+        d = daemon_factory()
+        code, out, _ = _post(
+            d.url("/query"),
+            {
+                "execution": serialize.execution_to_dict(exe),
+                "relation": "race", "a": a, "b": b,
+            },
+        )
+        assert code == 200
+        assert out["verdict"] == "feasible"
+        assert out["classification"]["status"] == "feasible"
+        fp = out["fingerprint"]
+        status, body = _get(d.url("/executions"))
+        assert status == 200 and fp in json.loads(body)["executions"]
+        code, out, _ = _post(
+            d.url("/query"), {"fingerprint": fp, "relation": "feasible"}
+        )
+        assert code == 200 and out["verdict"] == "TRUE"
+        code, out, _ = _post(
+            d.url("/query"), {"fingerprint": fp, "relation": "mhb",
+                              "a": a, "b": b},
+        )
+        assert code == 200 and out["verdict"] in ("TRUE", "FALSE")
+
+    def test_validation_answers_4xx_not_5xx(self, daemon_factory):
+        exe = masking_execution(2)
+        d = daemon_factory()
+        _, out, _ = _post(
+            d.url("/executions"), serialize.execution_to_dict(exe)
+        )
+        fp = out["fingerprint"]
+        cases = [
+            ({"fingerprint": "0" * 64, "relation": "ccw", "a": 0, "b": 1},
+             404),
+            ({"fingerprint": fp, "relation": "bogus"}, 400),
+            ({"fingerprint": fp, "relation": "ccw"}, 400),  # missing a/b
+            ({"fingerprint": fp, "relation": "ccw", "a": 0, "b": 10 ** 6},
+             400),  # out of range
+            ({"fingerprint": fp, "relation": "ccw", "a": 0, "b": 1,
+              "timeout": "soon"}, 400),
+            ({"relation": "ccw", "a": 0, "b": 1}, 400),  # no execution
+            ({"execution": {"nope": 1}, "relation": "feasible"}, 400),
+        ]
+        for body, expected in cases:
+            code, doc, _ = _post(d.url("/query"), body)
+            assert code == expected, (body, doc)
+            assert "error" in doc
+        status, _ = _get(d.url("/healthz"))
+        assert status == 200  # none of that shook the daemon
+
+    def test_overload_gets_429_with_retry_after(self, daemon_factory):
+        d = daemon_factory(queue_limit=1)
+        d.admission.try_enter()  # hold the only slot
+        try:
+            code, doc, headers = _post(
+                d.url("/query"), {"fingerprint": "0" * 64, "relation": "ccw",
+                                  "a": 0, "b": 1},
+            )
+            assert code == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert doc["retry_after_seconds"] >= 1
+            assert doc["admission"]["rejected_busy"] == 1
+        finally:
+            d.admission.release(0.1)
+
+    def test_drain_flips_readiness_and_refuses_queries(self, daemon_factory):
+        exe = masking_execution(2)
+        d = daemon_factory()
+        _post(d.url("/executions"), serialize.execution_to_dict(exe))
+        code, _ = _get(d.url("/readyz"))
+        assert code == 200
+        d.drain(grace=5.0)
+        assert d.state == "draining"
+        # alive (liveness) but not ready (readiness): stop routing here
+        assert _get(d.url("/healthz"))[0] == 200
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(d.url("/readyz"))
+        assert excinfo.value.code == 503
+        code, doc, _ = _post(
+            d.url("/query"), {"fingerprint": "0" * 64, "relation": "feasible"}
+        )
+        assert code == 503 and "draining" in doc["error"]
+        # the store was made durable during the drain
+        assert d.store.stats()["dirty"] == 0
+        d.close()
+        assert d.state == "stopped"
+
+    def test_worker_killed_mid_query_still_completes(self, daemon_factory):
+        """The CI smoke scenario, in-process: the first attempt dies by
+        SIGSEGV, the replacement worker answers the same request."""
+        exe = masking_execution(2)
+        a, b = _ccw_true_pair(exe)
+        d = daemon_factory(
+            faults={fault_key((a, b)): {"action": "segv", "attempts": 1}},
+            retry=RetryPolicy(max_retries=1, backoff_base=0.01, jitter=0.5),
+        )
+        _, out, _ = _post(
+            d.url("/executions"), serialize.execution_to_dict(exe)
+        )
+        code, q, _ = _post(
+            d.url("/query"),
+            {"fingerprint": out["fingerprint"], "relation": "ccw",
+             "a": a, "b": b},
+        )
+        assert code == 200 and q["verdict"] == "TRUE"
+        assert d.pool.stats()["crashes"] >= 1
+        assert d.pool.stats()["restarts"] >= 1
+
+    def test_always_crashing_query_degrades_to_unknown(self, daemon_factory):
+        exe = masking_execution(2)
+        a, b = exe.conflicting_pairs()[0]
+        d = daemon_factory(
+            faults={fault_key((a, b)): {"action": "segv"}},
+            retry=RetryPolicy(max_retries=1, backoff_base=0.01, jitter=0.5),
+        )
+        _, out, _ = _post(
+            d.url("/executions"), serialize.execution_to_dict(exe)
+        )
+        code, q, _ = _post(
+            d.url("/query"),
+            {"fingerprint": out["fingerprint"], "relation": "ccw",
+             "a": a, "b": b},
+        )
+        assert code == 200
+        assert q["verdict"] == "UNKNOWN"
+        assert q["resource"] == "crash"
+        assert q["decided_by"] is None
+        # ... and a healthy pair on the same daemon still answers
+        code, q, _ = _post(
+            d.url("/query"),
+            {"fingerprint": out["fingerprint"], "relation": "feasible"},
+        )
+        assert code == 200 and q["verdict"] == "TRUE"
+
+    def test_disconnecting_client_does_not_wedge_the_daemon(
+        self, daemon_factory
+    ):
+        exe = masking_execution(2)
+        d = daemon_factory()
+        # promise 4096 body bytes, send 10, hang up
+        sock = socket.create_connection((d.host, d.port), timeout=5.0)
+        sock.sendall(
+            b"POST /query HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Length: 4096\r\n\r\n0123456789"
+        )
+        sock.close()
+        # bare newlines and a non-HTTP preamble on a second connection
+        sock = socket.create_connection((d.host, d.port), timeout=5.0)
+        sock.sendall(b"\x00\x01garbage\r\n\r\n")
+        sock.close()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if _get(d.url("/healthz"))[0] == 200:
+                break
+            time.sleep(0.05)
+        code, out, _ = _post(
+            d.url("/executions"), serialize.execution_to_dict(exe)
+        )
+        assert code == 200 and out["fingerprint"] in d.store
+
+    def test_status_and_metrics_render(self, daemon_factory):
+        d = daemon_factory()
+        status, body = _get(d.url("/status"))
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["service"] == "repro-serve"
+        assert doc["state"] == "serving"
+        assert {"requests", "admission", "pool", "store"} <= set(doc)
+        status, body = _get(d.url("/metrics"))
+        assert status == 200
+        from tests.test_obs_server import _parse_prometheus
+
+        samples = _parse_prometheus(body)
+        assert samples["repro_serve_up"] == 1
+        assert samples["repro_serve_ready"] == 1
+        assert samples['repro_serve_rejected_total{reason="busy"}'] == 0
+
+    def test_port_in_use_fails_eagerly_and_leaks_no_pool(self, tmp_path):
+        taken = socket.socket()
+        taken.bind(("127.0.0.1", 0))
+        taken.listen(1)
+        try:
+            with pytest.raises(OSError):
+                QueryDaemon(
+                    WitnessStore(str(tmp_path / "s")),
+                    port=taken.getsockname()[1],
+                    workers=1,
+                )
+        finally:
+            taken.close()
+
+
+# ----------------------------------------------------------------------
+class TestCrashBetweenJournalAndStoreFlush:
+    def test_torn_journal_tail_and_missing_witness_file_both_recover(
+        self, tmp_path, caplog
+    ):
+        """The crash window from the issue: the process died after a
+        journal append but before the witness-store flush.  The journal
+        has a torn final record; the store directory has the execution
+        but no ``witnesses.json``.  Resume must drop exactly the torn
+        record and the store must rebuild from the source trace."""
+        exe = masking_execution(3)
+        serial = RaceDetector(exe).feasible_races()
+        fingerprint = scan_fingerprint(exe)
+        journal_path = str(tmp_path / "scan.jsonl")
+        journal = CheckpointJournal.open(journal_path, fingerprint)
+        for c in serial.classifications[:-1]:
+            journal.append(c)
+        journal.close()
+        # the torn write of the crash: half a record, no newline
+        torn = serialize.classification_to_dict(serial.classifications[-1])
+        torn["type"] = "pair"
+        with open(journal_path, "a") as fh:
+            fh.write(json.dumps(torn)[: len(json.dumps(torn)) // 2])
+        # the store counterpart: execution durable, witnesses never were
+        store_root = tmp_path / "store"
+        fp = WitnessStore(str(store_root)).put_execution(exe)
+        assert (store_root / fp / "execution.json").exists()
+        assert not (store_root / fp / "witnesses.json").exists()
+
+        # -- resume the journal: torn tail dropped, prefix intact ------
+        resumed = CheckpointJournal.open(
+            journal_path, fingerprint, resume=True
+        )
+        replayed = resumed.classifications(exe)
+        assert len(replayed) == len(serial.classifications) - 1
+        missing = [
+            c for c in serial.classifications
+            if (c.a, c.b) not in replayed
+        ]
+        assert len(missing) == 1
+        resumed.append(missing[0])  # appends land on a fresh line
+        resumed.close()
+        final = CheckpointJournal.open(
+            journal_path, fingerprint, resume=True
+        ).classifications(exe)
+        assert {
+            pair: c.status for pair, c in final.items()
+        } == {(c.a, c.b): c.status for c in serial.classifications}
+
+        # -- reload the store: rebuilt from the source trace -----------
+        with caplog.at_level(logging.INFO, logger="repro.serve"):
+            store = WitnessStore(str(store_root))
+        assert "no witness file" in caplog.text
+        assert store.quarantined == 0  # absence is a crash, not corruption
+        assert store.points_for(fp)  # the observed schedule, revalidated
+        assert store.flush() == 1
+        assert (store_root / fp / "witnesses.json").exists()
+        doc = json.loads((store_root / fp / "witnesses.json").read_text())
+        assert doc["format"] == STORE_FORMAT
+        assert doc["fingerprint"] == fp
+
+
+# ----------------------------------------------------------------------
+needs_posix_kill = pytest.mark.skipif(
+    not hasattr(os, "killpg"), reason="needs POSIX process groups"
+)
+
+
+def _spawn_daemon(store_dir, port, extra=()):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port), "--store", str(store_dir),
+            "--workers", "1", *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        start_new_session=True,
+    )
+
+
+def _free_port():
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
+def _wait_ready(port, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    url = f"http://127.0.0.1:{port}/readyz"
+    while time.monotonic() < deadline:
+        try:
+            if _get(url, timeout=2.0)[0] == 200:
+                return
+        except OSError:
+            pass
+        time.sleep(0.05)
+    raise AssertionError("daemon never became ready")
+
+
+@needs_posix_kill
+class TestCliServeDaemon:
+    def test_sigterm_after_crashy_query_drains_cleanly_exit_0(self, tmp_path):
+        """The CI smoke job, as a test: serve, post, survive a worker
+        SIGSEGV mid-query, answer the repeat from the store, then
+        SIGTERM -> clean drain, exit 0."""
+        exe = masking_execution(2)
+        a, b = _ccw_true_pair(exe)
+        port = _free_port()
+        proc = _spawn_daemon(
+            tmp_path / "store", port,
+            extra=["--fault-spec",
+                   json.dumps({f"{a},{b}": {"action": "segv",
+                                            "attempts": 1}})],
+        )
+        try:
+            _wait_ready(port)
+            base = f"http://127.0.0.1:{port}"
+            code, out, _ = _post(
+                f"{base}/executions", serialize.execution_to_dict(exe)
+            )
+            assert code == 200
+            fp = out["fingerprint"]
+            # first attempt segfaults the worker; the replacement answers
+            code, q, _ = _post(
+                f"{base}/query",
+                {"fingerprint": fp, "relation": "ccw", "a": a, "b": b},
+            )
+            assert code == 200 and q["verdict"] == "TRUE"
+            status = json.loads(_get(f"{base}/status")[1])
+            assert status["pool"]["crashes"] >= 1
+            # repeat query: from the store, engine never runs
+            code, q, _ = _post(
+                f"{base}/query",
+                {"fingerprint": fp, "relation": "ccw", "a": a, "b": b},
+            )
+            assert code == 200 and q["decided_by"] == "witness"
+            assert engine_states(q["planner"]) == 0
+            os.killpg(proc.pid, signal.SIGTERM)
+            out_b, err_b = proc.communicate(timeout=120)
+        finally:
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        assert proc.returncode == 0, (out_b, err_b)
+        assert b"drained cleanly" in err_b
+        # the port was released with the daemon
+        with pytest.raises(OSError):
+            _get(f"http://127.0.0.1:{port}/healthz", timeout=2.0)
+        # the drain flushed: witnesses are durable on disk
+        wit = tmp_path / "store"
+        files = list(wit.rglob("witnesses.json"))
+        assert files, "drain did not flush the witness store"

@@ -86,6 +86,31 @@ class TestRetryPolicy:
         assert p.escalated_states(100, 2) == 400
         assert p.escalated_states(None, 2) is None
 
+    def test_jitter_defaults_off_and_keys_are_ignored_then(self):
+        p = RetryPolicy(backoff_base=0.1, backoff_factor=2.0)
+        # with jitter off, a key must not perturb the exact schedule
+        assert p.delay(1, key=(3, 7)) == pytest.approx(0.1)
+        assert p.delay(2, key=(3, 7)) == pytest.approx(0.2)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        p = RetryPolicy(backoff_base=0.1, jitter=0.5, jitter_seed=42)
+        d1 = p.delay(1, key=(3, 7))
+        assert d1 == p.delay(1, key=(3, 7))  # same key: same delay
+        # jitter only ever *shortens*, within the configured fraction
+        assert 0.05 <= d1 <= 0.1
+        assert p.delay(2, key=(3, 7)) != pytest.approx(2 * d1)
+
+    def test_jitter_spreads_workers_after_a_shared_cause_crash(self):
+        # N workers retrying the same attempt must not back off in
+        # lockstep: their per-key delays should be well spread
+        p = RetryPolicy(backoff_base=1.0, jitter=0.5, jitter_seed=0)
+        delays = {p.delay(1, key=(a, a + 1)) for a in range(20)}
+        assert len(delays) >= 15
+        assert all(0.5 <= d <= 1.0 for d in delays)
+        # a different seed reshuffles deterministically
+        other = RetryPolicy(backoff_base=1.0, jitter=0.5, jitter_seed=1)
+        assert {other.delay(1, key=(a, a + 1)) for a in range(20)} != delays
+
 
 class TestResourceLimits:
     def test_no_limits_is_a_noop(self):
