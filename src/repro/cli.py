@@ -112,6 +112,7 @@ from repro.supervise import (
     scan_fingerprint,
 )
 from repro.util.fileio import atomic_write_text
+from repro import faults as faults_mod
 from repro import viz
 
 
@@ -773,7 +774,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     limits = None
     if args.max_memory_mb is not None:
         limits = ResourceLimits(max_memory_mb=args.max_memory_mb)
-    store = WitnessStore(args.store)
+    store = WitnessStore(
+        args.store,
+        max_entries=args.store_max_executions,
+        max_bytes=args.store_max_bytes,
+    )
+    if args.compact:
+        carried = store.compact()
+        print(
+            f"repro: store compacted ({carried} execution(s) carried)",
+            file=sys.stderr,
+        )
     try:
         daemon = QueryDaemon(
             store,
@@ -789,6 +800,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             plan=plan,
             faults=faults,
             drain_grace=args.drain_grace,
+            degraded_after=args.degraded_after,
+            probe_interval=args.probe_interval,
+            retry_after_cap=args.retry_after_cap,
         )
     except OSError as exc:
         print(
@@ -884,6 +898,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--serve", type=int, metavar="PORT", default=None,
                    help="with --pair: serve live /status, /metrics and "
                    "/healthz on 127.0.0.1:PORT while the query runs")
+    p.add_argument("--failpoints", help=argparse.SUPPRESS)  # chaos schedule
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("races", help="race detection on a saved execution")
@@ -942,6 +957,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "(Prometheus) and /healthz on 127.0.0.1:PORT for "
                    "the lifetime of the scan (implies --feasible)")
     p.add_argument("--fault-spec", help=argparse.SUPPRESS)  # test-only
+    p.add_argument("--failpoints", help=argparse.SUPPRESS)  # chaos schedule
     p.set_defaults(func=cmd_races)
 
     p = sub.add_parser("trace", help="inspect a structured scan trace")
@@ -1004,7 +1020,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backends", metavar="NAMES",
                    help="explicit comma-separated tier ladder "
                    "(overrides --plan)")
+    p.add_argument("--store-max-executions", type=int, default=None,
+                   metavar="N",
+                   help="cap on stored executions; past it the "
+                   "least-recently-used entry is evicted (rebuildable "
+                   "by re-posting, see the README runbook)")
+    p.add_argument("--store-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="cap on the store's on-disk bytes (LRU eviction, "
+                   "like --store-max-executions)")
+    p.add_argument("--compact", action="store_true",
+                   help="compact the store before serving: rewrite live "
+                   "entries into a fresh generation, reclaiming "
+                   "quarantine and eviction debris (crash-safe)")
+    p.add_argument("--degraded-after", type=int, default=3, metavar="N",
+                   help="consecutive failed flush passes before the "
+                   "daemon flips to degraded read-only mode "
+                   "(default 3; writes then answer 507)")
+    p.add_argument("--probe-interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="how often a degraded daemon probes the disk "
+                   "for recovery (default 2s)")
+    p.add_argument("--retry-after-cap", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="upper bound on the Retry-After hint sent with "
+                   "429 responses (default 300s)")
     p.add_argument("--fault-spec", help=argparse.SUPPRESS)  # test-only
+    p.add_argument("--failpoints", help=argparse.SUPPRESS)  # chaos schedule
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("sat", help="decide a DIMACS formula via the reductions")
@@ -1029,6 +1071,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "failpoints", None):
+        # arm before any subcommand work (and export to the environment,
+        # so spawn-context workers inherit the schedule)
+        try:
+            faults_mod.arm(args.failpoints)
+        except faults_mod.FaultSpecError as exc:
+            print(f"repro: bad --failpoints schedule: {exc}", file=sys.stderr)
+            return EXIT_USAGE
     _SIGTERM_SEEN[0] = False
     _install_sigterm_relay()
     try:

@@ -11,6 +11,12 @@ act on, instead of silence it times out on.
 During drain, admission closes entirely (:class:`Draining`, served as
 ``503``) while in-flight requests finish -- new work is the one thing
 a stopping daemon must refuse.
+
+``Retry-After`` is **capped** (``retry_after_cap``, default 5 minutes):
+the estimate is an EWMA of observed service times, and one burst of
+pathological queries must not poison it into telling every rejected
+client to go away for hours -- a capped hint keeps clients probing at
+a bounded cadence while the EWMA decays back to reality.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from __future__ import annotations
 import threading
 import time
 from typing import Any, Dict
+
+from repro import faults
 
 
 class Overloaded(Exception):
@@ -41,11 +49,20 @@ class AdmissionQueue:
     observed service time, which feeds the EWMA behind ``Retry-After``.
     """
 
-    def __init__(self, limit: int, *, workers: int = 1) -> None:
+    def __init__(
+        self,
+        limit: int,
+        *,
+        workers: int = 1,
+        retry_after_cap: float = 300.0,
+    ) -> None:
         if limit < 1:
             raise ValueError("limit must be >= 1")
+        if retry_after_cap < 1.0:
+            raise ValueError("retry_after_cap must be >= 1 second")
         self.limit = limit
         self.workers = max(1, workers)
+        self.retry_after_cap = retry_after_cap
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._active = 0
@@ -58,6 +75,7 @@ class AdmissionQueue:
     # ------------------------------------------------------------------
     def try_enter(self) -> None:
         """Claim a slot or raise :class:`Overloaded` / :class:`Draining`."""
+        faults.fire("serve.admission")
         with self._lock:
             if self._draining:
                 self.rejected_draining += 1
@@ -65,10 +83,13 @@ class AdmissionQueue:
             if self._active >= self.limit:
                 self.rejected_busy += 1
                 # everyone ahead shares `workers` lanes; first-order
-                # estimate of when a slot frees up
+                # estimate of when a slot frees up, bounded so a burst
+                # of pathological service times can't tell clients to
+                # back off for hours
                 depth = self._active - self.workers + 1
-                retry_after = max(
-                    1.0, self._ewma_seconds * max(1, depth) / self.workers
+                retry_after = min(
+                    self.retry_after_cap,
+                    max(1.0, self._ewma_seconds * max(1, depth) / self.workers),
                 )
                 raise Overloaded(retry_after)
             self._active += 1
@@ -105,6 +126,7 @@ class AdmissionQueue:
         with self._lock:
             return {
                 "limit": self.limit,
+                "retry_after_cap": self.retry_after_cap,
                 "active": self._active,
                 "draining": self._draining,
                 "admitted": self.admitted,

@@ -28,6 +28,18 @@ with the resource that ran out (``deadline``, ``states``, ``crash``,
 ``memory``, ``cpu``, ``shutdown``) and the planner's per-tier tallies
 -- the daemon may decline to answer, it never guesses.
 
+Disk pressure gets its own state: ``degraded_after`` consecutive
+failed flush passes (ENOSPC, read-only remount) flip the daemon into
+**degraded read-only mode**.  Reads and queries over already-stored
+executions keep working from memory + the existing store; anything
+that must write -- ``POST /executions``, a ``/query`` with an inline
+execution document -- answers ``507 Insufficient Storage`` instead of
+acknowledging data it cannot make durable.  ``/readyz`` stays ``200``
+but reports ``degraded`` (a read-only replica is still routable), a
+background probe re-tries a durable write every ``probe_interval``
+seconds, and the moment the disk recovers the dirty entries are
+flushed and full service resumes -- no restart, no operator action.
+
 Shutdown (SIGTERM and SIGINT alike, wired by the CLI): flip readiness
 to 503, stop admitting (new queries get 503), let in-flight requests
 finish, drain the worker pool, flush the store, then stop the
@@ -37,11 +49,13 @@ listener.  A second signal skips the grace and tears down immediately.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
 from http.server import ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional
 
+from repro import faults
 from repro.budget import clamp_request
 from repro.model import serialize
 from repro.obs.metrics import MetricsRegistry
@@ -52,6 +66,8 @@ from repro.supervise.pool import QUERY_RELATIONS, QueryWorkerPool
 from repro.supervise.retry import RetryPolicy
 from repro.supervise.rlimits import ResourceLimits
 
+log = logging.getLogger("repro.serve")
+
 #: relations that need both event ids (everything except feasibility)
 _PAIR_RELATIONS = QUERY_RELATIONS - {"feasible"}
 
@@ -61,6 +77,14 @@ MAX_BODY_BYTES = 64 << 20
 
 class _BadRequest(Exception):
     """Client error; message is served verbatim in the 400 body."""
+
+
+class _TooLarge(Exception):
+    """Request body over :data:`MAX_BODY_BYTES`; served as 413."""
+
+
+class _ReadOnly(Exception):
+    """A write reached a degraded (read-only) daemon; served as 507."""
 
 
 class _Handler(QuietHandler):
@@ -79,6 +103,10 @@ class _Handler(QuietHandler):
         elif path == "/readyz":
             if daemon.state == "serving":
                 self._reply(200, "ready\n")
+            elif daemon.state == "degraded":
+                # a read-only replica is still routable for queries;
+                # the body says writes will bounce with 507
+                self._reply(200, "degraded (read-only)\n")
             else:
                 self._reply(503, f"not ready ({daemon.state})\n")
         elif path == "/status":
@@ -116,6 +144,18 @@ class _Handler(QuietHandler):
                 self._reply(404, "not found\n")
         except _BadRequest as exc:
             self._reply_json(400, {"error": str(exc)})
+        except _TooLarge as exc:
+            # 413, not 400: the request was well-formed, just too big --
+            # clients and proxies treat the codes differently (a 413 is
+            # retryable after shrinking, a 400 is a bug).  The unread
+            # body is still on the socket, so close the connection
+            # rather than try to parse it as a next request.
+            self._reply_json(
+                413, {"error": str(exc)}, {"Connection": "close"}
+            )
+            self.close_connection = True
+        except _ReadOnly as exc:
+            self._reply_json(507, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - the daemon must survive
             daemon.count_error()
             self._reply_json(500, {"error": f"internal error: {exc!r}"})
@@ -128,7 +168,10 @@ class _Handler(QuietHandler):
         if length <= 0:
             raise _BadRequest("missing request body")
         if length > MAX_BODY_BYTES:
-            raise _BadRequest(f"request body over {MAX_BODY_BYTES} bytes")
+            raise _TooLarge(
+                f"request body is {length} bytes; this server accepts "
+                f"at most {MAX_BODY_BYTES}"
+            )
         try:
             data = self.rfile.read(length)
         except OSError:  # slow client hit the socket timeout
@@ -176,17 +219,30 @@ class QueryDaemon:
         plan: Optional[Any] = None,
         faults: Optional[Dict[str, Dict[str, Any]]] = None,
         drain_grace: float = 10.0,
+        degraded_after: int = 3,
+        probe_interval: float = 2.0,
+        retry_after_cap: float = 300.0,
     ) -> None:
+        if degraded_after < 1:
+            raise ValueError("degraded_after must be >= 1")
         self.store = store
         self.default_timeout = default_timeout
         self.max_timeout = max_timeout
         self.max_states = max_states
         self.drain_grace = drain_grace
+        self.degraded_after = degraded_after
+        self.probe_interval = probe_interval
         self.state = "starting"
         self._t0 = time.monotonic()
         self._state_lock = threading.Lock()
         self._requests = {"queries": 0, "unknown": 0, "errors": 0}
-        self.admission = AdmissionQueue(queue_limit, workers=workers)
+        self._degraded_since: Optional[float] = None
+        self._recoveries = 0
+        self._rejected_read_only = 0
+        self._probe_thread: Optional[threading.Thread] = None
+        self.admission = AdmissionQueue(
+            queue_limit, workers=workers, retry_after_cap=retry_after_cap
+        )
         self.pool = QueryWorkerPool(
             workers,
             limits=limits,
@@ -251,24 +307,103 @@ class QueryDaemon:
     def __exit__(self, *exc: Any) -> None:
         self.close()
 
+    # -- degraded read-only mode -----------------------------------------
+    def _note_storage_failure(self) -> None:
+        """Re-evaluate degraded state after a failed durable write.
+
+        The store counts consecutive failed flush *passes*; once they
+        reach ``degraded_after`` the daemon flips to read-only and a
+        background probe takes over retrying -- handler threads stop
+        paying the price of a doomed flush on every request.
+        """
+        if self.store.consecutive_flush_failures < self.degraded_after:
+            return
+        with self._state_lock:
+            if self.state != "serving":
+                return  # starting / draining / already degraded
+            self.state = "degraded"
+            self._degraded_since = time.monotonic()
+            probe = self._probe_thread
+            if probe is None or not probe.is_alive():
+                self._probe_thread = threading.Thread(
+                    target=self._probe_loop,
+                    name="repro-serve-probe",
+                    daemon=True,
+                )
+                self._probe_thread.start()
+        log.warning(
+            "daemon degraded to read-only: %d consecutive flush "
+            "pass(es) failed; queries keep serving from memory + store, "
+            "writes answer 507, probing the disk every %.1fs",
+            self.store.consecutive_flush_failures, self.probe_interval,
+        )
+
+    def _probe_loop(self) -> None:
+        """Background disk probe: restore full service on recovery."""
+        while True:
+            time.sleep(self.probe_interval)
+            if self.state != "degraded":
+                return  # drained / stopped / already recovered
+            if not self.store.probe():
+                continue
+            # the disk takes durable writes again: flush the backlog;
+            # recovery requires the whole pass to have succeeded
+            failures_before = self.store.flush_failures
+            self.store.flush()
+            if self.store.flush_failures != failures_before:
+                continue
+            self.store.consecutive_flush_failures = 0
+            with self._state_lock:
+                if self.state != "degraded":
+                    return
+                self.state = "serving"
+                self._degraded_since = None
+                self._recoveries += 1
+            log.warning(
+                "disk recovered: store flushed, resuming full service"
+            )
+            return
+
+    def _flush_store(self) -> None:
+        """Flush after a mutation, then re-evaluate degraded state.
+        While degraded the probe loop owns retrying -- handler threads
+        skip the flush entirely and serve from memory."""
+        if self.state == "degraded":
+            return
+        self.store.flush()
+        self._note_storage_failure()
+
     # -- request handling (handler threads) ------------------------------
     def count_error(self) -> None:
         with self._state_lock:
             self._requests["errors"] += 1
 
     def handle_put_execution(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        if self.state == "degraded":
+            with self._state_lock:
+                self._rejected_read_only += 1
+            raise _ReadOnly(
+                "daemon is in degraded read-only mode (disk not taking "
+                "durable writes); execution not stored -- retry later"
+            )
         exe_doc = doc.get("execution", doc)  # bare documents welcome
         try:
             exe = serialize.execution_from_dict(exe_doc)
         except (ValueError, KeyError, TypeError) as exc:
             raise _BadRequest(f"bad execution document: {exc}")
-        fp = self.store.put_execution(exe)
-        self.store.flush()
+        try:
+            fp = self.store.put_execution(exe)
+        except OSError as exc:
+            self._note_storage_failure()
+            raise _ReadOnly(
+                f"could not store the execution durably: {exc}"
+            )
+        self._flush_store()
         return {"fingerprint": fp, "witnesses": len(self.store.points_for(fp))}
 
     def handle_query(self, doc: Dict[str, Any]):
         """Returns ``(http_code, json_body, extra_headers)``."""
-        if self.state != "serving":
+        if self.state not in ("serving", "degraded"):
             return 503, {"error": f"daemon is {self.state}"}, None
         try:
             self.admission.try_enter()
@@ -292,6 +427,7 @@ class QueryDaemon:
             self.admission.release(time.monotonic() - entered_at)
 
     def _run_query(self, doc: Dict[str, Any]):
+        faults.fire("serve.query")
         # -- resolve the execution ------------------------------------
         fp = doc.get("fingerprint")
         if fp is None:
@@ -301,11 +437,26 @@ class QueryDaemon:
                     "name an execution: 'fingerprint' of a stored one, or "
                     "an inline 'execution' document"
                 )
+            if self.state == "degraded":
+                # an inline execution must be stored before the pool can
+                # evaluate it; a degraded daemon cannot make it durable
+                with self._state_lock:
+                    self._rejected_read_only += 1
+                raise _ReadOnly(
+                    "daemon is in degraded read-only mode; query a stored "
+                    "'fingerprint' instead of an inline execution"
+                )
             try:
                 exe = serialize.execution_from_dict(exe_doc)
             except (ValueError, KeyError, TypeError) as exc:
                 raise _BadRequest(f"bad execution document: {exc}")
-            fp = self.store.put_execution(exe)
+            try:
+                fp = self.store.put_execution(exe)
+            except OSError as exc:
+                self._note_storage_failure()
+                raise _ReadOnly(
+                    f"could not store the execution durably: {exc}"
+                )
         elif fp not in self.store:
             return 404, {"error": f"no stored execution {fp}"}, None
         exe = self.store.execution(fp)
@@ -368,7 +519,7 @@ class QueryDaemon:
         # -- persist what the query discovered ------------------------
         persisted = self.store.add_points(fp, outcome.get("witnesses_found"))
         if persisted:
-            self.store.flush()
+            self._flush_store()
         with self._state_lock:
             self._requests["queries"] += 1
             if outcome.get("verdict") in ("UNKNOWN", "unknown"):
@@ -393,11 +544,22 @@ class QueryDaemon:
     def status(self) -> Dict[str, Any]:
         with self._state_lock:
             requests = dict(self._requests)
+            degraded_since = self._degraded_since
+            degraded = {
+                "seconds": (
+                    time.monotonic() - degraded_since
+                    if degraded_since is not None
+                    else 0.0
+                ),
+                "recoveries": self._recoveries,
+                "rejected_read_only": self._rejected_read_only,
+            }
         return {
             "service": "repro-serve",
             "state": self.state,
             "uptime_seconds": time.monotonic() - self._t0,
             "requests": requests,
+            "degraded": degraded,
             "admission": self.admission.stats(),
             "pool": self.pool.stats(),
             "store": self.store.stats(),
@@ -410,6 +572,18 @@ class QueryDaemon:
         registry.gauge(
             "repro_serve_ready", "1 while accepting new queries"
         ).set(1 if doc["state"] == "serving" else 0)
+        registry.gauge(
+            "repro_serve_degraded", "1 while in degraded read-only mode"
+        ).set(1 if doc["state"] == "degraded" else 0)
+        deg = doc["degraded"]
+        registry.counter(
+            "repro_serve_recoveries_total",
+            "Degraded-to-serving recoveries",
+        ).inc(deg["recoveries"])
+        registry.counter(
+            "repro_serve_rejected_read_only_total",
+            "Writes refused with 507 while degraded",
+        ).inc(deg["rejected_read_only"])
         registry.gauge(
             "repro_serve_uptime_seconds", "Daemon uptime"
         ).set(doc["uptime_seconds"])
@@ -460,6 +634,12 @@ class QueryDaemon:
         registry.counter(
             "repro_store_flush_failures_total", "Durable flushes that failed"
         ).inc(store["flush_failures"])
+        registry.counter(
+            "repro_store_evictions_total", "Entries evicted by the LRU cap"
+        ).inc(store["evictions"])
+        registry.counter(
+            "repro_store_compactions_total", "Store compaction passes"
+        ).inc(store["compactions"])
         return registry.render()
 
 

@@ -32,6 +32,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.model import serialize
 from repro.model.execution import ProgramExecution
 from repro.races.detector import PairClassification
@@ -216,6 +217,9 @@ class CheckpointJournal:
     def _append_record(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with _defer_sigint():
+            # failpoint *inside* the signal deferral: an injected ENOSPC
+            # exercises exactly the window a real write failure hits
+            faults.fire("checkpoint.append")
             self._fh.write(line + "\n")
             self.flush()
 
@@ -226,6 +230,7 @@ class CheckpointJournal:
 
     def flush(self) -> None:
         self._fh.flush()
+        faults.fire("checkpoint.fsync")
         os.fsync(self._fh.fileno())
 
     def close(self) -> None:

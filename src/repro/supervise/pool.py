@@ -34,7 +34,6 @@ from __future__ import annotations
 import gc
 import itertools
 import multiprocessing as mp
-import os
 import queue as queue_mod
 import signal
 import sys
@@ -44,6 +43,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults as faults_mod
 from repro.budget import Budget, DEADLINE
 from repro.model import serialize
 from repro.obs.profile import SearchProfile
@@ -67,58 +67,61 @@ CRASH = "crash"
 #
 # ``faults`` maps "a,b" to {"action": ..., "attempts": k} and makes the
 # worker misbehave *before* classifying that pair, on attempts < k
-# (k omitted = every attempt).  Actions:
-#   "segv"          -- die by SIGSEGV (exitcode -11)
-#   "exit"          -- hard _exit with "code" (default 1)
-#   "hang"          -- sleep "seconds" (default 3600)
-#   "oom"           -- allocate until the rlimit raises MemoryError
-# This is how the tests and the CI smoke step create deterministic
-# crashes without shipping a genuinely pathological workload.
+# (k omitted = every attempt).  Actions: "segv", "exit" (with "code"),
+# "hang" (with "seconds"), "oom".  The spec is compiled onto a private
+# :class:`repro.faults.FailpointRegistry` -- one clause
+# ``pool.pair.<a>,<b>=<action>@first=<k>`` per pair -- so the pool's
+# chaos shares the grammar, actions and determinism of every other
+# failpoint in the tree.  The *attempt* number (which survives worker
+# replacement) drives the trigger, not the fresh worker's hit counter.
+#
+# Independent of the per-pair spec, every task dispatch also hits the
+# process-wide ``pool.task`` failpoint, so a ``REPRO_FAILPOINTS``
+# schedule (inherited through the spawn environment) can crash or stall
+# workers without naming pairs.
 # ----------------------------------------------------------------------
 
 
-def _fault_key(a: int, b: int) -> str:
-    return f"{a},{b}"
-
-
-def _allocate_past_limit(rlimited: bool) -> None:
-    if not rlimited:
-        # without a kernel cap a real allocation spree would endanger
-        # the host; simulate the exact failure the cap would produce
-        raise MemoryError("injected allocation failure (no rlimit active)")
-    hoard = []
-    try:
-        for _ in range(1 << 16):
-            hoard.append(bytearray(8 * 1024 * 1024))
-    except MemoryError:
-        # free the hoard *before* re-raising: the original exception's
-        # traceback pins this frame, and the worker needs headroom to
-        # report the failure
-        hoard.clear()
-        raise MemoryError("rlimit allocation cap hit") from None
-    raise MemoryError("allocation cap never hit")  # pragma: no cover
-
-
-def _inject_fault(
-    faults: Dict[str, Dict[str, Any]], a: int, b: int, attempt: int, rlimited: bool
-) -> None:
-    spec = faults.get(_fault_key(a, b))
-    if not spec:
-        return
-    attempts = spec.get("attempts")
-    if attempts is not None and attempt >= int(attempts):
-        return
-    action = spec.get("action")
-    if action == "segv":
-        os.kill(os.getpid(), signal.SIGSEGV)
-    elif action == "exit":
-        os._exit(int(spec.get("code", 1)))
+def _pair_clause(key: str, rule: Dict[str, Any]) -> str:
+    """One pair's legacy spec entry as a registry clause string."""
+    action = str(rule.get("action"))
+    if action == "exit":
+        action = f"exit:{int(rule.get('code', 1))}"
     elif action == "hang":
-        time.sleep(float(spec.get("seconds", 3600.0)))
-    elif action == "oom":
-        _allocate_past_limit(rlimited)
-    else:  # pragma: no cover - spec typo
-        raise ValueError(f"unknown fault action {action!r}")
+        action = f"hang:{float(rule.get('seconds', 3600.0))}"
+    clause = f"pool.pair.{key}={action}"
+    attempts = rule.get("attempts")
+    if attempts is not None:
+        clause += f"@first={int(attempts)}"
+    return clause
+
+
+class _PairFaults:
+    """The legacy per-pair fault spec, compiled lazily onto private
+    :class:`repro.faults.FailpointRegistry` instances.
+
+    Lazy on purpose: a malformed clause (spec typo) must surface when
+    *its* pair is classified -- inside the worker's per-task exception
+    isolation, where it finalizes that one pair UNKNOWN -- not break
+    the whole worker at startup.
+    """
+
+    def __init__(self, spec: Optional[Dict[str, Dict[str, Any]]]) -> None:
+        self._spec = dict(spec or {})
+        self._compiled: Dict[str, faults_mod.FailpointRegistry] = {}
+
+    def hit(self, a: int, b: int, attempt: int) -> None:
+        key = f"{a},{b}"
+        rule = self._spec.get(key)
+        if not rule:
+            return
+        registry = self._compiled.get(key)
+        if registry is None:
+            registry = faults_mod.FailpointRegistry(_pair_clause(key, rule))
+            self._compiled[key] = registry
+        # count = attempt + 1: the parent's per-pair attempt number
+        # survives worker replacement, a fresh worker's counters do not
+        registry.hit(f"pool.pair.{key}", count=attempt + 1)
 
 
 # ----------------------------------------------------------------------
@@ -129,12 +132,10 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
     state.  Runs in a spawned interpreter; must stay importable."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns shutdown
     limits = conf.get("rlimits")
-    rlimited = apply_limits(
-        ResourceLimits(**limits) if limits is not None else None
-    )
+    apply_limits(ResourceLimits(**limits) if limits is not None else None)
     exe = serialize.execution_from_dict(exe_doc)
     drop = bool(conf.get("drop_racing_dependences", True))
-    faults = conf.get("faults") or {}
+    pair_faults = _PairFaults(conf.get("faults"))
     # one planner for the worker's whole task stream: the structural
     # bitsets and conflict index amortize across pairs, and witnesses
     # found for one pair answer later ones without a search
@@ -163,7 +164,8 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
             return
         task_id, a, b, attempt, max_states, timeout = msg
         try:
-            _inject_fault(faults, a, b, attempt, rlimited)
+            faults_mod.fire("pool.task")
+            pair_faults.hit(a, b, attempt)
             budget = None
             if max_states is not None or timeout is not None:
                 budget = Budget.of(max_states=max_states, timeout=timeout)
@@ -707,10 +709,8 @@ def _query_worker_main(worker_id: int, task_q, result_q, conf) -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns shutdown
     signal.signal(signal.SIGTERM, signal.SIG_IGN)  # ... and drain
     limits = conf.get("rlimits")
-    rlimited = apply_limits(
-        ResourceLimits(**limits) if limits is not None else None
-    )
-    faults = conf.get("faults") or {}
+    apply_limits(ResourceLimits(**limits) if limits is not None else None)
+    pair_faults = _PairFaults(conf.get("faults"))
     plan = conf.get("plan")
     capacity = max(1, int(conf.get("context_capacity", 8)))
     planners: Dict[str, QueryPlanner] = {}  # fp -> planner, FIFO-bounded
@@ -723,9 +723,10 @@ def _query_worker_main(worker_id: int, task_q, result_q, conf) -> None:
             return
         task_id, req, attempt = msg
         try:
+            faults_mod.fire("pool.task")
             a, b = req.get("a"), req.get("b")
             if a is not None and b is not None:
-                _inject_fault(faults, int(a), int(b), attempt, rlimited)
+                pair_faults.hit(int(a), int(b), attempt)
             fp = req["fingerprint"]
             planner = planners.get(fp)
             if planner is None:

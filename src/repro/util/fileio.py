@@ -12,17 +12,27 @@ of the package's import layering.
 
 Failure behavior is part of the contract: a write that dies midway
 (disk full, quota, kill) removes its temporary file before the error
-propagates, so a crashed flush never litters the directory with
-half-written ``.tmp`` debris that a later scan of the directory could
-mistake for data.  ``durable=True`` additionally fsyncs the parent
-directory after the rename, making the *replacement itself* survive a
-power cut -- the witness store uses it so a record acknowledged to a
-client is really on disk.
+propagates -- **including when the final** :func:`os.replace` **itself
+fails** (read-only remount, the target directory vanishing) -- so a
+crashed flush never litters the directory with half-written ``.tmp``
+debris that a later scan of the directory could mistake for data.
+``durable=True`` additionally fsyncs the parent directory after the
+rename, making the *replacement itself* survive a power cut -- the
+witness store uses it so a record acknowledged to a client is really
+on disk.
+
+Failpoints (see :mod:`repro.faults`): ``fileio.open``,
+``fileio.write``, ``fileio.fsync`` and ``fileio.replace`` fire before
+the corresponding syscall, so a chaos schedule can produce an ENOSPC
+on exactly the write/fsync/rename it names and the tests can assert
+the cleanup contract above instead of trusting it.
 """
 
 from __future__ import annotations
 
 import os
+
+from repro import faults
 
 
 def fsync_dir(path: str) -> None:
@@ -57,16 +67,22 @@ def atomic_write_text(
     """
     tmp = path + ".tmp"
     try:
+        faults.fire("fileio.open")
         fh = open(tmp, "w")
         try:
+            faults.fire("fileio.write")
             fh.write(text)
             fh.flush()
             if fsync:
+                faults.fire("fileio.fsync")
                 os.fsync(fh.fileno())
         finally:
             fh.close()
+        faults.fire("fileio.replace")
         os.replace(tmp, path)
     except BaseException:
+        # the rename never happened (or never completed): whatever made
+        # it to ``tmp`` is not data, remove it before propagating
         try:
             os.unlink(tmp)
         except OSError:

@@ -1,8 +1,23 @@
 """Pytest fixtures (strategies live in tests.strategies)."""
 
+import os
+
+import pytest
+
+from repro import faults as _faults
 from tests.strategies import (  # noqa: F401  (re-exported fixtures)
     deadlocked_execution,
     fork_join_execution,
     independent_pair,
     vp_execution,
 )
+
+
+@pytest.fixture(autouse=True)
+def _disarm_failpoints():
+    """A test that arms the global failpoint registry must never leak
+    its chaos schedule into the next test (or into spawned workers,
+    via the exported environment variable)."""
+    yield
+    if _faults.REGISTRY.armed or "REPRO_FAILPOINTS" in os.environ:
+        _faults.disarm()

@@ -1,0 +1,553 @@
+"""The deterministic chaos layer: registry semantics, failpoint-driven
+fileio/checkpoint/store behavior, eviction, crash-safe compaction, and
+the end-to-end soundness matrix.
+
+The matrix is the point of the whole module: under *any* injected
+fault, a query's classification is identical to the fault-free run or
+an explicit UNKNOWN -- never a different definite answer.
+"""
+
+import errno
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FailpointRegistry,
+    FaultSpecError,
+    InjectedFault,
+    Rule,
+)
+from repro.model import serialize
+from repro.races.detector import RaceDetector
+from repro.serve import QueryDaemon, WitnessStore
+from repro.serve.store import recover_compaction
+from repro.supervise import RetryPolicy
+from repro.supervise.checkpoint import CheckpointJournal, scan_fingerprint
+from repro.util.fileio import atomic_write_text
+
+from tests.test_serve import _get, _post
+from tests.test_supervise import SRC_DIR, masking_execution
+
+
+# ----------------------------------------------------------------------
+class TestSpecParsing:
+    def test_bad_clauses_refuse_loudly(self):
+        for spec in (
+            "no-equals-sign",
+            "point=",
+            "=action",
+            "p=unknown-action",
+            "p=enospc@bogus=1",
+            "p=enospc@nth=",
+            "p=enospc@nth=three",
+            "seed=not-a-number",
+        ):
+            with pytest.raises(FaultSpecError):
+                FailpointRegistry(spec)
+
+    def test_clauses_triggers_and_seed_parse(self):
+        reg = FailpointRegistry(
+            "seed=7; a=enospc@nth=3 ;b=error:boom; c=off"
+        )
+        assert reg.seed == 7
+        assert set(reg.stats()["points"]) == {"a", "b", "c"}
+
+    def test_rearm_replaces_the_schedule(self):
+        reg = FailpointRegistry("a=error")
+        reg.arm("b=error")
+        with pytest.raises(InjectedFault):
+            reg.hit("b")
+        reg.hit("a")  # the old clause is gone
+        reg.disarm()
+        reg.hit("b")  # disarmed: nothing fires
+        assert not reg.armed
+
+
+class TestTriggers:
+    def _fired(self, spec, hits):
+        reg = FailpointRegistry(spec)
+        out = []
+        for _ in range(hits):
+            try:
+                reg.hit("p")
+                out.append(False)
+            except InjectedFault:
+                out.append(True)
+        return out
+
+    def test_no_trigger_fires_every_hit(self):
+        assert self._fired("p=error", 3) == [True] * 3
+
+    def test_nth_fires_exactly_once(self):
+        assert self._fired("p=error@nth=3", 5) == [
+            False, False, True, False, False,
+        ]
+
+    def test_first_fires_then_stops(self):
+        assert self._fired("p=error@first=2", 4) == [
+            True, True, False, False,
+        ]
+
+    def test_every_k(self):
+        assert self._fired("p=error@every=2", 6) == [
+            False, True, False, True, False, True,
+        ]
+
+    def test_count_override_drives_the_trigger(self):
+        # the caller's notion of "the N-th time" (the pool's attempt
+        # number) wins over the internal hit counter
+        reg = FailpointRegistry("p=error@nth=5")
+        reg.hit("p", count=1)  # internal hits=1, but count says 1
+        with pytest.raises(InjectedFault):
+            reg.hit("p", count=5)
+
+    def test_prob_is_deterministic_per_seed(self):
+        def decisions(seed):
+            reg = FailpointRegistry(f"seed={seed};p=error@prob=0.5")
+            out = []
+            for _ in range(64):
+                try:
+                    reg.hit("p")
+                    out.append(0)
+                except InjectedFault:
+                    out.append(1)
+            return out
+
+        a, b = decisions(1), decisions(1)
+        assert a == b  # replayable
+        assert 0 < sum(a) < 64  # and actually probabilistic
+        assert decisions(2) != a  # the seed matters
+
+    def test_after_trigger_uses_arming_time(self):
+        rule = Rule(point="p", action="error", trigger="after",
+                    trigger_arg=3600.0)
+        assert not rule.should_fire(1, seed=0, armed_at=time.monotonic())
+        assert rule.should_fire(
+            1, seed=0, armed_at=time.monotonic() - 7200.0
+        )
+
+
+class TestActions:
+    def test_enospc_and_eio_carry_their_errno(self):
+        with pytest.raises(OSError) as exc:
+            FailpointRegistry("p=enospc").hit("p")
+        assert exc.value.errno == errno.ENOSPC
+        with pytest.raises(OSError) as exc:
+            FailpointRegistry("p=eio").hit("p")
+        assert exc.value.errno == errno.EIO
+
+    def test_oserror_by_name(self):
+        with pytest.raises(OSError) as exc:
+            FailpointRegistry("p=oserror:EACCES").hit("p")
+        assert exc.value.errno == errno.EACCES
+        with pytest.raises(FaultSpecError):
+            FailpointRegistry("p=oserror:ENOSUCHERRNO").hit("p")
+
+    def test_error_message_param(self):
+        with pytest.raises(InjectedFault, match="boom"):
+            FailpointRegistry("p=error:boom").hit("p")
+
+    def test_sleep_blocks_for_the_given_time(self):
+        t0 = time.monotonic()
+        FailpointRegistry("p=sleep:0.05").hit("p")
+        assert time.monotonic() - t0 >= 0.05
+
+    def test_oom_without_rlimit_is_simulated(self):
+        with pytest.raises(MemoryError):
+            FailpointRegistry("p=oom").hit("p")
+
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [("p=exit:7", 7), ("p=segv", -11)],
+    )
+    def test_process_killing_actions(self, spec, expected):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_FAILPOINTS"] = spec
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "from repro import faults; faults.fire('p')"],
+            env=env, timeout=60,
+        )
+        assert proc.returncode == expected
+
+    def test_stats_count_hits_and_fires(self):
+        reg = FailpointRegistry("p=error@nth=2;q=off")
+        reg.hit("p")
+        with pytest.raises(InjectedFault):
+            reg.hit("p")
+        reg.hit("q")
+        stats = reg.stats()
+        assert stats["points"]["p"] == {"hits": 2, "fired": 1}
+        assert stats["points"]["q"] == {"hits": 1, "fired": 0}
+
+
+class TestGlobalRegistry:
+    def test_disarmed_fire_is_a_noop(self):
+        assert not faults.REGISTRY.armed
+        faults.fire("never.armed")  # must not raise, count, or allocate
+
+    def test_arm_exports_the_environment(self):
+        faults.arm("p=error@nth=999")
+        assert os.environ["REPRO_FAILPOINTS"] == "p=error@nth=999"
+        faults.fire("p")  # nth=999: armed but silent
+        faults.disarm()
+        assert "REPRO_FAILPOINTS" not in os.environ
+
+    def test_spawned_process_inherits_the_schedule(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_FAILPOINTS"] = "p=error"
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro import faults; print(faults.REGISTRY.armed)"],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert out.stdout.strip() == "True"
+
+
+# ----------------------------------------------------------------------
+class TestFileioFailpoints:
+    def test_failed_replace_removes_the_tmp_and_keeps_the_original(
+        self, tmp_path
+    ):
+        """The satellite contract: even when ``os.replace`` *itself*
+        fails, the temporary sibling is removed and the original file
+        is untouched."""
+        path = str(tmp_path / "snap.json")
+        atomic_write_text(path, "old\n")
+        faults.arm("fileio.replace=enospc")
+        with pytest.raises(OSError) as exc:
+            atomic_write_text(path, "new\n")
+        assert exc.value.errno == errno.ENOSPC
+        faults.disarm()
+        assert open(path).read() == "old\n"
+        assert not os.path.exists(path + ".tmp")
+        atomic_write_text(path, "new\n")  # recovered
+        assert open(path).read() == "new\n"
+
+    @pytest.mark.parametrize(
+        "point", ["fileio.open", "fileio.write", "fileio.fsync"]
+    )
+    def test_every_stage_cleans_up(self, tmp_path, point):
+        path = str(tmp_path / "snap.json")
+        atomic_write_text(path, "old\n")
+        faults.arm(f"{point}=eio")
+        with pytest.raises(OSError):
+            atomic_write_text(path, "new\n")
+        faults.disarm()
+        assert open(path).read() == "old\n"
+        assert not os.path.exists(path + ".tmp")
+
+    def test_fsync_false_skips_the_fsync_failpoint(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        faults.arm("fileio.fsync=eio")
+        atomic_write_text(path, "tear-free only\n", fsync=False)
+        faults.disarm()
+        assert open(path).read() == "tear-free only\n"
+
+
+# ----------------------------------------------------------------------
+class TestCheckpointFailpoints:
+    def test_enospc_on_append_spares_the_header_and_resumes(self, tmp_path):
+        exe = masking_execution(2)
+        serial = RaceDetector(exe).feasible_races()
+        fingerprint = scan_fingerprint(exe)
+        path = str(tmp_path / "scan.jsonl")
+        journal = CheckpointJournal.open(path, fingerprint)
+        # hits count only while armed: the already-written header does
+        # not, so the first classification append is hit 1
+        faults.arm("checkpoint.append=enospc@nth=1")
+        with pytest.raises(OSError) as exc:
+            journal.append(serial.classifications[0])
+        assert exc.value.errno == errno.ENOSPC
+        # the disk recovers; the same journal keeps appending
+        journal.append(serial.classifications[0])
+        journal.close()
+        faults.disarm()
+        resumed = CheckpointJournal.open(path, fingerprint, resume=True)
+        assert len(resumed.resumed_records) == 1
+        resumed.close()
+
+    def test_fsync_failure_surfaces(self, tmp_path):
+        faults.arm("checkpoint.fsync=eio")
+        with pytest.raises(OSError):
+            CheckpointJournal.open(str(tmp_path / "scan.jsonl"), "f" * 64)
+
+
+# ----------------------------------------------------------------------
+class TestStoreFlushFailpoints:
+    def test_consecutive_failures_count_passes_not_entries(self, tmp_path):
+        store = WitnessStore(str(tmp_path))
+        store.put_execution(masking_execution(2))
+        store.put_execution(masking_execution(3))
+        # one pass, two dirty entries, both fail: ONE consecutive bump
+        faults.arm("store.flush=enospc@first=3")
+        assert store.flush() == 0
+        assert store.flush_failures == 2
+        assert store.consecutive_flush_failures == 1
+        # second pass: one entry fails (3rd firing), one writes
+        assert store.flush() == 1
+        assert store.consecutive_flush_failures == 2
+        faults.disarm()
+        # a clean pass resets the consecutive counter
+        assert store.flush() == 1
+        assert store.consecutive_flush_failures == 0
+        assert store.stats()["dirty"] == 0
+
+    def test_put_execution_failure_is_not_acknowledged(self, tmp_path):
+        store = WitnessStore(str(tmp_path))
+        exe = masking_execution(2)
+        faults.arm("store.put=enospc@nth=1")
+        with pytest.raises(OSError):
+            store.put_execution(exe)
+        faults.disarm()
+        assert store.stats()["executions"] == 0  # never registered
+        assert store.consecutive_flush_failures == 1
+        fp = store.put_execution(exe)  # the retry lands
+        assert fp in store
+
+    def test_probe_reports_disk_health(self, tmp_path):
+        store = WitnessStore(str(tmp_path))
+        assert store.probe()
+        faults.arm("fileio.fsync=enospc")
+        assert not store.probe()
+        faults.disarm()
+        assert store.probe()
+        assert not os.path.exists(os.path.join(str(tmp_path), ".probe"))
+
+
+# ----------------------------------------------------------------------
+class TestEviction:
+    def test_lru_eviction_keeps_the_store_under_the_cap(self, tmp_path):
+        store = WitnessStore(str(tmp_path), max_entries=2)
+        fps = [
+            store.put_execution(masking_execution(w)) for w in (2, 3, 4)
+        ]
+        assert store.stats()["executions"] == 2
+        assert store.evictions == 1
+        assert fps[0] not in store  # the oldest went
+        assert fps[1] in store and fps[2] in store
+        # evicted means GONE, not quarantined: no evidence debris
+        assert not os.path.exists(os.path.join(str(tmp_path), fps[0]))
+        assert not [
+            n for n in os.listdir(str(tmp_path)) if ".corrupt" in n
+        ]
+
+    def test_touch_order_protects_recently_used_entries(self, tmp_path):
+        store = WitnessStore(str(tmp_path), max_entries=2)
+        fp_a = store.put_execution(masking_execution(2))
+        store.put_execution(masking_execution(3))
+        store.points_for(fp_a)  # touch A: B becomes the LRU
+        store.put_execution(masking_execution(4))
+        assert fp_a in store
+
+    def test_evicted_entry_is_rebuildable(self, tmp_path):
+        store = WitnessStore(str(tmp_path), max_entries=1)
+        exe = masking_execution(2)
+        fp = store.put_execution(exe)
+        store.put_execution(masking_execution(3))  # evicts fp
+        assert fp not in store
+        # the client re-posts; the observed-schedule witness comes back
+        assert store.put_execution(exe) == fp
+        assert store.points_for(fp)
+
+    def test_reopen_enforces_a_tighter_cap(self, tmp_path):
+        store = WitnessStore(str(tmp_path))
+        for w in (2, 3, 4):
+            store.put_execution(masking_execution(w))
+        store.flush()
+        reloaded = WitnessStore(str(tmp_path), max_entries=1)
+        assert reloaded.stats()["executions"] == 1
+        assert reloaded.evictions == 2
+
+    def test_byte_cap_never_evicts_the_triggering_entry(self, tmp_path):
+        store = WitnessStore(str(tmp_path), max_bytes=1)
+        fp_a = store.put_execution(masking_execution(2))
+        assert fp_a in store  # over cap, but keep= protects it
+        fp_b = store.put_execution(masking_execution(3))
+        assert fp_b in store and fp_a not in store
+        assert store.stats()["executions"] == 1
+
+
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def _seeded_store(self, root):
+        store = WitnessStore(root)
+        fps = [store.put_execution(masking_execution(w)) for w in (2, 3)]
+        store.flush()
+        return store, fps
+
+    def test_compact_reclaims_quarantine_debris(self, tmp_path):
+        root = str(tmp_path / "store")
+        store, fps = self._seeded_store(root)
+        (tmp_path / "store" / f"{fps[0]}.corrupt-1").mkdir()
+        carried = store.compact()
+        assert carried == 2
+        assert store.compactions == 1
+        names = os.listdir(root)
+        assert not [n for n in names if ".corrupt" in n]
+        reloaded = WitnessStore(root)
+        assert sorted(reloaded.fingerprints()) == sorted(fps)
+        for fp in fps:
+            assert reloaded.points_for(fp)
+
+    @pytest.mark.parametrize(
+        "stage",
+        ["store.compact.built", "store.compact.swapped-out",
+         "store.compact.swapped-in"],
+    )
+    def test_in_process_failure_at_any_stage_recovers(
+        self, tmp_path, stage
+    ):
+        root = str(tmp_path / "store")
+        store, fps = self._seeded_store(root)
+        faults.arm(f"{stage}=error")
+        with pytest.raises(InjectedFault):
+            store.compact()
+        faults.disarm()
+        # the live store recovered in-process: root is one complete
+        # generation, no sibling debris, still answering and flushable
+        assert os.path.isdir(root)
+        assert not os.path.isdir(root + ".compact-new")
+        assert not os.path.isdir(root + ".compact-old")
+        for fp in fps:
+            assert store.points_for(fp)
+        store.flush()
+        reloaded = WitnessStore(root)
+        assert sorted(reloaded.fingerprints()) == sorted(fps)
+
+    @pytest.mark.parametrize(
+        "stage",
+        ["store.compact.built", "store.compact.swapped-out",
+         "store.compact.swapped-in"],
+    )
+    def test_sigkill_mid_compaction_recovers_on_reopen(
+        self, tmp_path, stage
+    ):
+        """The acceptance criterion: a process killed dead (``os._exit``
+        -- no cleanup handlers, like SIGKILL) at any compaction stage
+        leaves a store the next open recovers to exactly the old or the
+        new generation, never a mix."""
+        root = str(tmp_path / "store")
+        _, fps = self._seeded_store(root)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_FAILPOINTS"] = f"{stage}=exit:137"
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; "
+             "from repro.serve.store import WitnessStore; "
+             "WitnessStore(sys.argv[1]).compact()", root],
+            env=env, timeout=120,
+        )
+        assert proc.returncode == 137
+        reloaded = WitnessStore(root)
+        assert sorted(reloaded.fingerprints()) == sorted(fps)
+        for fp in fps:
+            assert reloaded.points_for(fp)
+        assert not os.path.isdir(root + ".compact-new")
+        assert not os.path.isdir(root + ".compact-old")
+
+    def test_recover_compaction_dir_states(self, tmp_path):
+        # root missing + old present: restore the old generation
+        root = str(tmp_path / "a")
+        os.makedirs(root + ".compact-old/entry")
+        os.makedirs(root + ".compact-new")
+        assert "restored" in recover_compaction(root)
+        assert os.path.isdir(os.path.join(root, "entry"))
+        assert not os.path.isdir(root + ".compact-new")
+        # root missing + only new: adopt it (hand-moved directories)
+        root = str(tmp_path / "b")
+        os.makedirs(root + ".compact-new/entry")
+        assert "adopted" in recover_compaction(root)
+        assert os.path.isdir(os.path.join(root, "entry"))
+        # root present + both siblings: drop both
+        root = str(tmp_path / "c")
+        os.makedirs(root)
+        os.makedirs(root + ".compact-old")
+        os.makedirs(root + ".compact-new")
+        assert recover_compaction(root) is not None
+        assert not os.path.isdir(root + ".compact-old")
+        assert not os.path.isdir(root + ".compact-new")
+        # nothing to do
+        assert recover_compaction(str(tmp_path / "d")) is None
+
+
+# ----------------------------------------------------------------------
+class TestChaosMatrix:
+    """The soundness invariant, end-to-end through the daemon: under
+    any injected fault a query answers exactly like the fault-free run
+    or an explicit UNKNOWN -- never a different definite verdict.  A
+    refused request (5xx/507) is acceptable; a wrong answer is not."""
+
+    SCHEDULES = [
+        "store.flush=enospc",                 # disk never takes a flush
+        "fileio.fsync=enospc@every=2",        # every other fsync dies
+        "pool.task=error@nth=1",              # worker bug on first task
+        "pool.task=segv@first=1",             # every fresh worker crashes
+        "serve.query=error@nth=2",            # handler bug mid-stream
+    ]
+
+    def _queries(self, exe, fp):
+        a, b = exe.conflicting_pairs()[0]
+        return [
+            ("ccw", {"fingerprint": fp, "relation": "ccw", "a": a, "b": b}),
+            ("mhb", {"fingerprint": fp, "relation": "mhb", "a": a, "b": b}),
+            ("feasible", {"fingerprint": fp, "relation": "feasible"}),
+        ]
+
+    def _run(self, root, exe, *, spec=None):
+        """Post the execution and run the query set under ``spec``;
+        returns {name: verdict} for the queries that answered 200."""
+        if spec:
+            faults.arm(spec)
+        try:
+            store = WitnessStore(root)
+            daemon = QueryDaemon(
+                store, port=0, workers=1,
+                retry=RetryPolicy(
+                    max_retries=1, backoff_base=0.01, jitter=0.5
+                ),
+                default_timeout=60.0,
+            ).start()
+            try:
+                code, out, _ = _post(
+                    daemon.url("/executions"),
+                    serialize.execution_to_dict(exe),
+                )
+                verdicts = {}
+                if code == 200:
+                    for name, body in self._queries(exe, out["fingerprint"]):
+                        qcode, doc, _ = _post(daemon.url("/query"), body)
+                        if qcode == 200:
+                            verdicts[name] = doc["verdict"]
+                        else:
+                            assert qcode in (500, 503, 507), (name, doc)
+                # whatever was injected, the daemon itself survived
+                assert _get(daemon.url("/healthz"))[0] == 200
+                return verdicts
+            finally:
+                if spec:
+                    faults.disarm()
+                daemon.close(drain=False)
+        finally:
+            faults.disarm()
+
+    def test_faulted_verdicts_match_baseline_or_unknown(self, tmp_path):
+        exe = masking_execution(2)
+        baseline = self._run(str(tmp_path / "baseline"), exe)
+        assert set(baseline) == {"ccw", "mhb", "feasible"}
+        assert all(v != "UNKNOWN" for v in baseline.values())
+        for i, spec in enumerate(self.SCHEDULES):
+            got = self._run(str(tmp_path / f"chaos-{i}"), exe, spec=spec)
+            for name, verdict in got.items():
+                assert verdict in (baseline[name], "UNKNOWN"), (
+                    spec, name, verdict, baseline[name],
+                )

@@ -24,6 +24,7 @@ import urllib.request
 
 import pytest
 
+from repro import faults
 from repro.model import serialize
 from repro.races.detector import RaceDetector
 from repro.serve import (
@@ -275,6 +276,21 @@ class TestAdmissionQueue:
             q.try_enter()
         # the EWMA converged toward 10s, so the estimate reflects it
         assert excinfo.value.retry_after > 5.0
+
+    def test_retry_after_is_capped(self):
+        q = AdmissionQueue(1, workers=1, retry_after_cap=5.0)
+        for _ in range(8):
+            q.try_enter()
+            q.release(100.0)  # drive the EWMA far past the cap
+        q.try_enter()
+        with pytest.raises(Overloaded) as excinfo:
+            q.try_enter()
+        assert excinfo.value.retry_after <= 5.0
+        assert q.stats()["retry_after_cap"] == 5.0
+
+    def test_cap_below_the_floor_is_refused(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(1, retry_after_cap=0.5)
 
 
 # ----------------------------------------------------------------------
@@ -602,6 +618,94 @@ class TestQueryDaemon:
         assert samples["repro_serve_up"] == 1
         assert samples["repro_serve_ready"] == 1
         assert samples['repro_serve_rejected_total{reason="busy"}'] == 0
+
+    def test_degraded_read_only_mode_then_recovery(self, daemon_factory):
+        """The acceptance criterion for disk pressure: repeated flush
+        failures flip the daemon into degraded read-only mode (reads
+        keep answering from memory, writes bounce with 507, ``/readyz``
+        says so), and when the disk takes durable writes again the
+        background probe restores full service without a restart."""
+        exe = masking_execution(2)
+        d = daemon_factory(degraded_after=1, probe_interval=0.1)
+        faults.arm("store.flush=enospc")
+        code, out, _ = _post(
+            d.url("/executions"), serialize.execution_to_dict(exe)
+        )
+        # accepted into memory; the flush behind it failed and flipped
+        # the state before the response was written
+        assert code == 200
+        fp = out["fingerprint"]
+        assert d.state == "degraded"
+        status, body = _get(d.url("/readyz"))
+        assert status == 200 and "degraded" in body
+        # writes bounce with 507 Insufficient Storage ...
+        code, err, _ = _post(
+            d.url("/executions"),
+            serialize.execution_to_dict(masking_execution(3)),
+        )
+        assert code == 507 and "read-only" in err["error"]
+        # ... as do inline-execution queries (they imply a store write)
+        code, err, _ = _post(
+            d.url("/query"),
+            {
+                "execution": serialize.execution_to_dict(
+                    masking_execution(4)
+                ),
+                "relation": "feasible",
+            },
+        )
+        assert code == 507 and "fingerprint" in err["error"]
+        # ... but queries over already-stored executions still answer
+        a, b = _ccw_true_pair(exe)
+        code, q, _ = _post(
+            d.url("/query"),
+            {"fingerprint": fp, "relation": "ccw", "a": a, "b": b},
+        )
+        assert code == 200 and q["verdict"] == "TRUE"
+        # the disk comes back: the probe flushes the backlog and
+        # restores full service
+        faults.disarm()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and d.state != "serving":
+            time.sleep(0.05)
+        assert d.state == "serving"
+        status, body = _get(d.url("/readyz"))
+        assert status == 200 and body.strip() == "ready"
+        status, body = _get(d.url("/status"))
+        doc = json.loads(body)
+        assert doc["degraded"]["recoveries"] == 1
+        assert doc["degraded"]["rejected_read_only"] == 2
+        assert doc["store"]["dirty"] == 0  # the backlog reached disk
+        code, out, _ = _post(
+            d.url("/executions"),
+            serialize.execution_to_dict(masking_execution(3)),
+        )
+        assert code == 200  # writes are welcome again
+
+    def test_oversized_body_is_413_and_the_connection_closes(
+        self, daemon_factory
+    ):
+        d = daemon_factory()
+        sock = socket.create_connection((d.host, d.port), timeout=10.0)
+        try:
+            sock.sendall(
+                b"POST /executions HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 99999999999\r\n\r\n"
+            )
+            sock.settimeout(10.0)
+            data = b""
+            while b"\r\n\r\n" not in data:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+        finally:
+            sock.close()
+        head = data.split(b"\r\n\r\n", 1)[0].decode("latin-1")
+        assert " 413 " in head.splitlines()[0]
+        # the body was never read, so the connection must not be reused
+        assert "connection: close" in head.lower()
+        assert _get(d.url("/healthz"))[0] == 200
 
     def test_port_in_use_fails_eagerly_and_leaks_no_pool(self, tmp_path):
         taken = socket.socket()
