@@ -20,6 +20,15 @@ this relation are *not* all must-orderings.
 The relation computed is over event *completions* (the trace is
 serial), matching the ``mcb`` exact baseline in
 :class:`repro.core.queries.OrderingQueries`.
+
+Program order is threaded as the adjacent SC chain regardless of the
+execution's memory model: the clocks describe the *observed* serial
+schedule, in which every event did complete before its successor
+began.  As a must-ordering approximation under a relaxed model this is
+unsound, which is why the ``vc`` planner backend declares
+``supported_models = {"sc"}``; the apparent-race detector keeps using
+it under every model because "apparent" is by definition a statement
+about the observed pairing, not about ``F``.
 """
 
 from __future__ import annotations

@@ -232,7 +232,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         scheduler = RandomScheduler(args.seed)
     try:
-        trace = run_program(program, scheduler, max_steps=args.max_steps)
+        trace = run_program(
+            program,
+            scheduler,
+            max_steps=args.max_steps,
+            memory_model=args.memory_model,
+        )
     except DeadlockError as dead:
         print(f"DEADLOCK: blocked processes {list(dead.blocked)}")
         print(dead.trace.pretty())
@@ -281,6 +286,10 @@ def _analyze_pair_budgeted(
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     exe = serialize.load(args.execution)
+    if args.memory_model is not None:
+        # an unknown name raises ValueError -> exit status 2 with the
+        # resolver's one-line message listing the known models
+        exe = exe.with_memory_model(args.memory_model)
     print(f"loaded: {exe}")
     budget = _budget_from_args(args)
     plan = _plan_from_args(args)
@@ -401,6 +410,12 @@ def cmd_races(args: argparse.Namespace) -> int:
         print("repro: --resume requires --checkpoint", file=sys.stderr)
         return EXIT_USAGE
     exe = serialize.load(args.execution)
+    if args.memory_model is not None:
+        # rebuild under the requested model before anything derives
+        # from the execution -- including scan_fingerprint, so a
+        # --resume under a different --memory-model is refused exactly
+        # like a changed plan or budget
+        exe = exe.with_memory_model(args.memory_model)
     budget = _budget_from_args(args)
     plan = _plan_from_args(args)
     detector = RaceDetector(
@@ -860,6 +875,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="random scheduler seed")
     p.add_argument("--priority", help="comma-separated priority schedule")
     p.add_argument("--max-steps", type=int, default=100_000)
+    p.add_argument("--memory-model", default="sc", metavar="MODEL",
+                   help="memory model to execute under: sc (default) or tso")
     p.add_argument("--save", help="write the execution as JSON")
     p.add_argument("--dot", help="write the order graph as DOT")
     p.set_defaults(func=cmd_run)
@@ -873,6 +890,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
     )
     p.add_argument("--matrix", help="print the named relation as a matrix")
+    p.add_argument("--memory-model", default=None, metavar="MODEL",
+                   help="reinterpret the execution under this memory model "
+                        "(sc or tso; default: the model recorded in the file)")
     p.add_argument("--ignore-deps", action="store_true",
                    help="Section 5.3 mode: ignore shared-data dependences")
     p.add_argument("--max-states", type=int, default=None,
@@ -904,6 +924,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("races", help="race detection on a saved execution")
     p.add_argument("execution")
     p.add_argument("--feasible", action="store_true", help="run the exact detector too")
+    p.add_argument("--memory-model", default=None, metavar="MODEL",
+                   help="reinterpret the execution under this memory model "
+                        "(sc or tso; default: the model recorded in the file)")
     p.add_argument("--witnesses", action="store_true")
     p.add_argument("--max-states", type=int, default=None,
                    help="state budget per pair; undecided pairs report as unknown")

@@ -201,11 +201,12 @@ class FeasibilityEngine:
         self._full_mask = (1 << n) - 1
 
         # --- begin prerequisites: mask of events whose END must precede
-        # this event's BEGIN -------------------------------------------------
+        # this event's BEGIN.  Program-order edges come from the
+        # execution's memory model (under SC the adjacent predecessor;
+        # under TSO the reduced constraint set with W->R pairs relaxed).
         pre = [0] * n
         for eid in range(n):
-            p = exe.po_predecessor(eid)
-            if p is not None:
+            for p in exe.po_begin_predecessors(eid):
                 pre[eid] |= 1 << p
         for feid, children in exe.fork_children.items():
             for c in children:
@@ -252,7 +253,13 @@ class FeasibilityEngine:
         self._free_end: List[bool] = []
         for e in exe.events:
             k = e.kind
-            if k in (EventKind.COMPUTATION, EventKind.FORK, EventKind.JOIN, EventKind.WAIT):
+            if k in (
+                EventKind.COMPUTATION,
+                EventKind.FORK,
+                EventKind.JOIN,
+                EventKind.WAIT,
+                EventKind.FENCE,  # ordering lives in begin_pre, not state
+            ):
                 self._free_end.append(True)
             elif k is EventKind.SEM_V:
                 self._free_end.append(not binary_semaphores)

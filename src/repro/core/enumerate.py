@@ -26,8 +26,10 @@ def _engine_tables(exe: ProgramExecution, include_dependences: bool):
     n = len(exe)
     pre = [0] * n
     for eid in range(n):
-        p = exe.po_predecessor(eid)
-        if p is not None:
+        # program-order begin prerequisites come from the execution's
+        # memory model (the adjacent predecessor under SC), mirroring
+        # the engine's _begin_pre exactly
+        for p in exe.po_begin_predecessors(eid):
             pre[eid] |= 1 << p
     for feid, children in exe.fork_children.items():
         for c in children:

@@ -44,12 +44,15 @@ def replay_schedule(
         if not pt.is_end:
             if pt.eid in begun:
                 raise IllegalScheduleError(f"point {pos}: event {pt.eid} begins twice")
-            pred = exe.po_predecessor(pt.eid)
-            if pred is not None and pred not in ended:
-                raise IllegalScheduleError(
-                    f"point {pos}: event {pt.eid} begins before program-order "
-                    f"predecessor {pred} ended"
-                )
+            # program-order begin prerequisites come from the memory
+            # model (adjacent predecessor under SC; TSO drops the W->R
+            # pairs its store buffer may reorder)
+            for pred in exe.po_begin_predecessors(pt.eid):
+                if pred not in ended:
+                    raise IllegalScheduleError(
+                        f"point {pos}: event {pt.eid} begins before program-order "
+                        f"predecessor {pred} ended"
+                    )
             feid = exe.parent_fork.get(e.process)
             if feid is not None and e.index == 0 and feid not in ended:
                 raise IllegalScheduleError(

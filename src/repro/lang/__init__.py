@@ -15,7 +15,11 @@ implement the program class itself: a small structured language with
 plus an interpreter that executes one atomic operation per step under a
 pluggable scheduler.  Interleaving semantics of atomic steps *is*
 sequential consistency, so every trace the simulator produces is a
-legal execution of the modelled machine.  Traces convert to
+legal execution of the modelled machine.  The simulator also speaks
+TSO (``memory_model="tso"``): per-process store buffers with
+scheduler-chosen drain points, store-to-load forwarding, and a
+``fence`` statement that waits the issuing buffer empty.  Traces
+convert to
 :class:`~repro.model.execution.ProgramExecution` values via
 :meth:`~repro.lang.trace.Trace.to_execution`, grouping maximal
 uninterrupted runs of non-synchronization steps into computation events
@@ -25,7 +29,7 @@ exactly as the paper defines them.
 from repro.lang.ast import (
     Expr, Const, Shared, Local, BinOp, UnOp,
     Stmt, Assign, LocalAssign, If, While, Skip,
-    SemP, SemV, Post, Wait, Clear, Fork, Join,
+    SemP, SemV, Post, Wait, Clear, Fence, Fork, Join,
     ProcessDef, Program,
 )
 from repro.lang.scheduler import (
@@ -37,7 +41,7 @@ from repro.lang.trace import Step, Trace
 __all__ = [
     "Expr", "Const", "Shared", "Local", "BinOp", "UnOp",
     "Stmt", "Assign", "LocalAssign", "If", "While", "Skip",
-    "SemP", "SemV", "Post", "Wait", "Clear", "Fork", "Join",
+    "SemP", "SemV", "Post", "Wait", "Clear", "Fence", "Fork", "Join",
     "ProcessDef", "Program",
     "Scheduler", "RandomScheduler", "RoundRobinScheduler", "FixedScheduler", "PriorityScheduler",
     "Interpreter", "DeadlockError", "StepLimitExceeded", "run_program",

@@ -195,6 +195,23 @@ class While(Stmt):
 
 
 @dataclass(frozen=True)
+class Fence(Stmt):
+    """``fence`` -- a memory barrier ordering all earlier accesses of
+    this process before all later ones.
+
+    Redundant under sequential consistency; under TSO it forbids the
+    one reordering that model allows (a buffered write passing a later
+    read of a different variable), so inserting one between a write and
+    a read restores SC behaviour for that pair.
+    """
+
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return "fence"
+
+
+@dataclass(frozen=True)
 class SemP(Stmt):
     sem: str
     label: Optional[str] = None

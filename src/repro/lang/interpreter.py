@@ -1,4 +1,4 @@
-"""The sequentially consistent simulator.
+"""The shared-memory simulator (sequentially consistent by default).
 
 One scheduler-chosen process executes one atomic operation per step;
 the interleaving of atomic steps over a single shared store *is*
@@ -9,6 +9,21 @@ children) simply leave the process out of the runnable set until the
 state allows completion; when nothing is runnable and work remains, the
 run has deadlocked and :class:`DeadlockError` carries the partial trace
 for inspection.
+
+Under ``memory_model="tso"`` each process gets a FIFO *store buffer*:
+a shared assignment enqueues its write instead of publishing it, later
+reads of the same process forward from the newest buffered value
+(store-to-load forwarding), and the buffer drains to shared memory at
+scheduler-chosen points -- each non-empty buffer contributes a
+``name!drain`` pseudo-process to the runnable set, so the scheduler
+(and hence the seed) decides when writes become visible, exactly like
+any other nondeterminism in the run.  Synchronization operations and
+``fence`` block until the issuing process's buffer is empty, which is
+TSO's barrier semantics.  Drains are internal machine activity: they
+consume no trace step, and the trace records writes at *issue* time --
+the shared-data dependences ``D`` derived from a TSO trace therefore
+follow issue order, a deliberate modeling choice documented in
+:meth:`repro.lang.trace.Trace.to_execution`.
 """
 
 from __future__ import annotations
@@ -18,9 +33,16 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.lang import ast as A
 from repro.lang.scheduler import RandomScheduler, Scheduler
 from repro.lang.trace import Step, Trace
+from repro.memmodel import resolve_memory_model
 from repro.model.events import Access, EventKind
 from repro.sync.eventvar import EventVariable
 from repro.sync.semaphore import Semaphore
+
+#: Suffix of the pseudo-process a non-empty TSO store buffer adds to
+#: the runnable set ("A!drain" publishes the oldest buffered write of
+#: process A).  "!" cannot appear in a process name, so the tokens
+#: never collide.
+DRAIN_SUFFIX = "!drain"
 
 
 class DeadlockError(RuntimeError):
@@ -50,7 +72,7 @@ class _Frame:
 
 
 class _Proc:
-    __slots__ = ("name", "frames", "locals", "fork_stack", "done")
+    __slots__ = ("name", "frames", "locals", "fork_stack", "done", "buffer")
 
     def __init__(self, name: str, body: Tuple[A.Stmt, ...]):
         self.name = name
@@ -58,6 +80,9 @@ class _Proc:
         self.locals: Dict[str, int] = {}
         self.fork_stack: List[List[str]] = []
         self.done = False
+        # TSO store buffer: FIFO of (variable, value) pending writes.
+        # Always empty under SC.
+        self.buffer: List[Tuple[str, int]] = []
 
     def current(self) -> Optional[A.Stmt]:
         """Normalize control frames and return the next statement.
@@ -85,10 +110,13 @@ class Interpreter:
         scheduler: Optional[Scheduler] = None,
         *,
         max_steps: int = 100_000,
+        memory_model: str = "sc",
     ) -> None:
         self.program = program
         self.scheduler = scheduler if scheduler is not None else RandomScheduler(0)
         self.max_steps = max_steps
+        self.memory_model = resolve_memory_model(memory_model).name
+        self._tso = self.memory_model == "tso"
 
         self.shared: Dict[str, int] = dict(program.shared_initial)
         self.semaphores: Dict[str, Semaphore] = {
@@ -125,6 +153,8 @@ class Interpreter:
         return self.variables[name]
 
     # ------------------------------------------------------------------
+    _BARRIERS = (A.Fence, A.SemP, A.SemV, A.Post, A.Wait, A.Clear, A.Fork, A.Join)
+
     def _runnable(self) -> List[str]:
         # Normalize every process first: ``done`` flags are set lazily
         # by ``current()``, and blocking checks below (join) read other
@@ -133,10 +163,17 @@ class Interpreter:
             proc.current()
         out = []
         for name, proc in self._procs.items():
+            if proc.buffer:
+                # a pending buffered write can always be published
+                out.append(name + DRAIN_SUFFIX)
             if proc.done:
                 continue
             stmt = proc.current()
             if stmt is None:
+                continue
+            if proc.buffer and isinstance(stmt, self._BARRIERS):
+                # TSO barrier semantics: sync operations and fences
+                # wait for the process's own buffer to drain first
                 continue
             if isinstance(stmt, A.SemP) and not self._sem(stmt.sem).can_p():
                 continue
@@ -152,8 +189,9 @@ class Interpreter:
 
     def _all_done(self) -> bool:
         # evaluate eagerly over all processes so every ``done`` flag is
-        # refreshed (``all`` would short-circuit on the first False)
-        states = [p.current() is None for p in self._procs.values()]
+        # refreshed (``all`` would short-circuit on the first False);
+        # a process with buffered writes still has work (their drains)
+        states = [p.current() is None and not p.buffer for p in self._procs.values()]
         return all(states)
 
     # ------------------------------------------------------------------
@@ -177,7 +215,14 @@ class Interpreter:
 
     def _eval(self, expr: A.Expr, proc: _Proc) -> Tuple[int, List[Access]]:
         reads: Set[str] = set()
-        value = expr.evaluate(self.shared, proc.locals, reads)
+        shared = self.shared
+        if proc.buffer:
+            # store-to-load forwarding: the process sees its own
+            # buffered writes (newest last, so later entries win)
+            shared = dict(self.shared)
+            for var, val in proc.buffer:
+                shared[var] = val
+        value = expr.evaluate(shared, proc.locals, reads)
         return value, [Access(v, False) for v in sorted(reads)]
 
     def _step_process(self, name: str) -> None:
@@ -191,7 +236,12 @@ class Interpreter:
             frame.pc += 1
         elif isinstance(stmt, A.Assign):
             value, accesses = self._eval(stmt.expr, proc)
-            self.shared[stmt.target] = value
+            if self._tso:
+                # the write is issued now (and recorded now) but only
+                # becomes visible when a later drain publishes it
+                proc.buffer.append((stmt.target, value))
+            else:
+                self.shared[stmt.target] = value
             accesses.append(Access(stmt.target, True))
             self._record(proc, EventKind.COMPUTATION, accesses=accesses,
                          text=repr(stmt), label=stmt.label)
@@ -219,6 +269,11 @@ class Interpreter:
                 proc.frames.append(_Frame(stmt.body, loop=stmt))
             else:
                 frame.pc += 1
+        elif isinstance(stmt, A.Fence):
+            # only runnable with an empty store buffer, so by the time
+            # it executes every earlier write is visible
+            self._record(proc, EventKind.FENCE, text=repr(stmt), label=stmt.label)
+            frame.pc += 1
         elif isinstance(stmt, A.SemP):
             self._sem(stmt.sem).p()
             self._record(proc, EventKind.SEM_P, obj=stmt.sem, text=repr(stmt), label=stmt.label)
@@ -278,7 +333,14 @@ class Interpreter:
             choice = self.scheduler.choose(runnable, len(self._steps))
             if choice not in runnable:
                 raise RuntimeError(f"scheduler chose non-runnable process {choice!r}")
-            self._step_process(choice)
+            if choice.endswith(DRAIN_SUFFIX):
+                # publish the oldest buffered write; internal machine
+                # activity, so no trace step is recorded
+                proc = self._procs[choice[: -len(DRAIN_SUFFIX)]]
+                var, value = proc.buffer.pop(0)
+                self.shared[var] = value
+            else:
+                self._step_process(choice)
         return self._make_trace()
 
     def _make_trace(self) -> Trace:
@@ -288,6 +350,7 @@ class Interpreter:
             var_initial=tuple(sorted(self.program.var_initial)),
             parent_of=dict(self._parent_of),
             final_shared=dict(self.shared),
+            memory_model=self.memory_model,
         )
 
 
@@ -296,6 +359,7 @@ def run_program(
     scheduler: Optional[Union[Scheduler, int]] = None,
     *,
     max_steps: int = 100_000,
+    memory_model: str = "sc",
 ) -> Trace:
     """Convenience runner.
 
@@ -306,4 +370,6 @@ def run_program(
         scheduler = RandomScheduler(0)
     elif isinstance(scheduler, int):
         scheduler = RandomScheduler(scheduler)
-    return Interpreter(program, scheduler, max_steps=max_steps).run()
+    return Interpreter(
+        program, scheduler, max_steps=max_steps, memory_model=memory_model
+    ).run()

@@ -18,6 +18,7 @@ examples and user experiments self-contained.  The grammar::
                | "post" NAME [label]
                | "wait" NAME [label]
                | "clear" NAME [label]
+               | "fence" [label]
                | "if" [label] expr block ["else" block]
                | "while" [label] expr block
                | "fork" [label] "{" procdef+ "}"
@@ -76,7 +77,7 @@ _TOKEN_RE = re.compile(
 
 _KEYWORDS = {
     "shared", "sem", "event", "posted", "proc", "skip", "P", "V",
-    "post", "wait", "clear", "if", "else", "while", "fork", "join",
+    "post", "wait", "clear", "fence", "if", "else", "while", "fork", "join",
 }
 
 
@@ -138,10 +139,11 @@ class _Parser:
         self.pos += 1
         return tok
 
-    def expect(self, kind: str) -> _Token:
+    def expect(self, kind: str, context: Optional[str] = None) -> _Token:
         tok = self.advance()
         if tok.kind != kind:
-            raise ParseError(f"expected {kind!r}, found {tok.text!r}", tok.line, tok.column)
+            what = context if context is not None else repr(kind)
+            raise ParseError(f"expected {what}, found {tok.text!r}", tok.line, tok.column)
         return tok
 
     def accept(self, kind: str) -> Optional[_Token]:
@@ -234,17 +236,20 @@ class _Parser:
             return A.Skip(label=self._label())
         if tok.kind in ("P", "V"):
             self.advance()
-            self._expect_op("(")
-            name = self.expect("name").text
-            self._expect_op(")")
+            self._expect_op("(", context=f"after {tok.text!r}")
+            name = self.expect("name", context=f"a semaphore name in {tok.text}(...)")
+            self._expect_op(")", context=f"closing {tok.text}(...)")
             label = self._label()
-            return A.SemP(name, label) if tok.kind == "P" else A.SemV(name, label)
+            return A.SemP(name.text, label) if tok.kind == "P" else A.SemV(name.text, label)
         if tok.kind in ("post", "wait", "clear"):
             self.advance()
-            name = self.expect("name").text
+            name = self.expect("name", context=f"an event-variable name after {tok.text!r}")
             label = self._label()
             cls = {"post": A.Post, "wait": A.Wait, "clear": A.Clear}[tok.kind]
-            return cls(name, label)
+            return cls(name.text, label)
+        if tok.kind == "fence":
+            self.advance()
+            return A.Fence(label=self._label())
         if tok.kind == "if":
             self.advance()
             label = self._label()
@@ -282,15 +287,28 @@ class _Parser:
             return A.LocalAssign(name, expr, label=self._label())
         if tok.kind == "name":
             self.advance()
+            nxt = self.peek()
+            if not (nxt.kind == "op" and nxt.text == ":="):
+                # a bare name that is not an assignment target is almost
+                # always a misspelled keyword (fense, joinn, ...); point
+                # at the name itself rather than complaining about ':='
+                raise ParseError(
+                    f"unknown statement {tok.text!r} (not a keyword, and not "
+                    f"followed by ':=' for an assignment)",
+                    tok.line, tok.column,
+                )
             self._expect_op(":=")
             expr = self.parse_expr()
             return A.Assign(tok.text, expr, label=self._label())
         raise ParseError(f"expected a statement, found {tok.text!r}", tok.line, tok.column)
 
-    def _expect_op(self, text: str) -> None:
+    def _expect_op(self, text: str, context: Optional[str] = None) -> None:
         tok = self.advance()
         if tok.text != text:
-            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line, tok.column)
+            where = f" {context}" if context else ""
+            raise ParseError(
+                f"expected {text!r}{where}, found {tok.text!r}", tok.line, tok.column
+            )
 
     # -- expressions (precedence climbing) ---------------------------------
     _BINARY_LEVELS = [

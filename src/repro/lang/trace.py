@@ -57,6 +57,9 @@ class Trace:
     parent_of: Dict[str, Tuple[str, int]] = field(default_factory=dict)
     #: ``parent_of[child] = (parent process, step number of the fork)``
     final_shared: Dict[str, int] = field(default_factory=dict)
+    #: memory model the simulator ran under ("sc" or "tso"); carried
+    #: into the converted execution so analyses use the same model
+    memory_model: str = "sc"
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -77,7 +80,17 @@ class Trace:
 
     # ------------------------------------------------------------------
     def to_execution(self) -> ProgramExecution:
-        """Convert the trace to the formal model (see module docstring)."""
+        """Convert the trace to the formal model (see module docstring).
+
+        The execution inherits the trace's memory model.  For a TSO
+        trace the simulator records writes at *issue* time (the drain
+        that publishes them is internal machine activity), so ``D``
+        follows issue order -- the dependence ``a ->D b`` means ``a``'s
+        access was issued before ``b``'s conflicting access.  This is a
+        deliberate modeling choice: issue order is what the process
+        itself observed, and the feasibility analysis then asks which
+        *other* orders the memory model would also have allowed.
+        """
         # 1. group steps into events -----------------------------------
         groups: List[List[Step]] = []
         for s in self.steps:
@@ -133,6 +146,8 @@ class Trace:
                 eid = pb.wait(first.obj, label=first.label)
             elif kind is EventKind.CLEAR:
                 eid = pb.clear(first.obj, label=first.label)
+            elif kind is EventKind.FENCE:
+                eid = pb.fence(label=first.label)
             else:  # pragma: no cover - exhaustive
                 raise AssertionError(f"unhandled kind {kind}")
             eids.append(eid)
@@ -159,4 +174,5 @@ class Trace:
                 if any(x.conflicts_with(y) for x in infos[i] for y in infos[j]):
                     b.dependence(eids[i], eids[j])
 
+        b.memory_model(self.memory_model)
         return b.build(observed_schedule=eids)

@@ -81,6 +81,8 @@ def _unparse_stmt(stmt: A.Stmt, depth: int, out: List[str]) -> None:
         out.append(f"{pad}wait {stmt.var}{_label_suffix(stmt)}")
     elif isinstance(stmt, A.Clear):
         out.append(f"{pad}clear {stmt.var}{_label_suffix(stmt)}")
+    elif isinstance(stmt, A.Fence):
+        out.append(f"{pad}fence{_label_suffix(stmt)}")
     elif isinstance(stmt, A.If):
         lbl = f"@{stmt.label} " if stmt.label else ""
         out.append(f"{pad}if {lbl}{unparse_expr(stmt.cond)} {{")

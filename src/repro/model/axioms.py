@@ -114,7 +114,9 @@ def check_temporal_order(exe: ProgramExecution, temporal: BinaryRelation) -> Lis
         problems.append("temporal order is not a strict partial order")
     # join edges order completions, not intervals: a join may begin
     # (and block) while awaited children still run, so T need not
-    # contain them
+    # contain them.  The graph's program-order edges come from the
+    # execution's memory model, so a TSO trace is not required to
+    # order a store before a later load of another variable.
     g = exe.static_order_graph(include_dependences=False, join_edges=False)
     for u, v in g.edges:
         if (u, v) not in temporal:

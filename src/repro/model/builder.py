@@ -79,6 +79,10 @@ class ProcessBuilder:
     def write(self, variable: str, label: Optional[str] = None) -> int:
         return self.compute(writes=[variable], label=label)
 
+    def fence(self, label: Optional[str] = None) -> int:
+        """A memory fence (orders the process's accesses across it)."""
+        return self._append(EventKind.FENCE, label=label)
+
     # -- semaphores -----------------------------------------------------
     def sem_p(self, name: str, label: Optional[str] = None) -> int:
         self._b._touch_semaphore(name)
@@ -129,6 +133,7 @@ class ExecutionBuilder:
         self._sem_initial: Dict[str, int] = {}
         self._var_initial: List[str] = []
         self._dependences: List[Tuple[int, int]] = []
+        self._memory_model: str = "sc"
 
     # ------------------------------------------------------------------
     def _new_eid(self) -> int:
@@ -171,6 +176,13 @@ class ExecutionBuilder:
         """Record a shared-data dependence ``a ->D b``."""
         self._dependences.append((a, b))
 
+    def memory_model(self, name: str) -> None:
+        """Declare the memory model the execution ran under (default
+        ``"sc"``); validated against the registered models."""
+        from repro.memmodel import resolve_memory_model
+
+        self._memory_model = resolve_memory_model(name).name
+
     # ------------------------------------------------------------------
     def build(self, observed_schedule: Optional[Sequence[int]] = None) -> ProgramExecution:
         fork_children = {eid: tuple(h.children) for eid, h in self._forks.items()}
@@ -184,4 +196,5 @@ class ExecutionBuilder:
             var_initial=self._var_initial,
             dependences=self._dependences,
             observed_schedule=observed_schedule,
+            memory_model=self._memory_model,
         )

@@ -32,6 +32,11 @@ class EventKind(enum.Enum):
     CLEAR = "clear"
     FORK = "fork"
     JOIN = "join"
+    #: a memory fence: orders every earlier access of its process
+    #: before every later one.  A no-op under sequential consistency;
+    #: under relaxed models (see :mod:`repro.memmodel`) it is the
+    #: program's handle on the store buffer.
+    FENCE = "fence"
 
     @property
     def is_synchronization(self) -> bool:
@@ -152,7 +157,7 @@ class Event:
         if self.kind is EventKind.COMPUTATION:
             body = ",".join(repr(a) for a in self.accesses) or "skip"
             return f"{self.process}[{self.index}]:{body}"
-        if self.kind.is_task_op:
+        if self.kind.is_task_op or self.kind is EventKind.FENCE:
             return f"{self.process}[{self.index}]:{self.kind.value}"
         return f"{self.process}[{self.index}]:{self.kind.value}({self.obj})"
 

@@ -69,6 +69,11 @@ class ProgramExecution:
         The shared-data dependence relation ``D`` as (eid, eid) pairs.
     observed_schedule:
         Optional serial order of event completion from the tracer.
+    memory_model:
+        Name of the memory model the execution ran under (``"sc"`` by
+        default; see :mod:`repro.memmodel`).  Feasibility, the ordering
+        relations and witness replay all derive their program-order
+        constraints from it.
     """
 
     def __init__(
@@ -83,6 +88,7 @@ class ProgramExecution:
         var_initial: Iterable[str] = (),
         dependences: Iterable[Tuple[int, int]] = (),
         observed_schedule: Optional[Sequence[int]] = None,
+        memory_model: str = "sc",
     ) -> None:
         self._events: Tuple[Event, ...] = tuple(events)
         for i, e in enumerate(self._events):
@@ -96,6 +102,9 @@ class ProgramExecution:
         self._var_initial: FrozenSet[str] = frozenset(var_initial)
         self._dependences: FrozenSet[Tuple[int, int]] = frozenset((int(a), int(b)) for a, b in dependences)
         self._observed: Optional[Tuple[int, ...]] = tuple(observed_schedule) if observed_schedule is not None else None
+        from repro.memmodel import resolve_memory_model
+
+        self._model = resolve_memory_model(memory_model)
 
         self._validate_basic()
         self._build_caches()
@@ -155,6 +164,8 @@ class ProgramExecution:
                 raise ValueError("observed schedule must be a permutation of all eids")
 
     def _build_caches(self) -> None:
+        from repro.memmodel import po_constraint_pairs
+
         n = len(self._events)
         self._po_pred: List[Optional[int]] = [None] * n
         self._po_succ: List[Optional[int]] = [None] * n
@@ -162,6 +173,18 @@ class ProgramExecution:
             for prev, cur in zip(eids, eids[1:]):
                 self._po_pred[cur] = prev
                 self._po_succ[prev] = cur
+        # program-order *interval* constraints under the memory model:
+        # end(pred) < begin(succ) must hold in every legal schedule.
+        # Under SC this is exactly the adjacent-predecessor chain; a
+        # relaxed model (TSO) drops the W->R edges its store buffer
+        # permits, in which case an event can owe its begin to several
+        # non-adjacent predecessors.
+        self._po_begin_preds: List[Tuple[int, ...]] = [() for _ in range(n)]
+        for eids in self._processes.values():
+            evs = [self._events[i] for i in eids]
+            for i, j in po_constraint_pairs(evs, self._model):
+                pred, succ = eids[i], eids[j]
+                self._po_begin_preds[succ] = self._po_begin_preds[succ] + (pred,)
         self._dep_preds: List[Tuple[int, ...]] = [() for _ in range(n)]
         for a, b in sorted(self._dependences):
             self._dep_preds[b] = self._dep_preds[b] + (a,)
@@ -246,6 +269,22 @@ class ProgramExecution:
     def po_successor(self, eid: int) -> Optional[int]:
         return self._po_succ[eid]
 
+    @property
+    def memory_model(self) -> str:
+        """Name of the memory model this execution ran under."""
+        return self._model.name
+
+    @property
+    def model(self):
+        """The resolved :class:`~repro.memmodel.MemoryModel` instance."""
+        return self._model
+
+    def po_begin_predecessors(self, eid: int) -> Tuple[int, ...]:
+        """Same-process events that must *end* before ``eid`` begins
+        under this execution's memory model (transitively reduced).
+        Under SC: the adjacent program-order predecessor alone."""
+        return self._po_begin_preds[eid]
+
     def by_label(self, label: str) -> Event:
         return self._events[self._label_map[label]]
 
@@ -311,10 +350,15 @@ class ProgramExecution:
         block) before its children end.  Queries about concurrency must
         therefore pass ``join_edges=False``; completion-order reasoning
         (CHB shortcuts, the approximation algorithms) keeps them.
+
+        Program-order edges are the ones this execution's memory model
+        guarantees: under SC the adjacent chain, under a relaxed model
+        the transitively-reduced constraint set with the relaxed pairs
+        (e.g. TSO's W->R) absent.
         """
         g = Digraph(range(len(self._events)))
-        for eids in self._processes.values():
-            for prev, cur in zip(eids, eids[1:]):
+        for cur in range(len(self._events)):
+            for prev in self._po_begin_preds[cur]:
                 g.add_edge(prev, cur)
         for feid, children in self._fork_children.items():
             for c in children:
@@ -349,15 +393,38 @@ class ProgramExecution:
             var_initial=self._var_initial,
             dependences=dependences,
             observed_schedule=self._observed,
+            memory_model=self._model.name,
         )
 
     def without_dependences(self) -> "ProgramExecution":
         """The Section 5.3 view: same events, ``D`` ignored."""
         return self.with_dependences(())
 
+    def with_memory_model(self, name: str) -> "ProgramExecution":
+        """The same events re-analyzed under another memory model
+        (used by ``--memory-model`` to ask "what could this trace have
+        done on that hardware?").  Unknown names raise ``ValueError``."""
+        from repro.memmodel import resolve_memory_model
+
+        if resolve_memory_model(name).name == self._model.name:
+            return self
+        return ProgramExecution(
+            self._events,
+            self._processes,
+            fork_children=self._fork_children,
+            join_targets=self._join_targets,
+            parent_fork=self._parent_fork,
+            sem_initial=self._sem_initial,
+            var_initial=self._var_initial,
+            dependences=self._dependences,
+            observed_schedule=self._observed,
+            memory_model=name,
+        )
+
     def __repr__(self) -> str:
+        model = "" if self._model.name == "sc" else f", model={self._model.name}"
         return (
             f"ProgramExecution({len(self._events)} events, "
             f"{len(self._processes)} processes, style={self.sync_style.value}, "
-            f"|D|={len(self._dependences)})"
+            f"|D|={len(self._dependences)}{model})"
         )

@@ -26,14 +26,21 @@ from repro.model.events import Access, Event, EventKind
 from repro.model.execution import ProgramExecution
 from repro.util.fileio import atomic_write_text
 
-FORMAT_VERSION = 1
+# execution schema history:
+#   1 -- the original SC-only triple <E, T, D>
+#   2 -- adds "memory_model"; version-1 documents still load (absent
+#        field means "sc", the only model version 1 could describe)
+FORMAT_VERSION = 2
+_READABLE_EXECUTION_VERSIONS = (1, 2)
 # report schema history:
 #   1 -- races + three-valued classifications
 #   2 -- adds per-pair "decided_by" provenance and the "planner"
 #        per-tier tally block; version-1 documents still load (the new
 #        fields default to absent)
-REPORT_FORMAT_VERSION = 2
-_READABLE_REPORT_VERSIONS = (1, 2)
+#   3 -- the embedded execution document moves to execution version 2
+#        (memory model); versions 1-2 still load as SC
+REPORT_FORMAT_VERSION = 3
+_READABLE_REPORT_VERSIONS = (1, 2, 3)
 PLANNER_REPORT_FORMAT_VERSION = 1
 
 
@@ -66,6 +73,7 @@ def execution_to_dict(exe: ProgramExecution) -> Dict[str, Any]:
         "observed_schedule": list(exe.observed_schedule)
         if exe.observed_schedule is not None
         else None,
+        "memory_model": exe.memory_model,
     }
 
 
@@ -73,10 +81,10 @@ def execution_from_dict(data: Dict[str, Any]) -> ProgramExecution:
     """Inverse of :func:`execution_to_dict` (validating)."""
     if data.get("format") != "repro-execution":
         raise ValueError("not a repro-execution document")
-    if data.get("version") != FORMAT_VERSION:
+    if data.get("version") not in _READABLE_EXECUTION_VERSIONS:
         raise ValueError(
             f"unsupported format version {data.get('version')!r} "
-            f"(this library reads version {FORMAT_VERSION})"
+            f"(this library reads versions {list(_READABLE_EXECUTION_VERSIONS)})"
         )
     events = []
     for rec in data["events"]:
@@ -104,6 +112,10 @@ def execution_from_dict(data: Dict[str, Any]) -> ProgramExecution:
         var_initial=list(data.get("var_initial", ())),
         dependences=[tuple(pair) for pair in data.get("dependences", ())],
         observed_schedule=data.get("observed_schedule"),
+        # version-1 documents predate the memory-model axis: they could
+        # only describe SC executions, so the absent field means "sc".
+        # An unknown name fails loudly inside the constructor.
+        memory_model=data.get("memory_model", "sc"),
     )
 
 

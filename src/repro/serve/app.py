@@ -57,6 +57,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro import faults
 from repro.budget import clamp_request
+from repro.memmodel import resolve_memory_model
 from repro.model import serialize
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.server import QuietHandler
@@ -77,6 +78,29 @@ MAX_BODY_BYTES = 64 << 20
 
 class _BadRequest(Exception):
     """Client error; message is served verbatim in the 400 body."""
+
+
+def _require_model_match(doc: Dict[str, Any], exe: Any) -> None:
+    """Enforce an explicit ``memory_model`` claim in a request.
+
+    A client that says which model it believes it is talking about must
+    be right: answering a TSO question from an SC execution (or vice
+    versa) would be silently wrong, so a mismatch is a hard 400, never
+    a coercion.  Requests that stay silent keep the execution's own
+    model.
+    """
+    requested = doc.get("memory_model")
+    if requested is None:
+        return
+    try:
+        model = resolve_memory_model(str(requested))
+    except ValueError as exc:
+        raise _BadRequest(str(exc))
+    if model.name != exe.memory_model:
+        raise _BadRequest(
+            f"memory model mismatch: request says {model.name!r} but the "
+            f"execution was recorded under {exe.memory_model!r}"
+        )
 
 
 class _TooLarge(Exception):
@@ -200,7 +224,10 @@ class QueryDaemon:
     first) plus ``"relation"`` (one of mhb/chb/mcb/ccb/mow/cow/mcw/ccw/
     feasible/race), event ids ``"a"``/``"b"`` for pair relations, and
     an optional requested budget (``"max_states"``, ``"timeout"``)
-    which is clamped to the server's caps.
+    which is clamped to the server's caps.  Both ``POST /executions``
+    and ``POST /query`` accept an optional ``"memory_model"`` claim;
+    naming a model different from the execution's recorded one is a
+    hard 400 (the daemon never silently reinterprets a document).
     """
 
     def __init__(
@@ -391,6 +418,7 @@ class QueryDaemon:
             exe = serialize.execution_from_dict(exe_doc)
         except (ValueError, KeyError, TypeError) as exc:
             raise _BadRequest(f"bad execution document: {exc}")
+        _require_model_match(doc, exe)
         try:
             fp = self.store.put_execution(exe)
         except OSError as exc:
@@ -399,7 +427,11 @@ class QueryDaemon:
                 f"could not store the execution durably: {exc}"
             )
         self._flush_store()
-        return {"fingerprint": fp, "witnesses": len(self.store.points_for(fp))}
+        return {
+            "fingerprint": fp,
+            "memory_model": exe.memory_model,
+            "witnesses": len(self.store.points_for(fp)),
+        }
 
     def handle_query(self, doc: Dict[str, Any]):
         """Returns ``(http_code, json_body, extra_headers)``."""
@@ -460,6 +492,7 @@ class QueryDaemon:
         elif fp not in self.store:
             return 404, {"error": f"no stored execution {fp}"}, None
         exe = self.store.execution(fp)
+        _require_model_match(doc, exe)
         # -- validate the relation ------------------------------------
         relation = str(doc.get("relation", "race")).lower()
         if relation not in QUERY_RELATIONS:
@@ -526,6 +559,7 @@ class QueryDaemon:
                 self._requests["unknown"] += 1
         body = {
             "fingerprint": fp,
+            "memory_model": exe.memory_model,
             "relation": relation,
             "a": a,
             "b": b,

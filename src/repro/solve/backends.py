@@ -32,12 +32,21 @@ queries) follows two monotonicity facts used throughout: dropping
 dependences only enlarges ``F``, so membership witnesses transfer
 upward (base members answer relaxed queries) and impossibility proved
 without reading ``D`` transfers everywhere (HMW, the task graph).
+
+Soundness across memory models: ``structural``, ``observed``,
+``witness`` and ``engine`` consume program order exclusively through
+the execution's model-aware caches (``po_begin_predecessors``, the
+static order graph, schedule replay), so they are correct for every
+registered :mod:`repro.memmodel` model.  ``vc``, ``hmw``, ``taskgraph``
+and ``sat`` reason from sequentially consistent program order directly
+and declare ``supported_models = {"sc"}``; the planner skips them for
+executions under any other model instead of letting them answer wrong.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Tuple, Type
+from typing import Dict, FrozenSet, Optional, Tuple, Type
 
 from repro.budget import Budget, Verdict
 from repro.core.engine import SearchBudgetExceeded, begin_point, end_point
@@ -173,6 +182,8 @@ class VectorClockBackend(Backend):
     """
 
     name = "vc"
+    # clock increments follow adjacent SC program order
+    supported_models: FrozenSet[str] = frozenset({"sc"})
 
     def answer(self, query, ctx, *, budget=None, max_states=None):
         t0 = time.monotonic()
@@ -201,6 +212,9 @@ class HMWBackend(Backend):
     """
 
     name = "hmw"
+    # the counting phases propagate orderings along adjacent SC
+    # program order; a refutation derived that way is wrong under TSO
+    supported_models: FrozenSet[str] = frozenset({"sc"})
 
     def answer(self, query, ctx, *, budget=None, max_states=None):
         t0 = time.monotonic()
@@ -233,6 +247,8 @@ class TaskGraphBackend(Backend):
     """
 
     name = "taskgraph"
+    # graph construction threads SC program order between sync events
+    supported_models: FrozenSet[str] = frozenset({"sc"})
 
     def answer(self, query, ctx, *, budget=None, max_states=None):
         t0 = time.monotonic()
@@ -269,6 +285,9 @@ class SatBackend(Backend):
     """
 
     name = "sat"
+    # the CNF encodes the adjacent SC program-order chain as hard
+    # clauses, so its refutations do not hold under relaxed models
+    supported_models: FrozenSet[str] = frozenset({"sc"})
 
     def __init__(self) -> None:
         self._encoders: Dict[Tuple, object] = {}

@@ -103,6 +103,14 @@ class Backend:
     #: registry key, CLI spelling, and the provenance tag of answers
     name: str = "abstract"
 
+    #: memory models whose executions this backend reasons soundly
+    #: about.  Backends whose deductions bake in sequentially
+    #: consistent program order (vector clocks, the HMW counting
+    #: phases, the task graph, the order-SAT encoding) declare
+    #: ``{"sc"}`` and the planner skips them -- rather than letting
+    #: them answer wrong -- when the execution uses another model.
+    supported_models: FrozenSet[str] = frozenset({"sc", "tso"})
+
     def answer(
         self,
         query: RelationQuery,

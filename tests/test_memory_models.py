@@ -1,0 +1,448 @@
+"""The memory-model axis: SC vs TSO across every layer.
+
+The paper's relations are defined over sequentially consistent
+processors; :mod:`repro.memmodel` makes that assumption explicit and
+swappable.  These tests pin the whole axis:
+
+* the registry (resolution, the one-line unknown-model error);
+* program-order constraint derivation (SC = the adjacent chain; TSO
+  relaxes exactly W -> R over disjoint variables);
+* the ``fence`` statement through parse -> unparse -> parse;
+* the simulator's store buffers (determinism under a seeded scheduler,
+  drained buffers at exit);
+* the store-buffering litmus end-to-end: race-free under SC, racy
+  under TSO, repaired by a fence -- the acceptance criterion;
+* differential agreement between the planner and brute-force
+  enumeration under *both* models;
+* planner gating: a TSO query never reaches an SC-only backend;
+* serialization (version bump, back-compat default, fingerprints);
+* the CLI flag and the daemon's strict model claims.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cli import main
+from repro.core.enumerate import relations_by_enumeration
+from repro.core.queries import OrderingQueries
+from repro.core.relations import RelationName
+from repro.lang import ast as A
+from repro.lang.interpreter import run_program
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.scheduler import PriorityScheduler, RandomScheduler
+from repro.lang.unparse import unparse_program
+from repro.memmodel import (
+    MEMORY_MODELS,
+    SC,
+    TSO,
+    po_constraint_pairs,
+    resolve_memory_model,
+)
+from repro.model import serialize
+from repro.model.builder import ExecutionBuilder
+from repro.model.events import EventKind
+from repro.races.detector import FEASIBLE, INFEASIBLE, RaceDetector
+from repro.solve import BACKENDS, DEFAULT_PLAN, QueryPlanner, SolveContext
+
+from hypothesis import strategies as st
+
+from repro.workloads.generators import random_computation_overlay
+
+
+def tiny_overlay_executions():
+    """Enumeration-tractable computation overlays (point-schedule
+    enumeration is exponential in 2|E| -- keep |E| <= 6)."""
+    return st.builds(
+        random_computation_overlay,
+        processes=st.integers(2, 3),
+        events_per_process=st.integers(1, 2),
+        semaphores=st.integers(1, 2),
+        shared_vars=st.integers(1, 2),
+        seed=st.integers(0, 10_000),
+    )
+
+LITMUS_SRC = """
+proc A {
+  x := 1 @aw
+  $t := y @ar
+}
+proc B {
+  y := 2 @bw
+  x := 2 @bx
+}
+"""
+
+LITMUS_FENCED_SRC = LITMUS_SRC.replace("x := 1 @aw", "x := 1 @aw\n  fence")
+
+
+def litmus_execution(memory_model, *, fenced=False):
+    """The store-buffering litmus, A prioritized so the recorded
+    dependences are ``aw -> bx`` and ``ar -> bw``."""
+    src = LITMUS_FENCED_SRC if fenced else LITMUS_SRC
+    trace = run_program(
+        parse_program(src),
+        PriorityScheduler(["A"]),
+        memory_model=memory_model,
+    )
+    return trace.to_execution()
+
+
+def by_label(exe):
+    return {exe.event(e).label: e for e in exe.eids if exe.event(e).label}
+
+
+def classify(exe):
+    report = RaceDetector(exe).feasible_races()
+    labels = {e: exe.event(e).label for e in exe.eids}
+    return {
+        frozenset((labels[c.a], labels[c.b])): c.status
+        for c in report.classifications
+    }
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_known_models(self):
+        assert set(MEMORY_MODELS) == {"sc", "tso"}
+        assert resolve_memory_model("sc") is SC
+        assert resolve_memory_model("TSO") is TSO  # case-insensitive
+
+    def test_unknown_model_is_a_one_line_value_error(self):
+        with pytest.raises(ValueError) as exc:
+            resolve_memory_model("pso")
+        msg = str(exc.value)
+        assert msg == "unknown memory model 'pso' (known models: sc, tso)"
+        assert "\n" not in msg
+
+
+# ----------------------------------------------------------------------
+# constraint derivation
+# ----------------------------------------------------------------------
+class TestConstraintPairs:
+    def test_sc_is_the_adjacent_chain(self):
+        exe = litmus_execution("sc")
+        for proc in exe.process_names:
+            events = [exe.event(e) for e in exe.process_events(proc)]
+            n = len(events)
+            assert po_constraint_pairs(events, SC) == [
+                (i, i + 1) for i in range(n - 1)
+            ]
+
+    def test_tso_relaxes_store_then_load(self):
+        exe = litmus_execution("tso")
+        ids = by_label(exe)
+        # A = [aw (W x), ar (R y)]: the relaxed pair -- no constraint
+        a_events = [exe.event(e) for e in exe.process_events("A")]
+        assert po_constraint_pairs(a_events, TSO) == []
+        # and the engine-facing accessor agrees
+        assert exe.po_begin_predecessors(ids["ar"]) == ()
+        # B = [bw (W y), bx (W x)]: store-store order is preserved
+        b_events = [exe.event(e) for e in exe.process_events("B")]
+        assert po_constraint_pairs(b_events, TSO) == [(0, 1)]
+
+    def test_tso_keeps_same_variable_store_load_ordered(self):
+        b = ExecutionBuilder()
+        p = b.process("A")
+        w = p.write("x")
+        r = p.read("x")  # store-to-load forwarding: stays ordered
+        b.memory_model("tso")
+        exe = b.build()
+        assert exe.po_begin_predecessors(r) == (w,)
+
+    def test_tso_fence_restores_order_transitively(self):
+        exe = litmus_execution("tso", fenced=True)
+        ids = by_label(exe)
+        a_events = [exe.event(e) for e in exe.process_events("A")]
+        # aw -> fence -> ar: the adjacent chain is back
+        assert po_constraint_pairs(a_events, TSO) == [(0, 1), (1, 2)]
+        fence_eid = next(
+            e for e in exe.process_events("A")
+            if exe.event(e).kind is EventKind.FENCE
+        )
+        assert exe.po_begin_predecessors(ids["ar"]) == (fence_eid,)
+
+    def test_sync_operations_are_implicit_fences(self):
+        b = ExecutionBuilder()
+        p = b.process("A")
+        w = p.write("x")
+        v = p.sem_v("s")
+        b.memory_model("tso")
+        exe = b.build()
+        assert exe.po_begin_predecessors(v) == (w,)
+
+
+# ----------------------------------------------------------------------
+# the fence statement in the language
+# ----------------------------------------------------------------------
+class TestFenceLanguage:
+    def test_parse_unparse_parse_round_trip(self):
+        prog = parse_program(LITMUS_FENCED_SRC)
+        text = unparse_program(prog)
+        assert "fence" in text
+        assert parse_program(text) == prog
+
+    def test_fence_label_survives_round_trip(self):
+        prog = parse_program("proc A { fence @f1 }")
+        stmt = prog.processes[0].body[0]
+        assert isinstance(stmt, A.Fence) and stmt.label == "f1"
+        assert parse_program(unparse_program(prog)) == prog
+
+    def test_fence_records_a_fence_event(self):
+        exe = litmus_execution("sc", fenced=True)
+        kinds = [exe.event(e).kind for e in exe.process_events("A")]
+        assert kinds.count(EventKind.FENCE) == 1
+
+    def test_unknown_statement_points_at_the_typo(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("proc A {\n  x := 1\n  fense\n}")
+        msg = str(exc.value)
+        assert "line 3" in msg and "unknown statement 'fense'" in msg
+
+    def test_malformed_sync_op_names_the_expectation(self):
+        with pytest.raises(ParseError, match="after 'P'"):
+            parse_program("proc A { P x }")
+        with pytest.raises(ParseError, match="event-variable name"):
+            parse_program("proc A { post }")
+
+
+# ----------------------------------------------------------------------
+# the simulator's store buffers
+# ----------------------------------------------------------------------
+class TestStoreBuffer:
+    @pytest.mark.parametrize("fenced", [False, True])
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_seeded_runs_are_deterministic(self, seed, fenced):
+        src = LITMUS_FENCED_SRC if fenced else LITMUS_SRC
+
+        def run():
+            return run_program(
+                parse_program(src),
+                RandomScheduler(seed),
+                memory_model="tso",
+            )
+
+        t1, t2 = run(), run()
+        assert t1.steps == t2.steps
+        assert t1.final_shared == t2.final_shared
+        assert serialize.execution_to_dict(
+            t1.to_execution()
+        ) == serialize.execution_to_dict(t2.to_execution())
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_buffers_always_drain(self, seed):
+        # whatever the interleaving, the run only terminates once every
+        # buffered store has reached shared memory
+        trace = run_program(
+            parse_program(LITMUS_SRC), RandomScheduler(seed),
+            memory_model="tso",
+        )
+        assert trace.final_shared["x"] in (1, 2)
+        assert trace.final_shared["y"] == 2
+        assert trace.memory_model == "tso"
+
+    def test_store_to_load_forwarding_reads_own_buffer(self):
+        # A's read of x must see its own buffered store, not the
+        # initial value, even though the store has not drained
+        trace = run_program(
+            parse_program("proc A { x := 41\n $t := x\n y := $t + 1 }"),
+            PriorityScheduler(["A"]),
+            memory_model="tso",
+        )
+        assert trace.final_shared["y"] == 42
+
+    def test_sc_runs_carry_the_sc_model(self):
+        trace = run_program(
+            parse_program(LITMUS_SRC), PriorityScheduler(["A"])
+        )
+        assert trace.memory_model == "sc"
+        assert trace.to_execution().memory_model == "sc"
+
+
+# ----------------------------------------------------------------------
+# the acceptance litmus, end to end
+# ----------------------------------------------------------------------
+class TestStoreBufferingLitmus:
+    def test_sc_proves_the_write_write_pair_infeasible(self):
+        status = classify(litmus_execution("sc"))
+        assert status[frozenset(("aw", "bx"))] == INFEASIBLE
+        assert status[frozenset(("ar", "bw"))] == FEASIBLE
+
+    def test_tso_exposes_the_store_buffered_race(self):
+        status = classify(litmus_execution("tso"))
+        assert status[frozenset(("aw", "bx"))] == FEASIBLE
+        assert status[frozenset(("ar", "bw"))] == FEASIBLE
+
+    def test_fence_restores_the_sc_verdicts(self):
+        status = classify(litmus_execution("tso", fenced=True))
+        assert status[frozenset(("aw", "bx"))] == INFEASIBLE
+        assert status[frozenset(("ar", "bw"))] == FEASIBLE
+
+
+# ----------------------------------------------------------------------
+# differential: planner vs enumeration, under both models
+# ----------------------------------------------------------------------
+class TestDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(tiny_overlay_executions())
+    def test_planner_matches_enumeration_under_both_models(self, exe):
+        for model in ("sc", "tso"):
+            m_exe = exe.with_memory_model(model)
+            truth = relations_by_enumeration(m_exe)
+            queries = OrderingQueries(m_exe)
+            n = len(m_exe)
+            for a in range(n):
+                for b in range(n):
+                    if a == b:
+                        continue
+                    assert queries.ccw(a, b) == truth[RelationName.CCW](
+                        a, b
+                    ), (model, a, b)
+                    assert queries.mhb(a, b) == truth[RelationName.MHB](
+                        a, b
+                    ), (model, a, b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(tiny_overlay_executions())
+    def test_sc_relaxes_nothing_tso_only_relaxes(self, exe):
+        # SC rebuild is a no-op; the TSO feasible set only ever grows
+        assert exe.with_memory_model("sc") is exe
+        t_exe = exe.with_memory_model("tso")
+        sc_truth = relations_by_enumeration(exe)
+        tso_truth = relations_by_enumeration(t_exe)
+        assert sc_truth[RelationName.CCW].pairs <= tso_truth[
+            RelationName.CCW
+        ].pairs
+
+
+# ----------------------------------------------------------------------
+# planner gating
+# ----------------------------------------------------------------------
+class TestPlannerGating:
+    FULL_PLAN = tuple(sorted(BACKENDS))
+    SC_ONLY = frozenset(
+        name for name, b in BACKENDS.items()
+        if "tso" not in b.supported_models
+    )
+
+    def test_sc_activates_every_backend(self):
+        exe = litmus_execution("sc")
+        planner = QueryPlanner(SolveContext(exe), DEFAULT_PLAN)
+        assert planner.active_backends == planner.backends
+
+    def test_tso_deactivates_sc_only_backends(self):
+        exe = litmus_execution("tso")
+        planner = QueryPlanner(SolveContext(exe), self.FULL_PLAN)
+        active = {b.name for b in planner.active_backends}
+        skipped = {b.name for b in planner.backends} - active
+        assert skipped == {"hmw", "sat", "taskgraph", "vc"}
+        for backend in planner.active_backends:
+            assert "tso" in backend.supported_models
+
+    def test_tso_scan_report_never_tallies_an_sc_only_tier(self):
+        exe = litmus_execution("tso")
+        report = RaceDetector(exe, plan=self.FULL_PLAN).feasible_races()
+        consulted = set(report.planner.tiers)
+        assert not (consulted & self.SC_ONLY), (
+            f"SC-only tiers consulted under TSO: {consulted & self.SC_ONLY}"
+        )
+        assert report.planner.answered > 0  # the scan still concluded
+
+    def test_every_backend_declares_sc_support(self):
+        for name, backend in BACKENDS.items():
+            assert "sc" in backend.supported_models, name
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+class TestSerialization:
+    def test_round_trip_preserves_the_model(self):
+        exe = litmus_execution("tso")
+        doc = serialize.execution_to_dict(exe)
+        assert doc["version"] == serialize.FORMAT_VERSION
+        assert doc["memory_model"] == "tso"
+        back = serialize.execution_from_dict(doc)
+        assert back.memory_model == "tso"
+        assert serialize.execution_to_dict(back) == doc
+
+    def test_version_1_documents_default_to_sc(self):
+        exe = litmus_execution("sc")
+        doc = serialize.execution_to_dict(exe)
+        doc["version"] = 1
+        del doc["memory_model"]
+        back = serialize.execution_from_dict(doc)
+        assert back.memory_model == "sc"
+        assert serialize.execution_to_dict(back) == serialize.execution_to_dict(exe)
+
+    def test_unknown_model_in_a_document_is_loud(self):
+        doc = serialize.execution_to_dict(litmus_execution("sc"))
+        doc["memory_model"] = "alpha21264"
+        with pytest.raises(ValueError, match="unknown memory model"):
+            serialize.execution_from_dict(doc)
+
+    def test_fingerprint_folds_the_model_in(self):
+        sc_exe = litmus_execution("sc")
+        assert serialize.execution_fingerprint(
+            sc_exe
+        ) != serialize.execution_fingerprint(sc_exe.with_memory_model("tso"))
+
+
+# ----------------------------------------------------------------------
+# the CLI flag
+# ----------------------------------------------------------------------
+class TestCli:
+    @pytest.fixture
+    def litmus_file(self, tmp_path):
+        path = tmp_path / "sb.rp"
+        path.write_text(LITMUS_SRC)
+        return str(path)
+
+    def _run(self, litmus_file, tmp_path, model):
+        out = tmp_path / f"sb_{model}.json"
+        rc = main(["run", litmus_file, "--priority", "A",
+                   "--memory-model", model, "--save", str(out)])
+        assert rc == 0
+        return str(out)
+
+    def test_races_reports_the_tso_only_race(self, litmus_file, tmp_path,
+                                             capsys):
+        sc_path = self._run(litmus_file, tmp_path, "sc")
+        tso_path = self._run(litmus_file, tmp_path, "tso")
+        capsys.readouterr()
+        assert main(["races", sc_path, "--feasible"]) == 0
+        sc_out = capsys.readouterr().out
+        assert "feasible races: 1 / 2" in sc_out
+        assert main(["races", tso_path, "--feasible"]) == 0
+        tso_out = capsys.readouterr().out
+        assert "feasible races: 2 / 2" in tso_out
+
+    def test_races_can_reinterpret_a_saved_execution(self, litmus_file,
+                                                     tmp_path, capsys):
+        sc_path = self._run(litmus_file, tmp_path, "sc")
+        assert main(["races", sc_path, "--feasible",
+                     "--memory-model", "tso"]) == 0
+        assert "feasible races: 2 / 2" in capsys.readouterr().out
+
+    def test_unknown_model_exits_2_with_one_line(self, litmus_file,
+                                                 tmp_path, capsys):
+        sc_path = self._run(litmus_file, tmp_path, "sc")
+        capsys.readouterr()
+        assert main(["races", sc_path, "--memory-model", "pso"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown memory model 'pso'" in err
+
+    def test_resume_refuses_a_different_model(self, litmus_file, tmp_path,
+                                              capsys):
+        sc_path = self._run(litmus_file, tmp_path, "sc")
+        journal = str(tmp_path / "scan.journal")
+        assert main(["races", sc_path, "--feasible",
+                     "--checkpoint", journal]) == 0
+        capsys.readouterr()
+        rc = main(["races", sc_path, "--feasible", "--checkpoint", journal,
+                   "--resume", "--memory-model", "tso"])
+        assert rc == 2
+        assert "refusing to resume" in capsys.readouterr().err

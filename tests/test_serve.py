@@ -466,6 +466,55 @@ class TestQueryDaemon:
         )
         assert code == 200 and out["verdict"] in ("TRUE", "FALSE")
 
+    def test_memory_model_claims_are_strict(self, daemon_factory):
+        """An explicit ``memory_model`` claim must match the execution:
+        wrong claims are a hard 400 on put and query alike, and the two
+        models' documents get distinct fingerprints."""
+        exe = masking_execution(2)
+        tso_exe = exe.with_memory_model("tso")
+        d = daemon_factory()
+        code, out, _ = _post(
+            d.url("/executions"),
+            {"execution": serialize.execution_to_dict(exe),
+             "memory_model": "sc"},
+        )
+        assert code == 200 and out["memory_model"] == "sc"
+        fp_sc = out["fingerprint"]
+        code, out, _ = _post(
+            d.url("/executions"),
+            {"execution": serialize.execution_to_dict(tso_exe),
+             "memory_model": "tso"},
+        )
+        assert code == 200 and out["memory_model"] == "tso"
+        fp_tso = out["fingerprint"]
+        assert fp_sc != fp_tso  # the model folds into the fingerprint
+        # a wrong claim is a 400, on put and on query alike
+        code, out, _ = _post(
+            d.url("/executions"),
+            {"execution": serialize.execution_to_dict(tso_exe),
+             "memory_model": "sc"},
+        )
+        assert code == 400 and "mismatch" in out["error"]
+        code, out, _ = _post(
+            d.url("/query"),
+            {"fingerprint": fp_tso, "memory_model": "sc",
+             "relation": "feasible"},
+        )
+        assert code == 400 and "mismatch" in out["error"]
+        code, out, _ = _post(
+            d.url("/query"),
+            {"fingerprint": fp_tso, "memory_model": "pso",
+             "relation": "feasible"},
+        )
+        assert code == 400 and "unknown memory model" in out["error"]
+        # a truthful claim answers normally and echoes the model
+        code, out, _ = _post(
+            d.url("/query"),
+            {"fingerprint": fp_tso, "memory_model": "tso",
+             "relation": "feasible"},
+        )
+        assert code == 200 and out["memory_model"] == "tso"
+
     def test_validation_answers_4xx_not_5xx(self, daemon_factory):
         exe = masking_execution(2)
         d = daemon_factory()
