@@ -20,9 +20,11 @@ detector (vector clocks on the observed pairing) and the exact
   these toy widths).
 """
 
+import json
+import os
 import time
 
-from conftest import report, table
+from conftest import RESULTS_DIR, report, table
 
 from repro.lang.ast import (
     Assign,
@@ -259,24 +261,54 @@ def test_sc_vs_tso_store_buffering(benchmark):
 # ----------------------------------------------------------------------
 # the solver portfolio against the engine-only scan
 # ----------------------------------------------------------------------
-def brawl_family(width: int):
+def brawl_family(width: int, *, contended: bool = False):
     """``width`` unsynchronized single-write processes all hitting
     ``x``: every pair conflicts, and the observed schedule's widenings
-    hand the portfolio most answers for free."""
-    prog = Program(
-        [ProcessDef(f"w{k}", [Assign("x", Const(k))]) for k in range(width)]
-    )
+    hand the portfolio most answers for free.
+
+    With ``contended=True`` the brawl on ``x`` is unchanged but writers
+    ``2g`` and ``2g+1`` guard their write with the same lock cell
+    ``m_g`` (fed a single token by a supplier).  The contested P's are
+    never free -- hoisting cannot touch them -- yet P's on *different*
+    cells commute, so the workload has exactly the branching structure
+    sleep-set pruning exists for.  This is the POR column's subject."""
+    procs = []
+    schedule = []
+    if contended:
+        for g in range((width + 1) // 2):
+            procs.append(ProcessDef(f"s{g}", [SemV(f"m{g}")]))
+            schedule.append(f"s{g}")
+        for k in range(width):
+            procs.append(
+                ProcessDef(
+                    f"w{k}",
+                    [SemP(f"m{k // 2}"), Assign("x", Const(k)),
+                     SemV(f"m{k // 2}")],
+                )
+            )
+            schedule += [f"w{k}"] * 3
+    else:
+        procs = [
+            ProcessDef(f"w{k}", [Assign("x", Const(k))])
+            for k in range(width)
+        ]
+        schedule = [f"w{k}" for k in range(width)]
     return run_program(
-        prog, FixedScheduler([f"w{k}" for k in range(width)])
+        Program(procs), FixedScheduler(schedule)
     ).to_execution()
 
 
-def scan_with_plan(exe, plan):
-    detector = RaceDetector(exe, plan=plan)
+def scan_with_plan(exe, plan, por="sleep"):
+    detector = RaceDetector(exe, plan=plan, por=por)
     t0 = time.perf_counter()
     feasible = detector.feasible_races()
     elapsed = time.perf_counter() - t0
     return feasible, elapsed
+
+
+POR_MODES = ("off", "hoist", "sleep")
+POR_MODELS = ("sc", "tso")
+POR_BASELINE = os.path.join(RESULTS_DIR, "por_baseline.json")
 
 
 def run_planner_study():
@@ -285,6 +317,8 @@ def run_planner_study():
         ("masking x3", masking_family(3)),
         ("brawl x4", brawl_family(4)),
         ("brawl x5", brawl_family(5)),
+        ("brawl x5 locked", brawl_family(5, contended=True)),
+        ("brawl x6 locked", brawl_family(6, contended=True)),
     ]
     rows = []
     for name, exe in workloads:
@@ -292,11 +326,20 @@ def run_planner_study():
         # engine per pair -- no observed/witness/HMW tiers
         baseline, t_base = scan_with_plan(exe, ("structural", "engine"))
         portfolio, t_port = scan_with_plan(exe, None)  # DEFAULT_PLAN
+        # the POR column: the same engine-only scan per reduction mode,
+        # under both memory models -- classifications must not move
+        por = {}
+        for model in POR_MODELS:
+            m_exe = exe.with_memory_model(model)
+            for mode in POR_MODES:
+                por[(model, mode)], _ = scan_with_plan(
+                    m_exe, ("structural", "engine"), por=mode
+                )
         rows.append(
             dict(
                 name=name,
                 pairs=portfolio.conflicting_pairs_examined,
-                baseline=baseline, portfolio=portfolio,
+                baseline=baseline, portfolio=portfolio, por=por,
                 t_base=t_base, t_port=t_port,
             )
         )
@@ -323,6 +366,53 @@ def test_planner_portfolio_vs_engine_only(benchmark):
     # compare against the pair count, the scan's unit of work)
     assert total_below >= 0.3 * total_pairs
 
+    # --- the POR column ------------------------------------------------
+    # reduction is an execution strategy too: under BOTH memory models,
+    # every mode must classify pair for pair like the unreduced scan,
+    # and may only ever remove engine states
+    brawl_states = {
+        (model, mode): 0 for model in POR_MODELS for mode in POR_MODES
+    }
+    for r in rows:
+        for model in POR_MODELS:
+            off = r["por"][(model, "off")]
+            for mode in ("hoist", "sleep"):
+                red = r["por"][(model, mode)]
+                assert [
+                    (c.a, c.b, c.status) for c in red.classifications
+                ] == [
+                    (c.a, c.b, c.status) for c in off.classifications
+                ], (r["name"], model, mode)
+                assert (
+                    red.planner.engine_states()
+                    <= off.planner.engine_states()
+                ), (r["name"], model, mode)
+            if r["name"].startswith("brawl"):
+                for mode in POR_MODES:
+                    brawl_states[(model, mode)] += r["por"][
+                        (model, mode)
+                    ].planner.engine_states()
+    # the acceptance headline: >= 2x states-visited collapse across the
+    # brawl family with POR on, under both memory models
+    for model in POR_MODELS:
+        assert (
+            brawl_states[(model, "off")]
+            >= 2 * brawl_states[(model, "sleep")]
+        ), (model, brawl_states)
+
+    # --- the regression gate vs the checked-in baseline ----------------
+    # the engine is deterministic, so the sleep-mode state counts are
+    # exact; a count above the baseline means the reduction regressed
+    with open(POR_BASELINE) as fh:
+        baseline_states = json.load(fh)["engine_states_sleep"]
+    for r in rows:
+        for model in POR_MODELS:
+            key = f"{r['name']}/{model}"
+            states = r["por"][(model, "sleep")].planner.engine_states()
+            assert states <= baseline_states[key], (
+                key, states, baseline_states[key],
+            )
+
     body = [
         [
             r["name"], r["pairs"],
@@ -348,6 +438,41 @@ def test_planner_portfolio_vs_engine_only(benchmark):
     lines.append("identical classifications on every workload; the ladder")
     lines.append("only ever removes exact-search states, never adds them")
     report("race_planner", lines)
+
+    def _collapse(r, model):
+        off = r["por"][(model, "off")].planner.engine_states()
+        sleep = r["por"][(model, "sleep")].planner.engine_states()
+        return f"{off / sleep:.1f}x" if sleep else "-"
+
+    por_body = [
+        [
+            r["name"], model,
+            r["por"][(model, "off")].planner.engine_states(),
+            r["por"][(model, "hoist")].planner.engine_states(),
+            r["por"][(model, "sleep")].planner.engine_states(),
+            _collapse(r, model),
+        ]
+        for r in rows
+        for model in POR_MODELS
+    ]
+    por_lines = table(
+        ["workload", "model", "engine states (por=off)",
+         "engine states (por=hoist)", "engine states (por=sleep)",
+         "collapse"],
+        por_body,
+    )
+    por_lines.append("")
+    for model in POR_MODELS:
+        por_lines.append(
+            f"brawl family under {model}: "
+            f"{brawl_states[(model, 'off')]} states unreduced vs "
+            f"{brawl_states[(model, 'sleep')]} with sleep sets "
+            f"(>= 2x collapse required)"
+        )
+    por_lines.append("pair-for-pair identical classifications in every")
+    por_lines.append("mode, under both memory models; reduction only ever")
+    por_lines.append("removes exact-search states, never adds them")
+    report("race_por", por_lines)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,43 @@
+"""Regenerate ``results/por_baseline.json``.
+
+The baseline pins the (deterministic) engine-state counts of the
+``por=sleep`` engine-only scans in the planner study;
+``bench_race_detection.test_planner_portfolio_vs_engine_only`` fails if
+a scan ever exceeds them.  Run this after an *intentional* engine or
+workload change and check in the diff:
+
+    PYTHONPATH=src:benchmarks python benchmarks/regen_por_baseline.py
+"""
+
+import json
+
+from bench_race_detection import POR_BASELINE, POR_MODELS, run_planner_study
+
+
+def main():
+    rows = run_planner_study()
+    states = {}
+    for r in rows:
+        for model in POR_MODELS:
+            key = f"{r['name']}/{model}"
+            states[key] = r["por"][(model, "sleep")].planner.engine_states()
+    doc = {
+        "comment": (
+            "Engine-state counts for the por=sleep engine-only scan of "
+            "the planner-study workloads (deterministic). Regenerate "
+            "with benchmarks/regen_por_baseline.py after an intentional "
+            "engine change; bench_race_detection fails if a scan "
+            "exceeds these."
+        ),
+        "engine_states_sleep": states,
+    }
+    with open(POR_BASELINE, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {POR_BASELINE}")
+    for key, value in states.items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

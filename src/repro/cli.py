@@ -298,7 +298,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         a, b = exe.by_label(la).eid, exe.by_label(lb).eid
         q = OrderingQueries(
             exe, include_dependences=not args.ignore_deps, budget=budget,
-            plan=plan,
+            plan=plan, por=args.por,
         )
         observed = (
             args.trace or args.metrics or args.profile
@@ -366,7 +366,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 print(witness.pretty())
         return 0
     analyzer = OrderingAnalyzer(
-        exe, include_dependences=not args.ignore_deps, budget=budget
+        exe, include_dependences=not args.ignore_deps, budget=budget,
+        por=args.por,
     )
     print("pair counts per relation:")
     for name, count in analyzer.summary().items():
@@ -420,6 +421,7 @@ def cmd_races(args: argparse.Namespace) -> int:
     plan = _plan_from_args(args)
     detector = RaceDetector(
         exe, max_states=args.max_states, budget=budget, plan=plan,
+        por=args.por,
     )
     apparent = detector.apparent_races()
     print(apparent.pretty())
@@ -468,6 +470,9 @@ def _feasible_scan(
                 # --plan/--backends must be refused, not silently mix
                 # verdicts of different strength
                 plan=plan if plan is not None else DEFAULT_PLAN,
+                # likewise --por: reduction changes what fits a states
+                # budget, so resumed UNKNOWNs must mean the same thing
+                por=args.por,
             )
             journal = CheckpointJournal.open(
                 args.checkpoint, fingerprint, resume=args.resume
@@ -905,6 +910,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backends", metavar="NAMES",
                    help="explicit comma-separated tier ladder, e.g. "
                    "'structural,observed,engine' (overrides --plan)")
+    p.add_argument("--por", choices=("sleep", "hoist", "off"),
+                   default="sleep",
+                   help="exact-engine partial-order reduction: 'sleep' "
+                   "(default) adds sleep-set pruning on top of "
+                   "free-action hoisting, 'hoist' keeps hoisting only, "
+                   "'off' explores the full interleaving tree (verdicts "
+                   "are identical in all three modes)")
     p.add_argument("--trace", metavar="FILE",
                    help="with --pair: record the planner's query spans "
                    "as JSONL (see 'repro trace summarize')")
@@ -961,6 +973,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backends", metavar="NAMES",
                    help="explicit comma-separated tier ladder, e.g. "
                    "'structural,observed,witness,engine' (overrides --plan)")
+    p.add_argument("--por", choices=("sleep", "hoist", "off"),
+                   default="sleep",
+                   help="exact-engine partial-order reduction for the "
+                   "feasible scan (see 'repro analyze --help'); part of "
+                   "the checkpoint fingerprint, so --resume under a "
+                   "different mode is refused")
     p.add_argument("--trace", metavar="FILE",
                    help="record the scan as structured JSONL spans "
                    "(query tiers, worker lifecycle, checkpoint writes; "

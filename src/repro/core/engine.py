@@ -74,6 +74,31 @@ branching choices.  On the Theorem 1 construction this cuts the
 explored state count by multiple orders of magnitude while preserving
 exactness; ``tests/test_core_engine.py`` cross-checks hoisted searches
 against the unreduced reference enumerator.
+
+Partial-order reduction (sleep sets)
+------------------------------------
+Hoisting only collapses states with a *free* action; at genuine branch
+points the search still explores every enabled action, so two
+independent branching actions ``t``/``u`` cost both interleavings
+``t.u`` and ``u.t``.  With ``por="sleep"`` the engine additionally
+runs Godefroid-style sleep sets over a static independence relation
+``I`` derived from the dependence edges, the sync structure
+(semaphores, post/wait/clear, fork/join) and the active memory model's
+program-order constraints: after exploring branch ``t``, later sibling
+branches carry ``t`` in their sleep set for as long as only
+``I``-independent actions execute, so the commuted interleaving is
+never re-explored.  The failure memo becomes sleep-aware (an entry
+records the sleep set it failed under and is reused only for supersets)
+and hoisted singletons either filter the sleep set (when the hoisted
+action is *persistent* -- nothing dependent with it can run first) or
+wake every sleeper (when hoist exactness is the only argument).
+DESIGN.md Section 4.3 proves verdicts are preserved exactly, including
+under ``memoize``/``memo_cap`` and budget aborts; the reference
+enumerator stays unreduced as the differential oracle.
+
+``por="hoist"`` keeps only the free-action hoisting above and
+``por="off"`` disables both reductions (every search is the plain
+memoized DFS) -- the ladder the benchmarks use to measure each layer.
 """
 
 from __future__ import annotations
@@ -128,6 +153,15 @@ TERMINATED_COMPLETE = "completed"
 TERMINATED_STATES = "states-exhausted"
 TERMINATED_DEADLINE = "deadline-exceeded"
 
+# merge precedence: a deadline abort outranks a states abort outranks a
+# completion, so N-way merges are order-independent (jobs=N reports
+# must not depend on worker arrival order)
+_TERMINATION_RANK = {
+    TERMINATED_COMPLETE: 0,
+    TERMINATED_STATES: 1,
+    TERMINATED_DEADLINE: 2,
+}
+
 
 @dataclass
 class SearchStats:
@@ -157,7 +191,11 @@ class SearchStats:
         self.hoisted += other.hoisted
         self.memo_suppressed += other.memo_suppressed
         self.elapsed += other.elapsed
-        if other.termination != TERMINATED_COMPLETE:
+        self.found = self.found or other.found
+        if (
+            _TERMINATION_RANK.get(other.termination, 0)
+            > _TERMINATION_RANK.get(self.termination, 0)
+        ):
             self.termination = other.termination
 
 
@@ -184,7 +222,15 @@ class FeasibilityEngine:
         considered feasible.
     binary_semaphores:
         Interpret every semaphore as binary (count clamped at 1).
+    por:
+        Partial-order reduction level: ``"sleep"`` (free-action
+        hoisting plus sleep sets, the default), ``"hoist"`` (hoisting
+        only -- the pre-sleep behavior), or ``"off"`` (the plain
+        memoized DFS).  All three return identical verdicts; they
+        differ only in how many states they visit.
     """
+
+    POR_MODES = ("sleep", "hoist", "off")
 
     def __init__(
         self,
@@ -192,10 +238,16 @@ class FeasibilityEngine:
         *,
         include_dependences: bool = True,
         binary_semaphores: bool = False,
+        por: str = "sleep",
     ) -> None:
+        if por not in self.POR_MODES:
+            raise ValueError(
+                f"unknown por mode {por!r} (expected one of {', '.join(self.POR_MODES)})"
+            )
         self.exe = exe
         self.include_dependences = include_dependences
         self.binary_semaphores = binary_semaphores
+        self.por = por
         n = len(exe)
         self._n = n
         self._full_mask = (1 << n) - 1
@@ -296,6 +348,91 @@ class FeasibilityEngine:
             elif e.kind is EventKind.WAIT:
                 self._wait_mask[self._var_index[e.obj]] |= 1 << e.eid
 
+        # sleep sets need the static independence relation; the other
+        # modes never read it
+        self._sync_dep_mask: Optional[List[int]] = None
+        self._indep_mask: Optional[List[int]] = None
+        if por == "sleep":
+            self._build_independence()
+
+    # ------------------------------------------------------------------
+    # static independence (sleep-set partial-order reduction)
+    # ------------------------------------------------------------------
+    def _build_independence(self) -> None:
+        """Per-eid bitmasks of the static independence relation ``I``.
+
+        Two actions are *independent* when, from any state where both
+        are enabled, executing either leaves the other enabled and both
+        orders reach the same state (the diamond property) -- and
+        neither can newly *enable* the other (so an occurrence can be
+        commuted backward past independent predecessors).  The
+        complement is assembled from three sources:
+
+        * **ordering** edges -- program order under the active memory
+          model, fork edges, dependences (all via ``_begin_pre``) and
+          join prerequisites, in both directions;
+        * **semaphores** -- ``P``/``P`` on one semaphore can disable
+          each other and ``V`` enables ``P``, so every ``P`` depends on
+          every other ``P`` and every ``V`` of its semaphore; ``V``/``V``
+          commute (increments, clamped or not) and stay independent;
+        * **event variables** -- ``Post``/``Clear`` reach different
+          states, ``Post`` enables ``Wait`` and ``Clear`` disables it,
+          so all three cross-kind pairs depend; same-kind pairs
+          (``Post``/``Post``, ``Clear``/``Clear``, ``Wait``/``Wait``)
+          commute and stay independent.
+
+        Query constraints never enter the relation: a gate only blocks
+        its target until the gating point is scheduled, and scheduled
+        points are monotone, so a pair of simultaneously *enabled*
+        actions always has inert gates between them.
+
+        ``_sync_dep_mask`` keeps the sync-object component separately:
+        a hoisted completion is *persistent* (safe to filter a sleep
+        set through) exactly when no un-ended event of that component
+        remains -- ordering-linked events are blocked behind the hoisted
+        action and cannot run first anyway.
+        """
+        n = self._n
+        sync_dep = [0] * n
+
+        def spread(members: int, partners: int) -> None:
+            m = members
+            while m:
+                low = m & -m
+                eid = low.bit_length() - 1
+                m ^= low
+                sync_dep[eid] |= partners & ~low
+
+        for si in range(len(self._p_mask)):
+            ps, vs = self._p_mask[si], self._v_mask[si]
+            spread(ps, ps | vs)
+            spread(vs, ps)
+        for vi in range(len(self._post_mask)):
+            posts = self._post_mask[vi]
+            clears = self._clear_mask[vi]
+            waits = self._wait_mask[vi]
+            spread(posts, clears | waits)
+            spread(clears, posts | waits)
+            spread(waits, posts | clears)
+
+        order_dep = [0] * n
+        for eid in range(n):
+            linked = self._begin_pre[eid] | self._join_need[eid]
+            order_dep[eid] |= linked
+            m = linked
+            while m:
+                low = m & -m
+                other = low.bit_length() - 1
+                m ^= low
+                order_dep[other] |= 1 << eid
+
+        full = self._full_mask
+        self._sync_dep_mask = sync_dep
+        self._indep_mask = [
+            full & ~(1 << eid) & ~sync_dep[eid] & ~order_dep[eid]
+            for eid in range(n)
+        ]
+
     # ------------------------------------------------------------------
     # constraint preprocessing
     # ------------------------------------------------------------------
@@ -366,7 +503,15 @@ class FeasibilityEngine:
         ``on_progress``, when given, is called with the live
         :class:`SearchStats` at the same amortized cadence as the
         deadline check (every ``check_interval`` visited states) --
-        the tracing hook for long searches.
+        the tracing hook for long searches.  One final call is always
+        made when the search leaves (success, failure, or budget
+        abort), so even searches shorter than one interval emit at
+        least one tick; only the expired-before-starting deadline
+        raise skips it, since no search ran.
+
+        How aggressively the search prunes commuting interleavings is
+        fixed at construction time by the engine's ``por`` mode; see
+        the class docstring.
 
         ``profile``, when given, must provide the ``charge_*`` methods
         of :class:`repro.obs.profile.SearchProfile`; every visited
@@ -414,10 +559,25 @@ class FeasibilityEngine:
         begin_pre = self._begin_pre
         binary = self.binary_semaphores
 
-        # state: (begun, ended, varmask, semcounts)
+        # state: (begun, ended, varmask, semcounts).  The failure memo
+        # maps each failed state to the *sleep set* (an eid bitmask) the
+        # failure was established under: failing while more actions
+        # sleep is the weaker fact, so an entry is reusable exactly when
+        # the stored mask is a subset of the current sleep set.  Without
+        # sleep sets every mask is 0 and the dict degenerates to the
+        # plain visited-set of the hoist-only engine.
         start = (0, 0, self._var_initial_mask, self._sem_initial)
-        failed: Set[Tuple[int, int, int, Tuple[int, ...]]] = set()
+        failed: Dict[Tuple[int, int, int, Tuple[int, ...]], int] = {}
         path: List[Point] = []
+        por_sleep = self.por == "sleep"
+        reduce_free = self.por != "off"
+        indep = self._indep_mask
+        sync_dep = self._sync_dep_mask
+        # count of sleep-set consultations (skips, prunes, conditional
+        # memo hits).  A failed subtree that never consulted the sleep
+        # set failed unconditionally, so its memo entry can store mask 0
+        # and be reused under any future sleep set.
+        sleep_consults = [0]
 
         if profile is not None:
             profile.charge_search()
@@ -477,6 +637,13 @@ class FeasibilityEngine:
                         return True
             return False
 
+        # enabled_actions hoist classification: 0 = genuine branch list,
+        # 1 = persistent singleton hoist (nothing dependent with the
+        # action can run before it -- safe to filter a sleep set
+        # through), 2 = singleton hoist justified by exactness alone
+        # (sleep sets must wake every sleeper).
+        _BRANCH, _HOIST_PERSISTENT, _HOIST_WAKE = 0, 1, 2
+
         def enabled_actions(state):
             """Enabled actions; a singleton when a free action exists
             (partial-order reduction, see module docstring)."""
@@ -495,16 +662,23 @@ class FeasibilityEngine:
                 if g and not all(self._point_scheduled(p, begun, ended) for p in g):
                     continue
                 if interval & low:
-                    stats.hoisted += 1
-                    return [(eid, _BEGIN)]  # begins have no effect: free
+                    if reduce_free:
+                        stats.hoisted += 1
+                        # begins have no effect and enable nothing but
+                        # their own end: free AND persistent
+                        return [(eid, _BEGIN)], _HOIST_PERSISTENT
+                    acts.append((eid, _BEGIN))
+                    continue
                 # atomic: also needs end-side legality
                 if self._end_ok(eid, ended, varmask, counts, kind, sem_of, var_of, join_need):
                     ge = gates.get((eid, 1))
                     if ge and not all(self._point_scheduled(p, begun | low, ended) for p in ge):
                         continue
-                    if free_end[eid] or dynamically_free(eid, ended, counts):
+                    if reduce_free and (free_end[eid] or dynamically_free(eid, ended, counts)):
                         stats.hoisted += 1
-                        return [(eid, _ATOMIC)]
+                        if not por_sleep or not (sync_dep[eid] & ~ended):
+                            return [(eid, _ATOMIC)], _HOIST_PERSISTENT
+                        return [(eid, _ATOMIC)], _HOIST_WAKE
                     acts.append((eid, _ATOMIC))
             # ends of begun interval events
             m = begun & ~ended
@@ -517,11 +691,13 @@ class FeasibilityEngine:
                 ge = gates.get((eid, 1))
                 if ge and not all(self._point_scheduled(p, begun, ended) for p in ge):
                     continue
-                if free_end[eid] or dynamically_free(eid, ended, counts):
+                if reduce_free and (free_end[eid] or dynamically_free(eid, ended, counts)):
                     stats.hoisted += 1
-                    return [(eid, _END)]
+                    if not por_sleep or not (sync_dep[eid] & ~ended):
+                        return [(eid, _END)], _HOIST_PERSISTENT
+                    return [(eid, _END)], _HOIST_WAKE
                 acts.append((eid, _END))
-            return acts
+            return acts, _BRANCH
 
         def apply(state, act):
             begun, ended, varmask, counts = state
@@ -546,7 +722,7 @@ class FeasibilityEngine:
                 varmask &= ~(1 << var_of[eid])
             return (begun | bit, ended | bit, varmask, counts)
 
-        def dfs(state) -> bool:
+        def dfs(state, sleep: int) -> bool:
             stats.states_visited += 1
             if profile is not None:
                 profile.charge_state(profile_stack[-1])
@@ -576,20 +752,45 @@ class FeasibilityEngine:
                 if profile is not None:
                     profile.charge_dead_end(profile_stack[-1])
                 return False
-            acts = enabled_actions(state)
+            acts, hoist = enabled_actions(state)
             if not acts:
                 stats.dead_ends += 1
                 if profile is not None:
                     profile.charge_dead_end(profile_stack[-1])
                 return False
             branching = profile is not None and len(acts) > 1
+            explored = 0
             for act in acts:
+                eid, phase = act
+                bit = 1 << eid
+                if por_sleep:
+                    if hoist == _HOIST_WAKE:
+                        # the hoist is exact but not persistent: a
+                        # dependent partner may run before eid on some
+                        # completion, so wake every sleeper below
+                        child_sleep = 0
+                    elif sleep & bit:
+                        sleep_consults[0] += 1
+                        if hoist:
+                            # persistent singleton asleep: every
+                            # completion from here starts with an action
+                            # a sibling branch already covered
+                            return False
+                        continue
+                    else:
+                        child_sleep = (sleep | explored) & indep[eid]
+                else:
+                    child_sleep = 0
                 stats.actions_tried += 1
                 nxt = apply(state, act)
-                if memoize and nxt in failed:
-                    stats.memo_hits += 1
-                    continue
-                eid, phase = act
+                if memoize:
+                    prev = failed.get(nxt)
+                    if prev is not None and not (prev & ~child_sleep):
+                        stats.memo_hits += 1
+                        if prev:
+                            sleep_consults[0] += 1
+                        explored |= bit
+                        continue
                 if phase == _BEGIN:
                     path.append(Point(eid, False))
                 elif phase == _END:
@@ -601,21 +802,32 @@ class FeasibilityEngine:
                     choice_key = profile_keys[eid]
                     profile.charge_choice(choice_key)
                     profile_stack.append(choice_key)
-                subtree_found = dfs(nxt)
+                mark = sleep_consults[0]
+                subtree_found = dfs(nxt, child_sleep)
                 if branching:
                     profile_stack.pop()
                     if not subtree_found:
                         profile.charge_backtrack(choice_key)
                 if subtree_found:
                     return True
+                explored |= bit
                 if phase == _ATOMIC:
                     path.pop()
                 path.pop()
                 if memoize:
-                    if memo_cap is None or len(failed) < memo_cap:
-                        failed.add(nxt)
-                    else:
-                        stats.memo_suppressed += 1
+                    # a subtree that never consulted its sleep set
+                    # failed unconditionally: store mask 0 so the entry
+                    # is reusable under any future sleep set
+                    entry = child_sleep if sleep_consults[0] != mark else 0
+                    prev = failed.get(nxt)
+                    if prev is None:
+                        if memo_cap is None or len(failed) < memo_cap:
+                            failed[nxt] = entry
+                        else:
+                            stats.memo_suppressed += 1
+                    elif not (entry & ~prev):
+                        # strictly stronger (subset) fact: replace
+                        failed[nxt] = entry
             return False
 
         import sys
@@ -624,10 +836,15 @@ class FeasibilityEngine:
         sys.setrecursionlimit(max(old_limit, 4 * n + 100))
         t0 = time.monotonic()
         try:
-            found = dfs(start)
+            found = dfs(start, 0)
         finally:
             sys.setrecursionlimit(old_limit)
             stats.elapsed += time.monotonic() - t0
+            # guarantee at least one progress tick per search: short
+            # searches never hit the amortized interval above, and
+            # consumers (status board, trace) key off ticks
+            if on_progress is not None:
+                on_progress(stats)
         stats.found = found
         return list(path) if found else None
 

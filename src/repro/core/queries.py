@@ -77,6 +77,7 @@ class OrderingQueries:
         max_states: Optional[int] = None,
         budget: Optional[Budget] = None,
         plan: Optional[Tuple[str, ...]] = None,
+        por: str = "sleep",
     ) -> None:
         self.exe = exe
         self.plan = tuple(plan) if plan is not None else None
@@ -86,6 +87,7 @@ class OrderingQueries:
             include_dependences=include_dependences,
             binary_semaphores=binary_semaphores,
             stats=self.stats,
+            por=por,
         )
         self.engine = self.ctx.engine_for(EMPTY_DROP)
         self.max_states = max_states

@@ -66,6 +66,7 @@ class OrderingAnalyzer:
         binary_semaphores: bool = False,
         max_states: Optional[int] = None,
         budget: Optional[Budget] = None,
+        por: str = "sleep",
     ) -> None:
         self.exe = exe
         self.queries = OrderingQueries(
@@ -74,6 +75,7 @@ class OrderingAnalyzer:
             binary_semaphores=binary_semaphores,
             max_states=max_states,
             budget=budget,
+            por=por,
         )
         self._cache: Dict[RelationName, BinaryRelation] = {}
 

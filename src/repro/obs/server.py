@@ -260,11 +260,36 @@ class StatusBoard:
             "rate_pairs_per_second": rate,
             "eta_seconds": eta,
             "budget": budget_doc,
+            # wall timestamp for humans/log correlation ONLY; staleness
+            # is computed from the monotonic stamp below, so an NTP
+            # step or DST jump can never make /status age lie
             "updated_at": time.time(),
+            "updated_monotonic": now,
         }
 
 
 # ----------------------------------------------------------------------
+def status_document(
+    snapshot: Optional[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """The ``/status`` reply body for a published snapshot.
+
+    Adds a serve-time ``age_seconds`` -- how long ago the scan thread
+    published the snapshot -- computed from the snapshot's *monotonic*
+    stamp, and drops that stamp from the wire document (a monotonic
+    reading is meaningless to any other process).  The wall-clock
+    ``updated_at`` stays for human correlation, but consumers checking
+    staleness must use ``age_seconds``: it is immune to clock steps.
+    """
+    if snapshot is None:
+        return None
+    doc = dict(snapshot)
+    stamp = doc.pop("updated_monotonic", None)
+    if stamp is not None:
+        doc["age_seconds"] = max(0.0, time.monotonic() - stamp)
+    return doc
+
+
 def render_status_metrics(snapshot: Optional[Dict[str, Any]]) -> str:
     """Render a /status snapshot as Prometheus text (the /metrics body).
 
@@ -379,7 +404,7 @@ class _Handler(QuietHandler):
             else:
                 self._reply(503, "not ready (starting or draining)\n")
         elif path == "/status":
-            self._reply_json(200, self.server.board.latest())
+            self._reply_json(200, status_document(self.server.board.latest()))
         elif path == "/metrics":
             body = render_status_metrics(self.server.board.latest())
             self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
@@ -464,4 +489,5 @@ __all__ = [
     "ObsServer",
     "QuietHandler",
     "render_status_metrics",
+    "status_document",
 ]

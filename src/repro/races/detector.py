@@ -165,6 +165,7 @@ class PairScanOptions:
     pair_timeout: Optional[float] = None
     deadline: Optional[float] = None
     profile: bool = False
+    por: str = "sleep"
 
 
 #: One unit of scan work: ``(a, b, conflict variables)``.
@@ -193,6 +194,7 @@ def classify_pair(
     budget: Optional[Budget] = None,
     variables: Optional[FrozenSet[str]] = None,
     planner: Optional[QueryPlanner] = None,
+    por: str = "sleep",
 ) -> PairClassification:
     """Classify one conflicting pair (the unit of work of a scan).
 
@@ -204,10 +206,12 @@ def classify_pair(
     over); without one, an ephemeral planner is built for the pair.
     The racing pair's own dependence edges are expressed as a ``drop``
     on the query rather than a rebuilt execution, so the shared
-    precomputation stays valid.
+    precomputation stays valid.  ``por`` selects the exact engine's
+    partial-order-reduction mode for the ephemeral planner; a provided
+    ``planner`` already carries its own mode and ``por`` is ignored.
     """
     if planner is None:
-        planner = QueryPlanner(SolveContext(exe))
+        planner = QueryPlanner(SolveContext(exe, por=por))
     ctx = planner.ctx
     if variables is None:
         variables = ctx.conflict_variables(a, b)
@@ -246,11 +250,13 @@ class RaceDetector:
         max_states: Optional[int] = None,
         budget: Optional[Budget] = None,
         plan: Optional[Tuple[str, ...]] = None,
+        por: str = "sleep",
     ) -> None:
         self.exe = exe
         self.max_states = max_states
         self.budget = budget
         self.plan = tuple(plan) if plan is not None else None
+        self.por = por
         self._planner: Optional[QueryPlanner] = None
 
     @property
@@ -258,10 +264,11 @@ class RaceDetector:
         """The scan-shared planner (lazy: apparent-only runs never pay
         for the solve context)."""
         if self._planner is None:
+            ctx = SolveContext(self.exe, por=self.por)
             if self.plan is not None:
-                self._planner = QueryPlanner(SolveContext(self.exe), self.plan)
+                self._planner = QueryPlanner(ctx, self.plan)
             else:
-                self._planner = QueryPlanner(SolveContext(self.exe))
+                self._planner = QueryPlanner(ctx)
         return self._planner
 
     # ------------------------------------------------------------------
@@ -393,6 +400,7 @@ class RaceDetector:
                 pair_timeout=per_pair_timeout,
                 deadline=budget.deadline if budget is not None else None,
                 profile=profile is not None,
+                por=self.por,
             )
             result = runner(self.exe, todo, options, notify)
             if len(result) == 3:

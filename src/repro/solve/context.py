@@ -45,10 +45,19 @@ class SolveContext:
         binary_semaphores: bool = False,
         stats: Optional[SearchStats] = None,
         witness_capacity: int = 256,
+        por: str = "sleep",
     ) -> None:
         self.exe = exe
         self.include_dependences = include_dependences
         self.binary_semaphores = binary_semaphores
+        if por not in FeasibilityEngine.POR_MODES:
+            raise ValueError(
+                f"unknown por mode {por!r} (expected one of "
+                f"{', '.join(FeasibilityEngine.POR_MODES)})"
+            )
+        # partial-order-reduction mode handed to every engine this
+        # context builds (one per drop variant)
+        self.por = por
         self.stats = stats if stats is not None else SearchStats()
         self.witnesses = WitnessCache(
             exe,
@@ -304,6 +313,7 @@ class SolveContext:
                 self.execution_for(drop),
                 include_dependences=self.include_dependences,
                 binary_semaphores=self.binary_semaphores,
+                por=self.por,
             )
             self._engines[drop] = engine
         return engine

@@ -104,12 +104,15 @@ def scan_fingerprint(
     max_states: Optional[int] = None,
     per_pair_max_states: Optional[int] = None,
     plan: Optional[Sequence[str]] = None,
+    por: str = "sleep",
 ) -> str:
     """Identity of one scan: the execution plus every option that can
     change a pair's classification, including the resolved solver
     ``plan`` (tier ladders differ in what they can decide, so replaying
     a journal written under another plan would silently mix verdicts
-    of different strength).
+    of different strength) and the engine's ``por`` mode (reduction
+    changes which searches fit a states budget, so resuming under a
+    different mode would mix UNKNOWN verdicts of different meaning).
 
     Wall-clock timeouts are deliberately excluded -- they are
     nondeterministic across runs anyway, and a killed scan is normally
@@ -122,6 +125,7 @@ def scan_fingerprint(
             "max_states": max_states,
             "per_pair_max_states": per_pair_max_states,
             "plan": list(plan) if plan is not None else None,
+            "por": por,
         },
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))

@@ -139,7 +139,7 @@ def _worker_main(worker_id: int, task_q, result_q, exe_doc, conf) -> None:
     # one planner for the worker's whole task stream: the structural
     # bitsets and conflict index amortize across pairs, and witnesses
     # found for one pair answer later ones without a search
-    planner = QueryPlanner(SolveContext(exe))
+    planner = QueryPlanner(SolveContext(exe, por=conf.get("por", "sleep")))
     # when the parent traces, record spans into a bounded buffer and
     # ship them with each result; bounded because the whole batch rides
     # one queue message (drops are accounted, never blocked on)
@@ -346,6 +346,7 @@ class SupervisedScanner:
             "faults": self.faults,
             "trace": traced,
             "profile": options.profile,
+            "por": options.por,
         }
         result_q = ctx.Queue()
         state: Dict[int, _TaskState] = {

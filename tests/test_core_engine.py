@@ -1,10 +1,16 @@
 """Unit + property tests for the feasibility engine."""
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.budget import Budget
 from repro.core.engine import (
+    TERMINATED_COMPLETE,
+    TERMINATED_DEADLINE,
+    TERMINATED_STATES,
     FeasibilityEngine,
     Point,
     SearchBudgetExceeded,
@@ -168,6 +174,67 @@ class TestBudgetAndStats:
             11, 22, 33, 44, 55,
         )
 
+    def test_stats_merge_is_commutative(self):
+        # jobs=N reports merge in worker arrival order; the result must
+        # not depend on it -- field for field
+        a = SearchStats(
+            states_visited=1, actions_tried=2, memo_hits=3, dead_ends=4,
+            hoisted=5, memo_suppressed=6, found=True,
+            termination=TERMINATED_STATES, elapsed=0.5,
+        )
+        b = SearchStats(
+            states_visited=10, actions_tried=20, memo_hits=30, dead_ends=40,
+            hoisted=50, memo_suppressed=60, found=False,
+            termination=TERMINATED_DEADLINE, elapsed=0.25,
+        )
+        ab = dataclasses.replace(a)
+        ab.merge(dataclasses.replace(b))
+        ba = dataclasses.replace(b)
+        ba.merge(dataclasses.replace(a))
+        assert dataclasses.asdict(ab) == dataclasses.asdict(ba)
+        # found OR-merges; termination takes the worst abort
+        assert ab.found is True
+        assert ab.termination == TERMINATED_DEADLINE
+
+    def test_stats_merge_termination_precedence(self):
+        # deadline > states > completed, in any merge order
+        import itertools
+
+        kinds = (TERMINATED_COMPLETE, TERMINATED_STATES, TERMINATED_DEADLINE)
+        for perm in itertools.permutations(kinds):
+            acc = SearchStats(termination=perm[0])
+            for t in perm[1:]:
+                acc.merge(SearchStats(termination=t))
+            assert acc.termination == TERMINATED_DEADLINE
+        acc = SearchStats(termination=TERMINATED_STATES)
+        acc.merge(SearchStats(termination=TERMINATED_COMPLETE))
+        assert acc.termination == TERMINATED_STATES
+
+    def test_on_progress_fires_at_least_once(self):
+        # searches shorter than one check_interval must still tick
+        b = ExecutionBuilder()
+        b.process("p").skip()
+        ticks = []
+        FeasibilityEngine(b.build()).search(
+            budget=Budget.of(check_interval=10_000),
+            on_progress=lambda stats: ticks.append(stats.states_visited),
+        )
+        assert len(ticks) == 1 and ticks[0] >= 1
+
+    def test_on_progress_fires_on_failed_and_aborted_searches(self):
+        b = ExecutionBuilder()
+        b.process("p").sem_p("nothing")  # deadlocks: search returns None
+        ticks = []
+        FeasibilityEngine(b.build()).search(on_progress=ticks.append)
+        assert len(ticks) >= 1
+        exe = random_semaphore_execution(processes=3, events_per_process=4, seed=1)
+        ticks = []
+        with pytest.raises(SearchBudgetExceeded):
+            FeasibilityEngine(exe).search(
+                max_states=1, on_progress=ticks.append
+            )
+        assert len(ticks) >= 1  # budget aborts tick on the way out
+
     def test_memoization_can_be_disabled(self):
         exe = random_semaphore_execution(processes=2, events_per_process=3, seed=3)
         on, off = SearchStats(), SearchStats()
@@ -209,6 +276,46 @@ class TestBinarySemaphores:
             )
             is not None
         )
+
+
+class TestPartialOrderReductionModes:
+    def test_unknown_mode_rejected(self):
+        b = ExecutionBuilder()
+        b.process("p").skip()
+        with pytest.raises(ValueError):
+            FeasibilityEngine(b.build(), por="persistent")
+
+    @pytest.mark.parametrize("por", ["sleep", "hoist", "off"])
+    def test_verdicts_and_witnesses_agree(self, por):
+        for seed in range(6):
+            exe = random_semaphore_execution(
+                processes=3, events_per_process=3, seed=seed
+            )
+            pts = FeasibilityEngine(exe, por=por).search()
+            assert pts is not None
+            replay_schedule(exe, pts)  # any returned path must be legal
+
+    def test_sleep_never_beats_off_on_exhaustive_search(self):
+        # force an exhaustive (infeasible) search: chain every event
+        # through semaphores, then ask for the reverse order
+        b = ExecutionBuilder()
+        v = b.process("p1").sem_v("s")
+        p = b.process("p2").sem_p("s")
+        others = [b.process(f"q{k}").skip() for k in range(3)]
+        exe = b.build()
+        cons = [(end_point(p), begin_point(v))]  # contradicts the P/V order
+        visits = {}
+        for por in ("sleep", "hoist", "off"):
+            stats = SearchStats()
+            assert (
+                FeasibilityEngine(exe, por=por).search(
+                    constraints=cons, stats=stats
+                )
+                is None
+            )
+            visits[por] = stats.states_visited
+        assert visits["sleep"] <= visits["off"]
+        assert visits["hoist"] <= visits["off"]
 
 
 class TestWitnessReplay:

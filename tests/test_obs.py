@@ -253,7 +253,9 @@ class TestTraceMatchesReport:
             budget=Budget.of(check_interval=2),
             on_progress=lambda stats: seen.append(stats.states_visited),
         )
-        assert seen and all(n % 2 == 0 for n in seen)
+        # amortized ticks land on interval multiples; the final tick
+        # (guaranteed, wherever the search ends) is exempt
+        assert seen and all(n % 2 == 0 for n in seen[:-1])
 
     def test_attach_tracer_throttles_engine_ticks(self):
         exe = masking_execution(3)

@@ -32,6 +32,7 @@ from repro.obs import (
     StatusBoard,
     render_status_metrics,
 )
+from repro.obs.server import status_document
 from repro.races.detector import RaceDetector
 from repro.solve.planner import PlannerReport
 from repro.supervise import RetryPolicy, SupervisedScanner
@@ -137,6 +138,29 @@ class TestStatusBoard:
         board.observe({"kind": "pair", "a": 1, "b": 5, "status": "feasible"})
         board.observe({"kind": "worker.retry", "a": 1, "b": 5, "attempt": 1})
 
+    def test_staleness_is_monotonic_not_wall_clock(self):
+        board = StatusBoard()
+        board.begin_scan(total=1)
+        snap = board.latest()
+        # the snapshot carries both stamps: wall-clock for humans,
+        # monotonic for staleness
+        assert "updated_at" in snap and "updated_monotonic" in snap
+        doc = status_document(snap)
+        assert doc["age_seconds"] >= 0.0
+        # the monotonic reading is meaningless to another process
+        assert "updated_monotonic" not in doc
+        # a wall-clock step (NTP, DST) must not change the served age
+        stepped = dict(snap)
+        stepped["updated_at"] = snap["updated_at"] - 3600.0
+        assert status_document(stepped)["age_seconds"] < 60.0
+        # age tracks the monotonic distance from publish to serve
+        past = dict(snap)
+        past["updated_monotonic"] = snap["updated_monotonic"] - 5.0
+        assert status_document(past)["age_seconds"] >= 5.0
+
+    def test_status_document_passes_none_through(self):
+        assert status_document(None) is None
+
     def test_budget_caps_eta(self):
         board = StatusBoard()
         board.begin_scan(total=1000, budget=Budget.of(timeout=0.0))
@@ -221,6 +245,8 @@ class TestObsServer:
             doc = json.loads(body)
             assert doc["fingerprint"] == "f00d"
             assert doc["pairs"]["feasible"] == 1
+            assert doc["age_seconds"] >= 0.0
+            assert "updated_monotonic" not in doc
             status, body = _get(srv.url("/metrics"))
             assert status == 200
             assert _parse_prometheus(body)["repro_scan_pairs_done"] == 1

@@ -1,0 +1,120 @@
+"""Differential tests for sleep-set partial-order reduction.
+
+The reference enumerator (``core/enumerate.py``) stays unreduced on
+purpose: it is the oracle here.  The properties pin exactly what
+DESIGN.md Section 4.3 argues -- all three ``por`` modes return the same
+verdicts as brute force (feasibility AND race classifications, under
+both memory models), and reduction only ever removes search states.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import FeasibilityEngine, SearchStats
+from repro.core.enumerate import (
+    enumerate_serial_schedules,
+    relations_by_enumeration,
+)
+from repro.core.relations import RelationName
+from repro.core.witness import replay_schedule
+from repro.races.detector import FEASIBLE, RaceDetector
+from repro.workloads.generators import random_computation_overlay
+
+POR_MODES = ("sleep", "hoist", "off")
+MODELS = ("sc", "tso")
+
+
+def tiny_overlay_executions():
+    """Enumeration-tractable computation overlays with a non-empty D
+    (point-schedule enumeration is exponential in 2|E|: keep |E| <= 6)."""
+    return st.builds(
+        random_computation_overlay,
+        processes=st.integers(2, 3),
+        events_per_process=st.integers(1, 2),
+        semaphores=st.integers(1, 2),
+        shared_vars=st.integers(1, 2),
+        seed=st.integers(0, 10_000),
+    )
+
+
+def small_overlay_executions():
+    """Engine-tractable overlays for the scan-level differentials."""
+    return st.builds(
+        random_computation_overlay,
+        processes=st.integers(2, 3),
+        events_per_process=st.integers(2, 3),
+        semaphores=st.integers(1, 2),
+        shared_vars=st.integers(1, 2),
+        seed=st.integers(0, 10_000),
+    )
+
+
+def _classifications(exe, por, **kw):
+    report = RaceDetector(exe, por=por).feasible_races(**kw)
+    return [(c.a, c.b, c.status) for c in report.classifications]
+
+
+@given(tiny_overlay_executions())
+@settings(max_examples=40, deadline=None)
+def test_feasibility_matches_brute_force_under_both_models(exe_sc):
+    for model in MODELS:
+        exe = exe_sc.with_memory_model(model)
+        brute = next(enumerate_serial_schedules(exe, limit=1), None) is not None
+        for por in POR_MODES:
+            pts = FeasibilityEngine(exe, por=por).search()
+            assert (pts is not None) == brute, (model, por)
+            if pts is not None:
+                replay_schedule(exe, pts)  # the witness must be real
+
+
+@given(tiny_overlay_executions())
+@settings(max_examples=15, deadline=None)
+def test_race_verdicts_match_brute_force_ccw(exe_sc):
+    # drop_racing_dependences=False so the oracle relation is plain CCW
+    # over the same execution the detector searches
+    for model in MODELS:
+        exe = exe_sc.with_memory_model(model)
+        ccw = relations_by_enumeration(exe)[RelationName.CCW]
+        for por in POR_MODES:
+            for a, b, status in _classifications(
+                exe, por, drop_racing_dependences=False
+            ):
+                assert (status == FEASIBLE) == ccw(a, b), (model, por, a, b)
+
+
+@given(small_overlay_executions())
+@settings(max_examples=25, deadline=None)
+def test_scan_classifications_agree_and_por_only_removes_states(exe_sc):
+    for model in MODELS:
+        exe = exe_sc.with_memory_model(model)
+        states = {}
+        verdicts = {}
+        for por in POR_MODES:
+            # engine-only ladder: every pair pays the exact search, so
+            # the states comparison measures the reduction, not the
+            # cheaper tiers
+            det = RaceDetector(exe, plan=("structural", "engine"), por=por)
+            report = det.feasible_races()
+            verdicts[por] = [
+                (c.a, c.b, c.status) for c in report.classifications
+            ]
+            states[por] = report.planner.engine_states()
+        assert verdicts["sleep"] == verdicts["hoist"] == verdicts["off"]
+        assert states["sleep"] <= states["off"], (model, states)
+        assert states["hoist"] <= states["off"], (model, states)
+
+
+@given(tiny_overlay_executions())
+@settings(max_examples=25, deadline=None)
+def test_sleep_set_search_states_bounded_by_unreduced_search(exe_sc):
+    # the single-search property behind the scan-level one: on the same
+    # engine question, reduction never visits more states than "off"
+    for model in MODELS:
+        exe = exe_sc.with_memory_model(model)
+        visited = {}
+        for por in POR_MODES:
+            stats = SearchStats()
+            FeasibilityEngine(exe, por=por).search(stats=stats)
+            visited[por] = stats.states_visited
+        assert visited["sleep"] <= visited["off"], (model, visited)
+        assert visited["hoist"] <= visited["off"], (model, visited)
