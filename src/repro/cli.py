@@ -90,6 +90,7 @@ from repro.obs import (
     iter_trace,
     planner_metrics,
     scan_metrics,
+    summarize_serve_trace,
     summarize_trace,
 )
 from repro.races.detector import RaceDetector
@@ -605,6 +606,17 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_serve_summary(args: argparse.Namespace) -> int:
+    """Aggregate a daemon trace (``repro serve --trace``): per-endpoint
+    request counts and latency percentiles, the phase breakdown of
+    where request time went, planner-tier attribution, and the slowest
+    requests with their ids.  The per-endpoint counts equal the
+    daemon's ``/status`` ``"http"`` totals for the same run."""
+    summary = summarize_serve_trace(args.trace_file, slowest=args.slowest)
+    print(summary.describe())
+    return 0
+
+
 def cmd_trace_profile(args: argparse.Namespace) -> int:
     """Merge a trace's ``profile`` records into the hot-events table.
 
@@ -805,6 +817,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"repro: store compacted ({carried} execution(s) carried)",
             file=sys.stderr,
         )
+    tracer = None
+    if args.trace:
+        # once serving, a failing sink only ever drops records (the
+        # daemon wraps it in FailsafeSink); an unwritable path is a
+        # *startup* error and must fail loudly now
+        try:
+            tracer = JsonlTraceSink(
+                args.trace, max_records=args.trace_max_records
+            )
+        except OSError as exc:
+            print(
+                f"repro: cannot open trace file {args.trace}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
     try:
         daemon = QueryDaemon(
             store,
@@ -823,6 +850,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             degraded_after=args.degraded_after,
             probe_interval=args.probe_interval,
             retry_after_cap=args.retry_after_cap,
+            tracer=tracer,
+            slow_threshold=args.slow_threshold,
+            client_timeout=args.client_timeout,
         )
     except OSError as exc:
         print(
@@ -850,6 +880,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{st['witnesses']} witness(es)); SIGTERM or Ctrl-C drains",
         file=sys.stderr,
     )
+    if args.trace:
+        print(
+            f"repro: tracing requests to {args.trace} "
+            "(repro trace serve-summary)",
+            file=sys.stderr,
+        )
+
+    def report_trace() -> None:
+        if not args.trace:
+            return
+        dropped = getattr(daemon.tracer, "total_dropped", lambda: 0)()
+        note = f" ({dropped} record(s) dropped)" if dropped else ""
+        print(f"repro: trace written to {args.trace}{note}", file=sys.stderr)
+
     try:
         while not stop.is_set():
             stop.wait(0.5)
@@ -861,7 +905,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("repro: forced shutdown", file=sys.stderr)
         daemon.close(drain=False)
+        report_trace()
         return EXIT_TERMINATED if _SIGTERM_SEEN[0] else EXIT_INTERRUPTED
+    report_trace()
     print("repro: drained cleanly", file=sys.stderr)
     return 0
 
@@ -1010,6 +1056,16 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("trace_file", help="JSONL trace written by --trace")
     ps.set_defaults(func=cmd_trace_summarize)
     ps = tsub.add_parser(
+        "serve-summary",
+        help="aggregate a daemon trace (repro serve --trace): "
+        "per-endpoint p50/p95/p99, phase breakdown, planner tiers, "
+        "slowest requests with their ids",
+    )
+    ps.add_argument("trace_file", help="JSONL trace written by serve --trace")
+    ps.add_argument("--slowest", type=int, default=10, metavar="N",
+                    help="slowest requests to list (default 10)")
+    ps.set_defaults(func=cmd_trace_serve_summary)
+    ps = tsub.add_parser(
         "profile",
         help="merge the trace's search-profile records into the "
         "hot-events table (scans recorded with --profile)",
@@ -1086,6 +1142,25 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="upper bound on the Retry-After hint sent with "
                    "429 responses (default 300s)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="append serve.* request spans (trace schema v3, "
+                   "keyed by request id) to FILE as JSONL; analyze with "
+                   "'repro trace serve-summary'.  Never fails a "
+                   "request: sink errors become counted drops")
+    p.add_argument("--trace-max-records", type=int, default=None,
+                   metavar="N",
+                   help="bound on trace records written; past it "
+                   "records are dropped and counted (default unbounded)")
+    p.add_argument("--slow-threshold", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="requests at least this slow are logged and "
+                   "kept in the GET /debug/slow ring (default 1s)")
+    p.add_argument("--client-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="socket timeout per client: a request body that "
+                   "trickles slower stalls one handler thread at most "
+                   "this long, answers 400, and is counted in "
+                   "serve_client_disconnects (default 10s)")
     p.add_argument("--fault-spec", help=argparse.SUPPRESS)  # test-only
     p.add_argument("--failpoints", help=argparse.SUPPRESS)  # chaos schedule
     p.set_defaults(func=cmd_serve)

@@ -44,15 +44,19 @@ from repro.obs.progress import ScanProgress
 from repro.obs.server import ObsServer, StatusBoard, render_status_metrics
 from repro.obs.trace import (
     NULL_SINK,
+    SERVE_PHASE_KINDS,
     SUPPORTED_TRACE_VERSIONS,
+    FailsafeSink,
     JsonlTraceSink,
     NullSink,
     RecordingSink,
+    ServeTraceSummary,
     TraceError,
     TraceSink,
     TraceSummary,
     iter_trace,
     read_trace,
+    summarize_serve_trace,
     summarize_trace,
     validate_record,
 )
@@ -71,15 +75,19 @@ __all__ = [
     "StatusBoard",
     "render_status_metrics",
     "NULL_SINK",
+    "SERVE_PHASE_KINDS",
     "SUPPORTED_TRACE_VERSIONS",
+    "FailsafeSink",
     "JsonlTraceSink",
     "NullSink",
     "RecordingSink",
+    "ServeTraceSummary",
     "TraceError",
     "TraceSink",
     "TraceSummary",
     "iter_trace",
     "read_trace",
+    "summarize_serve_trace",
     "summarize_trace",
     "validate_record",
 ]

@@ -25,10 +25,24 @@ def _label_key(labels: Optional[Dict[str, str]]) -> _LabelKey:
     return tuple(sorted((labels or {}).items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double quote and newline are the three characters the
+    format reserves inside a quoted label value."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: _LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + inner + "}"
 
 

@@ -30,6 +30,17 @@ happens, as a flat stream of JSON records:
   :class:`~repro.obs.profile.SearchProfile` snapshot (choice-point
   attribution of engine states), emitted once before ``scan.end`` when
   the scan ran with profiling (``repro trace profile`` reads these);
+* ``serve.*`` spans -- the ``repro serve`` daemon's request path,
+  keyed by a **request ID** generated at ingress (or honored from the
+  client's ``X-Repro-Request-Id`` header): ``serve.request`` bounds one
+  whole HTTP request (endpoint, final status, total latency);
+  ``serve.admission.wait``, ``serve.dispatch``, ``serve.store.read``,
+  ``serve.store.write`` and ``serve.response`` break that latency into
+  phases; ``serve.worker.eval`` is recorded *inside* the crash-isolated
+  query worker and shipped home with the result (exactly as scan
+  workers ship their ``query`` spans), so one request's spans tell the
+  admission-vs-evaluation-vs-I/O story end to end (``repro trace
+  serve-summary`` aggregates them);
 * ``trace.drops`` -- bounded sinks never block or grow without limit;
   when they shed records they say how many.
 
@@ -44,18 +55,22 @@ pay nothing.
 
 from __future__ import annotations
 
+import heapq
 import json
+import threading
 import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro import faults
 from repro.obs.profile import SearchProfile
 from repro.solve.planner import PlannerReport
 
 TRACE_FORMAT = "repro-trace"
 # version 2 added the profile / worker.dispatch / worker.result kinds;
-# version-1 traces (which simply lack them) are still readable
-TRACE_VERSION = 2
-SUPPORTED_TRACE_VERSIONS = (1, 2)
+# version 3 added the daemon's serve.* request spans; older traces
+# (which simply lack the newer kinds) are still readable
+TRACE_VERSION = 3
+SUPPORTED_TRACE_VERSIONS = (1, 2, 3)
 
 
 class TraceError(ValueError):
@@ -93,7 +108,31 @@ SPAN_SCHEMA: Dict[str, Tuple[Tuple[str, tuple], ...]] = {
     "checkpoint.write": (("a", (int,)), ("b", (int,))),
     "profile": (("profile", (dict,)),),
     "trace.drops": (("dropped", (int,)),),
+    # -- the serving daemon's request path (trace v3) ------------------
+    "serve.request": (
+        ("request_id", (str,)),
+        ("endpoint", (str,)),
+        ("status", (int,)),
+        ("elapsed", _NUM),
+    ),
+    "serve.admission.wait": (("request_id", (str,)), ("elapsed", _NUM)),
+    "serve.dispatch": (("request_id", (str,)), ("elapsed", _NUM)),
+    "serve.worker.eval": (("request_id", (str,)), ("elapsed", _NUM)),
+    "serve.store.read": (("request_id", (str,)), ("elapsed", _NUM)),
+    "serve.store.write": (("request_id", (str,)), ("elapsed", _NUM)),
+    "serve.response": (("request_id", (str,)), ("elapsed", _NUM)),
 }
+
+#: serve phase span kinds, in the order a request passes through them
+#: (``serve.worker.eval`` is nested inside ``serve.dispatch``)
+SERVE_PHASE_KINDS = (
+    "serve.admission.wait",
+    "serve.store.read",
+    "serve.dispatch",
+    "serve.worker.eval",
+    "serve.store.write",
+    "serve.response",
+)
 
 _TIER_FIELDS = (
     ("tier", (str,)),
@@ -255,6 +294,7 @@ class JsonlTraceSink(TraceSink):
         )
 
     def emit(self, record: Dict[str, Any]) -> None:
+        faults.fire("obs.trace.write")
         if self._fh.closed:
             self.dropped += 1
             return
@@ -292,6 +332,48 @@ class JsonlTraceSink(TraceSink):
             )
         self.flush()
         self._fh.close()
+
+
+class FailsafeSink(TraceSink):
+    """Serialize and shield another sink: tracing must never fail work.
+
+    The serving daemon's handler threads emit concurrently into one
+    sink, and its contract is that tracing is a *pure observer* -- so
+    this wrapper (a) takes a lock around every inner call (the JSONL
+    sink's buffer is not thread-safe on its own) and (b) converts any
+    failure of the destination (disk full, I/O error, a closed file)
+    into a counted drop instead of an exception.  A request is never
+    lost to its own telemetry; ``dropped`` says what the telemetry
+    lost (the ``obs.trace.write`` failpoint tests exactly this).
+    """
+
+    def __init__(self, inner: TraceSink) -> None:
+        self.inner = inner
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return self.inner.enabled
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            try:
+                self.inner.emit(record)
+            except Exception:
+                self.dropped += 1
+
+    def total_dropped(self) -> int:
+        """Records lost anywhere: sink failures here plus whatever the
+        inner sink's own bounds shed."""
+        return self.dropped + getattr(self.inner, "dropped", 0)
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self.inner.close()
+            except Exception:
+                pass
 
 
 # ----------------------------------------------------------------------
@@ -434,6 +516,160 @@ def summarize_trace(path: str) -> TraceSummary:
     return TraceSummary(iter_trace(path))
 
 
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(-(-q * len(sorted_values) // 1)))  # ceil without math
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class ServeTraceSummary:
+    """Aggregate view of a daemon trace (``repro trace serve-summary``).
+
+    Built from the ``serve.*`` spans (plus the ``query`` spans workers
+    ship home): per-endpoint request counts and latency percentiles,
+    the phase breakdown of where request time went, planner-tier
+    attribution, and the slowest requests *with their request IDs* so
+    an operator can go from a p99 number to one concrete request.
+
+    The per-endpoint request counts are, by construction, exactly the
+    counts the daemon's ``/status`` document reports under ``"http"``
+    for the same run: both tally one unit per completed request on the
+    instrumented endpoints.
+    """
+
+    def __init__(
+        self, records: Iterable[Dict[str, Any]], *, slowest: int = 10
+    ) -> None:
+        self.requests: Dict[str, int] = {}  # endpoint -> count
+        self.statuses: Dict[str, Dict[str, int]] = {}  # endpoint -> code -> n
+        self.kinds: Dict[str, int] = {}  # query kind (relation) -> count
+        self.latencies: Dict[str, List[float]] = {}  # endpoint -> elapsed
+        self.phases: Dict[str, List[float]] = {
+            kind: [0, 0.0] for kind in SERVE_PHASE_KINDS
+        }  # span kind -> [count, total seconds]
+        self.planner = PlannerReport()
+        self.dropped = 0
+        self._slowest_cap = max(1, slowest)
+        heap: List[Tuple[float, str, Dict[str, Any]]] = []
+        for rec in records:
+            kind = rec["kind"]
+            if kind == "serve.request":
+                endpoint = rec["endpoint"]
+                self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+                by_status = self.statuses.setdefault(endpoint, {})
+                code = str(rec["status"])
+                by_status[code] = by_status.get(code, 0) + 1
+                qkind = str(rec.get("query_kind") or "-")
+                self.kinds[qkind] = self.kinds.get(qkind, 0) + 1
+                self.latencies.setdefault(endpoint, []).append(rec["elapsed"])
+                item = (rec["elapsed"], rec["request_id"], rec)
+                if len(heap) < self._slowest_cap:
+                    heapq.heappush(heap, item)
+                else:
+                    heapq.heappushpop(heap, item)
+            elif kind in self.phases:
+                tally = self.phases[kind]
+                tally[0] += 1
+                tally[1] += rec["elapsed"]
+            elif kind == "query":
+                self.planner.queries += 1
+                if not rec["decided"]:
+                    self.planner.unknown += 1
+                for entry in rec["tiers"]:
+                    if entry["answered"]:
+                        self.planner.record_answer(
+                            entry["tier"],
+                            states=entry["states"],
+                            elapsed=entry["elapsed"],
+                        )
+                    else:
+                        self.planner.record_cost(
+                            entry["tier"],
+                            states=entry["states"],
+                            elapsed=entry["elapsed"],
+                        )
+            elif kind == "trace.drops":
+                self.dropped += rec["dropped"]
+        #: the N slowest requests, slowest first
+        self.slowest: List[Dict[str, Any]] = [
+            rec for _, _, rec in sorted(heap, reverse=True)
+        ]
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.requests.values())
+
+    def percentiles(self, endpoint: str) -> Tuple[float, float, float]:
+        values = sorted(self.latencies.get(endpoint, ()))
+        return (
+            _percentile(values, 0.50),
+            _percentile(values, 0.95),
+            _percentile(values, 0.99),
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"requests: {self.total_requests} across "
+            f"{len(self.requests)} endpoint(s)"
+        ]
+        for endpoint in sorted(self.requests):
+            p50, p95, p99 = self.percentiles(endpoint)
+            tally = " ".join(
+                f"{code}={n}"
+                for code, n in sorted(self.statuses[endpoint].items())
+            )
+            lines.append(
+                f"  {endpoint}: count={self.requests[endpoint]} "
+                f"p50={p50 * 1e3:.1f}ms p95={p95 * 1e3:.1f}ms "
+                f"p99={p99 * 1e3:.1f}ms status[{tally}]"
+            )
+        kinds = {k: n for k, n in self.kinds.items() if k != "-"}
+        if kinds:
+            tally = " ".join(
+                f"{kind}={n}" for kind, n in sorted(kinds.items())
+            )
+            lines.append(f"query kinds: {tally}")
+        phase_rows = [
+            (kind, int(tally[0]), tally[1])
+            for kind, tally in self.phases.items()
+            if tally[0]
+        ]
+        if phase_rows:
+            lines.append("phase breakdown (summed across requests):")
+            for kind, count, total in sorted(
+                phase_rows, key=lambda row: -row[2]
+            ):
+                phase = kind[len("serve."):]
+                lines.append(
+                    f"  {phase:<15} n={count:<5} total={total * 1e3:.1f}ms"
+                )
+        if self.planner.queries:
+            lines.append(self.planner.describe())
+        if self.slowest:
+            lines.append(f"slowest {len(self.slowest)} request(s):")
+            for rec in self.slowest:
+                kind = str(rec.get("query_kind") or "-")
+                lines.append(
+                    f"  {rec['elapsed'] * 1e3:8.1f}ms  {rec['endpoint']}"
+                    f"  kind={kind}  status={rec['status']}"
+                    f"  id={rec['request_id']}"
+                )
+        if self.dropped:
+            lines.append(
+                f"trace records dropped (bounded/failing sink): {self.dropped}"
+            )
+        return "\n".join(lines)
+
+
+def summarize_serve_trace(path: str, *, slowest: int = 10) -> ServeTraceSummary:
+    """Aggregate a daemon trace (``repro serve --trace``) into the
+    per-endpoint latency/phase/tier view.  Streams :func:`iter_trace`,
+    bounding memory by the request count, not the span count."""
+    return ServeTraceSummary(iter_trace(path), slowest=slowest)
+
+
 __all__ = [
     "TRACE_FORMAT",
     "TRACE_VERSION",
@@ -445,9 +681,13 @@ __all__ = [
     "NULL_SINK",
     "RecordingSink",
     "JsonlTraceSink",
+    "FailsafeSink",
+    "SERVE_PHASE_KINDS",
     "validate_record",
     "iter_trace",
     "read_trace",
     "TraceSummary",
     "summarize_trace",
+    "ServeTraceSummary",
+    "summarize_serve_trace",
 ]

@@ -14,14 +14,38 @@ running at all.
 
 Endpoints::
 
-    GET  /healthz     liveness: 200 while the process serves at all
-    GET  /readyz      readiness: 200 only in the "serving" state;
-                      503 while starting and while draining
-    GET  /status      JSON: state, uptime, admission/pool/store stats
-    GET  /metrics     the same, as Prometheus text
-    GET  /executions  stored execution fingerprints
-    POST /executions  store an execution document -> fingerprint
-    POST /query       evaluate one relation query (see QueryDaemon)
+    GET  /healthz         liveness: 200 while the process serves at all
+    GET  /readyz          readiness: 200 only in the "serving" state;
+                          503 while starting and while draining
+    GET  /status          JSON: state, uptime, admission/pool/store stats
+    GET  /metrics         the same, as Prometheus text (plus the
+                          per-endpoint x kind x phase latency histograms)
+    GET  /executions      stored execution fingerprints
+    POST /executions      store an execution document -> fingerprint
+    POST /query           evaluate one relation query (see QueryDaemon)
+    GET  /debug/requests  bounded ring of recent requests (most recent
+                          first: id, endpoint, kind, status, phases)
+    GET  /debug/slow      the slow-query log (>= --slow-threshold)
+
+Request IDs: every request gets one at ingress -- a well-formed
+``X-Repro-Request-Id`` header (``[A-Za-z0-9._-]{1,64}``) is honored,
+anything else replaced -- and it is echoed in the response header of
+*every* endpoint and in the JSON body of the work endpoints, errors
+included, so a client log line and a daemon trace line always meet.
+With ``--trace FILE`` the work endpoints (``POST /executions``,
+``POST /query``, ``GET /executions``) emit ``serve.*`` spans keyed by
+that id: one ``serve.request`` plus per-phase spans
+(``admission.wait``/``store.read``/``dispatch``/``worker.eval``/
+``store.write``/``response``), with ``serve.worker.eval`` and the
+planner's ``query`` spans recorded *inside* the worker process and
+shipped home on the result message, scan-pool style.  Introspection
+endpoints are deliberately not traced: they are unbounded-cardinality
+noise, and excluding them is what lets ``repro trace serve-summary``
+counts equal the ``/status`` ``"http"`` totals exactly.  The whole
+layer is a pure observer -- tracing on or off, response bodies are
+byte-identical minus the request-id echo -- and the sink is wrapped in
+:class:`~repro.obs.trace.FailsafeSink`, so a full buffer or a failing
+disk drops (counted) records, never requests.
 
 Degradation contract: every degraded answer is an explicit ``UNKNOWN``
 with the resource that ran out (``deadline``, ``states``, ``crash``,
@@ -50,10 +74,14 @@ from __future__ import annotations
 
 import json
 import logging
+import re
 import threading
 import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
 from http.server import ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro import faults
 from repro.budget import clamp_request
@@ -61,6 +89,7 @@ from repro.memmodel import resolve_memory_model
 from repro.model import serialize
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.server import QuietHandler
+from repro.obs.trace import NULL_SINK, FailsafeSink, TraceSink
 from repro.serve.admission import AdmissionQueue, Draining, Overloaded
 from repro.serve.store import WitnessStore
 from repro.supervise.pool import QUERY_RELATIONS, QueryWorkerPool
@@ -74,6 +103,11 @@ _PAIR_RELATIONS = QUERY_RELATIONS - {"feasible"}
 
 #: largest accepted request body (a trace document), in bytes
 MAX_BODY_BYTES = 64 << 20
+
+#: an acceptable client-supplied ``X-Repro-Request-Id`` -- anything
+#: else (too long, control characters, header-injection attempts) is
+#: replaced with a generated id, never rejected
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
 class _BadRequest(Exception):
@@ -111,16 +145,83 @@ class _ReadOnly(Exception):
     """A write reached a degraded (read-only) daemon; served as 507."""
 
 
+class _RequestObs:
+    """One tracked request's observation state: its id, per-phase wall
+    time, and the spans the worker shipped home with its result.
+    :meth:`QueryDaemon.finish_request` turns it into trace spans,
+    histogram observations and a debug-ring entry.  A pure observer:
+    :meth:`phase` only stamps clocks, and every emission downstream
+    happens behind the :class:`~repro.obs.trace.FailsafeSink`."""
+
+    __slots__ = ("endpoint", "rid", "t0", "kind", "phases", "spans")
+
+    def __init__(self, endpoint: str, rid: str) -> None:
+        self.endpoint = endpoint
+        self.rid = rid
+        self.t0 = time.monotonic()
+        self.kind: Optional[str] = None  # query relation, once validated
+        self.phases: Dict[str, List[float]] = {}  # name -> [t_first, total]
+        self.spans: List[Dict[str, Any]] = []  # worker-shipped spans
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one pass through a request phase; repeated passes (two
+        store reads, say) accumulate into one span."""
+        t0 = time.monotonic()
+        try:
+            yield
+        finally:
+            tally = self.phases.get(name)
+            if tally is None:
+                self.phases[name] = [t0, time.monotonic() - t0]
+            else:
+                tally[1] += time.monotonic() - t0
+
+
 class _Handler(QuietHandler):
     server_version = "repro-serve"
     #: socket timeout: a client that trickles its request (or stops
     #: reading the response) stalls one handler thread for at most this
-    #: long, never a worker or the accept loop
+    #: long, never a worker or the accept loop; per-daemon value set in
+    #: :meth:`setup` from ``--client-timeout``
     timeout = 10.0
+
+    def setup(self) -> None:
+        # must happen before the stdlib applies ``self.timeout`` to the
+        # connection socket
+        self.timeout = self.server.app.client_timeout
+        super().setup()
+
+    def _reply(
+        self,
+        code: int,
+        body: str,
+        content_type: str = "text/plain; charset=utf-8",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        # the request-id echo: on every response, errors included
+        rid = getattr(self, "_rid", None)
+        if rid is not None:
+            headers = dict(headers or {})
+            headers.setdefault("X-Repro-Request-Id", rid)
+        super()._reply(code, body, content_type, headers)
+
+    def _begin(self) -> str:
+        """Resolve this request's id: honor a well-formed client
+        ``X-Repro-Request-Id`` (lets callers correlate their retries
+        and logs with daemon traces), mint one otherwise."""
+        claimed = self.headers.get("X-Repro-Request-Id") or ""
+        self._rid = (
+            claimed
+            if _REQUEST_ID_RE.match(claimed)
+            else uuid.uuid4().hex[:16]
+        )
+        return self._rid
 
     # -- GET -----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
         daemon: "QueryDaemon" = self.server.app
+        rid = self._begin()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             self._reply(200, "ok\n")
@@ -141,48 +242,63 @@ class _Handler(QuietHandler):
                 daemon.render_metrics(),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
+        elif path == "/debug/requests":
+            self._reply_json(200, daemon.debug_requests())
+        elif path == "/debug/slow":
+            self._reply_json(200, daemon.debug_slow())
         elif path == "/executions":
-            self._reply_json(
-                200,
-                {
+            obs = daemon.begin_request("GET /executions", rid)
+            with obs.phase("store.read"):
+                doc: Dict[str, Any] = {
                     "executions": daemon.store.fingerprints(),
                     "store": daemon.store.stats(),
-                },
-            )
+                }
+            doc["request_id"] = rid
+            with obs.phase("response"):
+                self._reply_json(200, doc)
+            daemon.finish_request(obs, 200)
         else:
             self._reply(404, "not found\n")
 
     # -- POST ----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
         daemon: "QueryDaemon" = self.server.app
+        rid = self._begin()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path not in ("/executions", "/query"):
+            self._reply(404, "not found\n")
+            return
+        obs = daemon.begin_request(f"POST {path}", rid)
+        headers: Optional[Dict[str, str]] = None
+        close = False
         try:
+            doc = self._read_json()
             if path == "/executions":
-                doc = self._read_json()
-                self._reply_json(200, daemon.handle_put_execution(doc))
-            elif path == "/query":
-                doc = self._read_json()
-                code, body, headers = daemon.handle_query(doc)
-                self._reply_json(code, body, headers)
+                code, body = 200, daemon.handle_put_execution(doc, obs=obs)
             else:
-                self._reply(404, "not found\n")
+                code, body, headers = daemon.handle_query(doc, obs=obs)
         except _BadRequest as exc:
-            self._reply_json(400, {"error": str(exc)})
+            code, body = 400, {"error": str(exc)}
         except _TooLarge as exc:
             # 413, not 400: the request was well-formed, just too big --
             # clients and proxies treat the codes differently (a 413 is
             # retryable after shrinking, a 400 is a bug).  The unread
             # body is still on the socket, so close the connection
             # rather than try to parse it as a next request.
-            self._reply_json(
-                413, {"error": str(exc)}, {"Connection": "close"}
-            )
-            self.close_connection = True
+            code, body = 413, {"error": str(exc)}
+            headers = {"Connection": "close"}
+            close = True
         except _ReadOnly as exc:
-            self._reply_json(507, {"error": str(exc)})
+            code, body = 507, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - the daemon must survive
             daemon.count_error()
-            self._reply_json(500, {"error": f"internal error: {exc!r}"})
+            code, body = 500, {"error": f"internal error: {exc!r}"}
+        body["request_id"] = rid
+        with obs.phase("response"):
+            self._reply_json(code, body, headers)
+        if close:
+            self.close_connection = True
+        daemon.finish_request(obs, code)
 
     def _read_json(self) -> Dict[str, Any]:
         try:
@@ -199,8 +315,15 @@ class _Handler(QuietHandler):
         try:
             data = self.rfile.read(length)
         except OSError:  # slow client hit the socket timeout
+            self.server.app.count_disconnect(
+                getattr(self, "_rid", "-"),
+                "request body not received in time",
+            )
             raise _BadRequest("request body not received in time")
         if len(data) < length:
+            self.server.app.count_disconnect(
+                getattr(self, "_rid", "-"), "client disconnected mid-request"
+            )
             raise _BadRequest("client disconnected mid-request")
         try:
             doc = json.loads(data)
@@ -249,6 +372,11 @@ class QueryDaemon:
         degraded_after: int = 3,
         probe_interval: float = 2.0,
         retry_after_cap: float = 300.0,
+        tracer: Optional[TraceSink] = None,
+        slow_threshold: float = 1.0,
+        client_timeout: float = 10.0,
+        recent_capacity: int = 256,
+        slow_capacity: int = 64,
     ) -> None:
         if degraded_after < 1:
             raise ValueError("degraded_after must be >= 1")
@@ -259,6 +387,8 @@ class QueryDaemon:
         self.drain_grace = drain_grace
         self.degraded_after = degraded_after
         self.probe_interval = probe_interval
+        self.slow_threshold = slow_threshold
+        self.client_timeout = client_timeout
         self.state = "starting"
         self._t0 = time.monotonic()
         self._state_lock = threading.Lock()
@@ -267,6 +397,24 @@ class QueryDaemon:
         self._recoveries = 0
         self._rejected_read_only = 0
         self._probe_thread: Optional[threading.Thread] = None
+        # tracing must never fail (or cross-thread-corrupt) a request:
+        # whatever sink the caller hands over is wrapped so concurrent
+        # handler threads serialize on one lock and any sink failure
+        # becomes a counted drop.  The daemon owns the wrapper from
+        # here: close() closes it, flushing the drop accounting.
+        if tracer is None:
+            tracer = NULL_SINK
+        if tracer.enabled and not isinstance(tracer, FailsafeSink):
+            tracer = FailsafeSink(tracer)
+        self.tracer = tracer
+        self._traced = bool(tracer.enabled)
+        #: persistent request-latency histograms (endpoint x kind x
+        #: phase); counters stay status-derived in render_metrics()
+        self.metrics = MetricsRegistry()
+        self._http: Dict[str, int] = {}  # endpoint -> completed requests
+        self._recent: deque = deque(maxlen=max(1, recent_capacity))
+        self._slow: deque = deque(maxlen=max(1, slow_capacity))
+        self._disconnects = 0
         self.admission = AdmissionQueue(
             queue_limit, workers=workers, retry_after_cap=retry_after_cap
         )
@@ -276,6 +424,7 @@ class QueryDaemon:
             retry=retry,
             plan=plan,
             faults=faults,
+            trace=self._traced,
         )
         # bind eagerly: a taken port must fail *now*, before the CLI
         # reports the daemon as up
@@ -326,6 +475,11 @@ class QueryDaemon:
             self._thread.join(timeout=5.0)
             self._thread = None
         self._httpd.server_close()
+        if self._traced:
+            # flush the sink once (writes the trace.drops accounting
+            # record); late stragglers after this are not recorded
+            self._traced = False
+            self.tracer.close()
         self.state = "stopped"
 
     def __enter__(self) -> "QueryDaemon":
@@ -400,12 +554,120 @@ class QueryDaemon:
         self.store.flush()
         self._note_storage_failure()
 
+    # -- request observation (handler threads) ---------------------------
+    def begin_request(self, endpoint: str, rid: str) -> _RequestObs:
+        """Open one tracked request's observation context."""
+        return _RequestObs(endpoint, rid)
+
+    def finish_request(self, obs: _RequestObs, status: int) -> None:
+        """Close out a tracked request: histograms, the recent/slow
+        debug rings, the per-endpoint ``/status`` counter, and -- when
+        tracing -- the ``serve.*`` spans, all keyed by the request id.
+        Runs after the response bytes left, so ``serve.request`` covers
+        the client's whole wait."""
+        elapsed = time.monotonic() - obs.t0
+        endpoint, kind = obs.endpoint, (obs.kind or "-")
+        phase_totals = {
+            name: tally[1] for name, tally in obs.phases.items()
+        }
+        for span in obs.spans:  # the worker's evaluation bound
+            if span.get("kind") == "serve.worker.eval":
+                phase_totals["worker.eval"] = (
+                    phase_totals.get("worker.eval", 0.0) + span["elapsed"]
+                )
+        labels = {"endpoint": endpoint, "kind": kind}
+        entry = {
+            "request_id": obs.rid,
+            "endpoint": endpoint,
+            "kind": kind,
+            "status": status,
+            "elapsed_seconds": elapsed,
+            "phases": phase_totals,
+        }
+        with self._state_lock:
+            self._http[endpoint] = self._http.get(endpoint, 0) + 1
+            self.metrics.histogram(
+                "repro_serve_request_seconds",
+                "End-to-end request latency, by endpoint and query kind",
+                labels=labels,
+            ).observe(elapsed)
+            for name, total in phase_totals.items():
+                self.metrics.histogram(
+                    "repro_serve_phase_seconds",
+                    "Request time by phase (admission.wait/store.read/"
+                    "dispatch/worker.eval/store.write/response)",
+                    labels={**labels, "phase": name},
+                ).observe(total)
+            self._recent.append(entry)
+            slow = elapsed >= self.slow_threshold
+            if slow:
+                self._slow.append(entry)
+        if slow:
+            log.warning(
+                "slow request %s: %s kind=%s status=%d took %.3fs "
+                "(threshold %.3fs)",
+                obs.rid, endpoint, kind, status, elapsed,
+                self.slow_threshold,
+            )
+        if self._traced:
+            tr = self.tracer
+            for span in obs.spans:
+                span.setdefault("request_id", obs.rid)
+                tr.emit(span)
+            for name, tally in obs.phases.items():
+                tr.emit(
+                    {
+                        "kind": f"serve.{name}",
+                        "t": tally[0],
+                        "request_id": obs.rid,
+                        "elapsed": tally[1],
+                    }
+                )
+            record = {
+                "kind": "serve.request",
+                "t": obs.t0,
+                "request_id": obs.rid,
+                "endpoint": endpoint,
+                "status": status,
+                "elapsed": elapsed,
+            }
+            if obs.kind is not None:
+                record["query_kind"] = obs.kind
+            tr.emit(record)
+
+    def count_disconnect(self, rid: str, reason: str) -> None:
+        """The slow/vanishing-client path, no longer silent: one metric
+        tick and one log line carrying the request id."""
+        with self._state_lock:
+            self._disconnects += 1
+        log.warning("client disconnect on request %s: %s", rid, reason)
+
+    def debug_requests(self) -> Dict[str, Any]:
+        with self._state_lock:
+            entries = list(self._recent)
+        entries.reverse()  # most recent first
+        return {"capacity": self._recent.maxlen, "requests": entries}
+
+    def debug_slow(self) -> Dict[str, Any]:
+        with self._state_lock:
+            entries = list(self._slow)
+        entries.reverse()
+        return {
+            "slow_threshold_seconds": self.slow_threshold,
+            "capacity": self._slow.maxlen,
+            "requests": entries,
+        }
+
     # -- request handling (handler threads) ------------------------------
     def count_error(self) -> None:
         with self._state_lock:
             self._requests["errors"] += 1
 
-    def handle_put_execution(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+    def handle_put_execution(
+        self, doc: Dict[str, Any], obs: Optional[_RequestObs] = None
+    ) -> Dict[str, Any]:
+        if obs is None:  # direct (library/test) callers: observe a stub
+            obs = _RequestObs("POST /executions", "-")
         if self.state == "degraded":
             with self._state_lock:
                 self._rejected_read_only += 1
@@ -419,26 +681,32 @@ class QueryDaemon:
         except (ValueError, KeyError, TypeError) as exc:
             raise _BadRequest(f"bad execution document: {exc}")
         _require_model_match(doc, exe)
-        try:
-            fp = self.store.put_execution(exe)
-        except OSError as exc:
-            self._note_storage_failure()
-            raise _ReadOnly(
-                f"could not store the execution durably: {exc}"
-            )
-        self._flush_store()
+        with obs.phase("store.write"):
+            try:
+                fp = self.store.put_execution(exe)
+            except OSError as exc:
+                self._note_storage_failure()
+                raise _ReadOnly(
+                    f"could not store the execution durably: {exc}"
+                )
+            self._flush_store()
         return {
             "fingerprint": fp,
             "memory_model": exe.memory_model,
             "witnesses": len(self.store.points_for(fp)),
         }
 
-    def handle_query(self, doc: Dict[str, Any]):
+    def handle_query(
+        self, doc: Dict[str, Any], obs: Optional[_RequestObs] = None
+    ):
         """Returns ``(http_code, json_body, extra_headers)``."""
+        if obs is None:  # direct (library/test) callers: observe a stub
+            obs = _RequestObs("POST /query", "-")
         if self.state not in ("serving", "degraded"):
             return 503, {"error": f"daemon is {self.state}"}, None
         try:
-            self.admission.try_enter()
+            with obs.phase("admission.wait"):
+                self.admission.try_enter()
         except Overloaded as exc:
             retry_after = max(1, int(round(exc.retry_after)))
             return (
@@ -454,11 +722,11 @@ class QueryDaemon:
             return 503, {"error": "daemon is draining"}, None
         entered_at = time.monotonic()
         try:
-            return self._run_query(doc)
+            return self._run_query(doc, obs)
         finally:
             self.admission.release(time.monotonic() - entered_at)
 
-    def _run_query(self, doc: Dict[str, Any]):
+    def _run_query(self, doc: Dict[str, Any], obs: _RequestObs):
         faults.fire("serve.query")
         # -- resolve the execution ------------------------------------
         fp = doc.get("fingerprint")
@@ -482,16 +750,18 @@ class QueryDaemon:
                 exe = serialize.execution_from_dict(exe_doc)
             except (ValueError, KeyError, TypeError) as exc:
                 raise _BadRequest(f"bad execution document: {exc}")
-            try:
-                fp = self.store.put_execution(exe)
-            except OSError as exc:
-                self._note_storage_failure()
-                raise _ReadOnly(
-                    f"could not store the execution durably: {exc}"
-                )
+            with obs.phase("store.write"):
+                try:
+                    fp = self.store.put_execution(exe)
+                except OSError as exc:
+                    self._note_storage_failure()
+                    raise _ReadOnly(
+                        f"could not store the execution durably: {exc}"
+                    )
         elif fp not in self.store:
             return 404, {"error": f"no stored execution {fp}"}, None
-        exe = self.store.execution(fp)
+        with obs.phase("store.read"):
+            exe = self.store.execution(fp)
         _require_model_match(doc, exe)
         # -- validate the relation ------------------------------------
         relation = str(doc.get("relation", "race")).lower()
@@ -500,6 +770,7 @@ class QueryDaemon:
                 f"unknown relation {relation!r} "
                 f"(one of {', '.join(sorted(QUERY_RELATIONS))})"
             )
+        obs.kind = relation
         a = b = None
         if relation in _PAIR_RELATIONS:
             try:
@@ -530,29 +801,41 @@ class QueryDaemon:
             default_timeout=self.default_timeout,
         )
         # -- evaluate on the crash-isolated pool ----------------------
+        with obs.phase("store.read"):
+            exe_doc_stored = self.store.execution_doc(fp)
+            seed_witnesses = self.store.points_for(fp)
         request = {
             "fingerprint": fp,
-            "execution": self.store.execution_doc(fp),
+            "execution": exe_doc_stored,
             "relation": relation,
             "a": a,
             "b": b,
             "drop_racing": bool(doc.get("drop_racing", True)),
             "max_states": max_states,
             "timeout": timeout,
-            "witnesses": self.store.points_for(fp),
+            "witnesses": seed_witnesses,
         }
-        tid = self.pool.submit(request)
-        wait = None
-        if timeout is not None:
-            # budget + crash retries + wall grace, with margin: the pool
-            # always finalizes (UNKNOWN at worst) well inside this
-            retries = self.pool.retry.max_retries
-            wait = (timeout + self.pool.wall_grace) * (1 + retries) + 15.0
-        outcome = self.pool.result(tid, timeout=wait)
+        with obs.phase("dispatch"):
+            tid = self.pool.submit(request)
+            wait = None
+            if timeout is not None:
+                # budget + crash retries + wall grace, with margin: the
+                # pool always finalizes (UNKNOWN at worst) well inside
+                retries = self.pool.retry.max_retries
+                wait = (timeout + self.pool.wall_grace) * (1 + retries) + 15.0
+            outcome = self.pool.result(tid, timeout=wait)
+        # the worker's spans (already uid-tagged by the pool) ride the
+        # outcome; pull them off before the response body is built
+        worker_spans = outcome.pop("spans", None)
+        if worker_spans:
+            obs.spans.extend(worker_spans)
         # -- persist what the query discovered ------------------------
-        persisted = self.store.add_points(fp, outcome.get("witnesses_found"))
-        if persisted:
-            self._flush_store()
+        with obs.phase("store.write"):
+            persisted = self.store.add_points(
+                fp, outcome.get("witnesses_found")
+            )
+            if persisted:
+                self._flush_store()
         with self._state_lock:
             self._requests["queries"] += 1
             if outcome.get("verdict") in ("UNKNOWN", "unknown"):
@@ -578,6 +861,8 @@ class QueryDaemon:
     def status(self) -> Dict[str, Any]:
         with self._state_lock:
             requests = dict(self._requests)
+            http = dict(self._http)
+            disconnects = self._disconnects
             degraded_since = self._degraded_since
             degraded = {
                 "seconds": (
@@ -593,6 +878,19 @@ class QueryDaemon:
             "state": self.state,
             "uptime_seconds": time.monotonic() - self._t0,
             "requests": requests,
+            # completed requests per tracked endpoint -- the exact
+            # totals `repro trace serve-summary` reports for a traced
+            # run (introspection endpoints are in neither tally)
+            "http": http,
+            "observability": {
+                "client_disconnects": disconnects,
+                "trace_enabled": self._traced,
+                "trace_dropped": getattr(
+                    self.tracer, "total_dropped", lambda: 0
+                )(),
+                "slow_threshold_seconds": self.slow_threshold,
+                "client_timeout_seconds": self.client_timeout,
+            },
             "degraded": degraded,
             "admission": self.admission.stats(),
             "pool": self.pool.stats(),
@@ -674,7 +972,27 @@ class QueryDaemon:
         registry.counter(
             "repro_store_compactions_total", "Store compaction passes"
         ).inc(store["compactions"])
-        return registry.render()
+        for endpoint, count in sorted(doc["http"].items()):
+            registry.counter(
+                "repro_serve_http_requests_total",
+                "Completed requests, by tracked endpoint",
+                labels={"endpoint": endpoint},
+            ).inc(count)
+        obsv = doc["observability"]
+        registry.counter(
+            "repro_serve_client_disconnects_total",
+            "Requests whose client vanished or stalled past "
+            "--client-timeout",
+        ).inc(obsv["client_disconnects"])
+        registry.counter(
+            "repro_serve_trace_dropped_total",
+            "Trace records dropped by the bounded/failing sink",
+        ).inc(obsv["trace_dropped"])
+        # the persistent per-endpoint x kind x phase latency histograms
+        # append after the status-derived snapshot
+        with self._state_lock:
+            histograms = self.metrics.render()
+        return registry.render() + histograms
 
 
 __all__ = ["QueryDaemon", "MAX_BODY_BYTES"]

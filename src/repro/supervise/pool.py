@@ -715,6 +715,12 @@ def _query_worker_main(worker_id: int, task_q, result_q, conf) -> None:
     plan = conf.get("plan")
     capacity = max(1, int(conf.get("context_capacity", 8)))
     planners: Dict[str, QueryPlanner] = {}  # fp -> planner, FIFO-bounded
+    # when the daemon traces, record query spans into a bounded buffer
+    # and ship them with each result (the scan pool's idiom): the
+    # parent tags them with the request id only it knows
+    sink: Optional[RecordingSink] = None
+    if conf.get("trace"):
+        sink = RecordingSink(capacity=int(conf.get("trace_capacity", 4096)))
     # feeder thread first: its stack counts against RLIMIT_AS (see
     # _worker_main)
     result_q.put((worker_id, None, "ready", None))
@@ -725,6 +731,9 @@ def _query_worker_main(worker_id: int, task_q, result_q, conf) -> None:
         task_id, req, attempt = msg
         try:
             faults_mod.fire("pool.task")
+            eval_t0 = time.monotonic()
+            if sink is not None:
+                sink.drain()  # discard spans of a failed prior attempt
             a, b = req.get("a"), req.get("b")
             if a is not None and b is not None:
                 pair_faults.hit(int(a), int(b), attempt)
@@ -736,6 +745,8 @@ def _query_worker_main(worker_id: int, task_q, result_q, conf) -> None:
                 planner = (
                     QueryPlanner(ctx, tuple(plan)) if plan else QueryPlanner(ctx)
                 )
+                if sink is not None:
+                    planner.attach_tracer(sink)
                 planners[fp] = planner
                 while len(planners) > capacity:
                     planners.pop(next(iter(planners)))
@@ -775,6 +786,18 @@ def _query_worker_main(worker_id: int, task_q, result_q, conf) -> None:
                 payload = _verdict_payload(method(int(a), int(b), budget=budget))
             payload["planner"] = planner.report.snapshot()
             payload["witnesses_found"] = planner.ctx.witnesses.points_since(mark)
+            if sink is not None:
+                # the query spans plus this worker's evaluation bound;
+                # the parent adds "request_id"/"worker" provenance
+                spans = sink.drain()
+                spans.append(
+                    {
+                        "kind": "serve.worker.eval",
+                        "t": eval_t0,
+                        "elapsed": time.monotonic() - eval_t0,
+                    }
+                )
+                payload["spans"] = spans
             result_q.put((worker_id, task_id, "ok", payload))
         except MemoryError:
             # see _worker_main: report without binding the exception,
@@ -822,7 +845,11 @@ class QueryWorkerPool:
     outcome is a dict: ``verdict`` / ``decided_by`` / ``resource``,
     optional ``witness`` and ``classification``, the per-query
     ``planner`` tier snapshot, and ``witnesses_found`` -- newly
-    discovered schedules the caller should persist.
+    discovered schedules the caller should persist.  A pool built with
+    ``trace=True`` additionally ships ``spans``: the worker's in-memory
+    query trace (bounded by ``trace_capacity``, scan-pool idiom) plus a
+    ``serve.worker.eval`` bound, each tagged with the worker uid -- the
+    caller adds the request id and emits them to its sink.
     """
 
     def __init__(
@@ -837,6 +864,8 @@ class QueryWorkerPool:
         drain_grace: float = 1.0,
         wall_grace: float = 5.0,
         context_capacity: int = 8,
+        trace: bool = False,
+        trace_capacity: int = 4096,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -864,6 +893,8 @@ class QueryWorkerPool:
             "faults": self.faults,
             "plan": self.plan,
             "context_capacity": context_capacity,
+            "trace": bool(trace),
+            "trace_capacity": trace_capacity,
         }
         self._lock = threading.Lock()
         self._jobs: Dict[int, _QueryJob] = {}
@@ -1057,6 +1088,11 @@ class QueryWorkerPool:
         if settled:
             return
         if kind == "ok":
+            if isinstance(payload, dict):
+                # shipped spans carry the provenance the pool knows (the
+                # worker uid); the daemon adds the request id and emits
+                for span in payload.get("spans") or ():
+                    span.setdefault("worker", uid)
             if requeued:
                 # late answer from an incarnation we had given up on
                 with self._lock:

@@ -21,6 +21,8 @@ from repro.lang.interpreter import run_program
 from repro.lang.scheduler import FixedScheduler
 from repro.model import serialize
 from repro.obs import (
+    SERVE_PHASE_KINDS,
+    FailsafeSink,
     JsonlTraceSink,
     MetricsRegistry,
     NullSink,
@@ -33,6 +35,7 @@ from repro.obs import (
     planner_metrics,
     read_trace,
     scan_metrics,
+    summarize_serve_trace,
     summarize_trace,
     validate_record,
 )
@@ -762,3 +765,222 @@ class TestCliProfile:
         capsys.readouterr()
         assert cli_main(["trace", "timeline", trace]) == 0
         assert "serial scan" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+def _serve_trace(path, records):
+    """Write a trace file holding ``records`` (header added by sink)."""
+    with JsonlTraceSink(str(path)) as sink:
+        for rec in records:
+            sink.emit(dict(rec))
+    return str(path)
+
+
+def _request_span(rid, *, endpoint="POST /query", status=200,
+                  elapsed=0.25, **extra):
+    rec = {"kind": "serve.request", "request_id": rid,
+           "endpoint": endpoint, "status": status, "elapsed": elapsed}
+    rec.update(extra)
+    return rec
+
+
+class TestServeTraceV3:
+    """Round-trip and validation coverage for the serve.* span kinds."""
+
+    def test_every_serve_kind_round_trips(self, tmp_path):
+        records = [_request_span("req-1", query_kind="hb")]
+        records += [
+            {"kind": kind, "request_id": "req-1", "elapsed": 0.01}
+            for kind in SERVE_PHASE_KINDS
+        ]
+        path = _serve_trace(tmp_path / "t.jsonl", records)
+        back = list(iter_trace(path))
+        assert back[0]["kind"] == "trace.start"
+        assert back[0]["version"] == 3
+        body = back[1:]
+        assert [rec["kind"] for rec in body] == (
+            ["serve.request"] + list(SERVE_PHASE_KINDS)
+        )
+        for rec in body:
+            assert rec["request_id"] == "req-1"
+        # extra fields (query_kind) survive the round trip
+        assert body[0]["query_kind"] == "hb"
+
+    def test_missing_request_id_rejected(self):
+        with pytest.raises(TraceError, match="request_id"):
+            validate_record(
+                {"kind": "serve.dispatch", "t": 0.0, "elapsed": 0.1}
+            )
+
+    def test_missing_status_rejected(self):
+        with pytest.raises(TraceError, match="status"):
+            validate_record(
+                {"kind": "serve.request", "t": 0.0, "request_id": "r",
+                 "endpoint": "POST /query", "elapsed": 0.1}
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError, match="unknown trace record kind"):
+            validate_record({"kind": "serve.teapot", "t": 0.0})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TraceError, match="elapsed"):
+            validate_record(
+                {"kind": "serve.response", "t": 0.0, "request_id": "r",
+                 "elapsed": "fast"}
+            )
+
+    def test_v2_scan_trace_still_loads_and_summarizes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [
+            {"kind": "trace.start", "format": "repro-trace",
+             "version": 2, "t": 0.0},
+            {"kind": "query", "t": 1.0, "relation": "CCW", "a": 0, "b": 1,
+             "decided": True,
+             "tiers": [{"tier": "structural", "states": 0,
+                        "elapsed": 0.001, "answered": True}]},
+        ]
+        path.write_text(
+            "".join(json.dumps(rec) + "\n" for rec in lines)
+        )
+        assert [r["kind"] for r in iter_trace(str(path))] == [
+            "trace.start", "query",
+        ]
+        summary = summarize_trace(str(path))
+        assert summary.planner.queries == 1
+        assert summary.planner.tiers["structural"].answered == 1
+
+
+class _ExplodingSink:
+    enabled = True
+    dropped = 0
+
+    def __init__(self):
+        self.closed = False
+
+    def emit(self, record):
+        raise OSError("disk on fire")
+
+    def close(self):
+        self.closed = True
+        raise OSError("close failed too")
+
+
+class TestFailsafeSink:
+    def test_converts_emit_failures_into_counted_drops(self):
+        sink = FailsafeSink(_ExplodingSink())
+        for _ in range(3):
+            sink.emit({"kind": "serve.response"})  # must not raise
+        assert sink.dropped == 3
+        assert sink.total_dropped() == 3
+
+    def test_total_dropped_includes_inner_bounded_drops(self):
+        inner = RecordingSink(capacity=1)
+        sink = FailsafeSink(inner)
+        sink.emit({"kind": "pair.start", "t": 0.0, "a": 0, "b": 1})
+        sink.emit({"kind": "pair.start", "t": 0.0, "a": 0, "b": 2})
+        assert sink.dropped == 0  # nothing *failed*; the bound shed one
+        assert inner.dropped == 1
+        assert sink.total_dropped() == 1
+
+    def test_close_failure_swallowed(self):
+        inner = _ExplodingSink()
+        FailsafeSink(inner).close()  # must not raise
+        assert inner.closed
+
+    def test_delegates_enabled_and_passes_records_through(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceSink(str(path)) as inner:
+            sink = FailsafeSink(inner)
+            assert sink.enabled
+            sink.emit(_request_span("req-9"))
+        back = list(iter_trace(str(path)))
+        assert back[-1]["request_id"] == "req-9"
+        assert FailsafeSink(NullSink()).enabled is False
+
+
+class TestServeTraceSummary:
+    def _trace(self, tmp_path):
+        records = []
+        # 20 queries at 10ms..200ms, one slow outlier, one PUT
+        for i in range(1, 21):
+            records.append(
+                _request_span(f"q-{i:02d}", elapsed=i / 100.0,
+                              query_kind="hb")
+            )
+            records.append({"kind": "serve.dispatch",
+                            "request_id": f"q-{i:02d}", "elapsed": i / 200.0})
+        records.append(
+            _request_span("slowpoke", elapsed=9.0, status=422,
+                          query_kind="race")
+        )
+        records.append(
+            _request_span("put-1", endpoint="POST /executions",
+                          elapsed=0.05)
+        )
+        records.append(
+            {"kind": "query", "t": 0.0, "relation": "CCW", "a": 0, "b": 1,
+             "decided": True,
+             "tiers": [{"tier": "engine", "states": 42,
+                        "elapsed": 0.5, "answered": True}]}
+        )
+        records.append({"kind": "trace.drops", "dropped": 7})
+        return _serve_trace(tmp_path / "t.jsonl", records)
+
+    def test_counts_percentiles_and_phases(self, tmp_path):
+        s = summarize_serve_trace(self._trace(tmp_path))
+        assert s.requests == {"POST /query": 21, "POST /executions": 1}
+        assert s.total_requests == 22
+        assert s.statuses["POST /query"] == {"200": 20, "422": 1}
+        assert s.kinds == {"hb": 20, "race": 1, "-": 1}
+        p50, p95, p99 = s.percentiles("POST /query")
+        assert p50 == pytest.approx(0.11)
+        assert p95 == pytest.approx(0.20)
+        assert p99 == pytest.approx(9.0)
+        count, total = s.phases["serve.dispatch"]
+        assert count == 20
+        assert total == pytest.approx(sum(i / 200.0 for i in range(1, 21)))
+        assert s.planner.tiers["engine"].states == 42
+        assert s.dropped == 7
+
+    def test_slowest_is_bounded_and_sorted(self, tmp_path):
+        s = summarize_serve_trace(self._trace(tmp_path), slowest=3)
+        assert len(s.slowest) == 3
+        assert [rec["request_id"] for rec in s.slowest] == [
+            "slowpoke", "q-20", "q-19",
+        ]
+
+    def test_describe_names_the_culprit(self, tmp_path):
+        text = summarize_serve_trace(self._trace(tmp_path)).describe()
+        assert "POST /query: count=21" in text
+        assert "id=slowpoke" in text
+        assert "dispatch" in text
+        assert "dropped" in text
+
+    def test_cli_serve_summary(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        assert cli_main(["trace", "serve-summary", trace]) == 0
+        out = capsys.readouterr().out
+        assert "requests: 22" in out
+        assert "id=slowpoke" in out
+
+    def test_cli_serve_summary_rejects_garbage(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{nope\n")
+        assert cli_main(["trace", "serve-summary", str(path)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+
+class TestPrometheusLabelEscaping:
+    def test_reserved_characters_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "c_total", labels={"path": 'she said "hi"\\\n'}
+        ).inc()
+        out = registry.render()
+        assert 'c_total{path="she said \\"hi\\"\\\\\\n"} 1' in out
+
+    def test_plain_values_untouched(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"x": "plain.value-1"}).inc(2)
+        assert 'c_total{x="plain.value-1"} 2' in registry.render()

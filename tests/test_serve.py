@@ -47,10 +47,12 @@ def _get(url, timeout=10.0):
         return resp.status, resp.read().decode()
 
 
-def _post(url, body, timeout=120.0):
+def _post(url, body, timeout=120.0, headers=None):
     req = urllib.request.Request(
         url, data=json.dumps(body).encode("utf-8"), method="POST"
     )
+    for name, value in (headers or {}).items():
+        req.add_header(name, value)
     try:
         with urllib.request.urlopen(req, timeout=timeout) as resp:
             return resp.status, json.loads(resp.read()), dict(resp.headers)
@@ -930,3 +932,238 @@ class TestCliServeDaemon:
         wit = tmp_path / "store"
         files = list(wit.rglob("witnesses.json"))
         assert files, "drain did not flush the witness store"
+
+
+# ----------------------------------------------------------------------
+class TestRequestTracing:
+    """Trace schema v3 end to end: request ids honored/minted/echoed
+    (errors included), serve.* spans validate and re-aggregate to
+    exactly the ``/status`` per-endpoint counts, the debug rings and
+    latency histograms fill, a failing sink never fails a request, a
+    slow client is counted and logged, and tracing is a pure observer."""
+
+    def test_traced_daemon_end_to_end(self, daemon_factory, tmp_path):
+        import re
+
+        from repro.obs import JsonlTraceSink, iter_trace, summarize_serve_trace
+
+        exe = masking_execution(2)
+        a, b = exe.conflicting_pairs()[0]
+        trace = str(tmp_path / "daemon-trace.jsonl")
+        d = daemon_factory(tracer=JsonlTraceSink(trace))
+        # a well-formed client id is honored: header echo and body alike
+        code, out, hdrs = _post(
+            d.url("/executions"), serialize.execution_to_dict(exe),
+            headers={"X-Repro-Request-Id": "put-001"},
+        )
+        assert code == 200
+        assert hdrs["X-Repro-Request-Id"] == "put-001"
+        assert out["request_id"] == "put-001"
+        fp = out["fingerprint"]
+        # no client id: the daemon mints one and still echoes it
+        code, q, hdrs = _post(
+            d.url("/query"),
+            {"fingerprint": fp, "relation": "race", "a": a, "b": b},
+        )
+        assert code == 200
+        minted = hdrs["X-Repro-Request-Id"]
+        assert re.fullmatch(r"[A-Za-z0-9._-]{1,64}", minted)
+        assert q["request_id"] == minted
+        # a malformed claim is replaced, never reflected back verbatim
+        code, _, hdrs = _post(
+            d.url("/query"), {"fingerprint": fp, "relation": "feasible"},
+            headers={"X-Repro-Request-Id": "spaces are not ok"},
+        )
+        assert code == 200
+        assert hdrs["X-Repro-Request-Id"] != "spaces are not ok"
+        # errors carry the id too, on the header and in the body
+        code, err, hdrs = _post(
+            d.url("/query"), {"fingerprint": fp, "relation": "nope"},
+            headers={"X-Repro-Request-Id": "err-1"},
+        )
+        assert code == 400
+        assert hdrs["X-Repro-Request-Id"] == "err-1"
+        assert err["request_id"] == "err-1"
+        status, _body = _get(d.url("/executions"))
+        assert status == 200
+        http = json.loads(_get(d.url("/status"))[1])["http"]
+        d.close()
+        # the trace is valid v3 (iter_trace validates every record) ...
+        records = list(iter_trace(trace))
+        assert records[0]["version"] == 3
+        # ... and re-aggregates to exactly the /status endpoint counts
+        s = summarize_serve_trace(trace)
+        assert s.requests == http
+        assert s.requests == {
+            "POST /executions": 1, "POST /query": 3, "GET /executions": 1,
+        }
+        assert s.statuses["POST /query"] == {"200": 2, "400": 1}
+        by_kind = {}
+        for rec in records:
+            by_kind.setdefault(rec["kind"], []).append(rec)
+        reqs = {rec["request_id"]: rec for rec in by_kind["serve.request"]}
+        assert reqs["put-001"]["endpoint"] == "POST /executions"
+        assert reqs["err-1"]["status"] == 400
+        assert reqs[minted]["query_kind"] == "race"
+        # the worker shipped its evaluation span home, and the daemon
+        # stamped it with the request id the worker never knew
+        evals = {rec["request_id"] for rec in by_kind["serve.worker.eval"]}
+        assert minted in evals
+        phases = {rec["kind"] for rec in records if rec["kind"].startswith("serve.")}
+        assert {"serve.request", "serve.store.write", "serve.dispatch",
+                "serve.admission.wait", "serve.response"} <= phases
+
+    def test_debug_rings_and_latency_histograms(self, daemon_factory, caplog):
+        exe = masking_execution(2)
+        d = daemon_factory(
+            slow_threshold=0.0, recent_capacity=2, slow_capacity=2
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            code, out, _ = _post(
+                d.url("/executions"), serialize.execution_to_dict(exe),
+                headers={"X-Repro-Request-Id": "r1"},
+            )
+            assert code == 200
+            for rid in ("r2", "r3"):
+                code, _, _ = _post(
+                    d.url("/query"),
+                    {"fingerprint": out["fingerprint"],
+                     "relation": "feasible"},
+                    headers={"X-Repro-Request-Id": rid},
+                )
+                assert code == 200
+        doc = json.loads(_get(d.url("/debug/requests"))[1])
+        # bounded ring, most recent first (r1 was evicted by the cap)
+        assert doc["capacity"] == 2
+        assert [e["request_id"] for e in doc["requests"]] == ["r3", "r2"]
+        entry = doc["requests"][0]
+        assert entry["endpoint"] == "POST /query"
+        assert entry["kind"] == "feasible"
+        assert entry["status"] == 200
+        assert "response" in entry["phases"]
+        slow = json.loads(_get(d.url("/debug/slow"))[1])
+        assert slow["slow_threshold_seconds"] == 0.0
+        assert [e["request_id"] for e in slow["requests"]] == ["r3", "r2"]
+        assert "slow request r1" in caplog.text
+        body = _get(d.url("/metrics"))[1]
+        assert ('repro_serve_request_seconds_bucket'
+                '{endpoint="POST /query",kind="feasible"') in body
+        assert 'repro_serve_request_seconds_count' in body
+        assert 'repro_serve_phase_seconds_bucket' in body
+        assert ('repro_serve_http_requests_total'
+                '{endpoint="POST /executions"} 1') in body
+
+    def test_failing_trace_sink_never_fails_a_request(
+        self, daemon_factory, tmp_path
+    ):
+        """The obs.trace.write failpoint: every emit fails with EIO,
+        every request still answers 200, and the drops are counted."""
+        from repro.obs import JsonlTraceSink
+
+        from tests.test_obs_server import _parse_prometheus
+
+        exe = masking_execution(2)
+        trace = str(tmp_path / "t.jsonl")
+        d = daemon_factory(tracer=JsonlTraceSink(trace))
+        faults.arm("obs.trace.write=eio")
+        try:
+            code, out, _ = _post(
+                d.url("/executions"), serialize.execution_to_dict(exe)
+            )
+            assert code == 200
+            code, q, _ = _post(
+                d.url("/query"),
+                {"fingerprint": out["fingerprint"], "relation": "feasible"},
+            )
+            assert code == 200 and q["verdict"] == "TRUE"
+        finally:
+            faults.disarm()
+        obsv = json.loads(_get(d.url("/status"))[1])["observability"]
+        assert obsv["trace_enabled"] is True
+        # both requests' spans failed to write; all were counted
+        assert obsv["trace_dropped"] >= 2
+        samples = _parse_prometheus(_get(d.url("/metrics"))[1])
+        assert samples["repro_serve_trace_dropped_total"] >= 2
+
+    def test_slow_client_times_out_counted_and_logged(
+        self, daemon_factory, caplog
+    ):
+        """serve/app.py's once-silent slow-client path: the read times
+        out after --client-timeout, the client gets a 400 (with its
+        request id echoed), and the disconnect is a metric + log line."""
+        d = daemon_factory(client_timeout=0.5)
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            sock = socket.create_connection((d.host, d.port), timeout=10.0)
+            try:
+                # promise 4096 body bytes, send 10, then just... wait
+                sock.sendall(
+                    b"POST /query HTTP/1.1\r\nHost: x\r\n"
+                    b"X-Repro-Request-Id: sloth-1\r\n"
+                    b"Content-Length: 4096\r\n\r\n0123456789"
+                )
+                sock.settimeout(10.0)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+            finally:
+                sock.close()
+        head = data.split(b"\r\n\r\n", 1)[0].decode("latin-1")
+        assert " 400 " in head.splitlines()[0]
+        assert "x-repro-request-id: sloth-1" in head.lower()
+        assert "sloth-1" in caplog.text
+        obsv = json.loads(_get(d.url("/status"))[1])["observability"]
+        assert obsv["client_disconnects"] >= 1
+        assert obsv["client_timeout_seconds"] == 0.5
+        from tests.test_obs_server import _parse_prometheus
+
+        samples = _parse_prometheus(_get(d.url("/metrics"))[1])
+        assert samples["repro_serve_client_disconnects_total"] >= 1
+
+    def test_tracing_is_a_pure_observer(self, tmp_path):
+        """Identical verdicts, provenance and classifications with
+        tracing on or off -- over separate fresh stores, so neither run
+        can warm the other."""
+        from repro.obs import JsonlTraceSink
+
+        exe = masking_execution(2)
+        a, b = exe.conflicting_pairs()[0]
+
+        def run(root, tracer):
+            store = WitnessStore(str(tmp_path / root))
+            d = QueryDaemon(
+                store, port=0, workers=1, default_timeout=30.0,
+                tracer=tracer,
+            ).start()
+            try:
+                _, put, _ = _post(
+                    d.url("/executions"), serialize.execution_to_dict(exe)
+                )
+                fp = put["fingerprint"]
+                answers = []
+                for req in (
+                    {"relation": "race", "a": a, "b": b},
+                    {"relation": "feasible"},
+                    {"relation": "ccw", "a": a, "b": b},
+                    {"relation": "race", "a": a, "b": b},  # repeat: witness tier
+                ):
+                    code, q, _ = _post(
+                        d.url("/query"), dict(req, fingerprint=fp)
+                    )
+                    assert code == 200
+                    answers.append(
+                        (
+                            q["verdict"],
+                            q["decided_by"],
+                            (q.get("classification") or {}).get("status"),
+                        )
+                    )
+                return answers
+            finally:
+                d.close(drain=False)
+
+        traced = run("store-a", JsonlTraceSink(str(tmp_path / "t.jsonl")))
+        untraced = run("store-b", None)
+        assert traced == untraced
